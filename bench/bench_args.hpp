@@ -1,0 +1,76 @@
+#pragma once
+/// \file bench_args.hpp
+/// \brief Shared command-line handling for the paper-reproduction benches.
+///
+/// Every accuracy bench accepts:
+///   --full            paper-scale sweep (6 sequences × 6 seeds)
+///   --sequences N     number of standard flight plans (1..6)
+///   --seeds N         noise seeds per sequence
+///   --threads N       worker threads (0 = hardware concurrency)
+///   --csv DIR         also write the series as CSV into DIR
+///   --help            usage
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+namespace tofmcl::bench {
+
+struct BenchArgs {
+  std::size_t sequences = 6;
+  std::size_t seeds = 2;
+  std::size_t threads = 0;
+  std::optional<std::string> csv_dir;
+};
+
+inline void print_usage(const char* name, const char* description) {
+  std::printf("%s — %s\n", name, description);
+  std::printf(
+      "options:\n"
+      "  --full          paper-scale sweep (6 sequences x 6 seeds)\n"
+      "  --sequences N   standard flight plans to use (1..6, default 6)\n"
+      "  --seeds N       noise seeds per sequence (default 2)\n"
+      "  --threads N     worker threads (default: hardware)\n"
+      "  --csv DIR       write result series as CSV into DIR\n"
+      "  --help          this message\n");
+}
+
+inline BenchArgs parse_args(int argc, char** argv, const char* description) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const auto is = [&](const char* flag) {
+      return std::strcmp(argv[i], flag) == 0;
+    };
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value after %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (is("--help") || is("-h")) {
+      print_usage(argv[0], description);
+      std::exit(0);
+    } else if (is("--full")) {
+      args.sequences = 6;
+      args.seeds = 6;
+    } else if (is("--sequences")) {
+      args.sequences = static_cast<std::size_t>(std::atoi(value()));
+    } else if (is("--seeds")) {
+      args.seeds = static_cast<std::size_t>(std::atoi(value()));
+    } else if (is("--threads")) {
+      args.threads = static_cast<std::size_t>(std::atoi(value()));
+    } else if (is("--csv")) {
+      args.csv_dir = value();
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      print_usage(argv[0], description);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+}  // namespace tofmcl::bench

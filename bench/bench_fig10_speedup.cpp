@@ -1,0 +1,62 @@
+// Reproduces paper Fig 10: speedup of the 8-core cluster over a single
+// core per MCL phase and for the full update, as a function of particle
+// count, from the calibrated GAP9 timing model.
+//
+// Paper reference: total speedup improves with N up to ≈ 7×; resampling
+// scales worst but exceeds 5× at high particle counts.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_args.hpp"
+#include "common/table.hpp"
+#include "platform/gap9_timing.hpp"
+
+using namespace tofmcl;
+using namespace tofmcl::platform;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args =
+      bench::parse_args(argc, argv, "Fig 10 — 8-core speedup vs particles");
+
+  const Gap9TimingModel model = calibrated_timing_model();
+  constexpr std::size_t kCounts[] = {64, 256, 1024, 4096, 16384};
+
+  std::printf("=== Fig 10 — speedup (8 cores vs 1), GAP9@400MHz ===\n\n");
+  Table table({"particles", "observation", "motion", "resampling",
+               "pose_comp", "total"});
+  for (const std::size_t n : kCounts) {
+    const Placement placement =
+        n >= 4096 ? Placement::kL2 : Placement::kL1;
+    auto row = table.row();
+    row.cell(n);
+    for (const Phase p : kAllPhases) {
+      row.cell(model.phase_speedup(p, n, 8, placement), 2);
+    }
+    row.cell(model.total_speedup(n, 8, placement), 2);
+    row.commit();
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\npaper: total speedup grows to ~7x at 16384 particles; resampling\n"
+      "       scales worst yet reaches >5x at high N (L2 latency hiding).\n");
+
+  // Scaling across core counts at the largest workload (extension view).
+  std::printf("\nscaling at 16384 particles (L2):\n");
+  Table cores_table({"cores", "update_ms", "speedup"});
+  for (std::size_t cores = 1; cores <= 8; ++cores) {
+    cores_table.row()
+        .cell(cores)
+        .cell(model.update_ns(16384, cores, Placement::kL2, 400.0) * 1e-6, 3)
+        .cell(model.total_speedup(16384, cores, Placement::kL2), 2)
+        .commit();
+  }
+  cores_table.print(std::cout);
+
+  if (args.csv_dir) {
+    table.write_csv(std::filesystem::path(*args.csv_dir) /
+                    "fig10_speedup.csv");
+  }
+  return 0;
+}

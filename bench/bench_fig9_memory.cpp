@@ -1,0 +1,64 @@
+// Reproduces paper Fig 9: the trade-off between particle count and map
+// size (0.05 m/cell) for L1 and L2 memory, comparing the full-precision
+// representation (5 B/cell, 32 B/particle) against the quantized/FP16 one
+// (2 B/cell, 16 B/particle).
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_args.hpp"
+#include "common/table.hpp"
+#include "platform/memory_model.hpp"
+
+using namespace tofmcl;
+using platform::max_particles;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(
+      argc, argv, "Fig 9 — particle count vs map size for L1/L2");
+
+  const platform::Gap9Spec spec;
+  constexpr double kRes = 0.05;
+
+  std::printf("=== Fig 9 — max particles vs map size (0.05 m/cell) ===\n");
+  std::printf("L1 = %zu kB, L2 = %zu kB\n\n", spec.l1_bytes / 1024,
+              spec.l2_bytes / 1024);
+
+  Table table({"map_m2", "fp32_L1", "fp16qm_L1", "fp32_L2", "fp16qm_L2"});
+  // The paper's x-axis spans 2^1 .. 2^11 m².
+  for (int e = 1; e <= 11; ++e) {
+    const double area = std::pow(2.0, e);
+    auto row = table.row();
+    row.cell(area, 0);
+    row.cell(max_particles(area, kRes, core::Precision::kFp32, spec.l1_bytes));
+    row.cell(
+        max_particles(area, kRes, core::Precision::kFp16Qm, spec.l1_bytes));
+    row.cell(max_particles(area, kRes, core::Precision::kFp32, spec.l2_bytes));
+    row.cell(
+        max_particles(area, kRes, core::Precision::kFp16Qm, spec.l2_bytes));
+    row.commit();
+  }
+  table.print(std::cout);
+
+  // The paper's headline operating points.
+  std::printf("\nreference points:\n");
+  std::printf(
+      "  evaluation map (31.2 m^2), fp32   in L1: %zu particles\n",
+      max_particles(31.2, kRes, core::Precision::kFp32, spec.l1_bytes));
+  std::printf(
+      "  evaluation map (31.2 m^2), fp16qm in L1: %zu particles\n",
+      max_particles(31.2, kRes, core::Precision::kFp16Qm, spec.l1_bytes));
+  std::printf(
+      "  evaluation map (31.2 m^2), fp32   in L2: %zu particles\n",
+      max_particles(31.2, kRes, core::Precision::kFp32, spec.l2_bytes));
+  std::printf(
+      "\npaper: quantization + fp16 roughly doubles-to-quadruples capacity\n"
+      "       at every map size; 16384 particles only fit in L2.\n");
+
+  if (args.csv_dir) {
+    table.write_csv(std::filesystem::path(*args.csv_dir) /
+                    "fig9_memory.csv");
+  }
+  return 0;
+}

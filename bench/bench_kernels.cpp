@@ -1,0 +1,173 @@
+// Google-benchmark microbenchmarks of the library's hot kernels on the
+// host: EDT construction, raycasting, the four MCL phases per precision
+// variant, beam extraction and fp16 conversion. These are supporting
+// numbers (host CPU, not GAP9); the paper-reproduction timing lives in
+// bench_table1/bench_fig10.
+
+#include <benchmark/benchmark.h>
+
+#include "core/particle_filter.hpp"
+#include "map/rasterize.hpp"
+#include "sensor/grid_raycaster.hpp"
+#include "sim/maze.hpp"
+
+namespace {
+
+using namespace tofmcl;
+
+const map::OccupancyGrid& evaluation_grid() {
+  static const map::OccupancyGrid grid = [] {
+    return sim::rasterize_environment(sim::evaluation_environment(), 0.05,
+                                      0.01);
+  }();
+  return grid;
+}
+
+std::vector<sensor::Beam> synthetic_beams(std::size_t count) {
+  std::vector<sensor::Beam> beams(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double az = -0.35 + 0.7 * static_cast<double>(i) /
+                                  static_cast<double>(count);
+    const double r = 0.8 + 0.05 * static_cast<double>(i % 7);
+    beams[i].azimuth_body = az;
+    beams[i].range_m = static_cast<float>(r);
+    beams[i].endpoint_body = Vec2f{static_cast<float>(r * std::cos(az)),
+                                   static_cast<float>(r * std::sin(az))};
+  }
+  return beams;
+}
+
+void BM_EdtBuild(benchmark::State& state) {
+  const auto& grid = evaluation_grid();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map::edt_meters(grid, 1.5));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(grid.cell_count()));
+}
+BENCHMARK(BM_EdtBuild)->Unit(benchmark::kMillisecond);
+
+void BM_WorldRaycast(benchmark::State& state) {
+  const map::World world = sim::drone_maze();
+  Rng rng(1);
+  for (auto _ : state) {
+    const Vec2 origin{rng.uniform(0.3, 3.7), rng.uniform(0.3, 3.7)};
+    benchmark::DoNotOptimize(
+        world.raycast(origin, rng.uniform(-kPi, kPi), 4.0));
+  }
+}
+BENCHMARK(BM_WorldRaycast);
+
+void BM_GridRaycast(benchmark::State& state) {
+  const auto& grid = evaluation_grid();
+  Rng rng(2);
+  for (auto _ : state) {
+    const Vec2 origin{rng.uniform(0.3, 3.7), rng.uniform(0.3, 3.7)};
+    benchmark::DoNotOptimize(
+        sensor::raycast_grid(grid, origin, rng.uniform(-kPi, kPi), 4.0));
+  }
+}
+BENCHMARK(BM_GridRaycast);
+
+template <typename Traits>
+void phase_bench(benchmark::State& state, int phase) {
+  const auto& grid = evaluation_grid();
+  const typename Traits::Map dmap(grid, 1.5);
+  core::MclConfig cfg;
+  cfg.num_particles = static_cast<std::size_t>(state.range(0));
+  core::SerialExecutor exec;
+  core::ParticleFilter<Traits> pf(dmap, cfg, exec);
+  pf.init_uniform(grid.free_cell_centers(), 0.025);
+  const auto beams = synthetic_beams(16);
+  const Pose2 delta{0.03, 0.0, 0.01};
+
+  for (auto _ : state) {
+    switch (phase) {
+      case 0:
+        pf.observation_update(beams);
+        break;
+      case 1:
+        pf.motion_update(delta);
+        break;
+      case 2:
+        pf.observation_update(beams);  // keep weights non-degenerate
+        pf.resample();
+        break;
+      default:
+        benchmark::DoNotOptimize(pf.compute_pose());
+        break;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_ObservationFp32(benchmark::State& s) {
+  phase_bench<core::Fp32Traits>(s, 0);
+}
+void BM_ObservationQm(benchmark::State& s) {
+  phase_bench<core::Fp32QmTraits>(s, 0);
+}
+void BM_ObservationFp16(benchmark::State& s) {
+  phase_bench<core::Fp16QmTraits>(s, 0);
+}
+void BM_Motion(benchmark::State& s) { phase_bench<core::Fp32Traits>(s, 1); }
+void BM_ObservationPlusResample(benchmark::State& s) {
+  phase_bench<core::Fp32Traits>(s, 2);
+}
+void BM_PoseCompute(benchmark::State& s) {
+  phase_bench<core::Fp32Traits>(s, 3);
+}
+BENCHMARK(BM_ObservationFp32)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_ObservationQm)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_ObservationFp16)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_Motion)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_ObservationPlusResample)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_PoseCompute)->Arg(1024)->Arg(16384);
+
+void BM_BeamExtraction(benchmark::State& state) {
+  sensor::TofSensorConfig cfg;
+  const sensor::MultizoneToF tof(cfg);
+  const map::World maze = sim::drone_maze();
+  const sensor::TofFrame frame =
+      tof.measure_ideal(maze, {1.5, 0.6, 0.3}, 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sensor::extract_beams(frame, cfg));
+  }
+}
+BENCHMARK(BM_BeamExtraction);
+
+void BM_HalfRoundTrip(benchmark::State& state) {
+  float x = 0.123f;
+  for (auto _ : state) {
+    const Half h(x);
+    x = static_cast<float>(h) + 1e-6f;
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_HalfRoundTrip);
+
+void BM_LikelihoodLutVsExp(benchmark::State& state) {
+  // The quantized model's LUT path vs direct expf — the paper's speed
+  // rationale for the quantized map.
+  const auto& grid = evaluation_grid();
+  const map::QuantizedDistanceMap qmap(grid, 1.5);
+  const core::BeamModelParams params{0.1f, 0.9f, 0.1f};
+  const core::LutObservationModel lut(qmap, params);
+  const map::DistanceMap fmap(grid, 1.5);
+  const core::DirectObservationModel direct(fmap, params);
+  Rng rng(3);
+  float acc = 0.0f;
+  const bool use_lut = state.range(0) != 0;
+  for (auto _ : state) {
+    const float x = static_cast<float>(rng.uniform(0.0, 10.0));
+    const float y = static_cast<float>(rng.uniform(0.0, 5.0));
+    acc += use_lut ? lut.factor(x, y) : direct.factor(x, y);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_LikelihoodLutVsExp)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

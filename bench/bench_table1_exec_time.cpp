@@ -1,0 +1,96 @@
+// Reproduces paper Table I: execution time per particle (ns) of the four
+// MCL phases on 1 and 8 GAP9 cores at 400 MHz, for particle counts
+// 64..16384 (counts >= 4096 in L2), from the calibrated timing model.
+// The published measurements are printed alongside for comparison.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_args.hpp"
+#include "common/table.hpp"
+#include "platform/gap9_timing.hpp"
+
+using namespace tofmcl;
+using namespace tofmcl::platform;
+
+namespace {
+
+struct PaperRow {
+  std::size_t n;
+  double obs[2], mot[2], res[2], pose[2];  // {1 core, 8 cores}
+};
+constexpr PaperRow kPaper[] = {
+    {64, {8531, 1412}, {2828, 500}, {313, 250}, {750, 234}},
+    {256, {8484, 1313}, {2715, 391}, {191, 121}, {633, 117}},
+    {1024, {8518, 1283}, {2689, 357}, {161, 84}, {604, 86}},
+    {4096, {8649, 1294}, {3002, 390}, {558, 108}, {777, 101}},
+    {16384, {8704, 1295}, {2985, 386}, {556, 104}, {775, 99}},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(
+      argc, argv, "Table I — per-particle phase times on GAP9");
+
+  const Gap9TimingModel model = calibrated_timing_model();
+  constexpr double kF = 400.0;
+
+  std::printf(
+      "=== Table I — execution time per particle, 1 core / 8 cores, ns, "
+      "GAP9@400MHz ===\n"
+      "(model vs the paper's published measurement)\n\n");
+
+  Table table({"particles", "observation", "motion", "resampling",
+               "pose_comp", "paper_obs", "paper_mot", "paper_res",
+               "paper_pose"});
+  for (const PaperRow& row : kPaper) {
+    const Placement placement =
+        row.n >= 4096 ? Placement::kL2 : Placement::kL1;
+    const auto cell = [&](Phase p) {
+      const double t1 =
+          model.phase_ns_per_particle(p, row.n, 1, placement, kF);
+      const double t8 =
+          model.phase_ns_per_particle(p, row.n, 8, placement, kF);
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%.0f/%.0f", t1, t8);
+      return std::string(buf);
+    };
+    const auto paper = [&](const double v[2]) {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%.0f/%.0f", v[0], v[1]);
+      return std::string(buf);
+    };
+    table.row()
+        .cell(row.n)
+        .cell(cell(Phase::kObservation))
+        .cell(cell(Phase::kMotion))
+        .cell(cell(Phase::kResampling))
+        .cell(cell(Phase::kPoseComputation))
+        .cell(paper(row.obs))
+        .cell(paper(row.mot))
+        .cell(paper(row.res))
+        .cell(paper(row.pose))
+        .commit();
+  }
+  table.print(std::cout);
+
+  std::printf("\nfull update latency (8 cores, 400 MHz, incl. 40 us "
+              "overhead):\n");
+  for (const PaperRow& row : kPaper) {
+    const Placement placement =
+        row.n >= 4096 ? Placement::kL2 : Placement::kL1;
+    std::printf("  N=%6zu: %7.3f ms%s\n", row.n,
+                model.update_ns(row.n, 8, placement, kF) * 1e-6,
+                placement == Placement::kL2 ? "  (particles in L2)" : "");
+  }
+  std::printf(
+      "\npaper: 0.2–30 ms depending on particle count (Section IV-D);\n"
+      "       Table II lists 1.901 ms at 1024 and 30.880 ms at 16384.\n");
+
+  if (args.csv_dir) {
+    table.write_csv(std::filesystem::path(*args.csv_dir) /
+                    "table1_exec_time.csv");
+  }
+  return 0;
+}

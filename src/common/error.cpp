@@ -1,0 +1,19 @@
+#include "common/error.hpp"
+
+namespace tofmcl::detail {
+
+[[noreturn]] void throw_precondition_failure(const char* expr, const char* msg,
+                                             const std::source_location& loc) {
+  std::string what = "precondition failed: ";
+  what += expr;
+  what += " — ";
+  what += msg;
+  what += " (";
+  what += loc.file_name();
+  what += ":";
+  what += std::to_string(loc.line());
+  what += ")";
+  throw PreconditionError(what);
+}
+
+}  // namespace tofmcl::detail

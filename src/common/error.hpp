@@ -1,0 +1,53 @@
+#pragma once
+/// \file error.hpp
+/// \brief Error handling primitives shared by all tofmcl libraries.
+///
+/// Follows the C++ Core Guidelines: exceptions for errors that callers are
+/// expected to handle (I/O, configuration), assertions for programming
+/// errors (precondition violations).
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace tofmcl {
+
+/// Thrown when a configuration value is out of its documented domain
+/// (e.g. negative map resolution, zero particles).
+class ConfigError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown on malformed or unreadable external data (map files, datasets).
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a precondition of a public API is violated.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition_failure(const char* expr, const char* msg,
+                                             const std::source_location& loc);
+}  // namespace detail
+
+/// Check a precondition of a public API. Unlike `assert`, stays active in
+/// release builds; violations indicate caller bugs and throw
+/// `PreconditionError` with file/line context.
+#define TOFMCL_EXPECTS(expr, msg)                                       \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::tofmcl::detail::throw_precondition_failure(                     \
+          #expr, (msg), std::source_location::current());               \
+    }                                                                   \
+  } while (false)
+
+/// Internal invariant check (library bug if it fires).
+#define TOFMCL_ENSURES(expr, msg) TOFMCL_EXPECTS(expr, msg)
+
+}  // namespace tofmcl

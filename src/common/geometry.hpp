@@ -1,0 +1,142 @@
+#pragma once
+/// \file geometry.hpp
+/// \brief 2D vectors, poses and rigid-body transforms.
+///
+/// The localization problem in the paper is planar: the nano-UAV flies at a
+/// fixed height and localizes in a 2D occupancy grid, so the state is
+/// (x, y, θ). Simulation and evaluation use double precision; the particle
+/// filter stores its own reduced-precision state (see core/particle.hpp).
+
+#include <cmath>
+#include <ostream>
+
+namespace tofmcl {
+
+/// 2D vector over an arbitrary scalar type.
+template <typename T>
+struct Vec2T {
+  T x{};
+  T y{};
+
+  constexpr Vec2T() = default;
+  constexpr Vec2T(T x_, T y_) : x(x_), y(y_) {}
+
+  constexpr Vec2T operator+(Vec2T o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2T operator-(Vec2T o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2T operator*(T s) const { return {x * s, y * s}; }
+  constexpr Vec2T operator/(T s) const { return {x / s, y / s}; }
+  constexpr Vec2T operator-() const { return {-x, -y}; }
+  constexpr Vec2T& operator+=(Vec2T o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2T& operator-=(Vec2T o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr Vec2T& operator*=(T s) {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+  constexpr bool operator==(const Vec2T&) const = default;
+
+  constexpr T dot(Vec2T o) const { return x * o.x + y * o.y; }
+  /// 2D cross product (z-component of the 3D cross product).
+  constexpr T cross(Vec2T o) const { return x * o.y - y * o.x; }
+  constexpr T squared_norm() const { return x * x + y * y; }
+  T norm() const { return std::sqrt(squared_norm()); }
+  /// Returns the zero vector when called on a (near-)zero vector.
+  Vec2T normalized() const {
+    const T n = norm();
+    return n > T(0) ? Vec2T{x / n, y / n} : Vec2T{};
+  }
+  /// Counter-clockwise rotation by `angle` radians.
+  Vec2T rotated(T angle) const {
+    const T c = std::cos(angle);
+    const T s = std::sin(angle);
+    return {c * x - s * y, s * x + c * y};
+  }
+};
+
+template <typename T>
+constexpr Vec2T<T> operator*(T s, Vec2T<T> v) {
+  return v * s;
+}
+
+template <typename T>
+std::ostream& operator<<(std::ostream& os, Vec2T<T> v) {
+  return os << "(" << v.x << ", " << v.y << ")";
+}
+
+using Vec2 = Vec2T<double>;
+using Vec2f = Vec2T<float>;
+
+/// Planar pose (x, y, yaw). Yaw is in radians; no wrapping is applied by the
+/// arithmetic here — use angles.hpp helpers when comparing orientations.
+template <typename T>
+struct Pose2T {
+  Vec2T<T> position{};
+  T yaw{};
+
+  constexpr Pose2T() = default;
+  constexpr Pose2T(T x, T y, T yaw_) : position{x, y}, yaw(yaw_) {}
+  constexpr Pose2T(Vec2T<T> p, T yaw_) : position(p), yaw(yaw_) {}
+
+  constexpr T x() const { return position.x; }
+  constexpr T y() const { return position.y; }
+  constexpr bool operator==(const Pose2T&) const = default;
+
+  /// Transform a point from this pose's body frame into the world frame.
+  Vec2T<T> transform(Vec2T<T> body_point) const {
+    return position + body_point.rotated(yaw);
+  }
+
+  /// Inverse transform: world point into this pose's body frame.
+  Vec2T<T> inverse_transform(Vec2T<T> world_point) const {
+    return (world_point - position).rotated(-yaw);
+  }
+
+  /// Pose composition: `this ⊕ delta`, with `delta` expressed in this
+  /// pose's body frame (standard odometry accumulation).
+  Pose2T compose(const Pose2T& delta) const {
+    return {position + delta.position.rotated(yaw), yaw + delta.yaw};
+  }
+
+  /// Relative pose `this⁻¹ ⊕ other`: the motion that takes `this` to
+  /// `other`, expressed in `this`'s body frame.
+  Pose2T between(const Pose2T& other) const {
+    return {(other.position - position).rotated(-yaw), other.yaw - yaw};
+  }
+};
+
+template <typename T>
+std::ostream& operator<<(std::ostream& os, const Pose2T<T>& p) {
+  return os << "(" << p.position.x << ", " << p.position.y << "; " << p.yaw
+            << ")";
+}
+
+using Pose2 = Pose2T<double>;
+using Pose2f = Pose2T<float>;
+
+/// Axis-aligned bounding box, used for map extents and sampling regions.
+struct Aabb {
+  Vec2 min{};
+  Vec2 max{};
+
+  constexpr double width() const { return max.x - min.x; }
+  constexpr double height() const { return max.y - min.y; }
+  constexpr double area() const { return width() * height(); }
+  constexpr bool contains(Vec2 p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+  /// Smallest box containing both this box and `p`.
+  Aabb expanded(Vec2 p) const {
+    return {{std::min(min.x, p.x), std::min(min.y, p.y)},
+            {std::max(max.x, p.x), std::max(max.y, p.y)}};
+  }
+};
+
+}  // namespace tofmcl

@@ -1,0 +1,135 @@
+#pragma once
+/// \file matrix.hpp
+/// \brief Small fixed-size dense matrices for the state estimator.
+///
+/// The Crazyflie-style EKF works on 5-state vectors and 5×5 covariances;
+/// a compile-time-sized value type with no allocation keeps it simple and
+/// fast. Only the operations the estimator needs are provided.
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+
+#include "common/error.hpp"
+
+namespace tofmcl {
+
+/// Row-major R×C matrix of doubles.
+template <std::size_t R, std::size_t C>
+struct Mat {
+  std::array<double, R * C> m{};
+
+  static constexpr std::size_t rows() { return R; }
+  static constexpr std::size_t cols() { return C; }
+
+  constexpr double& operator()(std::size_t r, std::size_t c) {
+    return m[r * C + c];
+  }
+  constexpr double operator()(std::size_t r, std::size_t c) const {
+    return m[r * C + c];
+  }
+
+  static constexpr Mat zero() { return Mat{}; }
+
+  static constexpr Mat identity()
+    requires(R == C)
+  {
+    Mat out;
+    for (std::size_t i = 0; i < R; ++i) out(i, i) = 1.0;
+    return out;
+  }
+
+  /// Diagonal matrix from entries.
+  static constexpr Mat diagonal(const std::array<double, R>& d)
+    requires(R == C)
+  {
+    Mat out;
+    for (std::size_t i = 0; i < R; ++i) out(i, i) = d[i];
+    return out;
+  }
+
+  constexpr Mat operator+(const Mat& o) const {
+    Mat out;
+    for (std::size_t i = 0; i < R * C; ++i) out.m[i] = m[i] + o.m[i];
+    return out;
+  }
+  constexpr Mat operator-(const Mat& o) const {
+    Mat out;
+    for (std::size_t i = 0; i < R * C; ++i) out.m[i] = m[i] - o.m[i];
+    return out;
+  }
+  constexpr Mat operator*(double s) const {
+    Mat out;
+    for (std::size_t i = 0; i < R * C; ++i) out.m[i] = m[i] * s;
+    return out;
+  }
+
+  template <std::size_t C2>
+  constexpr Mat<R, C2> operator*(const Mat<C, C2>& o) const {
+    Mat<R, C2> out;
+    for (std::size_t r = 0; r < R; ++r) {
+      for (std::size_t k = 0; k < C; ++k) {
+        const double a = (*this)(r, k);
+        if (a == 0.0) continue;
+        for (std::size_t c = 0; c < C2; ++c) {
+          out(r, c) += a * o(k, c);
+        }
+      }
+    }
+    return out;
+  }
+
+  constexpr Mat<C, R> transposed() const {
+    Mat<C, R> out;
+    for (std::size_t r = 0; r < R; ++r) {
+      for (std::size_t c = 0; c < C; ++c) out(c, r) = (*this)(r, c);
+    }
+    return out;
+  }
+
+  /// Symmetrize in place (covariance hygiene after updates).
+  constexpr void symmetrize()
+    requires(R == C)
+  {
+    for (std::size_t r = 0; r < R; ++r) {
+      for (std::size_t c = r + 1; c < C; ++c) {
+        const double avg = ((*this)(r, c) + (*this)(c, r)) / 2.0;
+        (*this)(r, c) = avg;
+        (*this)(c, r) = avg;
+      }
+    }
+  }
+
+  constexpr bool operator==(const Mat&) const = default;
+};
+
+template <std::size_t R, std::size_t C>
+constexpr Mat<R, C> operator*(double s, const Mat<R, C>& m) {
+  return m * s;
+}
+
+/// Column vector alias.
+template <std::size_t R>
+using Vec = Mat<R, 1>;
+
+/// Closed-form inverse of a 2×2 matrix; throws on (near-)singular input.
+inline Mat<2, 2> inverse(const Mat<2, 2>& a) {
+  const double det = a(0, 0) * a(1, 1) - a(0, 1) * a(1, 0);
+  TOFMCL_EXPECTS(std::abs(det) > 1e-300, "singular 2x2 matrix");
+  Mat<2, 2> out;
+  out(0, 0) = a(1, 1) / det;
+  out(0, 1) = -a(0, 1) / det;
+  out(1, 0) = -a(1, 0) / det;
+  out(1, 1) = a(0, 0) / det;
+  return out;
+}
+
+/// Closed-form inverse of a 1×1 matrix.
+inline Mat<1, 1> inverse(const Mat<1, 1>& a) {
+  TOFMCL_EXPECTS(std::abs(a(0, 0)) > 1e-300, "singular 1x1 matrix");
+  Mat<1, 1> out;
+  out(0, 0) = 1.0 / a(0, 0);
+  return out;
+}
+
+}  // namespace tofmcl

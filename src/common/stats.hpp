@@ -1,0 +1,66 @@
+#pragma once
+/// \file stats.hpp
+/// \brief Streaming and batch statistics used by the evaluation harness.
+
+#include <cstddef>
+#include <vector>
+
+namespace tofmcl {
+
+/// Welford streaming mean/variance accumulator (numerically stable).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  /// Mean of the added samples; 0 when empty.
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample set with linear interpolation between order
+/// statistics. `q` in [0, 1]. The input is copied; the original order is
+/// preserved. Returns 0 for empty input.
+double percentile(std::vector<double> values, double q);
+
+/// Median shorthand.
+inline double median(std::vector<double> values) {
+  return percentile(std::move(values), 0.5);
+}
+
+/// Fixed-bin histogram over [lo, hi); values outside are clamped into the
+/// first/last bin. Used for convergence-time distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t total() const { return total_; }
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  /// Empirical CDF evaluated at the upper edge of bin i.
+  double cdf_at_bin(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace tofmcl

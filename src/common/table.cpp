@@ -1,0 +1,109 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace tofmcl {
+
+std::string format_fixed(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  TOFMCL_EXPECTS(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  TOFMCL_EXPECTS(cells.size() == header_.size(),
+                 "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(std::string value) {
+  cells_.push_back(std::move(value));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(double value, int precision) {
+  cells_.push_back(format_fixed(value, precision));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(std::size_t value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(long long value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+
+void Table::RowBuilder::commit() { table_.add_row(std::move(cells_)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (const auto w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  const auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+void Table::write_csv(const std::filesystem::path& path) const {
+  if (path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+  }
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open CSV output file: " + path.string());
+  write_csv(out);
+  if (!out) throw IoError("failed writing CSV file: " + path.string());
+}
+
+}  // namespace tofmcl

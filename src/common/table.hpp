@@ -1,0 +1,65 @@
+#pragma once
+/// \file table.hpp
+/// \brief CSV and aligned-console table output for benches and examples.
+///
+/// The benchmark harness prints the same rows/series the paper reports;
+/// this small writer keeps that code free of formatting noise and can
+/// mirror everything to a CSV file for plotting.
+
+#include <filesystem>
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tofmcl {
+
+/// Accumulates rows of strings and renders them either as an aligned
+/// fixed-width console table or as CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a full row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: start a row builder.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table& table) : table_(table) {}
+    RowBuilder& cell(std::string value);
+    RowBuilder& cell(double value, int precision = 3);
+    RowBuilder& cell(std::size_t value);
+    RowBuilder& cell(long long value);
+    /// Commits the row; throws if the cell count mismatches the header.
+    void commit();
+
+   private:
+    Table& table_;
+    std::vector<std::string> cells_;
+  };
+  RowBuilder row() { return RowBuilder(*this); }
+
+  std::size_t row_count() const { return rows_.size(); }
+  std::size_t column_count() const { return header_.size(); }
+
+  /// Render as an aligned console table with a separator under the header.
+  void print(std::ostream& os) const;
+
+  /// Write as RFC-4180-ish CSV (cells containing comma/quote/newline are
+  /// quoted, quotes doubled).
+  void write_csv(std::ostream& os) const;
+  /// Write CSV to a file; creates parent directories. Throws IoError on
+  /// failure.
+  void write_csv(const std::filesystem::path& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (no trailing-zero trimming, so
+/// table columns stay aligned).
+std::string format_fixed(double value, int precision);
+
+}  // namespace tofmcl

@@ -1,0 +1,74 @@
+#pragma once
+/// \file thread_pool.hpp
+/// \brief Small fixed-size thread pool with a blocking parallel_for.
+///
+/// Used by the evaluation harness to spread independent localization runs
+/// across host cores, and by the ThreadPoolExecutor to emulate the GAP9
+/// cluster's fork-join execution style on the host.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tofmcl {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 selects hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; returns immediately. Tasks must not throw — exceptions
+  /// escaping a task terminate the program (fail-fast, per the pool's use
+  /// for pure compute kernels). Wrap fallible work in the caller.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  /// Run fn(i) for i in [0, count), partitioned into contiguous chunks and
+  /// executed on the pool (the calling thread also participates). Blocks
+  /// until all iterations complete.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Run fn(chunk_index, begin, end) over `chunks` contiguous ranges of
+  /// [0, count), matching the static particle partitioning the paper uses
+  /// on the GAP9 cluster. Blocks until done.
+  void parallel_chunks(
+      std::size_t count, std::size_t chunks,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Split [0, count) into `chunks` nearly-equal contiguous ranges; chunk i
+/// gets [chunk_begin(count, chunks, i), chunk_begin(count, chunks, i+1)).
+/// The first (count % chunks) chunks are one element larger — the same
+/// static schedule the paper's cluster implementation uses.
+constexpr std::size_t chunk_begin(std::size_t count, std::size_t chunks,
+                                  std::size_t i) {
+  const std::size_t base = count / chunks;
+  const std::size_t extra = count % chunks;
+  return i * base + (i < extra ? i : extra);
+}
+
+}  // namespace tofmcl

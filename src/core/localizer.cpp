@@ -1,0 +1,177 @@
+#include "core/localizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tofmcl::core {
+
+const char* to_string(Precision p) {
+  switch (p) {
+    case Precision::kFp32:
+      return "fp32";
+    case Precision::kFp32Qm:
+      return "fp32qm";
+    case Precision::kFp16Qm:
+      return "fp16qm";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::vector<sensor::TofSensorConfig> default_sensors() {
+  sensor::TofSensorConfig front;
+  front.sensor_id = 0;
+  front.mount = Pose2{0.02, 0.0, 0.0};
+  sensor::TofSensorConfig rear;
+  rear.sensor_id = 1;
+  rear.mount = Pose2{-0.02, 0.0, kPi};
+  return {front, rear};
+}
+
+}  // namespace
+
+Localizer::FilterVariant Localizer::make_filter(
+    const map::OccupancyGrid& grid, const LocalizerConfig& config,
+    Executor& executor, std::optional<map::DistanceMap>& float_map,
+    std::optional<map::QuantizedDistanceMap>& quantized_map) {
+  switch (config.precision) {
+    case Precision::kFp32:
+      float_map.emplace(grid, config.mcl.rmax);
+      return FilterVariant(std::in_place_type<ParticleFilter<Fp32Traits>>,
+                           *float_map, config.mcl, executor);
+    case Precision::kFp32Qm:
+      quantized_map.emplace(grid, config.mcl.rmax);
+      return FilterVariant(std::in_place_type<ParticleFilter<Fp32QmTraits>>,
+                           *quantized_map, config.mcl, executor);
+    case Precision::kFp16Qm:
+      quantized_map.emplace(grid, config.mcl.rmax);
+      return FilterVariant(std::in_place_type<ParticleFilter<Fp16QmTraits>>,
+                           *quantized_map, config.mcl, executor);
+  }
+  throw ConfigError("unknown precision variant");
+}
+
+Localizer::Localizer(const map::OccupancyGrid& grid,
+                     const LocalizerConfig& config, Executor& executor)
+    : config_(config),
+      free_cells_(grid.free_cell_centers()),
+      cell_jitter_(grid.resolution() / 2.0),
+      filter_(make_filter(grid, config_, executor, float_map_,
+                          quantized_map_)) {
+  TOFMCL_EXPECTS(!free_cells_.empty(),
+                 "map has no free cells to localize in");
+  if (config_.sensors.empty()) config_.sensors = default_sensors();
+}
+
+void Localizer::start_global() {
+  std::visit([&](auto& pf) { pf.init_uniform(free_cells_, cell_jitter_); },
+             filter_);
+  last_motion_odom_ = current_odom_;
+  gate_odom_ = current_odom_;
+  updates_run_ = 0;
+}
+
+void Localizer::start_at(const Pose2& pose, double sigma_xy,
+                         double sigma_yaw) {
+  std::visit(
+      [&](auto& pf) {
+        pf.init_gaussian(pose, sigma_xy, sigma_yaw);
+        // Recovery injection works in tracking mode too: a kidnapped or
+        // lost tracker can re-seed hypotheses across the free space.
+        pf.set_injection_support(free_cells_, cell_jitter_);
+      },
+      filter_);
+  last_motion_odom_ = current_odom_;
+  gate_odom_ = current_odom_;
+  updates_run_ = 0;
+}
+
+void Localizer::on_odometry(const Pose2& odometry_pose) {
+  current_odom_ = odometry_pose;
+  if (!last_motion_odom_) last_motion_odom_ = odometry_pose;
+  if (!gate_odom_) gate_odom_ = odometry_pose;
+}
+
+bool Localizer::gate_passed(const Pose2& delta) const {
+  return delta.position.norm() >= config_.mcl.gate_dxy ||
+         std::abs(delta.yaw) >= config_.mcl.gate_dtheta;
+}
+
+bool Localizer::on_frames(std::span<const sensor::TofFrame> frames) {
+  if (!current_odom_ || !last_motion_odom_) return false;
+
+  std::vector<sensor::Beam> beams;
+  for (const sensor::TofFrame& frame : frames) {
+    const auto it = std::find_if(
+        config_.sensors.begin(), config_.sensors.end(),
+        [&](const sensor::TofSensorConfig& s) {
+          return s.sensor_id == frame.sensor_id;
+        });
+    TOFMCL_EXPECTS(it != config_.sensors.end(),
+                   "frame from an unconfigured sensor_id");
+    const auto frame_beams =
+        sensor::extract_beams(frame, *it, config_.extraction);
+    beams.insert(beams.end(), frame_beams.begin(), frame_beams.end());
+  }
+
+  return step_filter(beams);
+}
+
+bool Localizer::on_beams(std::span<const sensor::Beam> beams) {
+  if (!current_odom_ || !last_motion_odom_) return false;
+  return step_filter(beams);
+}
+
+bool Localizer::step_filter(std::span<const sensor::Beam> beams) {
+  // Motion phase on every tick: sample the proposal with the odometry
+  // accrued since the last motion update. The σ_odom noise injected here
+  // at the frame rate is what maintains particle diversity.
+  const Pose2 motion_delta = last_motion_odom_->between(*current_odom_);
+  std::visit([&](auto& pf) { pf.motion_update(motion_delta); }, filter_);
+  last_motion_odom_ = current_odom_;
+
+  // Correction phases only after enough motion (paper's dxy/dθ gate).
+  const Pose2 gate_delta = gate_odom_->between(*current_odom_);
+  if (!gate_passed(gate_delta)) return false;
+  std::visit(
+      [&](auto& pf) {
+        pf.observation_update(beams);
+        pf.resample();
+        pf.compute_pose();
+      },
+      filter_);
+  gate_odom_ = current_odom_;
+  ++updates_run_;
+  return true;
+}
+
+const PoseEstimate& Localizer::estimate() const {
+  return std::visit(
+      [](const auto& pf) -> const PoseEstimate& { return pf.estimate(); },
+      filter_);
+}
+
+std::size_t Localizer::map_bytes() const {
+  if (float_map_) {
+    return static_cast<std::size_t>(float_map_->width()) *
+           static_cast<std::size_t>(float_map_->height()) *
+           map::DistanceMap::bytes_per_cell();
+  }
+  return static_cast<std::size_t>(quantized_map_->width()) *
+         static_cast<std::size_t>(quantized_map_->height()) *
+         map::QuantizedDistanceMap::bytes_per_cell();
+}
+
+std::size_t Localizer::particle_bytes() const {
+  switch (config_.precision) {
+    case Precision::kFp32:
+    case Precision::kFp32Qm:
+      return particle_buffer_bytes<float>(config_.mcl.num_particles);
+    case Precision::kFp16Qm:
+      return particle_buffer_bytes<Half>(config_.mcl.num_particles);
+  }
+  return 0;
+}
+
+}  // namespace tofmcl::core

@@ -1,0 +1,108 @@
+#pragma once
+/// \file localizer.hpp
+/// \brief Runtime facade over the templated particle filter.
+///
+/// Owns the distance-map representation matching the selected precision,
+/// converts multizone ToF frames to beams, applies the paper's
+/// asynchronous update gating (dxy / dθ, Section III-C2) and dispatches to
+/// the right ParticleFilter instantiation. This is the class an
+/// application integrates:
+///
+///     core::Localizer loc(grid, config, executor);
+///     loc.start_global();
+///     loc.on_odometry(ekf_pose);          // whenever odometry ticks
+///     loc.on_frames(frames_at_same_t);    // whenever ToF frames arrive
+///     const auto est = loc.estimate();
+
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "core/particle_filter.hpp"
+#include "map/occupancy_grid.hpp"
+#include "sensor/beam_model.hpp"
+#include "sensor/tof_sensor.hpp"
+
+namespace tofmcl::core {
+
+struct LocalizerConfig {
+  MclConfig mcl;
+  Precision precision = Precision::kFp32;
+  /// Zone→beam extraction settings shared by all sensors.
+  sensor::BeamExtractionConfig extraction;
+  /// Mounted sensors; frames are matched by sensor_id. Defaults to the
+  /// paper's deck (front id 0, rear id 1) when left empty.
+  std::vector<sensor::TofSensorConfig> sensors;
+};
+
+class Localizer {
+ public:
+  /// Builds the distance representation for `config.precision` from the
+  /// occupancy grid. The grid itself is not retained.
+  Localizer(const map::OccupancyGrid& grid, const LocalizerConfig& config,
+            Executor& executor);
+
+  /// Global localization: uniform over the grid's free cells.
+  void start_global();
+  /// Pose tracking: Gaussian cloud around a known map pose.
+  void start_at(const Pose2& pose, double sigma_xy, double sigma_yaw);
+
+  /// Feed the latest odometry-frame pose estimate (absolute in the
+  /// odometry frame; only relative motion is used).
+  void on_odometry(const Pose2& odometry_pose);
+
+  /// Feed all ToF frames captured at one measurement instant. The motion
+  /// model is sampled on every call (the paper's asynchronous scheme:
+  /// "the motion model is sampled when odometry is available"), while the
+  /// observation + resampling + pose phases run only once the drone has
+  /// moved dxy or rotated dθ since the last correction. Returns true when
+  /// the correction ran.
+  bool on_frames(std::span<const sensor::TofFrame> frames);
+
+  /// Convenience for pre-extracted beams (used by benches/tests).
+  bool on_beams(std::span<const sensor::Beam> beams);
+
+  const PoseEstimate& estimate() const;
+  Precision precision() const { return config_.precision; }
+  const MclConfig& mcl_config() const { return config_.mcl; }
+  std::size_t num_particles() const { return config_.mcl.num_particles; }
+  /// Number of update cycles that actually ran (passed the gate).
+  std::size_t updates_run() const { return updates_run_; }
+
+  /// Map memory of the active representation, bytes (Fig 9 accounting).
+  std::size_t map_bytes() const;
+  /// Particle memory including the double buffer, bytes.
+  std::size_t particle_bytes() const;
+
+ private:
+  using FilterVariant =
+      std::variant<ParticleFilter<Fp32Traits>, ParticleFilter<Fp32QmTraits>,
+                   ParticleFilter<Fp16QmTraits>>;
+
+  /// Builds the distance map for the chosen precision into the optionals
+  /// and returns the matching filter instantiation.
+  static FilterVariant make_filter(
+      const map::OccupancyGrid& grid, const LocalizerConfig& config,
+      Executor& executor, std::optional<map::DistanceMap>& float_map,
+      std::optional<map::QuantizedDistanceMap>& quantized_map);
+
+  bool gate_passed(const Pose2& delta) const;
+  /// Runs the motion phase for odometry accrued since the last motion
+  /// update, then the gated correction phases. Returns true if the
+  /// correction ran.
+  bool step_filter(std::span<const sensor::Beam> beams);
+
+  LocalizerConfig config_;
+  std::vector<Vec2> free_cells_;
+  double cell_jitter_;
+  std::optional<map::DistanceMap> float_map_;
+  std::optional<map::QuantizedDistanceMap> quantized_map_;
+  FilterVariant filter_;
+
+  std::optional<Pose2> current_odom_;
+  std::optional<Pose2> last_motion_odom_;  ///< Odometry at last motion update.
+  std::optional<Pose2> gate_odom_;         ///< Odometry at last correction.
+  std::size_t updates_run_ = 0;
+};
+
+}  // namespace tofmcl::core

@@ -1,0 +1,37 @@
+#pragma once
+/// \file particle.hpp
+/// \brief Particle storage in the precision the configuration dictates.
+///
+/// Each particle is four numbers — x, y, yaw, weight (paper Section
+/// III-C2). With 32-bit floats that is 16 B/particle; with the fp16
+/// representation 8 B/particle. Because resampling writes into a second
+/// buffer (double buffering), the live memory is twice that: 32 B vs 16 B
+/// per particle — exactly the accounting behind Fig 9.
+
+#include <cstddef>
+
+#include "fp16/half.hpp"
+
+namespace tofmcl::core {
+
+/// One particle. Scalar is float (fp32 configs) or Half (fp16qm).
+template <typename Scalar>
+struct Particle {
+  Scalar x{};
+  Scalar y{};
+  Scalar yaw{};
+  Scalar weight{};
+};
+
+static_assert(sizeof(Particle<float>) == 16,
+              "fp32 particle must be 16 bytes (paper Section III-C2)");
+static_assert(sizeof(Particle<Half>) == 8,
+              "fp16 particle must be 8 bytes (paper Section III-C2)");
+
+/// Live bytes for N particles including the resampling double buffer.
+template <typename Scalar>
+constexpr std::size_t particle_buffer_bytes(std::size_t n) {
+  return 2 * n * sizeof(Particle<Scalar>);
+}
+
+}  // namespace tofmcl::core

@@ -1,0 +1,487 @@
+#pragma once
+/// \file particle_filter.hpp
+/// \brief Monte Carlo localization with the paper's four parallel phases.
+///
+/// The filter estimates the planar pose (x, y, θ) of the nano-UAV on an
+/// occupancy-grid map from sparse multizone-ToF beams and drifting
+/// odometry (paper Section III-C). Its update cycle has four phases, each
+/// parallelized by statically chunking the particle array — the exact
+/// scheme used on the 8 GAP9 worker cores:
+///
+///   1. motion update       — sample p(x_t | x_{t-1}, u_t), Gaussian noise
+///                            σ_odom on the body-frame odometry delta
+///   2. observation update  — beam end-point model (Eq. 1) against the
+///                            truncated EDT (direct exp or 8-bit LUT)
+///   3. resampling          — systematic wheel; per-chunk partial weight
+///                            sums let every chunk draw its own arrows
+///                            (Fig 4), bit-identical to the serial wheel
+///   4. pose computation    — weighted mean, circular mean for yaw
+///
+/// Given a fixed chunk count, results are bit-identical on every executor;
+/// threads only change wall-clock. Per-chunk RNG streams make the whole
+/// filter reproducible from MclConfig::seed.
+///
+/// Template parameter `Traits` selects the paper's design points:
+/// Fp32Traits, Fp32QmTraits, Fp16QmTraits (Section III-C2).
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "common/angles.hpp"
+#include "common/error.hpp"
+#include "common/geometry.hpp"
+#include "common/rng.hpp"
+#include "core/executor.hpp"
+#include "core/likelihood.hpp"
+#include "core/mcl_config.hpp"
+#include "core/particle.hpp"
+#include "fp16/half.hpp"
+#include "map/distance_map.hpp"
+#include "sensor/beam_model.hpp"
+
+namespace tofmcl::core {
+
+/// fp32: float particles, float EDT.
+struct Fp32Traits {
+  using Scalar = float;
+  using Map = map::DistanceMap;
+  using ObservationModel = DirectObservationModel;
+  static constexpr Precision kPrecision = Precision::kFp32;
+};
+
+/// fp32qm: float particles, 8-bit quantized EDT with likelihood LUT.
+struct Fp32QmTraits {
+  using Scalar = float;
+  using Map = map::QuantizedDistanceMap;
+  using ObservationModel = LutObservationModel;
+  static constexpr Precision kPrecision = Precision::kFp32Qm;
+};
+
+/// fp16qm: fp16 particles, 8-bit quantized EDT with likelihood LUT.
+struct Fp16QmTraits {
+  using Scalar = Half;
+  using Map = map::QuantizedDistanceMap;
+  using ObservationModel = LutObservationModel;
+  static constexpr Precision kPrecision = Precision::kFp16Qm;
+};
+
+/// Filter output: the weighted-average pose plus dispersion measures used
+/// for convergence monitoring.
+struct PoseEstimate {
+  Pose2 pose{};
+  /// √(weighted variance of position), meters — small once converged.
+  double position_stddev = 0.0;
+  /// Length of the mean yaw resultant in [0, 1]; 1 = all particles agree.
+  double yaw_concentration = 0.0;
+  bool valid = false;
+};
+
+/// Workload of the most recent update cycle (consumed by the GAP9 timing
+/// model and the benches).
+struct UpdateWorkload {
+  std::size_t particles = 0;
+  std::size_t beams = 0;
+};
+
+template <typename Traits>
+class ParticleFilter {
+ public:
+  using Scalar = typename Traits::Scalar;
+  using Map = typename Traits::Map;
+  using ParticleT = Particle<Scalar>;
+
+  /// The map must outlive the filter.
+  ParticleFilter(const Map& map, const MclConfig& config, Executor& executor)
+      : map_(&map),
+        config_(config),
+        executor_(&executor),
+        observation_model_(
+            map, BeamModelParams{static_cast<float>(config.sigma_obs),
+                                 static_cast<float>(config.z_hit),
+                                 static_cast<float>(config.z_rand)}) {
+    TOFMCL_EXPECTS(config.num_particles > 0, "need at least one particle");
+    TOFMCL_EXPECTS(config.chunks > 0 && config.chunks <= kMaxChunks,
+                   "chunk count must be in [1, 64]");
+    TOFMCL_EXPECTS(config.sigma_obs > 0.0, "sigma_obs must be positive");
+    particles_.resize(config_.num_particles);
+    back_buffer_.resize(config_.num_particles);
+    chunk_sums_.resize(config_.chunks);
+    chunk_sq_sums_.resize(config_.chunks);
+    Rng master(config_.seed);
+    rngs_.reserve(config_.chunks);
+    for (std::size_t c = 0; c < config_.chunks; ++c) {
+      rngs_.push_back(master.fork());
+    }
+    resample_rng_ = master.fork();
+  }
+
+  const MclConfig& config() const { return config_; }
+  const Map& map() const { return *map_; }
+  std::span<const ParticleT> particles() const { return particles_; }
+  /// Advanced: direct particle access for custom initialization or
+  /// injection schemes (e.g. kidnapped-robot recovery). The filter makes
+  /// no assumption about weights beyond being non-negative and finite.
+  std::span<ParticleT> mutable_particles() { return particles_; }
+  std::size_t size() const { return particles_.size(); }
+
+  /// Global localization init: particles drawn uniformly over the support
+  /// points (free cell centers), jittered by ±jitter on each axis, yaw
+  /// uniform in (-π, π]. The support is retained for Augmented-MCL
+  /// recovery injection.
+  void init_uniform(std::span<const Vec2> support, double jitter) {
+    TOFMCL_EXPECTS(!support.empty(), "uniform init needs support points");
+    set_injection_support(support, jitter);
+    executor_->for_chunks(
+        particles_.size(), config_.chunks,
+        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+          Rng& rng = rngs_[chunk];
+          for (std::size_t i = begin; i < end; ++i) {
+            const Vec2 center = support[rng.uniform_index(support.size())];
+            particles_[i] = make_particle(
+                center.x + rng.uniform(-jitter, jitter),
+                center.y + rng.uniform(-jitter, jitter),
+                rng.uniform(-kPi, kPi), 1.0);
+          }
+        });
+    estimate_.valid = false;
+  }
+
+  /// Provides (or replaces) the free-space support used by recovery
+  /// injection. Tracking-initialized filters have no support until this
+  /// is called, which disables injection.
+  void set_injection_support(std::span<const Vec2> support, double jitter) {
+    support_.assign(support.begin(), support.end());
+    support_jitter_ = jitter;
+  }
+
+  /// Tracking init: Gaussian cloud around a known pose.
+  void init_gaussian(const Pose2& mean, double sigma_xy, double sigma_yaw) {
+    executor_->for_chunks(
+        particles_.size(), config_.chunks,
+        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+          Rng& rng = rngs_[chunk];
+          for (std::size_t i = begin; i < end; ++i) {
+            particles_[i] = make_particle(
+                rng.gaussian(mean.x(), sigma_xy),
+                rng.gaussian(mean.y(), sigma_xy),
+                wrap_pi(rng.gaussian(mean.yaw, sigma_yaw)), 1.0);
+          }
+        });
+    estimate_.valid = false;
+  }
+
+  /// Phase 1 — motion update. `delta` is the odometry motion since the
+  /// last motion update, expressed in the drone body frame.
+  ///
+  /// σ_odom is interpreted per gate interval (dxy of translation / dθ of
+  /// rotation — the paper's update quantum): the noise applied to one
+  /// delta is scaled by √(motion/gate) so diffusion accumulates at the
+  /// configured rate per distance traveled regardless of how often the
+  /// motion model is sampled, and a hovering drone does not diffuse.
+  void motion_update(const Pose2& delta) {
+    const auto dx0 = delta.x();
+    const auto dy0 = delta.y();
+    const auto dyaw0 = delta.yaw;
+    double noise_scale = 1.0;
+    if (config_.scale_noise_with_motion) {
+      const double gate_fraction =
+          delta.position.norm() / config_.gate_dxy +
+          std::abs(delta.yaw) / config_.gate_dtheta;
+      noise_scale = std::sqrt(std::min(gate_fraction, 4.0));
+    }
+    const double sxy = config_.sigma_odom_xy * noise_scale;
+    const double syaw = config_.sigma_odom_yaw * noise_scale;
+    executor_->for_chunks(
+        particles_.size(), config_.chunks,
+        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+          Rng& rng = rngs_[chunk];
+          for (std::size_t i = begin; i < end; ++i) {
+            ParticleT& p = particles_[i];
+            const float dx = static_cast<float>(rng.gaussian(dx0, sxy));
+            const float dy = static_cast<float>(rng.gaussian(dy0, sxy));
+            const float dyaw = static_cast<float>(rng.gaussian(dyaw0, syaw));
+            const float yaw = static_cast<float>(p.yaw);
+            const float c = std::cos(yaw);
+            const float s = std::sin(yaw);
+            p.x = Scalar(static_cast<float>(p.x) + c * dx - s * dy);
+            p.y = Scalar(static_cast<float>(p.y) + s * dx + c * dy);
+            p.yaw = Scalar(wrap_pi_f(yaw + dyaw));
+          }
+        });
+  }
+
+  /// Phase 2 — observation update: multiply each particle's weight by the
+  /// beam end-point likelihood of every (valid) beam.
+  void observation_update(std::span<const sensor::Beam> beams) {
+    workload_.particles = particles_.size();
+    workload_.beams = beams.size();
+    if (beams.empty()) return;
+    executor_->for_chunks(
+        particles_.size(), config_.chunks,
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            ParticleT& p = particles_[i];
+            const float x = static_cast<float>(p.x);
+            const float y = static_cast<float>(p.y);
+            const float yaw = static_cast<float>(p.yaw);
+            const float c = std::cos(yaw);
+            const float s = std::sin(yaw);
+            float w = static_cast<float>(p.weight);
+            for (const sensor::Beam& beam : beams) {
+              const float bx = beam.endpoint_body.x;
+              const float by = beam.endpoint_body.y;
+              const float ex = x + c * bx - s * by;
+              const float ey = y + s * bx + c * by;
+              w *= observation_model_.factor(ex, ey);
+            }
+            p.weight = Scalar(w);
+          }
+        });
+  }
+
+  /// Phase 3 — systematic resampling on the wheel (Fig 4). Per-chunk
+  /// partial weight sums assign each chunk its own contiguous range of
+  /// arrows; the outcome is identical to a serial systematic resampler
+  /// fed the same partial-sum prefix.
+  void resample() {
+    const std::size_t n = particles_.size();
+    const std::size_t chunks =
+        std::clamp<std::size_t>(config_.chunks, 1, n);
+
+    // Step 1 (parallel): per-chunk weight sums — these are the partial
+    // sums the paper stores during weight normalization. The squared sums
+    // ride along for the effective-sample-size test.
+    executor_->for_chunks(
+        n, chunks, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+          double sum = 0.0;
+          double sum_sq = 0.0;
+          for (std::size_t i = begin; i < end; ++i) {
+            const double w = static_cast<double>(static_cast<float>(
+                particles_[i].weight));
+            sum += w;
+            sum_sq += w * w;
+          }
+          chunk_sums_[chunk] = sum;
+          chunk_sq_sums_[chunk] = sum_sq;
+        });
+
+    // Step 2 (serial, O(chunks)): prefix offsets and total mass.
+    double total = 0.0;
+    double total_sq = 0.0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      chunk_prefix_[c] = total;
+      total += chunk_sums_[c];
+      total_sq += chunk_sq_sums_[c];
+    }
+    if (!(total > 0.0) || !std::isfinite(total)) {
+      // Degenerate weights (all zero/NaN): keep the particle set, reset
+      // weights — the next observation re-weights from scratch.
+      for (ParticleT& p : particles_) p.weight = Scalar(1.0f);
+      return;
+    }
+
+    // Adaptive resampling (extension): skip the draw while the effective
+    // sample size is healthy. Weights persist across updates; they are
+    // rescaled to mean 1 so repeated multiplication cannot underflow
+    // (which matters doubly for fp16 storage).
+    if (config_.resample_ess_fraction < 1.0 && total_sq > 0.0) {
+      const double ess = total * total / total_sq;
+      if (ess >= config_.resample_ess_fraction * static_cast<double>(n)) {
+        const float scale =
+            static_cast<float>(static_cast<double>(n) / total);
+        executor_->for_chunks(
+            n, chunks,
+            [&](std::size_t, std::size_t begin, std::size_t end) {
+              for (std::size_t i = begin; i < end; ++i) {
+                particles_[i].weight = Scalar(
+                    static_cast<float>(particles_[i].weight) * scale);
+              }
+            });
+        return;
+      }
+    }
+
+    // Augmented-MCL likelihood monitoring: compare the short- and
+    // long-term averages of the per-particle likelihood (weights are 1
+    // after each resample, so total/n is the mean observation
+    // likelihood). Normalizing by the per-beam maximum makes the value
+    // comparable across beam counts.
+    double inject_p = 0.0;
+    if (config_.enable_injection && !support_.empty() &&
+        workload_.beams > 0) {
+      const double per_beam_max = config_.z_hit + config_.z_rand;
+      const double w_avg =
+          total / static_cast<double>(n) /
+          std::pow(per_beam_max, static_cast<double>(workload_.beams));
+      if (w_slow_ <= 0.0) {
+        w_slow_ = w_avg;
+        w_fast_ = w_avg;
+      } else {
+        w_slow_ += config_.injection_alpha_slow * (w_avg - w_slow_);
+        w_fast_ += config_.injection_alpha_fast * (w_avg - w_fast_);
+      }
+      if (w_slow_ > 0.0) {
+        inject_p = std::clamp(1.0 - w_fast_ / w_slow_, 0.0,
+                              config_.injection_max_fraction);
+      }
+    }
+
+    // One random number spins the wheel; arrows sit at u0 + i·step.
+    const double step = total / static_cast<double>(n);
+    const double u0 = resample_rng_.uniform() * step;
+
+    // Arrow index ranges per chunk, derived from the prefix sums with one
+    // consistent rule so they partition [0, n) exactly.
+    const auto arrow_begin = [&](std::size_t c) -> std::size_t {
+      if (c == 0) return 0;
+      if (c >= chunks) return n;
+      const double q = (chunk_prefix_[c] - u0) / step;
+      const auto idx = static_cast<long long>(std::ceil(q));
+      return static_cast<std::size_t>(
+          std::clamp<long long>(idx, 0, static_cast<long long>(n)));
+    };
+
+    // Step 3 (parallel): each chunk draws the new particles whose arrows
+    // fall inside its weight span, writing into the double buffer. A
+    // recovery fraction of slots receives uniform redraws instead.
+    executor_->for_chunks(
+        n, chunks, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+          Rng& rng = rngs_[chunk];
+          std::size_t arrow = arrow_begin(chunk);
+          const std::size_t arrow_end = arrow_begin(chunk + 1);
+          std::size_t src = begin;
+          double cum = chunk_prefix_[chunk] +
+                       static_cast<double>(static_cast<float>(
+                           particles_[src].weight));
+          for (; arrow < arrow_end; ++arrow) {
+            const double u = u0 + static_cast<double>(arrow) * step;
+            while (u >= cum && src + 1 < end) {
+              ++src;
+              cum += static_cast<double>(static_cast<float>(
+                  particles_[src].weight));
+            }
+            ParticleT& out = back_buffer_[arrow];
+            if (inject_p > 0.0 && rng.bernoulli(inject_p)) {
+              const Vec2 center =
+                  support_[rng.uniform_index(support_.size())];
+              out = make_particle(
+                  center.x + rng.uniform(-support_jitter_, support_jitter_),
+                  center.y + rng.uniform(-support_jitter_, support_jitter_),
+                  rng.uniform(-kPi, kPi), 1.0);
+            } else {
+              out = particles_[src];
+              out.weight = Scalar(1.0f);
+            }
+          }
+        });
+    particles_.swap(back_buffer_);
+  }
+
+  /// Phase 4 — pose computation: weighted average over all particles
+  /// (circular mean for yaw), plus dispersion for convergence monitoring.
+  PoseEstimate compute_pose() {
+    const std::size_t n = particles_.size();
+    const std::size_t chunks =
+        std::clamp<std::size_t>(config_.chunks, 1, n);
+    struct Accum {
+      double w = 0.0, wx = 0.0, wy = 0.0, wc = 0.0, ws = 0.0, wxx = 0.0;
+    };
+    std::vector<Accum> acc(chunks);
+    executor_->for_chunks(
+        n, chunks, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+          Accum a;
+          for (std::size_t i = begin; i < end; ++i) {
+            const ParticleT& p = particles_[i];
+            const double w = static_cast<double>(static_cast<float>(p.weight));
+            const double x = static_cast<double>(static_cast<float>(p.x));
+            const double y = static_cast<double>(static_cast<float>(p.y));
+            const double yaw =
+                static_cast<double>(static_cast<float>(p.yaw));
+            a.w += w;
+            a.wx += w * x;
+            a.wy += w * y;
+            a.wc += w * std::cos(yaw);
+            a.ws += w * std::sin(yaw);
+            a.wxx += w * (x * x + y * y);
+          }
+          acc[chunk] = a;
+        });
+    Accum total;
+    for (const Accum& a : acc) {
+      total.w += a.w;
+      total.wx += a.wx;
+      total.wy += a.wy;
+      total.wc += a.wc;
+      total.ws += a.ws;
+      total.wxx += a.wxx;
+    }
+    PoseEstimate est;
+    if (!(total.w > 0.0) || !std::isfinite(total.w)) {
+      est.valid = false;
+      estimate_ = est;
+      return est;
+    }
+    const double mx = total.wx / total.w;
+    const double my = total.wy / total.w;
+    est.pose = Pose2{mx, my, std::atan2(total.ws, total.wc)};
+    const double second = total.wxx / total.w - (mx * mx + my * my);
+    est.position_stddev = std::sqrt(std::max(0.0, second));
+    est.yaw_concentration =
+        std::sqrt(total.wc * total.wc + total.ws * total.ws) / total.w;
+    est.valid = true;
+    estimate_ = est;
+    return est;
+  }
+
+  /// One full update cycle in the paper's order.
+  PoseEstimate update(const Pose2& delta, std::span<const sensor::Beam> beams) {
+    motion_update(delta);
+    observation_update(beams);
+    resample();
+    return compute_pose();
+  }
+
+  /// Most recent pose estimate (invalid before the first compute_pose()).
+  const PoseEstimate& estimate() const { return estimate_; }
+  /// Workload of the most recent observation update.
+  const UpdateWorkload& workload() const { return workload_; }
+
+ private:
+  static constexpr std::size_t kMaxChunks = 64;
+
+  static float wrap_pi_f(float angle) {
+    return static_cast<float>(wrap_pi(static_cast<double>(angle)));
+  }
+
+  static ParticleT make_particle(double x, double y, double yaw, double w) {
+    ParticleT p;
+    p.x = Scalar(static_cast<float>(x));
+    p.y = Scalar(static_cast<float>(y));
+    p.yaw = Scalar(static_cast<float>(yaw));
+    p.weight = Scalar(static_cast<float>(w));
+    return p;
+  }
+
+  const Map* map_;
+  MclConfig config_;
+  Executor* executor_;
+  typename Traits::ObservationModel observation_model_;
+  std::vector<ParticleT> particles_;
+  std::vector<ParticleT> back_buffer_;
+  std::vector<double> chunk_sums_;
+  std::vector<double> chunk_sq_sums_;
+  std::array<double, kMaxChunks> chunk_prefix_{};
+  std::vector<Rng> rngs_;
+  Rng resample_rng_{0};
+  PoseEstimate estimate_;
+  UpdateWorkload workload_;
+  std::vector<Vec2> support_;
+  double support_jitter_ = 0.0;
+  double w_slow_ = 0.0;
+  double w_fast_ = 0.0;
+};
+
+}  // namespace tofmcl::core

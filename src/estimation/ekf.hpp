@@ -1,0 +1,59 @@
+#pragma once
+/// \file ekf.hpp
+/// \brief Crazyflie-style extended Kalman filter for on-board odometry.
+///
+/// Mirrors the estimator structure of the Crazyflie firmware at the level
+/// that matters for localization: gyro-driven yaw propagation, body-frame
+/// velocity states corrected by optical flow, and dead-reckoned position.
+/// Without absolute measurements the position/yaw drift unboundedly — the
+/// output is precisely the odometry input u_t that the paper's MCL corrects
+/// against the map.
+///
+/// State: x = [px, py, θ, vbx, vby]ᵀ (world position, yaw, body velocity).
+
+#include "common/geometry.hpp"
+#include "common/matrix.hpp"
+
+namespace tofmcl::estimation {
+
+struct EkfConfig {
+  /// Process noise densities (per √s).
+  double sigma_vel = 0.25;      ///< Body velocity random walk (m/s/√s).
+  double sigma_yaw = 0.01;      ///< Yaw process noise on top of gyro (rad/√s).
+  double sigma_pos = 0.0;       ///< Extra position process noise (m/√s).
+  /// Measurement noise of one flow velocity axis (m/s).
+  double flow_noise = 0.03;
+  /// Initial covariance diagonal.
+  double init_pos_var = 1e-6;
+  double init_yaw_var = 1e-6;
+  double init_vel_var = 0.01;
+};
+
+class Ekf {
+ public:
+  static constexpr std::size_t kStateDim = 5;
+  using StateVec = Vec<kStateDim>;
+  using StateMat = Mat<kStateDim, kStateDim>;
+
+  explicit Ekf(const EkfConfig& config = {}, const Pose2& initial_pose = {});
+
+  /// Propagate with the gyro yaw-rate measurement over dt seconds.
+  void predict(double gyro_yaw_rate, double dt);
+
+  /// Fuse a body-frame velocity measurement from the optical flow.
+  void update_flow(Vec2 velocity_body);
+
+  /// Current pose estimate (the odometry output).
+  Pose2 pose() const {
+    return {state_(0, 0), state_(1, 0), state_(2, 0)};
+  }
+  Vec2 velocity_body() const { return {state_(3, 0), state_(4, 0)}; }
+  const StateMat& covariance() const { return covariance_; }
+
+ private:
+  EkfConfig config_;
+  StateVec state_{};
+  StateMat covariance_{};
+};
+
+}  // namespace tofmcl::estimation

@@ -1,0 +1,83 @@
+#pragma once
+/// \file sensor_models.hpp
+/// \brief Proprioceptive sensor models: gyroscope and optical flow.
+///
+/// The Crazyflie estimates its state from an IMU and the Flow-deck v2
+/// (PMW3901 optical flow + VL53L1x downward 1D ToF). For localization the
+/// relevant outputs are the body-frame velocity (flow, scaled by height)
+/// and the yaw rate (gyro). Both drift-relevant error mechanisms are
+/// modeled: white noise, constant-plus-random-walk gyro bias, and flow
+/// scale error. These drive the EKF that produces the drifting odometry
+/// MCL must correct — the harder the drift, the more the map correction
+/// matters, so these parameters shape the whole evaluation.
+
+#include "common/geometry.hpp"
+#include "common/rng.hpp"
+
+namespace tofmcl::estimation {
+
+/// Z-axis gyroscope model (yaw rate sensing).
+struct GyroConfig {
+  double noise_stddev_rad_s = 0.005;      ///< White noise per sample.
+  double initial_bias_rad_s = 0.01;       ///< σ of the constant bias draw.
+  double bias_walk_rad_s2 = 0.0005;       ///< Bias random walk intensity.
+};
+
+class Gyro {
+ public:
+  Gyro(const GyroConfig& config, Rng& rng)
+      : config_(config), bias_(rng.gaussian(0.0, config.initial_bias_rad_s)) {}
+
+  /// Sample a measurement of the true yaw rate over a dt-long interval.
+  double measure(double true_yaw_rate, double dt, Rng& rng) {
+    bias_ += rng.gaussian(0.0, config_.bias_walk_rad_s2 * std::sqrt(dt));
+    return true_yaw_rate + bias_ +
+           rng.gaussian(0.0, config_.noise_stddev_rad_s);
+  }
+
+  double bias() const { return bias_; }
+
+ private:
+  GyroConfig config_;
+  double bias_;
+};
+
+/// Optical-flow velocity sensing (PMW3901 + height from the 1D ToF).
+struct FlowConfig {
+  double noise_stddev_m_s = 0.02;  ///< White noise on each velocity axis.
+  /// σ of the multiplicative scale error (height/focal miscalibration):
+  /// measured = scale · true, scale ~ N(1, σ).
+  double scale_error_stddev = 0.02;
+  /// Probability a flow update is dropped (low-texture floor).
+  double p_dropout = 0.02;
+};
+
+/// One flow measurement: body-frame velocity, or invalid on dropout.
+struct FlowMeasurement {
+  Vec2 velocity_body{};
+  bool valid = false;
+};
+
+class FlowSensor {
+ public:
+  FlowSensor(const FlowConfig& config, Rng& rng)
+      : config_(config),
+        scale_(1.0 + rng.gaussian(0.0, config.scale_error_stddev)) {}
+
+  FlowMeasurement measure(Vec2 true_velocity_body, Rng& rng) const {
+    if (rng.bernoulli(config_.p_dropout)) return {};
+    return {{scale_ * true_velocity_body.x +
+                 rng.gaussian(0.0, config_.noise_stddev_m_s),
+             scale_ * true_velocity_body.y +
+                 rng.gaussian(0.0, config_.noise_stddev_m_s)},
+            true};
+  }
+
+  double scale() const { return scale_; }
+
+ private:
+  FlowConfig config_;
+  double scale_;
+};
+
+}  // namespace tofmcl::estimation

@@ -1,0 +1,208 @@
+#include "eval/experiment.hpp"
+
+#include <atomic>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+
+namespace tofmcl::eval {
+
+const char* to_string(Variant v) {
+  switch (v) {
+    case Variant::kFp32:
+      return "fp32";
+    case Variant::kFp32_1Tof:
+      return "fp32_1tof";
+    case Variant::kFp32Qm:
+      return "fp32qm";
+    case Variant::kFp16Qm:
+      return "fp16qm";
+  }
+  return "unknown";
+}
+
+core::Precision precision_of(Variant v) {
+  switch (v) {
+    case Variant::kFp32:
+    case Variant::kFp32_1Tof:
+      return core::Precision::kFp32;
+    case Variant::kFp32Qm:
+      return core::Precision::kFp32Qm;
+    case Variant::kFp16Qm:
+      return core::Precision::kFp16Qm;
+  }
+  return core::Precision::kFp32;
+}
+
+bool uses_rear_sensor(Variant v) { return v != Variant::kFp32_1Tof; }
+
+std::vector<ErrorSample> replay_sequence(const sim::Sequence& sequence,
+                                         const map::OccupancyGrid& grid,
+                                         const core::LocalizerConfig& config,
+                                         bool use_rear_sensor,
+                                         core::Executor& executor) {
+  TOFMCL_EXPECTS(!sequence.odometry.empty(), "sequence has no odometry");
+  core::Localizer localizer(grid, config, executor);
+  localizer.on_odometry(sequence.odometry.front().pose);
+  localizer.start_global();
+
+  std::vector<ErrorSample> errors;
+  std::size_t frame_idx = 0;
+  std::vector<sensor::TofFrame> pending;
+  for (const sim::StateSample& odom : sequence.odometry) {
+    localizer.on_odometry(odom.pose);
+    // Deliver all frames captured up to this odometry instant, grouped by
+    // capture timestamp (front + rear share one).
+    while (frame_idx < sequence.frames.size() &&
+           sequence.frames[frame_idx].timestamp_s <= odom.t) {
+      const double stamp = sequence.frames[frame_idx].timestamp_s;
+      pending.clear();
+      while (frame_idx < sequence.frames.size() &&
+             sequence.frames[frame_idx].timestamp_s == stamp) {
+        const sensor::TofFrame& frame = sequence.frames[frame_idx];
+        if (use_rear_sensor || frame.sensor_id == 0) {
+          pending.push_back(frame);
+        }
+        ++frame_idx;
+      }
+      if (localizer.on_frames(pending) && localizer.estimate().valid) {
+        const Pose2 truth = sim::interpolate_pose(sequence.ground_truth, stamp);
+        const core::PoseEstimate& est = localizer.estimate();
+        errors.push_back(
+            {stamp, (est.pose.position - truth.position).norm(),
+             angle_dist(est.pose.yaw, truth.yaw)});
+      }
+    }
+  }
+  return errors;
+}
+
+SweepResult run_accuracy_sweep(const SweepConfig& config) {
+  TOFMCL_EXPECTS(config.sequences >= 1 && config.sequences <= 6,
+                 "sweep supports 1..6 standard sequences");
+  TOFMCL_EXPECTS(config.seeds_per_sequence >= 1, "need at least one seed");
+
+  // Shared environment and localization map.
+  const sim::EvaluationEnvironment env = sim::evaluation_environment();
+  const map::OccupancyGrid grid =
+      sim::rasterize_environment(env, 0.05, config.map_error_sigma);
+
+  // Pre-generate all datasets (cheap relative to the replays).
+  const auto plans = sim::standard_flight_plans();
+  const auto generator_config = sim::default_generator_config();
+  struct Dataset {
+    std::size_t sequence;
+    std::uint64_t seed;
+    sim::Sequence data;
+  };
+  std::vector<Dataset> datasets;
+  double horizon = 0.0;
+  {
+    Rng seed_rng(config.master_seed);
+    for (std::size_t s = 0; s < config.sequences; ++s) {
+      for (std::size_t rep = 0; rep < config.seeds_per_sequence; ++rep) {
+        const std::uint64_t seed = seed_rng.next();
+        Rng rng(seed);
+        Dataset ds{s, seed,
+                   sim::generate_sequence(env.world, plans[s],
+                                          generator_config, rng)};
+        horizon = std::max(horizon, ds.data.duration_s);
+        datasets.push_back(std::move(ds));
+      }
+    }
+  }
+
+  // Enumerate runs.
+  struct Job {
+    const Dataset* dataset;
+    Variant variant;
+    std::size_t particles;
+  };
+  std::vector<Job> jobs;
+  for (const Dataset& ds : datasets) {
+    for (const Variant variant : config.variants) {
+      for (const std::size_t n : config.particle_counts) {
+        jobs.push_back({&ds, variant, n});
+      }
+    }
+  }
+
+  SweepResult result;
+  result.horizon_s = horizon;
+  result.runs.resize(jobs.size());
+
+  ThreadPool pool(config.threads);
+  pool.parallel_for(jobs.size(), [&](std::size_t i) {
+    const Job& job = jobs[i];
+    core::LocalizerConfig loc;
+    loc.precision = precision_of(job.variant);
+    loc.mcl = config.mcl;
+    loc.mcl.num_particles = job.particles;
+    // Filter seed derived from the data seed so repetitions differ in both
+    // data noise and filter randomness, yet stay reproducible.
+    loc.mcl.seed = job.dataset->seed ^ 0x9E3779B97F4A7C15ULL ^
+                   (job.particles * 2654435761ULL) ^
+                   static_cast<std::uint64_t>(job.variant);
+    core::SerialExecutor executor;
+    const auto errors =
+        replay_sequence(job.dataset->data, grid, loc,
+                        uses_rear_sensor(job.variant), executor);
+    RunResult& out = result.runs[i];
+    out.variant = job.variant;
+    out.particles = job.particles;
+    out.sequence = job.dataset->sequence;
+    out.seed = job.dataset->seed;
+    out.metrics = evaluate_run(errors);
+  });
+  pool.wait_idle();
+  return result;
+}
+
+std::vector<CellSummary> summarize(const SweepConfig& config,
+                                   const SweepResult& result) {
+  std::vector<CellSummary> cells;
+  for (const Variant variant : config.variants) {
+    for (const std::size_t n : config.particle_counts) {
+      CellSummary cell;
+      cell.variant = variant;
+      cell.particles = n;
+      RunningStats ate;
+      RunningStats conv_time;
+      std::size_t successes = 0;
+      for (const RunResult& run : result.runs) {
+        if (run.variant != variant || run.particles != n) continue;
+        ++cell.runs;
+        if (run.metrics.success) ++successes;
+        if (run.metrics.converged) {
+          ate.add(run.metrics.ate_m);
+          conv_time.add(run.metrics.convergence_time_s);
+        }
+      }
+      if (cell.runs > 0) {
+        cell.success_rate =
+            static_cast<double>(successes) / static_cast<double>(cell.runs);
+      }
+      cell.mean_ate_m = ate.mean();
+      cell.mean_convergence_s = conv_time.mean();
+      cells.push_back(cell);
+    }
+  }
+  return cells;
+}
+
+ConvergenceCurve cell_convergence_curve(const SweepResult& result,
+                                        Variant variant,
+                                        std::size_t particles,
+                                        std::size_t bins) {
+  std::vector<RunMetrics> metrics;
+  for (const RunResult& run : result.runs) {
+    if (run.variant == variant && run.particles == particles) {
+      metrics.push_back(run.metrics);
+    }
+  }
+  return convergence_curve(metrics, std::max(result.horizon_s, 1.0), bins);
+}
+
+}  // namespace tofmcl::eval

@@ -1,0 +1,70 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace tofmcl::eval {
+
+RunMetrics evaluate_run(const std::vector<ErrorSample>& errors,
+                        const ConvergenceCriteria& criteria) {
+  RunMetrics metrics;
+  if (errors.empty()) return metrics;
+  TOFMCL_EXPECTS(criteria.stable_steps >= 1, "stable_steps must be >= 1");
+
+  // First instant beginning a stable in-gate window.
+  std::size_t conv_idx = errors.size();
+  std::size_t streak = 0;
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (errors[i].pos_error <= criteria.pos_m &&
+        errors[i].yaw_error <= criteria.yaw_rad) {
+      ++streak;
+      if (streak >= criteria.stable_steps) {
+        conv_idx = i + 1 - criteria.stable_steps;
+        break;
+      }
+    } else {
+      streak = 0;
+    }
+  }
+  if (conv_idx == errors.size()) return metrics;  // never converged
+
+  metrics.converged = true;
+  metrics.convergence_time_s = errors[conv_idx].t;
+
+  RunningStats ate;
+  double worst = 0.0;
+  for (std::size_t i = conv_idx; i < errors.size(); ++i) {
+    ate.add(errors[i].pos_error);
+    worst = std::max(worst, errors[i].pos_error);
+  }
+  metrics.ate_m = ate.mean();
+  metrics.max_error_after_convergence_m = worst;
+  metrics.success = metrics.ate_m <= criteria.failure_ate_m;
+  return metrics;
+}
+
+ConvergenceCurve convergence_curve(const std::vector<RunMetrics>& runs,
+                                   double horizon_s, std::size_t bin_count) {
+  TOFMCL_EXPECTS(horizon_s > 0.0, "curve horizon must be positive");
+  TOFMCL_EXPECTS(bin_count > 1, "curve needs at least two bins");
+  ConvergenceCurve curve;
+  curve.time_s.resize(bin_count);
+  curve.probability.resize(bin_count);
+  const double total = static_cast<double>(runs.size());
+  for (std::size_t b = 0; b < bin_count; ++b) {
+    const double t = horizon_s * static_cast<double>(b) /
+                     static_cast<double>(bin_count - 1);
+    curve.time_s[b] = t;
+    if (runs.empty()) continue;
+    std::size_t converged = 0;
+    for (const RunMetrics& run : runs) {
+      if (run.converged && run.convergence_time_s <= t) ++converged;
+    }
+    curve.probability[b] = static_cast<double>(converged) / total;
+  }
+  return curve;
+}
+
+}  // namespace tofmcl::eval

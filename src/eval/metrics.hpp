@@ -1,0 +1,64 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief The paper's evaluation metrics (Section IV-A).
+///
+/// Three accuracy metrics are reported: the success rate, the time to
+/// convergence and the absolute trajectory error (ATE) after convergence.
+/// Convergence occurs when the estimated pose is within (0.2 m, 36°) of
+/// ground truth; a run is successful if pose tracking remains reliable
+/// from convergence until the end of the sequence, i.e. the ATE does not
+/// exceed 1 m.
+
+#include <vector>
+
+#include "common/angles.hpp"
+
+namespace tofmcl::eval {
+
+/// Pose-estimate error at one correction step.
+struct ErrorSample {
+  double t = 0.0;           ///< Sequence time (s).
+  double pos_error = 0.0;   ///< Euclidean position error (m).
+  double yaw_error = 0.0;   ///< Absolute yaw error (rad).
+};
+
+struct ConvergenceCriteria {
+  double pos_m = 0.2;                     ///< Position gate (paper: 0.2 m).
+  double yaw_rad = deg_to_rad(36.0);      ///< Yaw gate (paper: 36°).
+  double failure_ate_m = 1.0;             ///< Success bound on the ATE.
+  /// Convergence is declared at the first run of this many consecutive
+  /// in-gate estimates. A still-global particle cloud can produce a mean
+  /// that momentarily dips inside the gates; requiring a stable window
+  /// keeps such flukes from starting the ATE accounting early.
+  std::size_t stable_steps = 3;
+};
+
+/// Metrics of one localization run.
+struct RunMetrics {
+  bool converged = false;
+  /// Time of first convergence (s); meaningless unless converged.
+  double convergence_time_s = 0.0;
+  /// Mean position error from convergence to the end of the run (m).
+  double ate_m = 0.0;
+  /// Largest position error after convergence (m).
+  double max_error_after_convergence_m = 0.0;
+  /// Converged and ATE stayed within the failure bound.
+  bool success = false;
+};
+
+/// Evaluates a run's error trace against the paper's criteria. Empty
+/// traces yield a non-converged result.
+RunMetrics evaluate_run(const std::vector<ErrorSample>& errors,
+                        const ConvergenceCriteria& criteria = {});
+
+/// Convergence-probability curve (Fig 8): fraction of runs whose
+/// convergence time is ≤ t, evaluated at `bin_count` times spanning
+/// [0, horizon_s].
+struct ConvergenceCurve {
+  std::vector<double> time_s;
+  std::vector<double> probability;
+};
+ConvergenceCurve convergence_curve(const std::vector<RunMetrics>& runs,
+                                   double horizon_s, std::size_t bin_count);
+
+}  // namespace tofmcl::eval

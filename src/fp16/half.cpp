@@ -1,0 +1,93 @@
+#include "fp16/half.hpp"
+
+#include <bit>
+#include <ostream>
+
+namespace tofmcl {
+
+namespace {
+/// Shift `mant` right by `shift` bits, rounding to nearest-even.
+constexpr std::uint32_t round_shift_rne(std::uint32_t mant, int shift) {
+  const std::uint32_t result = mant >> shift;
+  const std::uint32_t rem = mant & ((1u << shift) - 1u);
+  const std::uint32_t halfway = 1u << (shift - 1);
+  if (rem > halfway || (rem == halfway && (result & 1u))) return result + 1;
+  return result;
+}
+}  // namespace
+
+std::uint16_t float_to_half_bits(float value) noexcept {
+  const std::uint32_t f = std::bit_cast<std::uint32_t>(value);
+  const auto sign = static_cast<std::uint16_t>((f >> 16) & 0x8000u);
+  const std::uint32_t exp_field = (f >> 23) & 0xFFu;
+  std::uint32_t mant = f & 0x007FFFFFu;
+
+  if (exp_field == 0xFFu) {
+    // Inf / NaN. Keep the top payload bits, force quiet NaN to stay NaN
+    // even when the payload truncates to zero.
+    if (mant == 0) return static_cast<std::uint16_t>(sign | 0x7C00u);
+    std::uint16_t payload = static_cast<std::uint16_t>(mant >> 13);
+    if (payload == 0) payload = 1;
+    return static_cast<std::uint16_t>(sign | 0x7C00u | 0x0200u | payload);
+  }
+
+  // Rebias: binary32 bias 127 → binary16 bias 15.
+  const std::int32_t exp = static_cast<std::int32_t>(exp_field) - 127 + 15;
+
+  if (exp >= 31) {
+    // Overflow: round-to-nearest-even takes everything at or above
+    // (max finite + 0.5 ulp) to infinity; the exponent test alone is
+    // sufficient because exp==31 inputs are already ≥ 2^16 > 65504+16.
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+
+  if (exp <= 0) {
+    // Result is subnormal (or underflows to zero).
+    if (exp < -10) {
+      // Below half the smallest subnormal: rounds to signed zero. The
+      // boundary case |x| == 2^-25 ties to even (zero) as well.
+      return sign;
+    }
+    mant |= 0x00800000u;  // make the implicit leading bit explicit
+    const int shift = 14 - exp;  // in [14, 24]
+    const std::uint32_t rounded = round_shift_rne(mant, shift);
+    return static_cast<std::uint16_t>(sign | rounded);
+  }
+
+  // Normal result: 13 mantissa bits are discarded with RNE; a mantissa
+  // carry propagates into the exponent field correctly by construction
+  // (1.111..11 rounding up to 10.000..00 doubles the exponent bits).
+  std::uint32_t half = (static_cast<std::uint32_t>(exp) << 10) | (mant >> 13);
+  const std::uint32_t rem = mant & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) ++half;
+  return static_cast<std::uint16_t>(sign | half);
+}
+
+float half_bits_to_float(std::uint16_t bits) noexcept {
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
+  std::uint32_t exp = (bits >> 10) & 0x1Fu;
+  std::uint32_t mant = bits & 0x03FFu;
+
+  if (exp == 0) {
+    if (mant == 0) return std::bit_cast<float>(sign);  // signed zero
+    // Subnormal: normalize into binary32's normal range.
+    exp = 1;
+    while ((mant & 0x0400u) == 0) {
+      mant <<= 1;
+      --exp;
+    }
+    mant &= 0x03FFu;
+    return std::bit_cast<float>(sign | ((exp + 112u) << 23) | (mant << 13));
+  }
+  if (exp == 31u) {
+    // Inf / NaN.
+    return std::bit_cast<float>(sign | 0x7F800000u | (mant << 13));
+  }
+  return std::bit_cast<float>(sign | ((exp + 112u) << 23) | (mant << 13));
+}
+
+std::ostream& operator<<(std::ostream& os, Half h) {
+  return os << static_cast<float>(h);
+}
+
+}  // namespace tofmcl

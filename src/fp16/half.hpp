@@ -1,0 +1,169 @@
+#pragma once
+/// \file half.hpp
+/// \brief Software IEEE-754 binary16 ("half") floating point.
+///
+/// GAP9's FPU supports FP16 storage with single-precision compute; the
+/// paper's fp16qm configuration stores each particle's pose and weight as
+/// FP16 to halve the particle memory (16 B/particle instead of 32 B with
+/// double buffering). This type reproduces that behaviour on the host:
+/// storage is a 16-bit pattern, all arithmetic promotes to float and
+/// results round back with round-to-nearest-even, exactly like a
+/// store-after-compute on the target.
+///
+/// The implementation is self-contained bit manipulation — no compiler
+/// extensions — so results are identical across hosts.
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+
+namespace tofmcl {
+
+/// Convert a float bit pattern to the nearest binary16 bit pattern
+/// (round-to-nearest-even). Overflow produces infinity; NaNs are preserved
+/// as quiet NaNs with truncated payload.
+std::uint16_t float_to_half_bits(float value) noexcept;
+
+/// Convert a binary16 bit pattern to the exactly-representable float.
+float half_bits_to_float(std::uint16_t bits) noexcept;
+
+/// IEEE-754 binary16 value type. Trivially copyable, 2 bytes.
+class Half {
+ public:
+  constexpr Half() = default;
+  /// Converting constructor rounds to nearest-even.
+  explicit Half(float value) noexcept : bits_(float_to_half_bits(value)) {}
+  explicit Half(double value) noexcept
+      : bits_(float_to_half_bits(static_cast<float>(value))) {}
+
+  /// Reinterpret a raw bit pattern as a Half.
+  static constexpr Half from_bits(std::uint16_t bits) noexcept {
+    Half h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  constexpr std::uint16_t bits() const noexcept { return bits_; }
+
+  /// Widening conversion is implicit: every binary16 value is exactly
+  /// representable in binary32.
+  operator float() const noexcept { return half_bits_to_float(bits_); }
+
+  Half operator-() const noexcept {
+    return from_bits(static_cast<std::uint16_t>(bits_ ^ 0x8000u));
+  }
+
+  Half& operator+=(Half o) noexcept {
+    *this = Half(static_cast<float>(*this) + static_cast<float>(o));
+    return *this;
+  }
+  Half& operator-=(Half o) noexcept {
+    *this = Half(static_cast<float>(*this) - static_cast<float>(o));
+    return *this;
+  }
+  Half& operator*=(Half o) noexcept {
+    *this = Half(static_cast<float>(*this) * static_cast<float>(o));
+    return *this;
+  }
+  Half& operator/=(Half o) noexcept {
+    *this = Half(static_cast<float>(*this) / static_cast<float>(o));
+    return *this;
+  }
+
+  bool is_nan() const noexcept {
+    return (bits_ & 0x7C00u) == 0x7C00u && (bits_ & 0x03FFu) != 0;
+  }
+  bool is_inf() const noexcept { return (bits_ & 0x7FFFu) == 0x7C00u; }
+  bool is_zero() const noexcept { return (bits_ & 0x7FFFu) == 0; }
+  bool is_subnormal() const noexcept {
+    return (bits_ & 0x7C00u) == 0 && (bits_ & 0x03FFu) != 0;
+  }
+  bool sign_bit() const noexcept { return (bits_ & 0x8000u) != 0; }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+static_assert(sizeof(Half) == 2, "Half must be exactly 2 bytes");
+
+// Arithmetic promotes to float and rounds the result back to binary16 —
+// the semantics of compute-in-fp32/store-in-fp16 hardware.
+inline Half operator+(Half a, Half b) noexcept {
+  return Half(static_cast<float>(a) + static_cast<float>(b));
+}
+inline Half operator-(Half a, Half b) noexcept {
+  return Half(static_cast<float>(a) - static_cast<float>(b));
+}
+inline Half operator*(Half a, Half b) noexcept {
+  return Half(static_cast<float>(a) * static_cast<float>(b));
+}
+inline Half operator/(Half a, Half b) noexcept {
+  return Half(static_cast<float>(a) / static_cast<float>(b));
+}
+
+// Comparisons follow IEEE semantics via the float promotion (NaN compares
+// false with everything except !=).
+inline bool operator==(Half a, Half b) noexcept {
+  return static_cast<float>(a) == static_cast<float>(b);
+}
+inline bool operator!=(Half a, Half b) noexcept { return !(a == b); }
+inline bool operator<(Half a, Half b) noexcept {
+  return static_cast<float>(a) < static_cast<float>(b);
+}
+inline bool operator>(Half a, Half b) noexcept { return b < a; }
+inline bool operator<=(Half a, Half b) noexcept {
+  return static_cast<float>(a) <= static_cast<float>(b);
+}
+inline bool operator>=(Half a, Half b) noexcept { return b <= a; }
+
+std::ostream& operator<<(std::ostream& os, Half h);
+
+namespace half_literals {
+/// 1.5_h style literals for tests and examples.
+inline Half operator""_h(long double v) {
+  return Half(static_cast<float>(v));
+}
+}  // namespace half_literals
+
+}  // namespace tofmcl
+
+/// numeric_limits for tofmcl::Half (the members relevant to this library).
+template <>
+class std::numeric_limits<tofmcl::Half> {
+ public:
+  static constexpr bool is_specialized = true;
+  static constexpr bool is_signed = true;
+  static constexpr bool is_integer = false;
+  static constexpr bool is_exact = false;
+  static constexpr bool has_infinity = true;
+  static constexpr bool has_quiet_NaN = true;
+  static constexpr int digits = 11;     // implicit bit + 10 mantissa bits
+  static constexpr int max_exponent = 16;
+  static constexpr int min_exponent = -13;
+
+  /// Smallest positive normal: 2^-14 ≈ 6.10e-5.
+  static constexpr tofmcl::Half min() noexcept {
+    return tofmcl::Half::from_bits(0x0400);
+  }
+  /// Largest finite: 65504.
+  static constexpr tofmcl::Half max() noexcept {
+    return tofmcl::Half::from_bits(0x7BFF);
+  }
+  static constexpr tofmcl::Half lowest() noexcept {
+    return tofmcl::Half::from_bits(0xFBFF);
+  }
+  /// Smallest positive subnormal: 2^-24 ≈ 5.96e-8.
+  static constexpr tofmcl::Half denorm_min() noexcept {
+    return tofmcl::Half::from_bits(0x0001);
+  }
+  /// Machine epsilon: 2^-10.
+  static constexpr tofmcl::Half epsilon() noexcept {
+    return tofmcl::Half::from_bits(0x1400);
+  }
+  static constexpr tofmcl::Half infinity() noexcept {
+    return tofmcl::Half::from_bits(0x7C00);
+  }
+  static constexpr tofmcl::Half quiet_NaN() noexcept {
+    return tofmcl::Half::from_bits(0x7E00);
+  }
+};

@@ -1,0 +1,32 @@
+#include "map/distance_map.hpp"
+
+#include <cmath>
+
+namespace tofmcl::map {
+
+DistanceMap::DistanceMap(const OccupancyGrid& grid, double rmax)
+    : width_(grid.width()),
+      height_(grid.height()),
+      resolution_(grid.resolution()),
+      origin_(grid.origin()),
+      rmax_(static_cast<float>(rmax)),
+      values_(edt_meters(grid, rmax)) {}
+
+QuantizedDistanceMap::QuantizedDistanceMap(const OccupancyGrid& grid,
+                                           double rmax)
+    : width_(grid.width()),
+      height_(grid.height()),
+      resolution_(grid.resolution()),
+      origin_(grid.origin()),
+      rmax_(static_cast<float>(rmax)),
+      step_(static_cast<float>(rmax / 255.0)) {
+  const std::vector<float> meters = edt_meters(grid, rmax);
+  codes_.resize(meters.size());
+  for (std::size_t i = 0; i < meters.size(); ++i) {
+    const double code =
+        std::round(static_cast<double>(meters[i]) / rmax * 255.0);
+    codes_[i] = static_cast<std::uint8_t>(code);
+  }
+}
+
+}  // namespace tofmcl::map

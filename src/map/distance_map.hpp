@@ -1,0 +1,115 @@
+#pragma once
+/// \file distance_map.hpp
+/// \brief Precomputed, truncated distance fields for the beam-endpoint model.
+///
+/// The paper's three map representations (Section III-C2):
+///   * `DistanceMap`          — one 32-bit float per cell (fp32 / fp32qm
+///                              baseline: 1 B occupancy + 4 B EDT = 5 B/cell)
+///   * `QuantizedDistanceMap` — one 8-bit code per cell, linear scale over
+///                              [0, rmax] (fp32qm / fp16qm: 1 B occupancy +
+///                              1 B EDT = 2 B/cell)
+///
+/// Both are value types built from an OccupancyGrid; lookups are nearest
+/// cell (no interpolation), exactly like the embedded implementation, and
+/// out-of-map queries return the truncation distance rmax — the least
+/// informative value, so off-map beam endpoints neither reward nor
+/// eliminate a particle beyond what truncation already implies.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "map/edt.hpp"
+#include "map/occupancy_grid.hpp"
+
+namespace tofmcl::map {
+
+/// Full-precision truncated Euclidean distance field (meters).
+class DistanceMap {
+ public:
+  /// Builds the field from the grid's occupied cells, truncated at rmax.
+  DistanceMap(const OccupancyGrid& grid, double rmax);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  double resolution() const { return resolution_; }
+  Vec2 origin() const { return origin_; }
+  float rmax() const { return rmax_; }
+
+  /// Distance (meters, ≤ rmax) at a world point; rmax when out of map.
+  float distance_at(Vec2 world) const {
+    const int cx =
+        static_cast<int>(std::floor((world.x - origin_.x) / resolution_));
+    const int cy =
+        static_cast<int>(std::floor((world.y - origin_.y) / resolution_));
+    if (cx < 0 || cx >= width_ || cy < 0 || cy >= height_) return rmax_;
+    return values_[static_cast<std::size_t>(cy) *
+                       static_cast<std::size_t>(width_) +
+                   static_cast<std::size_t>(cx)];
+  }
+
+  const std::vector<float>& values() const { return values_; }
+  /// Map payload bytes per cell for this representation (paper Fig 9
+  /// accounting: 1 B occupancy + 4 B float distance).
+  static constexpr std::size_t bytes_per_cell() { return 1 + sizeof(float); }
+
+ private:
+  int width_;
+  int height_;
+  double resolution_;
+  Vec2 origin_;
+  float rmax_;
+  std::vector<float> values_;
+};
+
+/// 8-bit quantized truncated distance field.
+///
+/// Codes are a linear map of [0, rmax] onto [0, 255]:
+///   code = round(d / rmax * 255),  d ≈ code * rmax / 255.
+/// The worst-case dequantization error is rmax/255/2 ≈ 2.9 mm at
+/// rmax = 1.5 m — far below the map resolution, which is why the paper
+/// observes no accuracy loss (Section IV-C).
+class QuantizedDistanceMap {
+ public:
+  QuantizedDistanceMap(const OccupancyGrid& grid, double rmax);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  double resolution() const { return resolution_; }
+  Vec2 origin() const { return origin_; }
+  float rmax() const { return rmax_; }
+  /// Meters represented by one code step.
+  float step() const { return step_; }
+
+  /// Quantization code at a world point; 255 (== rmax) when out of map.
+  std::uint8_t code_at(Vec2 world) const {
+    const int cx =
+        static_cast<int>(std::floor((world.x - origin_.x) / resolution_));
+    const int cy =
+        static_cast<int>(std::floor((world.y - origin_.y) / resolution_));
+    if (cx < 0 || cx >= width_ || cy < 0 || cy >= height_) return 255;
+    return codes_[static_cast<std::size_t>(cy) *
+                      static_cast<std::size_t>(width_) +
+                  static_cast<std::size_t>(cx)];
+  }
+
+  /// Dequantized distance (meters) at a world point.
+  float distance_at(Vec2 world) const {
+    return static_cast<float>(code_at(world)) * step_;
+  }
+
+  const std::vector<std::uint8_t>& codes() const { return codes_; }
+  /// Paper Fig 9 accounting: 1 B occupancy + 1 B quantized distance.
+  static constexpr std::size_t bytes_per_cell() { return 1 + 1; }
+
+ private:
+  int width_;
+  int height_;
+  double resolution_;
+  Vec2 origin_;
+  float rmax_;
+  float step_;
+  std::vector<std::uint8_t> codes_;
+};
+
+}  // namespace tofmcl::map

@@ -1,0 +1,137 @@
+#include "map/edt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace tofmcl::map {
+
+namespace {
+// Larger than any achievable in-grid squared distance, yet safe to add and
+// square-root without overflow.
+constexpr double kFarAway = 1e18;
+}  // namespace
+
+namespace detail {
+
+void dt_1d(const std::vector<double>& f, std::vector<double>& d) {
+  const std::size_t n = f.size();
+  d.assign(n, 0.0);
+  if (n == 0) return;
+
+  // Lower envelope of the parabolas y(x) = (x - j)² + f[j].
+  // v[k] — abscissa of the parabola forming the k-th envelope piece,
+  // z[k]..z[k+1] — the x-interval where that piece is minimal.
+  std::vector<std::size_t> v(n, 0);
+  std::vector<double> z(n + 1, 0.0);
+  int k = 0;
+  v[0] = 0;
+  z[0] = -std::numeric_limits<double>::infinity();
+  z[1] = std::numeric_limits<double>::infinity();
+
+  for (std::size_t q = 1; q < n; ++q) {
+    if (f[q] >= kFarAway && f[v[static_cast<std::size_t>(k)]] >= kFarAway) {
+      // Both parabolas are at the sentinel height; intersection arithmetic
+      // would be inf-inf. Skip: a sentinel parabola can never undercut
+      // another sentinel.
+      continue;
+    }
+    const double fq = f[q];
+    const auto dq = static_cast<double>(q);
+    double s;
+    for (;;) {
+      const std::size_t p = v[static_cast<std::size_t>(k)];
+      const auto dp = static_cast<double>(p);
+      // Intersection of parabolas rooted at p and q.
+      s = ((fq + dq * dq) - (f[p] + dp * dp)) / (2.0 * dq - 2.0 * dp);
+      if (s > z[static_cast<std::size_t>(k)]) break;
+      --k;
+    }
+    ++k;
+    v[static_cast<std::size_t>(k)] = q;
+    z[static_cast<std::size_t>(k)] = s;
+    z[static_cast<std::size_t>(k) + 1] =
+        std::numeric_limits<double>::infinity();
+  }
+
+  k = 0;
+  for (std::size_t q = 0; q < n; ++q) {
+    while (z[static_cast<std::size_t>(k) + 1] < static_cast<double>(q)) ++k;
+    const std::size_t p = v[static_cast<std::size_t>(k)];
+    const double dx = static_cast<double>(q) - static_cast<double>(p);
+    d[q] = dx * dx + f[p];
+  }
+}
+
+}  // namespace detail
+
+std::vector<double> edt_squared_cells(const OccupancyGrid& grid) {
+  const auto w = static_cast<std::size_t>(grid.width());
+  const auto h = static_cast<std::size_t>(grid.height());
+  std::vector<double> field(w * h);
+
+  // Seed: 0 at occupied cells, "infinity" elsewhere.
+  for (int y = 0; y < grid.height(); ++y) {
+    for (int x = 0; x < grid.width(); ++x) {
+      field[static_cast<std::size_t>(y) * w + static_cast<std::size_t>(x)] =
+          grid.is_occupied({x, y}) ? 0.0 : kFarAway;
+    }
+  }
+
+  // Pass 1: transform each column.
+  std::vector<double> f(h);
+  std::vector<double> d;
+  for (std::size_t x = 0; x < w; ++x) {
+    for (std::size_t y = 0; y < h; ++y) f[y] = field[y * w + x];
+    detail::dt_1d(f, d);
+    for (std::size_t y = 0; y < h; ++y) field[y * w + x] = d[y];
+  }
+
+  // Pass 2: transform each row.
+  std::vector<double> fr(w);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) fr[x] = field[y * w + x];
+    detail::dt_1d(fr, d);
+    for (std::size_t x = 0; x < w; ++x) field[y * w + x] = d[x];
+  }
+
+  return field;
+}
+
+std::vector<float> edt_meters(const OccupancyGrid& grid, double rmax) {
+  TOFMCL_EXPECTS(rmax > 0.0, "EDT truncation radius must be positive");
+  const std::vector<double> sq = edt_squared_cells(grid);
+  std::vector<float> meters(sq.size());
+  const double res = grid.resolution();
+  for (std::size_t i = 0; i < sq.size(); ++i) {
+    const double m = std::sqrt(sq[i]) * res;
+    meters[i] = static_cast<float>(std::min(m, rmax));
+  }
+  return meters;
+}
+
+std::vector<double> edt_squared_cells_brute_force(const OccupancyGrid& grid) {
+  std::vector<CellIndex> occupied;
+  for (int y = 0; y < grid.height(); ++y) {
+    for (int x = 0; x < grid.width(); ++x) {
+      if (grid.is_occupied({x, y})) occupied.push_back({x, y});
+    }
+  }
+  const auto w = static_cast<std::size_t>(grid.width());
+  std::vector<double> out(
+      w * static_cast<std::size_t>(grid.height()), kFarAway);
+  for (int y = 0; y < grid.height(); ++y) {
+    for (int x = 0; x < grid.width(); ++x) {
+      double best = kFarAway;
+      for (const CellIndex& o : occupied) {
+        const double dx = x - o.x;
+        const double dy = y - o.y;
+        best = std::min(best, dx * dx + dy * dy);
+      }
+      out[static_cast<std::size_t>(y) * w + static_cast<std::size_t>(x)] = best;
+    }
+  }
+  return out;
+}
+
+}  // namespace tofmcl::map

@@ -1,0 +1,42 @@
+#pragma once
+/// \file edt.hpp
+/// \brief Exact Euclidean distance transform of an occupancy grid.
+///
+/// The observation model (paper Eq. 1) evaluates the distance from a beam's
+/// end point to the nearest occupied cell. Those distances are precomputed
+/// once per map with the Felzenszwalb–Huttenlocher algorithm
+/// ("Distance Transforms of Sampled Functions", Theory of Computing 2012):
+/// two separable 1D lower-envelope-of-parabolas passes give the exact
+/// squared Euclidean distance in O(cells). Distances are reported in meters
+/// and truncated at `rmax` exactly as the paper does.
+
+#include <vector>
+
+#include "map/occupancy_grid.hpp"
+
+namespace tofmcl::map {
+
+/// Exact squared distance (in cell units) from every cell center to the
+/// nearest Occupied cell center. Cells in maps with no occupied cell get
+/// a large sentinel (greater than any in-map squared distance).
+/// Row-major, same layout as the grid.
+std::vector<double> edt_squared_cells(const OccupancyGrid& grid);
+
+/// Metric distance field: sqrt of edt_squared_cells scaled by the map
+/// resolution and truncated at `rmax` (meters). This is the field the
+/// paper's fp32 configuration stores — one float per cell.
+std::vector<float> edt_meters(const OccupancyGrid& grid, double rmax);
+
+/// O(n²) reference implementation used by the property tests: for every
+/// cell, scan all occupied cells. Same units/semantics as
+/// edt_squared_cells.
+std::vector<double> edt_squared_cells_brute_force(const OccupancyGrid& grid);
+
+namespace detail {
+/// One 1D pass of the Felzenszwalb–Huttenlocher transform: given sampled
+/// function values f (squared distances so far), returns
+/// d[i] = min_j ( (i-j)² + f[j] ). Exposed for unit testing.
+void dt_1d(const std::vector<double>& f, std::vector<double>& d);
+}  // namespace detail
+
+}  // namespace tofmcl::map

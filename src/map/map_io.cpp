@@ -1,0 +1,114 @@
+#include "map/map_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace tofmcl::map {
+
+namespace {
+
+constexpr char kMagic[] = "tofmcl-grid";
+
+char to_glyph(CellState s) {
+  switch (s) {
+    case CellState::kFree:
+      return '.';
+    case CellState::kOccupied:
+      return '#';
+    case CellState::kUnknown:
+      return '?';
+  }
+  return '?';
+}
+
+CellState from_glyph(char g) {
+  switch (g) {
+    case '.':
+      return CellState::kFree;
+    case '#':
+      return CellState::kOccupied;
+    case '?':
+      return CellState::kUnknown;
+    default:
+      throw IoError(std::string("invalid cell glyph: '") + g + "'");
+  }
+}
+
+}  // namespace
+
+void save_grid(const OccupancyGrid& grid, std::ostream& os) {
+  os << kMagic << " 1\n";
+  os << grid.width() << ' ' << grid.height() << ' ' << grid.resolution()
+     << ' ' << grid.origin().x << ' ' << grid.origin().y << '\n';
+  for (int y = 0; y < grid.height(); ++y) {
+    std::string row(static_cast<std::size_t>(grid.width()), '?');
+    for (int x = 0; x < grid.width(); ++x) {
+      row[static_cast<std::size_t>(x)] = to_glyph(grid.at({x, y}));
+    }
+    os << row << '\n';
+  }
+  if (!os) throw IoError("failed writing grid");
+}
+
+void save_grid(const OccupancyGrid& grid, const std::filesystem::path& path) {
+  if (path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+  }
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open map file for writing: " + path.string());
+  save_grid(grid, out);
+}
+
+OccupancyGrid load_grid(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  if (!is || magic != kMagic) throw IoError("not a tofmcl-grid file");
+  if (version != 1) {
+    throw IoError("unsupported grid version: " + std::to_string(version));
+  }
+
+  int width = 0;
+  int height = 0;
+  double resolution = 0.0;
+  Vec2 origin;
+  is >> width >> height >> resolution >> origin.x >> origin.y;
+  if (!is || width <= 0 || height <= 0 || resolution <= 0.0) {
+    throw IoError("malformed grid header");
+  }
+
+  OccupancyGrid grid(width, height, resolution, origin);
+  std::string row;
+  std::getline(is, row);  // consume end of header line
+  for (int y = 0; y < height; ++y) {
+    if (!std::getline(is, row)) throw IoError("truncated grid body");
+    if (row.size() != static_cast<std::size_t>(width)) {
+      throw IoError("grid row " + std::to_string(y) + " has wrong width");
+    }
+    for (int x = 0; x < width; ++x) {
+      grid.set({x, y}, from_glyph(row[static_cast<std::size_t>(x)]));
+    }
+  }
+  return grid;
+}
+
+OccupancyGrid load_grid(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open map file: " + path.string());
+  return load_grid(in);
+}
+
+std::string to_ascii(const OccupancyGrid& grid) {
+  std::ostringstream os;
+  for (int y = grid.height() - 1; y >= 0; --y) {
+    for (int x = 0; x < grid.width(); ++x) {
+      os << to_glyph(grid.at({x, y}));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace tofmcl::map

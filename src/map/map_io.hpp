@@ -1,0 +1,34 @@
+#pragma once
+/// \file map_io.hpp
+/// \brief Plain-text serialization of occupancy grids.
+///
+/// Format (line oriented, '#' is a cell glyph, not a comment):
+///
+///     tofmcl-grid 1
+///     <width> <height> <resolution> <origin_x> <origin_y>
+///     <height rows of width glyphs, row 0 first: '.'=free '#'=occupied '?'=unknown>
+///
+/// The glyph matrix is stored bottom row first so files match the in-memory
+/// row order (row 0 = smallest y).
+
+#include <filesystem>
+#include <iosfwd>
+
+#include "map/occupancy_grid.hpp"
+
+namespace tofmcl::map {
+
+/// Writes the grid; throws IoError on stream failure.
+void save_grid(const OccupancyGrid& grid, std::ostream& os);
+void save_grid(const OccupancyGrid& grid, const std::filesystem::path& path);
+
+/// Reads a grid; throws IoError on malformed input.
+OccupancyGrid load_grid(std::istream& is);
+OccupancyGrid load_grid(const std::filesystem::path& path);
+
+/// Renders the grid as ASCII art for examples/debugging, with optional
+/// pose markers ('D' ground truth, 'P' estimate). Row with largest y
+/// printed first so the output is a conventional top-down view.
+std::string to_ascii(const OccupancyGrid& grid);
+
+}  // namespace tofmcl::map

@@ -1,0 +1,42 @@
+#include "map/occupancy_grid.hpp"
+
+#include <algorithm>
+
+namespace tofmcl::map {
+
+namespace {
+std::size_t checked_cell_count(int width, int height) {
+  TOFMCL_EXPECTS(width > 0 && height > 0, "grid dimensions must be positive");
+  return static_cast<std::size_t>(width) * static_cast<std::size_t>(height);
+}
+}  // namespace
+
+OccupancyGrid::OccupancyGrid(int width, int height, double resolution,
+                             Vec2 origin, CellState fill)
+    : width_(width),
+      height_(height),
+      resolution_(resolution),
+      origin_(origin),
+      cells_(checked_cell_count(width, height),
+             static_cast<std::uint8_t>(fill)) {
+  TOFMCL_EXPECTS(resolution > 0.0, "grid resolution must be positive");
+}
+
+std::size_t OccupancyGrid::count(CellState s) const {
+  return static_cast<std::size_t>(
+      std::count(cells_.begin(), cells_.end(), static_cast<std::uint8_t>(s)));
+}
+
+std::vector<Vec2> OccupancyGrid::free_cell_centers() const {
+  std::vector<Vec2> centers;
+  centers.reserve(count(CellState::kFree));
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const CellIndex c{x, y};
+      if (is_free(c)) centers.push_back(cell_center(c));
+    }
+  }
+  return centers;
+}
+
+}  // namespace tofmcl::map

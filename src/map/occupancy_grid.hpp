@@ -1,0 +1,119 @@
+#pragma once
+/// \file occupancy_grid.hpp
+/// \brief 2D occupancy grid map with three cell states.
+///
+/// The paper localizes in a standard occupancy grid (Moravec-style) at
+/// 0.05 m resolution. A cell is Free, Occupied or Unknown — 3 states need
+/// 2 bits, but "to simplify the memory access we store it as 1 byte per
+/// cell" (Section III-C2); we keep the same layout so the memory model in
+/// platform/memory_model.hpp matches the paper's accounting (1 B/cell for
+/// occupancy + the distance value).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/geometry.hpp"
+
+namespace tofmcl::map {
+
+/// Tri-state cell occupancy.
+enum class CellState : std::uint8_t {
+  kFree = 0,
+  kOccupied = 1,
+  kUnknown = 2,
+};
+
+/// Integer cell coordinates (column ix, row iy).
+struct CellIndex {
+  int x = 0;
+  int y = 0;
+  constexpr bool operator==(const CellIndex&) const = default;
+};
+
+/// Row-major 2D occupancy grid anchored in world coordinates.
+///
+/// World anchoring: cell (0,0) covers the square
+/// [origin.x, origin.x+res) × [origin.y, origin.y+res). X grows with the
+/// column index, Y with the row index.
+class OccupancyGrid {
+ public:
+  /// Constructs a grid of `width` × `height` cells filled with `fill`.
+  /// `resolution` is the cell edge length in meters (> 0).
+  OccupancyGrid(int width, int height, double resolution, Vec2 origin,
+                CellState fill = CellState::kUnknown);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  double resolution() const { return resolution_; }
+  Vec2 origin() const { return origin_; }
+  std::size_t cell_count() const { return cells_.size(); }
+
+  /// Map extent in world coordinates.
+  Aabb bounds() const {
+    return {origin_,
+            origin_ + Vec2{width_ * resolution_, height_ * resolution_}};
+  }
+  /// Total mapped area in m².
+  double area() const { return bounds().area(); }
+
+  bool in_bounds(CellIndex c) const {
+    return c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_;
+  }
+  bool in_bounds(Vec2 world) const { return in_bounds(world_to_cell(world)); }
+
+  /// Cell containing a world point (floor semantics; may be out of bounds).
+  CellIndex world_to_cell(Vec2 world) const {
+    return {static_cast<int>(std::floor((world.x - origin_.x) / resolution_)),
+            static_cast<int>(std::floor((world.y - origin_.y) / resolution_))};
+  }
+
+  /// World coordinates of a cell's center.
+  Vec2 cell_center(CellIndex c) const {
+    return origin_ + Vec2{(c.x + 0.5) * resolution_, (c.y + 0.5) * resolution_};
+  }
+
+  CellState at(CellIndex c) const {
+    TOFMCL_EXPECTS(in_bounds(c), "cell index out of bounds");
+    return static_cast<CellState>(cells_[index_of(c)]);
+  }
+  void set(CellIndex c, CellState s) {
+    TOFMCL_EXPECTS(in_bounds(c), "cell index out of bounds");
+    cells_[index_of(c)] = static_cast<std::uint8_t>(s);
+  }
+
+  /// State at a world point; out-of-map points read as Unknown.
+  CellState state_at(Vec2 world) const {
+    const CellIndex c = world_to_cell(world);
+    if (!in_bounds(c)) return CellState::kUnknown;
+    return static_cast<CellState>(cells_[index_of(c)]);
+  }
+
+  bool is_occupied(CellIndex c) const { return at(c) == CellState::kOccupied; }
+  bool is_free(CellIndex c) const { return at(c) == CellState::kFree; }
+
+  /// Raw row-major storage (1 byte per cell, same as the on-target layout).
+  const std::vector<std::uint8_t>& raw() const { return cells_; }
+
+  std::size_t count(CellState s) const;
+
+  /// Centers of all Free cells — the support for uniform global
+  /// initialization of the particle filter.
+  std::vector<Vec2> free_cell_centers() const;
+
+  bool operator==(const OccupancyGrid&) const = default;
+
+ private:
+  std::size_t index_of(CellIndex c) const {
+    return static_cast<std::size_t>(c.y) * static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(c.x);
+  }
+
+  int width_;
+  int height_;
+  double resolution_;
+  Vec2 origin_;
+  std::vector<std::uint8_t> cells_;
+};
+
+}  // namespace tofmcl::map

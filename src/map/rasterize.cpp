@@ -1,0 +1,68 @@
+#include "map/rasterize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tofmcl::map {
+
+void rasterize_segment(OccupancyGrid& grid, const Segment& segment,
+                       double wall_thickness) {
+  TOFMCL_EXPECTS(wall_thickness >= 0.0, "wall thickness must be >= 0");
+  const double half = wall_thickness / 2.0;
+  const double res = grid.resolution();
+
+  // Visit every cell whose bounding box could touch the inflated segment,
+  // then test the cell center against the exact distance. The candidate
+  // window is the segment AABB grown by half thickness + one cell.
+  const Vec2 lo{std::min(segment.a.x, segment.b.x) - half - res,
+                std::min(segment.a.y, segment.b.y) - half - res};
+  const Vec2 hi{std::max(segment.a.x, segment.b.x) + half + res,
+                std::max(segment.a.y, segment.b.y) + half + res};
+  const CellIndex c0 = grid.world_to_cell(lo);
+  const CellIndex c1 = grid.world_to_cell(hi);
+
+  const Vec2 e = segment.b - segment.a;
+  const double len2 = e.squared_norm();
+
+  for (int y = std::max(c0.y, 0); y <= std::min(c1.y, grid.height() - 1);
+       ++y) {
+    for (int x = std::max(c0.x, 0); x <= std::min(c1.x, grid.width() - 1);
+         ++x) {
+      const Vec2 center = grid.cell_center({x, y});
+      double t = 0.0;
+      if (len2 > 0.0) {
+        t = std::clamp((center - segment.a).dot(e) / len2, 0.0, 1.0);
+      }
+      const Vec2 closest = segment.a + e * t;
+      // A cell is painted when its center is within the inflated wall, or
+      // when the wall passes through the cell at all (distance under half a
+      // cell diagonal) so that thin walls cannot slip between centers.
+      const double d = (center - closest).norm();
+      if (d <= half || d <= res * 0.5 * std::numbers::sqrt2) {
+        grid.set({x, y}, CellState::kOccupied);
+      }
+    }
+  }
+}
+
+OccupancyGrid rasterize(const World& world, const RasterizeOptions& options) {
+  TOFMCL_EXPECTS(options.resolution > 0.0, "resolution must be positive");
+  TOFMCL_EXPECTS(!world.empty(), "cannot rasterize an empty world");
+
+  const Aabb bounds = world.bounds();
+  const Vec2 origin{bounds.min.x - options.margin,
+                    bounds.min.y - options.margin};
+  const int width = static_cast<int>(
+      std::ceil((bounds.width() + 2.0 * options.margin) / options.resolution));
+  const int height = static_cast<int>(std::ceil(
+      (bounds.height() + 2.0 * options.margin) / options.resolution));
+
+  OccupancyGrid grid(std::max(width, 1), std::max(height, 1),
+                     options.resolution, origin, options.interior_fill);
+  for (const Segment& s : world.segments()) {
+    rasterize_segment(grid, s, options.wall_thickness);
+  }
+  return grid;
+}
+
+}  // namespace tofmcl::map

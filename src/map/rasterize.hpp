@@ -1,0 +1,35 @@
+#pragma once
+/// \file rasterize.hpp
+/// \brief Rasterization of a line-segment world into an occupancy grid.
+///
+/// The map used for localization is produced the way the paper produced
+/// theirs: from (possibly inaccurate) wall measurements, rasterized at
+/// 0.05 m resolution. Walls become Occupied cells; everything inside the
+/// rasterized region is Free unless a margin of Unknown is requested.
+
+#include "map/occupancy_grid.hpp"
+#include "map/world.hpp"
+
+namespace tofmcl::map {
+
+/// Options controlling world→grid conversion.
+struct RasterizeOptions {
+  double resolution = 0.05;   ///< Cell edge (m), paper uses 0.05.
+  double wall_thickness = 0.05;  ///< Physical wall thickness to paint (m).
+  double margin = 0.15;       ///< Free border added around the world bounds (m).
+  /// Fill state for cells not covered by walls. The paper's map is fully
+  /// known inside the measured area.
+  CellState interior_fill = CellState::kFree;
+};
+
+/// Rasterizes every wall segment of `world` into a fresh grid sized to the
+/// world bounds plus margin. Cells whose center lies within
+/// wall_thickness/2 of a segment become Occupied.
+OccupancyGrid rasterize(const World& world, const RasterizeOptions& options);
+
+/// Paints one segment into an existing grid (utility for tests and
+/// incremental map construction).
+void rasterize_segment(OccupancyGrid& grid, const Segment& segment,
+                       double wall_thickness);
+
+}  // namespace tofmcl::map

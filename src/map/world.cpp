@@ -1,0 +1,91 @@
+#include "map/world.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace tofmcl::map {
+
+void World::add_rectangle(const Aabb& box) {
+  const Vec2 bl = box.min;
+  const Vec2 br{box.max.x, box.min.y};
+  const Vec2 tr = box.max;
+  const Vec2 tl{box.min.x, box.max.y};
+  add_segment(bl, br);
+  add_segment(br, tr);
+  add_segment(tr, tl);
+  add_segment(tl, bl);
+}
+
+void World::add_polyline(const std::vector<Vec2>& points) {
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    add_segment(points[i], points[i + 1]);
+  }
+}
+
+void World::add_world(const World& other, Vec2 offset) {
+  for (const Segment& s : other.segments_) {
+    add_segment(s.a + offset, s.b + offset);
+  }
+}
+
+Aabb World::bounds() const {
+  if (segments_.empty()) return {};
+  Aabb box{segments_[0].a, segments_[0].a};
+  for (const Segment& s : segments_) {
+    box = box.expanded(s.a).expanded(s.b);
+  }
+  return box;
+}
+
+std::optional<RayHit> World::raycast(Vec2 origin, double angle,
+                                     double max_range) const {
+  const Vec2 dir{std::cos(angle), std::sin(angle)};
+  double best_t = max_range;
+  std::optional<RayHit> best;
+
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const Segment& s = segments_[i];
+    // Solve origin + t·dir = a + u·(b-a) with t ∈ [0, best_t], u ∈ [0, 1].
+    const Vec2 e = s.b - s.a;
+    const double denom = dir.cross(e);
+    if (std::abs(denom) < 1e-12) continue;  // parallel (or degenerate)
+    const Vec2 ao = s.a - origin;
+    const double t = ao.cross(e) / denom;
+    const double u = ao.cross(dir) / denom;
+    if (t >= 0.0 && t < best_t && u >= 0.0 && u <= 1.0) {
+      best_t = t;
+      best = RayHit{t, origin + dir * t, i};
+    }
+  }
+  return best;
+}
+
+double World::clearance(Vec2 point) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const Segment& s : segments_) {
+    const Vec2 e = s.b - s.a;
+    const double len2 = e.squared_norm();
+    double t = 0.0;
+    if (len2 > 0.0) {
+      t = std::clamp((point - s.a).dot(e) / len2, 0.0, 1.0);
+    }
+    const Vec2 closest = s.a + e * t;
+    best = std::min(best, (point - closest).norm());
+  }
+  return best;
+}
+
+World World::perturbed(Rng& rng, double sigma) const {
+  std::vector<Segment> out;
+  out.reserve(segments_.size());
+  for (const Segment& s : segments_) {
+    out.push_back({{s.a.x + rng.gaussian(0.0, sigma),
+                    s.a.y + rng.gaussian(0.0, sigma)},
+                   {s.b.x + rng.gaussian(0.0, sigma),
+                    s.b.y + rng.gaussian(0.0, sigma)}});
+  }
+  return World(std::move(out));
+}
+
+}  // namespace tofmcl::map

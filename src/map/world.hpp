@@ -1,0 +1,74 @@
+#pragma once
+/// \file world.hpp
+/// \brief Continuous line-segment world model.
+///
+/// The physical "drone maze" is a set of thin wooden walls. We model the
+/// true environment as 2D line segments, which gives (i) exact analytic
+/// raycasts for simulating the ToF sensor against ground truth, and (ii) a
+/// source geometry from which the occupancy grid map is rasterized —
+/// optionally from a *perturbed* copy, reproducing the paper's
+/// hand-measured map inaccuracy (Section IV-A).
+
+#include <optional>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/rng.hpp"
+
+namespace tofmcl::map {
+
+/// A wall segment between two world points.
+struct Segment {
+  Vec2 a{};
+  Vec2 b{};
+
+  double length() const { return (b - a).norm(); }
+};
+
+/// Result of an analytic raycast.
+struct RayHit {
+  double distance = 0.0;     ///< Meters from the ray origin.
+  Vec2 point{};              ///< World coordinates of the hit.
+  std::size_t segment = 0;   ///< Index of the hit segment.
+};
+
+/// Immutable-geometry continuous world made of wall segments.
+class World {
+ public:
+  World() = default;
+  explicit World(std::vector<Segment> segments)
+      : segments_(std::move(segments)) {}
+
+  void add_segment(Vec2 a, Vec2 b) { segments_.push_back({a, b}); }
+  /// Adds the four edges of an axis-aligned rectangle.
+  void add_rectangle(const Aabb& box);
+  /// Adds a chain of segments through the given points.
+  void add_polyline(const std::vector<Vec2>& points);
+  /// Appends all segments of another world, translated by `offset`.
+  void add_world(const World& other, Vec2 offset);
+
+  const std::vector<Segment>& segments() const { return segments_; }
+  bool empty() const { return segments_.empty(); }
+
+  /// Bounding box of all segments; zero box when empty.
+  Aabb bounds() const;
+
+  /// Nearest intersection of the ray (origin, angle) with any segment
+  /// within max_range meters; nullopt when nothing is hit.
+  std::optional<RayHit> raycast(Vec2 origin, double angle,
+                                double max_range) const;
+
+  /// Shortest distance from a point to any segment (for collision checks
+  /// in the flight simulator); +inf when the world is empty.
+  double clearance(Vec2 point) const;
+
+  /// A copy with every segment endpoint independently jittered by
+  /// zero-mean Gaussian noise of the given σ (meters). Models the
+  /// map-acquisition error of manual measurement.
+  World perturbed(Rng& rng, double sigma) const;
+
+ private:
+  std::vector<Segment> segments_;
+};
+
+}  // namespace tofmcl::map

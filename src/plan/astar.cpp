@@ -1,0 +1,171 @@
+#include "plan/astar.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace tofmcl::plan {
+
+namespace {
+
+struct Node {
+  double f = 0.0;  // g + heuristic
+  double g = 0.0;
+  int index = -1;
+};
+struct NodeOrder {
+  bool operator()(const Node& a, const Node& b) const { return a.f > b.f; }
+};
+
+bool traversable(const map::OccupancyGrid& grid,
+                 const map::DistanceMap& distance, map::CellIndex c,
+                 const PlannerConfig& config) {
+  if (!grid.in_bounds(c)) return false;
+  const map::CellState state = grid.at(c);
+  if (state == map::CellState::kOccupied) return false;
+  if (state == map::CellState::kUnknown && config.unknown_is_obstacle) {
+    return false;
+  }
+  return distance.distance_at(grid.cell_center(c)) >=
+         static_cast<float>(config.min_clearance_m);
+}
+
+/// Soft penalty multiplier for moving through a cell with the given
+/// clearance: 1 at comfort clearance and above, up to
+/// 1 + clearance_penalty at zero clearance.
+double clearance_cost(double clearance, const PlannerConfig& config) {
+  if (clearance >= config.comfort_clearance_m) return 1.0;
+  const double shortfall =
+      1.0 - clearance / std::max(config.comfort_clearance_m, 1e-9);
+  return 1.0 + config.clearance_penalty * shortfall;
+}
+
+}  // namespace
+
+bool line_of_sight(const map::OccupancyGrid& grid,
+                   const map::DistanceMap& distance, Vec2 a, Vec2 b,
+                   const PlannerConfig& config) {
+  const double length = (b - a).norm();
+  const double step = grid.resolution() / 2.0;
+  const int samples = std::max(1, static_cast<int>(std::ceil(length / step)));
+  for (int i = 0; i <= samples; ++i) {
+    const double t = static_cast<double>(i) / samples;
+    const Vec2 p = a + (b - a) * t;
+    if (!traversable(grid, distance, grid.world_to_cell(p), config)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<PlannedPath> plan_path(const map::OccupancyGrid& grid,
+                                     const map::DistanceMap& distance,
+                                     Vec2 start, Vec2 goal,
+                                     const PlannerConfig& config) {
+  TOFMCL_EXPECTS(config.min_clearance_m >= 0.0,
+                 "clearance must be non-negative");
+  const map::CellIndex start_cell = grid.world_to_cell(start);
+  const map::CellIndex goal_cell = grid.world_to_cell(goal);
+  if (!traversable(grid, distance, start_cell, config) ||
+      !traversable(grid, distance, goal_cell, config)) {
+    return std::nullopt;
+  }
+
+  const int w = grid.width();
+  const int h = grid.height();
+  const auto idx = [w](map::CellIndex c) { return c.y * w + c.x; };
+  const double res = grid.resolution();
+
+  std::vector<double> g_cost(static_cast<std::size_t>(w) *
+                                 static_cast<std::size_t>(h),
+                             std::numeric_limits<double>::infinity());
+  std::vector<int> parent(g_cost.size(), -1);
+  std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
+
+  const auto heuristic = [&](map::CellIndex c) {
+    // Octile distance in meters — admissible for 8-connected moves.
+    const double dx = std::abs(c.x - goal_cell.x) * res;
+    const double dy = std::abs(c.y - goal_cell.y) * res;
+    return std::max(dx, dy) + (std::numbers::sqrt2 - 1.0) * std::min(dx, dy);
+  };
+
+  g_cost[static_cast<std::size_t>(idx(start_cell))] = 0.0;
+  open.push({heuristic(start_cell), 0.0, idx(start_cell)});
+
+  constexpr int kDx[] = {1, -1, 0, 0, 1, 1, -1, -1};
+  constexpr int kDy[] = {0, 0, 1, -1, 1, -1, 1, -1};
+
+  bool found = false;
+  while (!open.empty()) {
+    const Node node = open.top();
+    open.pop();
+    const map::CellIndex cur{node.index % w, node.index / w};
+    if (node.g >
+        g_cost[static_cast<std::size_t>(node.index)] + 1e-12) {
+      continue;  // stale entry
+    }
+    if (cur == goal_cell) {
+      found = true;
+      break;
+    }
+    for (int k = 0; k < 8; ++k) {
+      const map::CellIndex next{cur.x + kDx[k], cur.y + kDy[k]};
+      if (!traversable(grid, distance, next, config)) continue;
+      // No corner cutting: a diagonal move needs both orthogonal
+      // neighbours free.
+      if (kDx[k] != 0 && kDy[k] != 0) {
+        if (!traversable(grid, distance, {cur.x + kDx[k], cur.y}, config) ||
+            !traversable(grid, distance, {cur.x, cur.y + kDy[k]}, config)) {
+          continue;
+        }
+      }
+      const double move =
+          (kDx[k] != 0 && kDy[k] != 0) ? res * std::numbers::sqrt2 : res;
+      const double clearance = static_cast<double>(
+          distance.distance_at(grid.cell_center(next)));
+      const double g_next =
+          node.g + move * clearance_cost(clearance, config);
+      const std::size_t ni = static_cast<std::size_t>(idx(next));
+      if (g_next < g_cost[ni]) {
+        g_cost[ni] = g_next;
+        parent[ni] = node.index;
+        open.push({g_next + heuristic(next), g_next, idx(next)});
+      }
+    }
+  }
+  if (!found) return std::nullopt;
+
+  PlannedPath path;
+  // Reconstruct goal → start, then reverse.
+  for (int i = idx(goal_cell); i != -1;
+       i = parent[static_cast<std::size_t>(i)]) {
+    path.cells.push_back(grid.cell_center({i % w, i / w}));
+  }
+  std::reverse(path.cells.begin(), path.cells.end());
+  for (std::size_t i = 1; i < path.cells.size(); ++i) {
+    path.length_m += (path.cells[i] - path.cells[i - 1]).norm();
+  }
+
+  // Line-of-sight simplification: greedily extend each segment as far as
+  // it stays traversable.
+  path.waypoints.push_back(path.cells.front());
+  std::size_t anchor = 0;
+  while (anchor + 1 < path.cells.size()) {
+    std::size_t reach = anchor + 1;
+    for (std::size_t j = path.cells.size() - 1; j > anchor; --j) {
+      if (line_of_sight(grid, distance, path.cells[anchor], path.cells[j],
+                        config)) {
+        reach = j;
+        break;
+      }
+    }
+    path.waypoints.push_back(path.cells[reach]);
+    anchor = reach;
+  }
+  return path;
+}
+
+}  // namespace tofmcl::plan

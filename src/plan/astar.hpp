@@ -1,0 +1,56 @@
+#pragma once
+/// \file astar.hpp
+/// \brief Grid path planning — the paper's stated future work.
+///
+/// "Future works will extend the proposed system to applications such as
+/// path planning and exploration" (paper Section V). This module provides
+/// that extension on the same occupancy-grid substrate the localizer
+/// uses: an 8-connected A* with clearance-aware costs (reusing the EDT so
+/// paths prefer corridor centers), plus line-of-sight path simplification
+/// producing waypoints the flight controller can follow directly.
+
+#include <optional>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "map/distance_map.hpp"
+#include "map/occupancy_grid.hpp"
+
+namespace tofmcl::plan {
+
+struct PlannerConfig {
+  /// Cells closer than this to an obstacle are untraversable (the drone's
+  /// radius plus margin), meters.
+  double min_clearance_m = 0.15;
+  /// Below this clearance a soft penalty is added so paths hug corridor
+  /// centers instead of wall edges, meters.
+  double comfort_clearance_m = 0.4;
+  /// Weight of the soft clearance penalty (cost per meter traveled at
+  /// zero clearance, fading linearly to zero at comfort clearance).
+  double clearance_penalty = 2.0;
+  /// Unknown cells are treated as obstacles when true (safe default).
+  bool unknown_is_obstacle = true;
+};
+
+/// A planned path: grid-exact cells and simplified waypoints.
+struct PlannedPath {
+  std::vector<Vec2> cells;      ///< Center of every visited cell, in order.
+  std::vector<Vec2> waypoints;  ///< Line-of-sight simplified corners.
+  double length_m = 0.0;        ///< Length of the cell path.
+};
+
+/// A* from `start` to `goal` (world coordinates) over the grid, using the
+/// distance map for clearance costs. Returns nullopt when no path exists
+/// or an endpoint is untraversable.
+std::optional<PlannedPath> plan_path(const map::OccupancyGrid& grid,
+                                     const map::DistanceMap& distance,
+                                     Vec2 start, Vec2 goal,
+                                     const PlannerConfig& config = {});
+
+/// True when the straight segment a→b stays traversable (used by the
+/// simplifier; exposed for tests and reactive replanning).
+bool line_of_sight(const map::OccupancyGrid& grid,
+                   const map::DistanceMap& distance, Vec2 a, Vec2 b,
+                   const PlannerConfig& config = {});
+
+}  // namespace tofmcl::plan

@@ -1,0 +1,96 @@
+#include "plan/frontier.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace tofmcl::plan {
+
+namespace {
+
+bool is_frontier_cell(const map::OccupancyGrid& grid, map::CellIndex c) {
+  if (!grid.in_bounds(c) || !grid.is_free(c)) return false;
+  // 4-neighbourhood adjacency to Unknown.
+  const map::CellIndex neighbours[] = {
+      {c.x + 1, c.y}, {c.x - 1, c.y}, {c.x, c.y + 1}, {c.x, c.y - 1}};
+  for (const map::CellIndex& n : neighbours) {
+    if (grid.in_bounds(n) && grid.at(n) == map::CellState::kUnknown) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Frontier> find_frontiers(const map::OccupancyGrid& grid,
+                                     std::size_t min_size) {
+  const int w = grid.width();
+  const int h = grid.height();
+  std::vector<bool> frontier_mask(
+      static_cast<std::size_t>(w) * static_cast<std::size_t>(h), false);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      frontier_mask[static_cast<std::size_t>(y * w + x)] =
+          is_frontier_cell(grid, {x, y});
+    }
+  }
+
+  // Cluster with 8-connected flood fill.
+  std::vector<bool> visited(frontier_mask.size(), false);
+  std::vector<Frontier> frontiers;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const std::size_t i = static_cast<std::size_t>(y * w + x);
+      if (!frontier_mask[i] || visited[i]) continue;
+      Frontier frontier;
+      std::queue<map::CellIndex> queue;
+      queue.push({x, y});
+      visited[i] = true;
+      while (!queue.empty()) {
+        const map::CellIndex c = queue.front();
+        queue.pop();
+        frontier.cells.push_back(c);
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            const map::CellIndex n{c.x + dx, c.y + dy};
+            if (!grid.in_bounds(n)) continue;
+            const std::size_t ni = static_cast<std::size_t>(n.y * w + n.x);
+            if (frontier_mask[ni] && !visited[ni]) {
+              visited[ni] = true;
+              queue.push(n);
+            }
+          }
+        }
+      }
+      if (frontier.cells.size() < min_size) continue;
+      Vec2 sum{};
+      for (const map::CellIndex& c : frontier.cells) {
+        sum += grid.cell_center(c);
+      }
+      frontier.centroid = sum / static_cast<double>(frontier.cells.size());
+      frontiers.push_back(std::move(frontier));
+    }
+  }
+  std::sort(frontiers.begin(), frontiers.end(),
+            [](const Frontier& a, const Frontier& b) {
+              return a.size() > b.size();
+            });
+  return frontiers;
+}
+
+int select_frontier(const std::vector<Frontier>& frontiers, Vec2 from) {
+  int best = -1;
+  double best_score = -1.0;
+  for (std::size_t i = 0; i < frontiers.size(); ++i) {
+    const double distance = (frontiers[i].centroid - from).norm();
+    const double score =
+        static_cast<double>(frontiers[i].size()) / (distance + 1.0);
+    if (score > best_score) {
+      best_score = score;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace tofmcl::plan

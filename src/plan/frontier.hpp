@@ -1,0 +1,35 @@
+#pragma once
+/// \file frontier.hpp
+/// \brief Frontier detection for autonomous exploration (future work of
+///        the paper, Section V).
+///
+/// A frontier cell is a Free cell adjacent to Unknown space — the places
+/// an exploring drone should fly toward to grow its map. Frontiers are
+/// clustered into connected regions and ranked by size and travel cost so
+/// an exploration loop can pick the next goal.
+
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "map/occupancy_grid.hpp"
+
+namespace tofmcl::plan {
+
+/// One connected frontier region.
+struct Frontier {
+  std::vector<map::CellIndex> cells;
+  Vec2 centroid{};
+  std::size_t size() const { return cells.size(); }
+};
+
+/// All frontier regions of the grid, largest first. `min_size` suppresses
+/// single-cell noise regions.
+std::vector<Frontier> find_frontiers(const map::OccupancyGrid& grid,
+                                     std::size_t min_size = 3);
+
+/// Picks the frontier with the best size/distance trade-off from `from`:
+/// score = size / (distance + 1). Returns index into `frontiers`, or -1
+/// when empty.
+int select_frontier(const std::vector<Frontier>& frontiers, Vec2 from);
+
+}  // namespace tofmcl::plan

@@ -1,0 +1,73 @@
+#pragma once
+/// \file gap9_calibration.hpp
+/// \brief Calibration of the GAP9 timing model against the paper's Table I.
+///
+/// Table I reports per-particle execution times (ns, 400 MHz → 0.4
+/// cycles/ns) for 1 and 8 cores at N ∈ {64, 256, 1024, 4096, 16384}, with
+/// N ≥ 4096 held in L2. Each parameter below is derived from those
+/// numbers:
+///
+/// *Per-particle L1 cost (A)*: the large-N single-core asymptote in L1,
+///   e.g. observation 8518 ns → 3407 cycles at N = 1024.
+/// *L2 surcharge (B)*: the single-core step from N=1024 (L1) to N=4096
+///   (L2), e.g. observation (8649−8518) ns → 52 cycles.
+/// *Fixed cycles (F0)*: the rise of the single-core per-particle time at
+///   N = 64 over the asymptote, e.g. motion (2828−2689) ns × 64 → ≈3560
+///   cycles of per-invocation setup.
+/// *Fork–join cost (F8)*: the same construction on the 8-core column,
+///   e.g. observation (1412−1283) ns × 64 → ≈3300 extra cycles.
+/// *Contention (c8)*: deviation of the 8-core asymptote from a perfect
+///   8×, e.g. observation 8518/1283 = 6.64× → c8 = 8/6.64 ≈ 1.205. The
+///   shared-L1 banking conflicts of the cluster make this phase-dependent.
+/// *Memory parallelism (m8)*: how much of the L2 surcharge the 8 cores
+///   hide by overlapping misses. Resampling is the extreme case the paper
+///   highlights: 556 ns/particle on one core in L2 but only ~104 ns on 8
+///   cores (5.3×) versus a 1.9× speedup in L1 — concurrent L2 accesses
+///   pipeline, serial ones pay full latency.
+///
+/// The per-update constant (≈ 40 µs → 16000 cycles) is stated directly in
+/// Section IV-D. Tests (test_gap9_timing.cpp) assert the reconstructed
+/// Table I matches the published one within tolerance.
+
+#include "platform/gap9_timing.hpp"
+
+namespace tofmcl::platform::calibration {
+
+inline constexpr double kCyclesPerNs400MHz = 0.4;
+
+/// Observation: 16-beam end-point model per particle.
+inline constexpr double kObsPerParticleL1 = 3407.0;   // 8518 ns
+inline constexpr double kObsPerParticleL2 = 52.0;     // +131 ns
+inline constexpr double kObsFixed = 330.0;
+inline constexpr double kObsFixedParallel = 2970.0;
+inline constexpr double kObsContention = 1.205;
+inline constexpr double kObsMemParallelism = 12.0;
+
+/// Motion: three Gaussian draws + pose composition per particle.
+inline constexpr double kMotPerParticleL1 = 1076.0;   // 2689 ns
+inline constexpr double kMotPerParticleL2 = 125.0;    // +313 ns
+inline constexpr double kMotFixed = 3560.0;
+inline constexpr double kMotFixedParallel = 100.0;
+inline constexpr double kMotContention = 1.062;
+inline constexpr double kMotMemParallelism = 10.0;
+
+/// Resampling: systematic wheel walk + 16..32 B particle copy.
+inline constexpr double kResPerParticleL1 = 64.4;     // 161 ns
+inline constexpr double kResPerParticleL2 = 158.0;    // +395 ns
+inline constexpr double kResFixed = 3890.0;
+inline constexpr double kResFixedParallel = 372.0;
+inline constexpr double kResContention = 4.15;        // L1-bank bound copy
+inline constexpr double kResMemParallelism = 20.0;
+
+/// Pose computation: weighted sums reduction.
+inline constexpr double kPosePerParticleL1 = 241.6;   // 604 ns
+inline constexpr double kPosePerParticleL2 = 69.0;    // +173 ns
+inline constexpr double kPoseFixed = 3740.0;
+inline constexpr double kPoseFixedParallel = 50.0;
+inline constexpr double kPoseContention = 1.139;
+inline constexpr double kPoseMemParallelism = 11.5;
+
+/// Sensor preprocessing + transfer per update (Section IV-D: ≈ 40 µs).
+inline constexpr double kUpdateOverheadCycles = 16000.0;
+
+}  // namespace tofmcl::platform::calibration

@@ -1,0 +1,58 @@
+#include "platform/gap9_power.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace tofmcl::platform {
+
+namespace {
+// Fit of P = V² (L0 + C f) to the published 400/200 MHz points:
+//   0.64 (L0 + 400 C) = 61 mW,  0.49 (L0 + 200 C) = 38 mW
+// → C = 0.0888 mW/(V² MHz), L0 = 59.8 mW/V². The 12 MHz anchor voltage
+// then follows from 13 mW = V² (L0 + 12 C) → V ≈ 0.46.
+constexpr double kLeakageMwPerV2 = 59.8;
+constexpr double kDynamicMwPerV2Mhz = 0.0888;
+}  // namespace
+
+Gap9PowerModel::Gap9PowerModel()
+    : anchors_{{12.0, 0.46}, {200.0, 0.70}, {400.0, 0.80}},
+      leakage_mw_per_v2_(kLeakageMwPerV2),
+      dynamic_mw_per_v2_mhz_(kDynamicMwPerV2Mhz) {}
+
+double Gap9PowerModel::voltage_at(double frequency_mhz) const {
+  TOFMCL_EXPECTS(frequency_mhz > 0.0, "frequency must be positive");
+  if (frequency_mhz <= anchors_.front().frequency_mhz) {
+    return anchors_.front().voltage;
+  }
+  if (frequency_mhz >= anchors_.back().frequency_mhz) {
+    return anchors_.back().voltage;
+  }
+  for (std::size_t i = 1; i < anchors_.size(); ++i) {
+    if (frequency_mhz <= anchors_[i].frequency_mhz) {
+      const DvfsPoint& lo = anchors_[i - 1];
+      const DvfsPoint& hi = anchors_[i];
+      const double alpha = (frequency_mhz - lo.frequency_mhz) /
+                           (hi.frequency_mhz - lo.frequency_mhz);
+      return lo.voltage + alpha * (hi.voltage - lo.voltage);
+    }
+  }
+  return anchors_.back().voltage;
+}
+
+double Gap9PowerModel::active_power_mw(double frequency_mhz) const {
+  const double v = voltage_at(frequency_mhz);
+  return v * v * (leakage_mw_per_v2_ + dynamic_mw_per_v2_mhz_ * frequency_mhz);
+}
+
+double Gap9PowerModel::update_energy_uj(const Gap9TimingModel& timing,
+                                        std::size_t particles,
+                                        std::size_t cores,
+                                        Placement placement,
+                                        double frequency_mhz) const {
+  const double t_ms =
+      timing.update_ns(particles, cores, placement, frequency_mhz) * 1e-6;
+  return active_power_mw(frequency_mhz) * t_ms;  // mW · ms = µJ
+}
+
+}  // namespace tofmcl::platform

@@ -1,0 +1,42 @@
+#pragma once
+/// \file gap9_spec.hpp
+/// \brief Architectural constants of the GAP9 SoC (paper Section III-B).
+///
+/// GAP9 is a RISC-V PULP-family SoC: a fabric controller plus a compute
+/// cluster of 9 cores (1 orchestrator + 8 workers), 128 kB of shared L1,
+/// 1.5 MB of interleaved L2 and 2 MB of flash, with adjustable frequency
+/// and voltage domains up to 400 MHz.
+
+#include <cstddef>
+
+namespace tofmcl::platform {
+
+struct Gap9Spec {
+  std::size_t worker_cores = 8;       ///< Cluster workers (9th orchestrates).
+  std::size_t l1_bytes = 128 * 1024;  ///< Shared cluster L1.
+  std::size_t l2_bytes = 1536 * 1024; ///< Interleaved L2.
+  std::size_t flash_bytes = 2 * 1024 * 1024;
+  double max_frequency_mhz = 400.0;
+  /// Real-time budget: the ToF sensor delivers 8×8 frames at 15 Hz, so a
+  /// full update must finish within 1/15 s (paper Section IV-E uses 67 ms).
+  double realtime_budget_ms = 66.7;
+};
+
+/// Which memory level holds the particle buffers. The paper stores up to
+/// 1024 particles (fp32, double-buffered: 32 kB) in L1 and moves larger
+/// sets to L2 (footnote of Tables I/II).
+enum class Placement {
+  kL1,
+  kL2,
+};
+
+/// Placement the paper uses for a given particle-buffer size.
+constexpr Placement placement_for(std::size_t particle_buffer_bytes,
+                                  const Gap9Spec& spec = {}) {
+  // Leave headroom in L1 for the working set of the runtime (stacks,
+  // beam table, LUT): particles get at most half of L1.
+  return particle_buffer_bytes <= spec.l1_bytes / 2 ? Placement::kL1
+                                                    : Placement::kL2;
+}
+
+}  // namespace tofmcl::platform

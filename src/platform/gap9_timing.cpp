@@ -1,0 +1,128 @@
+#include "platform/gap9_timing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "platform/gap9_calibration.hpp"
+
+namespace tofmcl::platform {
+
+const PhaseCosts& Gap9TimingModel::costs(Phase p) const {
+  switch (p) {
+    case Phase::kObservation:
+      return observation;
+    case Phase::kMotion:
+      return motion;
+    case Phase::kResampling:
+      return resampling;
+    case Phase::kPoseComputation:
+      return pose;
+  }
+  throw PreconditionError("unknown phase");
+}
+
+double Gap9TimingModel::phase_cycles(Phase p, std::size_t particles,
+                                     std::size_t cores,
+                                     Placement placement) const {
+  TOFMCL_EXPECTS(particles > 0, "need at least one particle");
+  TOFMCL_EXPECTS(cores >= 1 && cores <= spec.worker_cores,
+                 "core count outside the cluster");
+  const PhaseCosts& c = costs(p);
+  const double n = static_cast<double>(particles);
+  const double k = static_cast<double>(cores);
+
+  double fixed = c.fixed;
+  double per_particle = c.per_particle_l1;
+  if (cores > 1) {
+    fixed += c.fixed_parallel;
+    // Contention interpolates from none (1 core) to the calibrated value
+    // (full cluster) with the number of active cores.
+    const double contention =
+        1.0 + (c.contention - 1.0) * (k - 1.0) /
+                  (static_cast<double>(spec.worker_cores) - 1.0);
+    per_particle = c.per_particle_l1 * contention / k;
+  }
+  if (placement == Placement::kL2) {
+    const double mem_par = cores > 1 ? c.mem_parallelism : 1.0;
+    per_particle += c.per_particle_l2 / mem_par;
+  }
+  return fixed + n * per_particle;
+}
+
+double Gap9TimingModel::phase_ns(Phase p, std::size_t particles,
+                                 std::size_t cores, Placement placement,
+                                 double frequency_mhz) const {
+  TOFMCL_EXPECTS(frequency_mhz > 0.0, "frequency must be positive");
+  const double cycles = phase_cycles(p, particles, cores, placement);
+  return cycles * 1000.0 / frequency_mhz;
+}
+
+double Gap9TimingModel::phase_ns_per_particle(Phase p, std::size_t particles,
+                                              std::size_t cores,
+                                              Placement placement,
+                                              double frequency_mhz) const {
+  return phase_ns(p, particles, cores, placement, frequency_mhz) /
+         static_cast<double>(particles);
+}
+
+double Gap9TimingModel::update_ns(std::size_t particles, std::size_t cores,
+                                  Placement placement,
+                                  double frequency_mhz) const {
+  double cycles = update_overhead_cycles;
+  for (const Phase p : kAllPhases) {
+    cycles += phase_cycles(p, particles, cores, placement);
+  }
+  return cycles * 1000.0 / frequency_mhz;
+}
+
+double Gap9TimingModel::phase_speedup(Phase p, std::size_t particles,
+                                      std::size_t cores,
+                                      Placement placement) const {
+  return phase_cycles(p, particles, 1, placement) /
+         phase_cycles(p, particles, cores, placement);
+}
+
+double Gap9TimingModel::total_speedup(std::size_t particles,
+                                      std::size_t cores,
+                                      Placement placement) const {
+  double serial = update_overhead_cycles;
+  double parallel = update_overhead_cycles;
+  for (const Phase p : kAllPhases) {
+    serial += phase_cycles(p, particles, 1, placement);
+    parallel += phase_cycles(p, particles, cores, placement);
+  }
+  return serial / parallel;
+}
+
+double Gap9TimingModel::min_realtime_frequency_mhz(
+    std::size_t particles, std::size_t cores, Placement placement) const {
+  double cycles = update_overhead_cycles;
+  for (const Phase p : kAllPhases) {
+    cycles += phase_cycles(p, particles, cores, placement);
+  }
+  // cycles / f ≤ budget  →  f ≥ cycles / budget.
+  const double budget_us = spec.realtime_budget_ms * 1000.0;
+  return cycles / budget_us;  // cycles per µs == MHz
+}
+
+Gap9TimingModel calibrated_timing_model() {
+  namespace cal = calibration;
+  Gap9TimingModel m;
+  m.observation = {cal::kObsPerParticleL1,  cal::kObsPerParticleL2,
+                   cal::kObsFixed,          cal::kObsFixedParallel,
+                   cal::kObsContention,     cal::kObsMemParallelism};
+  m.motion = {cal::kMotPerParticleL1,  cal::kMotPerParticleL2,
+              cal::kMotFixed,          cal::kMotFixedParallel,
+              cal::kMotContention,     cal::kMotMemParallelism};
+  m.resampling = {cal::kResPerParticleL1,  cal::kResPerParticleL2,
+                  cal::kResFixed,          cal::kResFixedParallel,
+                  cal::kResContention,     cal::kResMemParallelism};
+  m.pose = {cal::kPosePerParticleL1,  cal::kPosePerParticleL2,
+            cal::kPoseFixed,          cal::kPoseFixedParallel,
+            cal::kPoseContention,     cal::kPoseMemParallelism};
+  m.update_overhead_cycles = cal::kUpdateOverheadCycles;
+  return m;
+}
+
+}  // namespace tofmcl::platform

@@ -1,0 +1,110 @@
+#pragma once
+/// \file gap9_timing.hpp
+/// \brief Analytical execution-time model of MCL on GAP9 (Table I, Fig 10).
+///
+/// We do not have the physical SoC, so per the substitution policy the
+/// timing substrate is an analytical machine model:
+///
+///     t_phase(N, cores, placement) =
+///         F0 + F8·[cores > 1]                      (phase-fixed cycles)
+///       + N · ( A·contention(cores)/cores          (compute per particle)
+///             + B·[L2] / mem_parallel(cores) )     (L2 access per particle)
+///
+/// where A is the single-core per-particle cycle cost in L1, B the extra
+/// cycles per particle when the buffers live in L2, `contention` models
+/// L1-bank conflicts of the 8-worker cluster, and `mem_parallel` the
+/// latency hiding that multiple cores get on L2 (the reason resampling
+/// speeds up *more* at large N in the paper's Table I). A fixed ~40 µs
+/// per update covers sensor preprocessing and transfers, "independent of
+/// the numbers of particles and multicore usage" (Section IV-D).
+///
+/// The constants are calibrated against the published Table I; the
+/// derivation of every number is spelled out in gap9_calibration.hpp, and
+/// tests assert the model reproduces the paper within tolerance.
+
+#include <cstddef>
+
+#include "platform/gap9_spec.hpp"
+
+namespace tofmcl::platform {
+
+/// The four MCL phases of the paper's Table I.
+enum class Phase {
+  kObservation,
+  kMotion,
+  kResampling,
+  kPoseComputation,
+};
+constexpr const char* to_string(Phase p) {
+  switch (p) {
+    case Phase::kObservation:
+      return "observation";
+    case Phase::kMotion:
+      return "motion";
+    case Phase::kResampling:
+      return "resampling";
+    case Phase::kPoseComputation:
+      return "pose_comp";
+  }
+  return "unknown";
+}
+inline constexpr Phase kAllPhases[] = {Phase::kObservation, Phase::kMotion,
+                                       Phase::kResampling,
+                                       Phase::kPoseComputation};
+
+/// Calibrated cost parameters of one phase (cycles).
+struct PhaseCosts {
+  double per_particle_l1 = 0.0;   ///< A: cycles/particle, L1, one core.
+  double per_particle_l2 = 0.0;   ///< B: extra cycles/particle in L2.
+  double fixed = 0.0;             ///< F0: per-invocation cycles.
+  double fixed_parallel = 0.0;    ///< F8: extra fork–join cycles (8 cores).
+  double contention = 1.0;        ///< Multi-core compute inefficiency.
+  double mem_parallelism = 1.0;   ///< L2 latency hiding across 8 cores.
+};
+
+/// Full model: per-phase parameters + the per-update constant.
+struct Gap9TimingModel {
+  Gap9Spec spec;
+  PhaseCosts observation;
+  PhaseCosts motion;
+  PhaseCosts resampling;
+  PhaseCosts pose;
+  /// Sensor preprocessing/transfer cycles added once per update cycle
+  /// (≈ 40 µs at 400 MHz).
+  double update_overhead_cycles = 16000.0;
+
+  const PhaseCosts& costs(Phase p) const;
+
+  /// Cycles for one phase over N particles on `cores` cluster cores.
+  double phase_cycles(Phase p, std::size_t particles, std::size_t cores,
+                      Placement placement) const;
+  /// Nanoseconds at the given cluster frequency.
+  double phase_ns(Phase p, std::size_t particles, std::size_t cores,
+                  Placement placement, double frequency_mhz) const;
+  /// Per-particle nanoseconds — the unit Table I reports.
+  double phase_ns_per_particle(Phase p, std::size_t particles,
+                               std::size_t cores, Placement placement,
+                               double frequency_mhz) const;
+
+  /// One full update cycle (all four phases + fixed overhead), ns.
+  double update_ns(std::size_t particles, std::size_t cores,
+                   Placement placement, double frequency_mhz) const;
+
+  /// Speedup of `cores` vs one core for a phase (Fig 10).
+  double phase_speedup(Phase p, std::size_t particles, std::size_t cores,
+                       Placement placement) const;
+  /// Total-update speedup including the constant overhead (Fig 10, total).
+  double total_speedup(std::size_t particles, std::size_t cores,
+                       Placement placement) const;
+
+  /// Smallest cluster frequency (MHz) that still meets the real-time
+  /// budget for the given workload (Table II's low-power operating point).
+  double min_realtime_frequency_mhz(std::size_t particles, std::size_t cores,
+                                    Placement placement) const;
+};
+
+/// The model calibrated against the paper's Table I (16 beams, 8×8 mode,
+/// two sensors). See gap9_calibration.hpp.
+Gap9TimingModel calibrated_timing_model();
+
+}  // namespace tofmcl::platform

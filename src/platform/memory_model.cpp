@@ -1,0 +1,57 @@
+#include "platform/memory_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tofmcl::platform {
+
+MemoryFootprint footprint_of(core::Precision precision) {
+  switch (precision) {
+    case core::Precision::kFp32:
+      // 1 B occupancy + 4 B float EDT; 16 B particle × double buffer.
+      return {5, 32};
+    case core::Precision::kFp32Qm:
+      // Quantized map with fp32 particles.
+      return {2, 32};
+    case core::Precision::kFp16Qm:
+      // Quantized map with fp16 particles (8 B × double buffer).
+      return {2, 16};
+  }
+  throw ConfigError("unknown precision variant");
+}
+
+std::size_t map_bytes(double area_m2, double resolution_m,
+                      core::Precision precision) {
+  TOFMCL_EXPECTS(area_m2 >= 0.0, "area must be non-negative");
+  TOFMCL_EXPECTS(resolution_m > 0.0, "resolution must be positive");
+  const double cells = area_m2 / (resolution_m * resolution_m);
+  return static_cast<std::size_t>(std::ceil(cells)) *
+         footprint_of(precision).bytes_per_cell;
+}
+
+std::size_t particle_bytes(std::size_t particles,
+                           core::Precision precision) {
+  return particles * footprint_of(precision).bytes_per_particle;
+}
+
+std::size_t max_particles(double area_m2, double resolution_m,
+                          core::Precision precision,
+                          std::size_t budget_bytes) {
+  const std::size_t map = map_bytes(area_m2, resolution_m, precision);
+  if (map >= budget_bytes) return 0;
+  return (budget_bytes - map) / footprint_of(precision).bytes_per_particle;
+}
+
+double max_map_area_m2(std::size_t particles, double resolution_m,
+                       core::Precision precision,
+                       std::size_t budget_bytes) {
+  const std::size_t pbytes = particle_bytes(particles, precision);
+  if (pbytes >= budget_bytes) return 0.0;
+  const double cells =
+      static_cast<double>(budget_bytes - pbytes) /
+      static_cast<double>(footprint_of(precision).bytes_per_cell);
+  return cells * resolution_m * resolution_m;
+}
+
+}  // namespace tofmcl::platform

@@ -1,0 +1,43 @@
+#pragma once
+/// \file memory_model.hpp
+/// \brief Particle-count vs map-size capacity model (paper Fig 9).
+///
+/// The two memory consumers of on-board MCL are the map — occupancy byte
+/// plus distance value per cell — and the double-buffered particle array.
+/// Fig 9 plots, for L1 (128 kB) and L2 (1.5 MB), how many particles fit
+/// alongside a map of a given area at 0.05 m resolution, for the
+/// full-precision (5 B/cell, 32 B/particle) and quantized/FP16 (2 B/cell,
+/// 16 B/particle) representations.
+
+#include <cstddef>
+
+#include "core/mcl_config.hpp"
+#include "platform/gap9_spec.hpp"
+
+namespace tofmcl::platform {
+
+/// Per-cell and per-particle footprint of a precision variant.
+struct MemoryFootprint {
+  std::size_t bytes_per_cell = 0;
+  std::size_t bytes_per_particle = 0;  ///< Including the double buffer.
+};
+MemoryFootprint footprint_of(core::Precision precision);
+
+/// Map bytes for an area (m²) at a resolution (m/cell).
+std::size_t map_bytes(double area_m2, double resolution_m,
+                      core::Precision precision);
+
+/// Particle bytes (double-buffered) for a count.
+std::size_t particle_bytes(std::size_t particles, core::Precision precision);
+
+/// Largest particle count that fits a memory of `budget_bytes` together
+/// with a map of `area_m2`; 0 when the map alone exceeds the budget.
+std::size_t max_particles(double area_m2, double resolution_m,
+                          core::Precision precision,
+                          std::size_t budget_bytes);
+
+/// Largest map area (m²) that fits together with a particle count.
+double max_map_area_m2(std::size_t particles, double resolution_m,
+                       core::Precision precision, std::size_t budget_bytes);
+
+}  // namespace tofmcl::platform

@@ -1,0 +1,62 @@
+#include "sensor/grid_raycaster.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace tofmcl::sensor {
+
+std::optional<GridRayHit> raycast_grid(const map::OccupancyGrid& grid,
+                                       Vec2 origin, double angle,
+                                       double max_range) {
+  TOFMCL_EXPECTS(max_range >= 0.0, "max_range must be non-negative");
+  map::CellIndex cell = grid.world_to_cell(origin);
+  if (!grid.in_bounds(cell)) return std::nullopt;
+  if (grid.is_occupied(cell)) return GridRayHit{0.0, cell};
+
+  const double res = grid.resolution();
+  const Vec2 dir{std::cos(angle), std::sin(angle)};
+
+  // Parametric distance t (meters along the ray) at which the ray crosses
+  // the next vertical/horizontal cell boundary, and the per-cell step.
+  const int step_x = dir.x > 0.0 ? 1 : (dir.x < 0.0 ? -1 : 0);
+  const int step_y = dir.y > 0.0 ? 1 : (dir.y < 0.0 ? -1 : 0);
+
+  const double inf = std::numeric_limits<double>::infinity();
+  double t_max_x = inf;
+  double t_max_y = inf;
+  double t_delta_x = inf;
+  double t_delta_y = inf;
+
+  if (step_x != 0) {
+    const double next_x =
+        grid.origin().x +
+        (cell.x + (step_x > 0 ? 1 : 0)) * res;  // next vertical boundary
+    t_max_x = (next_x - origin.x) / dir.x;
+    t_delta_x = res / std::abs(dir.x);
+  }
+  if (step_y != 0) {
+    const double next_y =
+        grid.origin().y + (cell.y + (step_y > 0 ? 1 : 0)) * res;
+    t_max_y = (next_y - origin.y) / dir.y;
+    t_delta_y = res / std::abs(dir.y);
+  }
+
+  double t = 0.0;
+  while (t <= max_range) {
+    if (t_max_x < t_max_y) {
+      t = t_max_x;
+      t_max_x += t_delta_x;
+      cell.x += step_x;
+    } else {
+      t = t_max_y;
+      t_max_y += t_delta_y;
+      cell.y += step_y;
+    }
+    if (t > max_range) return std::nullopt;
+    if (!grid.in_bounds(cell)) return std::nullopt;
+    if (grid.is_occupied(cell)) return GridRayHit{t, cell};
+  }
+  return std::nullopt;
+}
+
+}  // namespace tofmcl::sensor

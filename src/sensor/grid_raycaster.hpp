@@ -1,0 +1,33 @@
+#pragma once
+/// \file grid_raycaster.hpp
+/// \brief DDA raycasting through an occupancy grid.
+///
+/// Amanatides–Woo voxel traversal: visits every cell the ray passes
+/// through in order, returning the entry distance into the first Occupied
+/// cell. Used to cross-validate the analytic world raycaster, by the
+/// sensor-view example, and by the ray-cast observation-model ablation
+/// (the paper itself uses the cheaper beam-endpoint model; comparing both
+/// is one of our extension benches).
+
+#include <optional>
+
+#include "common/geometry.hpp"
+#include "map/occupancy_grid.hpp"
+
+namespace tofmcl::sensor {
+
+struct GridRayHit {
+  double distance = 0.0;  ///< Meters from origin to entering the hit cell.
+  map::CellIndex cell{};  ///< The occupied cell that stopped the ray.
+};
+
+/// Casts a ray from `origin` at `angle` (world frame) and returns the
+/// first Occupied cell within `max_range`. Unknown and Free cells are
+/// transparent. A ray starting inside an occupied cell hits at distance 0.
+/// Rays that exit the grid, or originate outside it, miss (walls only
+/// exist inside the map).
+std::optional<GridRayHit> raycast_grid(const map::OccupancyGrid& grid,
+                                       Vec2 origin, double angle,
+                                       double max_range);
+
+}  // namespace tofmcl::sensor

@@ -1,0 +1,121 @@
+#include "sensor/tof_sensor.hpp"
+
+#include <cmath>
+
+namespace tofmcl::sensor {
+
+double zone_azimuth(const TofSensorConfig& config, int col) {
+  const int side = zones_per_side(config.mode);
+  TOFMCL_EXPECTS(col >= 0 && col < side, "column out of range");
+  const double zone_width = config.fov_rad / side;
+  // Column 0 is leftmost (positive azimuth); beams sit at zone centers.
+  return config.fov_rad / 2.0 - (col + 0.5) * zone_width;
+}
+
+double zone_elevation(const TofSensorConfig& config, int row) {
+  const int side = zones_per_side(config.mode);
+  TOFMCL_EXPECTS(row >= 0 && row < side, "row out of range");
+  const double zone_height = config.fov_rad / side;
+  // Row 0 is lowest (negative elevation).
+  return -config.fov_rad / 2.0 + (row + 0.5) * zone_height;
+}
+
+MultizoneToF::MultizoneToF(TofSensorConfig config) : config_(config) {
+  TOFMCL_EXPECTS(config_.fov_rad > 0.0 && config_.fov_rad < kPi,
+                 "FoV must be in (0, pi)");
+  TOFMCL_EXPECTS(config_.max_range_m > config_.min_range_m,
+                 "max range must exceed min range");
+  TOFMCL_EXPECTS(config_.wall_height_m > 0.0, "walls must have height");
+  TOFMCL_EXPECTS(
+      config_.flight_height_m >= 0.0 &&
+          config_.flight_height_m <= config_.wall_height_m,
+      "flight height must be within the wall height for the 2D world model");
+}
+
+TofFrame MultizoneToF::measure(const map::World& world,
+                               const Pose2& drone_pose, double timestamp_s,
+                               Rng& rng) const {
+  return measure_impl(world, drone_pose, timestamp_s, &rng);
+}
+
+TofFrame MultizoneToF::measure_ideal(const map::World& world,
+                                     const Pose2& drone_pose,
+                                     double timestamp_s) const {
+  return measure_impl(world, drone_pose, timestamp_s, nullptr);
+}
+
+TofFrame MultizoneToF::measure_impl(const map::World& world,
+                                    const Pose2& drone_pose,
+                                    double timestamp_s, Rng* rng) const {
+  const int side = zones_per_side(config_.mode);
+  TofFrame frame;
+  frame.timestamp_s = timestamp_s;
+  frame.sensor_id = config_.sensor_id;
+  frame.mode = config_.mode;
+  frame.zones.assign(static_cast<std::size_t>(side * side), {});
+
+  const Pose2 sensor_pose = drone_pose.compose(config_.mount);
+
+  for (int col = 0; col < side; ++col) {
+    const double azimuth = zone_azimuth(config_, col);
+    const double world_angle = sensor_pose.yaw + azimuth;
+    const auto hit = world.raycast(sensor_pose.position, world_angle,
+                                   config_.max_range_m);
+
+    // Grazing angle between the beam and the wall surface (π/2 =
+    // perpendicular incidence). Shallow incidence scatters the return.
+    double grazing = kPi / 2.0;
+    if (hit) {
+      const map::Segment& s = world.segments()[hit->segment];
+      const Vec2 wall_dir = (s.b - s.a).normalized();
+      const Vec2 ray_dir{std::cos(world_angle), std::sin(world_angle)};
+      grazing = std::acos(std::min(1.0, std::abs(ray_dir.dot(wall_dir))));
+    }
+
+    for (int row = 0; row < side; ++row) {
+      ZoneMeasurement& zone =
+          frame.zones[static_cast<std::size_t>(row * side + col)];
+      if (!hit) {
+        zone.status = ZoneStatus::kOutOfRange;
+        continue;
+      }
+      const double elevation = zone_elevation(config_, row);
+      // Beam height where it meets the wall; over- or under-shooting the
+      // wall panel ranges out (the beam continues into open space).
+      const double height_at_wall =
+          config_.flight_height_m + hit->distance * std::tan(elevation);
+      if (height_at_wall < 0.0 || height_at_wall > config_.wall_height_m) {
+        zone.status = ZoneStatus::kOutOfRange;
+        continue;
+      }
+      double slant = hit->distance / std::cos(elevation);
+      if (slant > config_.max_range_m) {
+        zone.status = ZoneStatus::kOutOfRange;
+        continue;
+      }
+      if (rng != nullptr) {
+        if (rng->bernoulli(config_.p_interference)) {
+          zone.status = ZoneStatus::kInterference;
+          continue;
+        }
+        if (grazing < config_.grazing_limit_rad &&
+            rng->bernoulli(config_.p_grazing_dropout)) {
+          zone.status = ZoneStatus::kInterference;
+          continue;
+        }
+        const double sigma =
+            config_.sigma_base_m + config_.sigma_proportional * slant;
+        slant = std::max(0.0, slant + rng->gaussian(0.0, sigma));
+      }
+      if (slant < config_.min_range_m) {
+        zone.status = ZoneStatus::kInterference;
+        continue;
+      }
+      zone.distance_m = static_cast<float>(slant);
+      zone.status = ZoneStatus::kValid;
+    }
+  }
+  return frame;
+}
+
+}  // namespace tofmcl::sensor

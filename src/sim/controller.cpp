@@ -1,0 +1,60 @@
+#include "sim/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tofmcl::sim {
+
+WaypointController::WaypointController(std::vector<Waypoint> path,
+                                       const ControllerConfig& config)
+    : path_(std::move(path)), config_(config) {
+  TOFMCL_EXPECTS(!path_.empty(), "path must contain at least one waypoint");
+  for (const Waypoint& w : path_) {
+    TOFMCL_EXPECTS(w.speed > 0.0, "waypoint speed must be positive");
+  }
+}
+
+VelocityCommand WaypointController::command(const Pose2& pose) {
+  // Advance over any waypoints already reached (handles dense lists).
+  while (index_ < path_.size() &&
+         (path_[index_].position - pose.position).norm() <
+             config_.waypoint_tolerance_m) {
+    ++index_;
+  }
+  if (index_ >= path_.size()) return {};
+
+  const Waypoint& target = path_[index_];
+  const Vec2 to_target = target.position - pose.position;
+  const double distance = to_target.norm();
+
+  // Speed schedule: cruise, then ramp down linearly inside the approach
+  // radius (but keep a floor so the drone always reaches the waypoint).
+  double speed = target.speed;
+  if (distance < config_.approach_distance_m) {
+    speed = std::max(0.1, target.speed * distance /
+                              config_.approach_distance_m);
+  }
+  const Vec2 v_world = to_target * (speed / std::max(distance, 1e-9));
+
+  VelocityCommand cmd;
+  cmd.velocity_body = v_world.rotated(-pose.yaw);
+
+  switch (config_.yaw_mode) {
+    case YawMode::kFaceTravel: {
+      const double desired = std::atan2(v_world.y, v_world.x);
+      cmd.yaw_rate = config_.yaw_gain * angle_diff(desired, pose.yaw);
+      break;
+    }
+    case YawMode::kHold:
+      cmd.yaw_rate = 0.0;
+      break;
+    case YawMode::kSweep:
+      cmd.yaw_rate = config_.sweep_rate_rad_s;
+      break;
+  }
+  return cmd;
+}
+
+}  // namespace tofmcl::sim

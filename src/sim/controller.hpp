@@ -1,0 +1,56 @@
+#pragma once
+/// \file controller.hpp
+/// \brief Waypoint-following velocity controller for flight sequences.
+///
+/// Generates the velocity commands that fly the drone through a list of
+/// waypoints, mimicking the scripted evaluation flights of the paper. Yaw
+/// can track the direction of travel (the natural mode for forward/rear
+/// sensing) or sweep continuously (stress-tests the observation gating on
+/// dθ).
+
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "sim/drone.hpp"
+
+namespace tofmcl::sim {
+
+struct Waypoint {
+  Vec2 position{};
+  double speed = 0.4;  ///< Cruise speed toward this waypoint (m/s).
+};
+
+enum class YawMode {
+  kFaceTravel,  ///< Turn to face the direction of motion.
+  kHold,        ///< Keep the initial yaw.
+  kSweep,       ///< Rotate continuously at sweep_rate.
+};
+
+struct ControllerConfig {
+  double waypoint_tolerance_m = 0.15;  ///< Advance when this close.
+  double approach_distance_m = 0.35;   ///< Start decelerating here.
+  double yaw_gain = 2.0;               ///< P-gain on yaw error (1/s).
+  YawMode yaw_mode = YawMode::kFaceTravel;
+  double sweep_rate_rad_s = 0.6;
+};
+
+/// P-controller on position with speed scheduling and yaw shaping.
+class WaypointController {
+ public:
+  WaypointController(std::vector<Waypoint> path, const ControllerConfig& config);
+
+  /// Command for the current true pose; advances the active waypoint when
+  /// reached. Returns a zero command once the path is complete.
+  VelocityCommand command(const Pose2& pose);
+
+  bool done() const { return index_ >= path_.size(); }
+  std::size_t active_waypoint() const { return index_; }
+  const std::vector<Waypoint>& path() const { return path_; }
+
+ private:
+  std::vector<Waypoint> path_;
+  ControllerConfig config_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace tofmcl::sim

@@ -1,0 +1,138 @@
+#include "sim/dataset.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/angles.hpp"
+#include "common/error.hpp"
+
+namespace tofmcl::sim {
+
+Pose2 interpolate_pose(const std::vector<StateSample>& track, double t) {
+  TOFMCL_EXPECTS(!track.empty(), "cannot interpolate an empty track");
+  if (t <= track.front().t) return track.front().pose;
+  if (t >= track.back().t) return track.back().pose;
+  const auto it = std::lower_bound(
+      track.begin(), track.end(), t,
+      [](const StateSample& s, double time) { return s.t < time; });
+  const StateSample& hi = *it;
+  const StateSample& lo = *(it - 1);
+  const double span = hi.t - lo.t;
+  const double alpha = span > 0.0 ? (t - lo.t) / span : 0.0;
+  Pose2 out;
+  out.position = lo.pose.position +
+                 (hi.pose.position - lo.pose.position) * alpha;
+  out.yaw = slerp_angle(lo.pose.yaw, hi.pose.yaw, alpha);
+  return out;
+}
+
+namespace {
+
+constexpr char kMagic[] = "tofmcl-seq";
+
+void write_track(std::ostream& os, const char* tag,
+                 const std::vector<StateSample>& track) {
+  os << tag << ' ' << track.size() << '\n';
+  for (const StateSample& s : track) {
+    os << s.t << ' ' << s.pose.x() << ' ' << s.pose.y() << ' ' << s.pose.yaw
+       << '\n';
+  }
+}
+
+std::vector<StateSample> read_track(std::istream& is, const char* tag) {
+  std::string word;
+  std::size_t n = 0;
+  is >> word >> n;
+  if (!is || word != tag) {
+    throw IoError(std::string("expected track tag '") + tag + "'");
+  }
+  std::vector<StateSample> track(n);
+  for (StateSample& s : track) {
+    is >> s.t >> s.pose.position.x >> s.pose.position.y >> s.pose.yaw;
+  }
+  if (!is) throw IoError(std::string("truncated track '") + tag + "'");
+  return track;
+}
+
+}  // namespace
+
+void save_sequence(const Sequence& seq, std::ostream& os) {
+  // 17 significant digits round-trip IEEE doubles exactly.
+  const auto old_precision = os.precision(17);
+  os << kMagic << " 1\n";
+  os << "name " << (seq.name.empty() ? "unnamed" : seq.name) << '\n';
+  os << "duration " << seq.duration_s << '\n';
+  os << "min_clearance " << seq.min_clearance_m << '\n';
+  write_track(os, "odometry", seq.odometry);
+  write_track(os, "truth", seq.ground_truth);
+  os << "frames " << seq.frames.size() << '\n';
+  for (const sensor::TofFrame& f : seq.frames) {
+    os << f.timestamp_s << ' ' << f.sensor_id << ' '
+       << (f.mode == sensor::ZoneMode::k8x8 ? 8 : 4);
+    for (const sensor::ZoneMeasurement& z : f.zones) {
+      os << ' ' << z.distance_m << ' ' << static_cast<int>(z.status);
+    }
+    os << '\n';
+  }
+  os.precision(old_precision);
+  if (!os) throw IoError("failed writing sequence");
+}
+
+void save_sequence(const Sequence& seq, const std::filesystem::path& path) {
+  if (path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+  }
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open sequence file: " + path.string());
+  save_sequence(seq, out);
+}
+
+Sequence load_sequence(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  if (!is || magic != kMagic) throw IoError("not a tofmcl-seq file");
+  if (version != 1) throw IoError("unsupported sequence version");
+
+  Sequence seq;
+  std::string word;
+  is >> word >> seq.name;
+  if (!is || word != "name") throw IoError("malformed sequence name");
+  is >> word >> seq.duration_s;
+  if (!is || word != "duration") throw IoError("malformed duration");
+  is >> word >> seq.min_clearance_m;
+  if (!is || word != "min_clearance") throw IoError("malformed clearance");
+
+  seq.odometry = read_track(is, "odometry");
+  seq.ground_truth = read_track(is, "truth");
+
+  std::size_t n_frames = 0;
+  is >> word >> n_frames;
+  if (!is || word != "frames") throw IoError("malformed frame count");
+  seq.frames.resize(n_frames);
+  for (sensor::TofFrame& f : seq.frames) {
+    int side = 0;
+    is >> f.timestamp_s >> f.sensor_id >> side;
+    if (side != 8 && side != 4) throw IoError("invalid zone matrix side");
+    f.mode = side == 8 ? sensor::ZoneMode::k8x8 : sensor::ZoneMode::k4x4;
+    f.zones.resize(static_cast<std::size_t>(side * side));
+    for (sensor::ZoneMeasurement& z : f.zones) {
+      int status = 0;
+      is >> z.distance_m >> status;
+      if (status < 0 || status > 2) throw IoError("invalid zone status");
+      z.status = static_cast<sensor::ZoneStatus>(status);
+    }
+  }
+  if (!is) throw IoError("truncated sequence frames");
+  return seq;
+}
+
+Sequence load_sequence(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open sequence file: " + path.string());
+  return load_sequence(in);
+}
+
+}  // namespace tofmcl::sim

@@ -1,0 +1,55 @@
+#pragma once
+/// \file dataset.hpp
+/// \brief Recorded flight sequences: odometry, ground truth, ToF frames.
+///
+/// The paper evaluates on a recorded dataset of 6 flights containing "ToF
+/// measurements from two sensors, internal state estimation based on the
+/// FlowDeck's optical flow and ground truth pose" (Section IV-A). This is
+/// the exact same triple, with the simulator truth standing in for the
+/// Vicon track. Sequences can be saved/loaded so experiments replay
+/// identical data across configurations.
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "sensor/tof_sensor.hpp"
+
+namespace tofmcl::sim {
+
+/// A timestamped pose sample.
+struct StateSample {
+  double t = 0.0;
+  Pose2 pose{};
+};
+
+/// One recorded flight.
+struct Sequence {
+  std::string name;
+  /// On-board state estimate (EKF output, drifts). Note: lives in the
+  /// odometry frame, NOT the map frame — consumers must use relative
+  /// motion only, exactly like the real system.
+  std::vector<StateSample> odometry;
+  /// Vicon-equivalent ground truth in the map frame, sampled at the same
+  /// instants as `odometry`.
+  std::vector<StateSample> ground_truth;
+  /// Multizone ToF frames from all sensors, time-ordered.
+  std::vector<sensor::TofFrame> frames;
+  double duration_s = 0.0;
+  /// Smallest wall clearance of the true trajectory (collision check).
+  double min_clearance_m = 0.0;
+};
+
+/// Linear/angular interpolation of a timestamped pose track at time t
+/// (clamped to the track's span). The track must be non-empty and sorted.
+Pose2 interpolate_pose(const std::vector<StateSample>& track, double t);
+
+/// Text serialization. Throws IoError on failure.
+void save_sequence(const Sequence& seq, std::ostream& os);
+void save_sequence(const Sequence& seq, const std::filesystem::path& path);
+Sequence load_sequence(std::istream& is);
+Sequence load_sequence(const std::filesystem::path& path);
+
+}  // namespace tofmcl::sim

@@ -1,0 +1,40 @@
+#include "sim/drone.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tofmcl::sim {
+
+Drone::Drone(const DroneConfig& config, const Pose2& start)
+    : config_(config), pose_(start) {
+  TOFMCL_EXPECTS(config_.velocity_tau_s > 0.0 && config_.yaw_rate_tau_s > 0.0,
+                 "response time constants must be positive");
+}
+
+void Drone::step(const VelocityCommand& command, double dt) {
+  TOFMCL_EXPECTS(dt > 0.0, "time step must be positive");
+
+  // Saturate the command like the firmware's limiter would.
+  Vec2 v_cmd = command.velocity_body;
+  const double speed = v_cmd.norm();
+  if (speed > config_.max_speed_m_s) {
+    v_cmd = v_cmd * (config_.max_speed_m_s / speed);
+  }
+  const double w_cmd =
+      std::clamp(command.yaw_rate, -config_.max_yaw_rate, config_.max_yaw_rate);
+
+  // First-order tracking (exact discretization of ẋ = (u - x)/τ).
+  const double av = 1.0 - std::exp(-dt / config_.velocity_tau_s);
+  const double aw = 1.0 - std::exp(-dt / config_.yaw_rate_tau_s);
+  velocity_body_ += (v_cmd - velocity_body_) * av;
+  yaw_rate_ += (w_cmd - yaw_rate_) * aw;
+
+  // Integrate the pose with the (new) true velocities.
+  const Vec2 v_world = velocity_body_.rotated(pose_.yaw);
+  pose_.position += v_world * dt;
+  pose_.yaw = wrap_pi(pose_.yaw + yaw_rate_ * dt);
+}
+
+}  // namespace tofmcl::sim

@@ -1,0 +1,54 @@
+#pragma once
+/// \file drone.hpp
+/// \brief Planar kinematic model of the nano-UAV.
+///
+/// The Crazyflie's inner control loops track velocity commands well below
+/// the dynamics that matter for localization, so the simulator models the
+/// platform as a first-order velocity-tracking system at fixed flight
+/// height: commanded body velocity and yaw rate are approached with small
+/// time constants, and the pose integrates the true velocities. This is
+/// the "truth" side of the simulation; noisy proprioception on top of it
+/// lives in estimation/.
+
+#include "common/angles.hpp"
+#include "common/geometry.hpp"
+
+namespace tofmcl::sim {
+
+/// Velocity command in the body frame.
+struct VelocityCommand {
+  Vec2 velocity_body{};     ///< m/s
+  double yaw_rate = 0.0;    ///< rad/s
+};
+
+struct DroneConfig {
+  double velocity_tau_s = 0.25;   ///< First-order velocity response.
+  double yaw_rate_tau_s = 0.12;   ///< First-order yaw-rate response.
+  double max_speed_m_s = 1.0;     ///< Command saturation.
+  double max_yaw_rate = 2.5;      ///< rad/s saturation.
+  double flight_height_m = 0.5;
+};
+
+/// Ground-truth drone state propagated by the simulator.
+class Drone {
+ public:
+  explicit Drone(const DroneConfig& config = {}, const Pose2& start = {});
+
+  /// Advance the true state by dt toward the commanded velocities.
+  void step(const VelocityCommand& command, double dt);
+
+  const Pose2& pose() const { return pose_; }
+  /// True body-frame velocity (what the flow sensor observes).
+  Vec2 velocity_body() const { return velocity_body_; }
+  /// True yaw rate (what the gyro observes).
+  double yaw_rate() const { return yaw_rate_; }
+  double flight_height() const { return config_.flight_height_m; }
+
+ private:
+  DroneConfig config_;
+  Pose2 pose_;
+  Vec2 velocity_body_{};
+  double yaw_rate_ = 0.0;
+};
+
+}  // namespace tofmcl::sim

@@ -1,0 +1,176 @@
+#include "sim/maze.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "map/rasterize.hpp"
+
+namespace tofmcl::sim {
+
+map::World drone_maze() {
+  map::World w;
+  // Outer boundary.
+  w.add_rectangle({{0.0, 0.0}, {4.0, 4.0}});
+  // Interior walls (see tests for the connectivity they are meant to give):
+  // three long verticals with passages at alternating ends plus stubs that
+  // create dead ends and one loop. The layout is deliberately asymmetric
+  // under 180° rotation (F has no rotated counterpart, D/E images are
+  // disjoint) so that global localization is resolvable — like the paper's
+  // physical maze, which is structured but not self-similar.
+  w.add_segment({1.0, 0.0}, {1.0, 2.8});    // A: left corridor wall
+  w.add_segment({2.0, 1.2}, {2.0, 4.0});    // B: center wall, gap at bottom
+  w.add_segment({3.0, 0.0}, {3.0, 2.6});    // C: right wall, gap at top
+  w.add_segment({1.0, 2.8}, {1.5, 2.8});    // D: stub off A
+  w.add_segment({2.0, 1.2}, {2.45, 1.2});   // E: stub off B
+  w.add_segment({2.4, 2.0}, {3.0, 2.0});    // F: mid-height shelf on C
+
+  // Small wall-mounted pillars (like the boxes in the paper's physical
+  // maze, Fig 5): they give every corridor a range fingerprint inside the
+  // 1.5 m EDT truncation radius, which is what makes global localization
+  // resolvable in otherwise featureless straights. All pillars keep
+  // ≥ 0.35 m clearance to the standard flight paths.
+  const auto pillar = [&w](double x0, double y0) {
+    w.add_rectangle({{x0, y0}, {x0 + 0.15, y0 + 0.15}});
+  };
+  pillar(0.00, 1.55);  // left corridor, on the outer west wall
+  pillar(1.20, 3.85);  // top corridor, on the north wall
+  pillar(1.85, 0.00);  // bottom corridor, south wall (left of B's gap)
+  pillar(3.85, 1.90);  // right corridor, east wall
+  pillar(3.85, 0.75);  // right corridor, second feature (long straight)
+  pillar(3.30, 3.85);  // top-right chamber, north wall — its 180° image
+                       // falls in the (featureless) bottom-left corridor,
+                       // so it disambiguates the flip hypothesis
+  return w;
+}
+
+map::World artificial_maze(Rng& rng, double size) {
+  TOFMCL_EXPECTS(size > 1.0, "maze size must exceed 1 m");
+  map::World w;
+  w.add_rectangle({{0.0, 0.0}, {size, size}});
+
+  constexpr double kDoorWidth = 0.6;
+  constexpr double kMinChamber = 1.0;
+
+  // Recursive division: split a chamber with a wall leaving one door.
+  struct Chamber {
+    Aabb box;
+  };
+  std::vector<Chamber> stack{{Aabb{{0.0, 0.0}, {size, size}}}};
+  while (!stack.empty()) {
+    const Chamber chamber = stack.back();
+    stack.pop_back();
+    const double width = chamber.box.width();
+    const double height = chamber.box.height();
+    if (std::max(width, height) < 2.0 * kMinChamber) continue;
+
+    // Split across the longer dimension.
+    const bool vertical_wall = width >= height;
+    const double span = vertical_wall ? width : height;
+    const double split_offset =
+        rng.uniform(kMinChamber, span - kMinChamber);
+    const double door_span = vertical_wall ? height : width;
+    const double door_pos = rng.uniform(0.0, door_span - kDoorWidth);
+
+    if (vertical_wall) {
+      const double x = chamber.box.min.x + split_offset;
+      const double y0 = chamber.box.min.y;
+      const double y1 = chamber.box.max.y;
+      // Wall with a door gap [door_pos, door_pos + kDoorWidth].
+      if (door_pos > 1e-9) {
+        w.add_segment({x, y0}, {x, y0 + door_pos});
+      }
+      if (y0 + door_pos + kDoorWidth < y1 - 1e-9) {
+        w.add_segment({x, y0 + door_pos + kDoorWidth}, {x, y1});
+      }
+      stack.push_back({Aabb{chamber.box.min, {x, y1}}});
+      stack.push_back({Aabb{{x, y0}, chamber.box.max}});
+    } else {
+      const double y = chamber.box.min.y + split_offset;
+      const double x0 = chamber.box.min.x;
+      const double x1 = chamber.box.max.x;
+      if (door_pos > 1e-9) {
+        w.add_segment({x0, y}, {x0 + door_pos, y});
+      }
+      if (x0 + door_pos + kDoorWidth < x1 - 1e-9) {
+        w.add_segment({x0 + door_pos + kDoorWidth, y}, {x1, y});
+      }
+      stack.push_back({Aabb{chamber.box.min, {x1, y}}});
+      stack.push_back({Aabb{{x0, y}, chamber.box.max}});
+    }
+  }
+  return w;
+}
+
+EvaluationEnvironment evaluation_environment(std::uint64_t seed) {
+  EvaluationEnvironment env;
+
+  // Region 0: the real drone maze at the origin.
+  env.world.add_world(drone_maze(), {0.0, 0.0});
+  env.maze_regions.push_back({{0.0, 0.0}, {4.0, 4.0}});
+
+  // Three artificial mazes, each 2.25 m × 2.25 m (5.0625 m²), to the right
+  // of the drone maze with 0.5 m of unmapped space between regions:
+  // 16 + 3·5.0625 = 31.19 m² ≈ the paper's 31.2 m².
+  constexpr double kSide = 2.25;
+  const Vec2 offsets[] = {{4.5, 0.0}, {7.25, 0.0}, {4.5, 2.75}};
+  Rng rng(seed);
+  for (const Vec2& offset : offsets) {
+    Rng maze_rng = rng.fork();
+    env.world.add_world(artificial_maze(maze_rng, kSide), offset);
+    env.maze_regions.push_back(
+        {offset, offset + Vec2{kSide, kSide}});
+  }
+
+  for (const Aabb& region : env.maze_regions) {
+    env.structured_area_m2 += region.area();
+  }
+  return env;
+}
+
+map::OccupancyGrid rasterize_environment(const EvaluationEnvironment& env,
+                                         double resolution,
+                                         double map_error_sigma,
+                                         std::uint64_t map_seed) {
+  TOFMCL_EXPECTS(resolution > 0.0, "resolution must be positive");
+  constexpr double kMargin = 0.1;
+  constexpr double kWallThickness = 0.05;
+
+  map::World source = env.world;
+  if (map_error_sigma > 0.0) {
+    Rng rng(map_seed);
+    source = env.world.perturbed(rng, map_error_sigma);
+  }
+
+  // Grid extents come from the *unperturbed* environment so the map frame
+  // (and grid size) is independent of the measurement-error draw.
+  const Aabb bounds = env.world.bounds();
+  const Vec2 origin{bounds.min.x - kMargin, bounds.min.y - kMargin};
+  const int width = static_cast<int>(
+      std::ceil((bounds.width() + 2.0 * kMargin) / resolution));
+  const int height = static_cast<int>(
+      std::ceil((bounds.height() + 2.0 * kMargin) / resolution));
+  map::OccupancyGrid grid(width, height, resolution, origin,
+                          map::CellState::kUnknown);
+  for (const map::Segment& s : source.segments()) {
+    map::rasterize_segment(grid, s, kWallThickness);
+  }
+
+  // Mark the interiors of the structured regions as Free (leaving walls).
+  for (int y = 0; y < grid.height(); ++y) {
+    for (int x = 0; x < grid.width(); ++x) {
+      const map::CellIndex c{x, y};
+      if (grid.at(c) != map::CellState::kUnknown) continue;
+      const Vec2 center = grid.cell_center(c);
+      for (const Aabb& region : env.maze_regions) {
+        if (region.contains(center)) {
+          grid.set(c, map::CellState::kFree);
+          break;
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+}  // namespace tofmcl::sim

@@ -1,0 +1,65 @@
+#pragma once
+/// \file maze.hpp
+/// \brief Maze environments reproducing the paper's evaluation arena.
+///
+/// The paper flies in a physical 16 m² "drone maze" tracked by a Vicon
+/// system and extends the localization map with three artificial mazes to
+/// 31.2 m² of structured area (Section IV-A), which is what makes global
+/// localization ambiguous (Fig 1: the filter initially locks onto the
+/// wrong maze). This module provides:
+///   * a fixed, hand-crafted 4 m × 4 m drone maze (corridors ≥ 0.4 m),
+///   * procedurally generated artificial mazes (recursive division),
+///   * the composite evaluation environment combining both.
+
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/rng.hpp"
+#include "map/occupancy_grid.hpp"
+#include "map/world.hpp"
+
+namespace tofmcl::sim {
+
+/// The physical maze the drone actually flies in: a 4×4 m box with
+/// interior walls forming corridors, dead ends and one loop. Walls are
+/// anchored at (0, 0)–(4, 4).
+map::World drone_maze();
+
+/// Structured area of drone_maze() in m² (16, matching the paper's Vicon
+/// coverage).
+constexpr double drone_maze_area() { return 16.0; }
+
+/// A random maze over a size×size box via recursive division: walls with
+/// door gaps wide enough for the drone, recursion stops at chambers around
+/// 1 m. Deterministic for a given rng state.
+map::World artificial_maze(Rng& rng, double size);
+
+/// The composite evaluation environment.
+struct EvaluationEnvironment {
+  /// All wall segments: drone maze + artificial mazes (for rasterizing the
+  /// localization map and for ray casting in the wrong-maze hypotheses).
+  map::World world;
+  /// Bounding boxes of each structured maze area; index 0 is the real
+  /// drone maze where all flights happen.
+  std::vector<Aabb> maze_regions;
+  /// Sum of maze region areas (≈ 31.2 m²).
+  double structured_area_m2 = 0.0;
+};
+
+/// Builds the drone maze plus three artificial mazes laid out on a grid,
+/// totalling ≈ 31.2 m² of structured area like the paper's extended map.
+/// `seed` controls the artificial mazes.
+EvaluationEnvironment evaluation_environment(std::uint64_t seed = 2023);
+
+/// Rasterizes an evaluation environment into the localization grid:
+/// interiors of maze regions are Free, walls Occupied, everything between
+/// the mazes Unknown (the filter only ever hypothesizes inside structured
+/// space, matching the paper's 31.2 m² accounting).
+/// `map_error_sigma` jitters wall endpoints before rasterizing to model the
+/// hand-measured map (0 = perfect map); the world itself is not modified.
+map::OccupancyGrid rasterize_environment(const EvaluationEnvironment& env,
+                                         double resolution = 0.05,
+                                         double map_error_sigma = 0.01,
+                                         std::uint64_t map_seed = 7);
+
+}  // namespace tofmcl::sim

@@ -1,0 +1,61 @@
+#pragma once
+/// \file sequence_generator.hpp
+/// \brief End-to-end flight simulation producing evaluation sequences.
+///
+/// Ties the substrates together: the kinematic drone follows a waypoint
+/// plan through the maze while the gyro/flow models feed the EKF (the
+/// drifting odometry) and the two multizone ToF sensors measure the true
+/// world. The result is a Sequence — the same data triple the paper
+/// recorded on the real platform.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "estimation/ekf.hpp"
+#include "estimation/sensor_models.hpp"
+#include "map/world.hpp"
+#include "sensor/tof_sensor.hpp"
+#include "sim/controller.hpp"
+#include "sim/dataset.hpp"
+#include "sim/drone.hpp"
+
+namespace tofmcl::sim {
+
+/// All knobs of the data-generation pipeline.
+struct SequenceGeneratorConfig {
+  double sim_dt_s = 0.01;        ///< Physics/EKF tick (100 Hz).
+  double odom_rate_hz = 50.0;    ///< Recorded state-estimate rate.
+  double tof_rate_hz = 15.0;     ///< Per-sensor frame rate (8×8 limit).
+  double timeout_s = 180.0;      ///< Abort limit for a plan.
+  DroneConfig drone;
+  estimation::GyroConfig gyro;
+  estimation::FlowConfig flow;
+  estimation::EkfConfig ekf;
+  sensor::TofSensorConfig front_tof;  ///< Forward-facing sensor.
+  sensor::TofSensorConfig rear_tof;   ///< Backward-facing sensor.
+};
+
+/// Config with the paper's deck layout: front sensor at +2 cm yaw 0,
+/// rear sensor at −2 cm yaw π, both 8×8 at 15 Hz.
+SequenceGeneratorConfig default_generator_config();
+
+/// A named flight through the maze.
+struct FlightPlan {
+  std::string name;
+  Pose2 start{};
+  std::vector<Waypoint> path;
+  ControllerConfig controller;
+};
+
+/// The six scripted evaluation flights through drone_maze(), mirroring the
+/// paper's six recorded sequences: loops, tours in both directions, a fast
+/// shuttle and a slow yaw-sweeping scan.
+std::vector<FlightPlan> standard_flight_plans();
+
+/// Simulate one flight. `rng` drives every noise source; pass generators
+/// seeded per (sequence, repetition) for reproducible experiments.
+Sequence generate_sequence(const map::World& world, const FlightPlan& plan,
+                           const SequenceGeneratorConfig& config, Rng& rng);
+
+}  // namespace tofmcl::sim

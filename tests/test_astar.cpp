@@ -1,0 +1,180 @@
+// Tests for the A* planner: optimality on simple grids, clearance
+// handling, corner-cutting prevention, line-of-sight simplification and
+// planning through the drone maze.
+
+#include "plan/astar.hpp"
+
+#include <gtest/gtest.h>
+
+#include "map/rasterize.hpp"
+#include "sim/maze.hpp"
+
+namespace tofmcl::plan {
+namespace {
+
+struct Env {
+  map::OccupancyGrid grid;
+  map::DistanceMap distance;
+};
+
+Env make_env(const map::World& world, double resolution = 0.05) {
+  map::RasterizeOptions opt;
+  opt.resolution = resolution;
+  map::OccupancyGrid grid = map::rasterize(world, opt);
+  map::DistanceMap distance(grid, 1.5);
+  return {std::move(grid), std::move(distance)};
+}
+
+Env open_room() {
+  map::World w;
+  w.add_rectangle({{0.0, 0.0}, {4.0, 3.0}});
+  return make_env(w);
+}
+
+TEST(AStar, StraightLineInOpenSpace) {
+  const Env env = open_room();
+  const auto path =
+      plan_path(env.grid, env.distance, {0.5, 1.5}, {3.5, 1.5});
+  ASSERT_TRUE(path.has_value());
+  // Length close to the Euclidean distance.
+  EXPECT_NEAR(path->length_m, 3.0, 0.15);
+  // Simplified to (nearly) a single segment.
+  EXPECT_LE(path->waypoints.size(), 3u);
+  EXPECT_NEAR(path->waypoints.front().x, 0.5, 0.05);
+  EXPECT_NEAR(path->waypoints.back().x, 3.5, 0.05);
+}
+
+TEST(AStar, GoesAroundWall) {
+  map::World w;
+  w.add_rectangle({{0.0, 0.0}, {4.0, 3.0}});
+  w.add_segment({2.0, 0.0}, {2.0, 2.2});  // wall with gap at the top
+  const Env env = make_env(w);
+  const auto path =
+      plan_path(env.grid, env.distance, {0.5, 0.5}, {3.5, 0.5});
+  ASSERT_TRUE(path.has_value());
+  // Must detour over the wall top: length well above the straight 3 m.
+  EXPECT_GT(path->length_m, 5.0);
+  // Every path cell keeps the minimum clearance.
+  for (const Vec2& p : path->cells) {
+    EXPECT_GE(env.distance.distance_at(p), 0.15f);
+  }
+}
+
+TEST(AStar, UnreachableGoal) {
+  map::World w;
+  w.add_rectangle({{0.0, 0.0}, {4.0, 3.0}});
+  w.add_segment({2.0, 0.0}, {2.0, 3.0});  // full divider
+  const Env env = make_env(w);
+  EXPECT_FALSE(
+      plan_path(env.grid, env.distance, {0.5, 1.5}, {3.5, 1.5}).has_value());
+}
+
+TEST(AStar, EndpointInWallFails) {
+  const Env env = open_room();
+  EXPECT_FALSE(
+      plan_path(env.grid, env.distance, {0.0, 0.0}, {3.5, 1.5}).has_value());
+  EXPECT_FALSE(
+      plan_path(env.grid, env.distance, {0.5, 1.5}, {4.0, 3.0}).has_value());
+  // Entirely off-map.
+  EXPECT_FALSE(
+      plan_path(env.grid, env.distance, {-5.0, 0.0}, {3.5, 1.5}).has_value());
+}
+
+TEST(AStar, EndpointTooCloseToWallFails) {
+  const Env env = open_room();
+  PlannerConfig cfg;
+  cfg.min_clearance_m = 0.3;
+  EXPECT_FALSE(plan_path(env.grid, env.distance, {0.15, 1.5}, {3.5, 1.5},
+                         cfg)
+                   .has_value());
+}
+
+TEST(AStar, ClearancePenaltyPrefersCorridorCenter) {
+  // A wide corridor: the cheapest path should run near the middle even
+  // though hugging a wall is geometrically identical in length.
+  map::World w;
+  w.add_rectangle({{0.0, 0.0}, {6.0, 1.2}});
+  const Env env = make_env(w);
+  const auto path =
+      plan_path(env.grid, env.distance, {0.4, 0.6}, {5.6, 0.6});
+  ASSERT_TRUE(path.has_value());
+  for (const Vec2& p : path->cells) {
+    EXPECT_NEAR(p.y, 0.6, 0.25);  // stays around the centerline
+  }
+}
+
+TEST(AStar, NoCornerCutting) {
+  // An L-shaped pinch: the diagonal across the inside corner must not be
+  // taken through the wall's corner cell.
+  map::World w;
+  w.add_rectangle({{0.0, 0.0}, {3.0, 3.0}});
+  w.add_rectangle({{1.4, 0.0}, {1.6, 1.6}});  // thick wall stub
+  const Env env = make_env(w);
+  PlannerConfig cfg;
+  cfg.min_clearance_m = 0.1;
+  const auto path =
+      plan_path(env.grid, env.distance, {0.5, 0.5}, {2.5, 0.5}, cfg);
+  ASSERT_TRUE(path.has_value());
+  for (std::size_t i = 1; i < path->cells.size(); ++i) {
+    // Consecutive cells must stay traversable along the connecting
+    // segment (coarse line-of-sight per step).
+    EXPECT_TRUE(line_of_sight(env.grid, env.distance, path->cells[i - 1],
+                              path->cells[i], cfg))
+        << "step " << i;
+  }
+}
+
+TEST(AStar, WaypointsAreLineOfSightConnected) {
+  const map::World maze = sim::drone_maze();
+  const Env env = make_env(maze);
+  PlannerConfig cfg;
+  cfg.min_clearance_m = 0.12;
+  const auto path =
+      plan_path(env.grid, env.distance, {0.5, 0.6}, {3.5, 0.6}, cfg);
+  ASSERT_TRUE(path.has_value());
+  ASSERT_GE(path->waypoints.size(), 2u);
+  for (std::size_t i = 1; i < path->waypoints.size(); ++i) {
+    EXPECT_TRUE(line_of_sight(env.grid, env.distance,
+                              path->waypoints[i - 1], path->waypoints[i],
+                              cfg));
+  }
+  // Far fewer waypoints than raw cells.
+  EXPECT_LT(path->waypoints.size(), path->cells.size() / 4);
+}
+
+TEST(AStar, MazePathRespectsTopology) {
+  // From the left corridor to the right corridor the only route passes
+  // the D-gap, the bottom-middle corridor and the E-gap (or the top) —
+  // at minimum the path must be much longer than the bird's-eye line.
+  const map::World maze = sim::drone_maze();
+  const Env env = make_env(maze);
+  PlannerConfig cfg;
+  cfg.min_clearance_m = 0.12;
+  const auto path =
+      plan_path(env.grid, env.distance, {0.5, 0.6}, {3.5, 0.6}, cfg);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_GT(path->length_m, 7.0);  // direct line would be 3 m
+  // The route must pass through the top-left transition (the only exit
+  // from the left corridor), i.e. some cell with y > 2.8 and x < 2.
+  bool crossed_top = false;
+  for (const Vec2& p : path->cells) {
+    if (p.y > 2.8 && p.x < 2.0) crossed_top = true;
+  }
+  EXPECT_TRUE(crossed_top);
+}
+
+TEST(LineOfSight, BlockedAndClear) {
+  map::World w;
+  w.add_rectangle({{0.0, 0.0}, {4.0, 3.0}});
+  w.add_segment({2.0, 0.5}, {2.0, 2.5});
+  const Env env = make_env(w);
+  PlannerConfig cfg;
+  cfg.min_clearance_m = 0.1;
+  EXPECT_FALSE(
+      line_of_sight(env.grid, env.distance, {1.0, 1.5}, {3.0, 1.5}, cfg));
+  EXPECT_TRUE(
+      line_of_sight(env.grid, env.distance, {1.0, 1.5}, {1.8, 1.5}, cfg));
+}
+
+}  // namespace
+}  // namespace tofmcl::plan

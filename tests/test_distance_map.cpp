@@ -1,0 +1,103 @@
+// Tests for the full-precision and 8-bit quantized distance maps — the
+// paper's fp32 vs *qm map representations (Section III-C2, Fig 9).
+
+#include "map/distance_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace tofmcl::map {
+namespace {
+
+OccupancyGrid wall_grid() {
+  // 2 m × 1 m map at 0.05 m with a wall along x = 0 (cells x==0 occupied).
+  OccupancyGrid g(40, 20, 0.05, {0.0, 0.0}, CellState::kFree);
+  for (int y = 0; y < 20; ++y) g.set({0, y}, CellState::kOccupied);
+  return g;
+}
+
+TEST(DistanceMap, GeometryMirrorsGrid) {
+  const auto g = wall_grid();
+  const DistanceMap dm(g, 1.5);
+  EXPECT_EQ(dm.width(), g.width());
+  EXPECT_EQ(dm.height(), g.height());
+  EXPECT_DOUBLE_EQ(dm.resolution(), g.resolution());
+  EXPECT_FLOAT_EQ(dm.rmax(), 1.5f);
+  EXPECT_EQ(dm.values().size(), g.cell_count());
+}
+
+TEST(DistanceMap, DistanceGrowsWithX) {
+  const DistanceMap dm(wall_grid(), 1.5);
+  // Cell centers on row y=10: distance to wall cell centers = x cells.
+  EXPECT_FLOAT_EQ(dm.distance_at({0.025, 0.525}), 0.0f);
+  EXPECT_FLOAT_EQ(dm.distance_at({0.525, 0.525}), 0.5f);
+  EXPECT_FLOAT_EQ(dm.distance_at({1.025, 0.525}), 1.0f);
+  // 39 cells away = 1.95 m → truncated at 1.5.
+  EXPECT_FLOAT_EQ(dm.distance_at({1.975, 0.525}), 1.5f);
+}
+
+TEST(DistanceMap, OutOfMapReturnsRmax) {
+  const DistanceMap dm(wall_grid(), 1.5);
+  EXPECT_FLOAT_EQ(dm.distance_at({-0.5, 0.5}), 1.5f);
+  EXPECT_FLOAT_EQ(dm.distance_at({0.5, 100.0}), 1.5f);
+}
+
+TEST(DistanceMap, BytesPerCellMatchesPaper) {
+  EXPECT_EQ(DistanceMap::bytes_per_cell(), 5u);
+  EXPECT_EQ(QuantizedDistanceMap::bytes_per_cell(), 2u);
+}
+
+TEST(QuantizedDistanceMap, CodesSpanFullRange) {
+  const QuantizedDistanceMap qm(wall_grid(), 1.5);
+  EXPECT_EQ(qm.code_at({0.025, 0.525}), 0);
+  // Truncated region maps to code 255.
+  EXPECT_EQ(qm.code_at({1.975, 0.525}), 255);
+  EXPECT_FLOAT_EQ(qm.step(), 1.5f / 255.0f);
+}
+
+TEST(QuantizedDistanceMap, OutOfMapReturnsMaxCode) {
+  const QuantizedDistanceMap qm(wall_grid(), 1.5);
+  EXPECT_EQ(qm.code_at({-1.0, 0.0}), 255);
+  EXPECT_FLOAT_EQ(qm.distance_at({-1.0, 0.0}), 1.5f);
+}
+
+TEST(QuantizedDistanceMap, QuantizationErrorBounded) {
+  // |dequantized - float field| ≤ step/2 everywhere — the property behind
+  // the paper's "no significant accuracy loss" claim.
+  Rng rng(77);
+  OccupancyGrid g(30, 30, 0.05, {0.0, 0.0}, CellState::kFree);
+  for (int i = 0; i < 25; ++i) {
+    g.set({static_cast<int>(rng.uniform_index(30)),
+           static_cast<int>(rng.uniform_index(30))},
+          CellState::kOccupied);
+  }
+  const double rmax = 1.5;
+  const DistanceMap dm(g, rmax);
+  const QuantizedDistanceMap qm(g, rmax);
+  const double half_step = rmax / 255.0 / 2.0 + 1e-6;
+  for (int y = 0; y < 30; ++y) {
+    for (int x = 0; x < 30; ++x) {
+      const Vec2 p = g.cell_center({x, y});
+      EXPECT_NEAR(qm.distance_at(p), dm.distance_at(p), half_step)
+          << "at cell (" << x << "," << y << ")";
+    }
+  }
+}
+
+TEST(QuantizedDistanceMap, MonotoneInDistance) {
+  // Quantization must preserve ordering: farther cells never get a
+  // smaller code.
+  const QuantizedDistanceMap qm(wall_grid(), 1.5);
+  std::uint8_t prev = 0;
+  for (int x = 0; x < 40; ++x) {
+    const std::uint8_t code = qm.code_at({0.025 + 0.05 * x, 0.525});
+    EXPECT_GE(code, prev);
+    prev = code;
+  }
+}
+
+}  // namespace
+}  // namespace tofmcl::map

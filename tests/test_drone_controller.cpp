@@ -1,0 +1,148 @@
+// Tests for the kinematic drone model and the waypoint controller.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/angles.hpp"
+#include "common/error.hpp"
+#include "sim/controller.hpp"
+#include "sim/drone.hpp"
+
+namespace tofmcl::sim {
+namespace {
+
+TEST(Drone, StartsAtRest) {
+  const Drone d(DroneConfig{}, Pose2{1.0, 2.0, 0.3});
+  EXPECT_DOUBLE_EQ(d.pose().x(), 1.0);
+  EXPECT_DOUBLE_EQ(d.velocity_body().norm(), 0.0);
+  EXPECT_DOUBLE_EQ(d.yaw_rate(), 0.0);
+}
+
+TEST(Drone, ConvergesToCommandedVelocity) {
+  Drone d;
+  const VelocityCommand cmd{{0.4, 0.1}, 0.0};
+  for (int i = 0; i < 300; ++i) d.step(cmd, 0.01);  // 3 s ≫ τ
+  EXPECT_NEAR(d.velocity_body().x, 0.4, 0.01);
+  EXPECT_NEAR(d.velocity_body().y, 0.1, 0.01);
+}
+
+TEST(Drone, FirstOrderResponseTimeConstant) {
+  DroneConfig cfg;
+  cfg.velocity_tau_s = 0.25;
+  Drone d(cfg);
+  const VelocityCommand cmd{{1.0, 0.0}, 0.0};
+  for (int i = 0; i < 25; ++i) d.step(cmd, 0.01);  // exactly τ
+  EXPECT_NEAR(d.velocity_body().x, 1.0 - std::exp(-1.0), 0.01);
+}
+
+TEST(Drone, SaturatesSpeedAndYawRate) {
+  DroneConfig cfg;
+  cfg.max_speed_m_s = 0.5;
+  cfg.max_yaw_rate = 1.0;
+  Drone d(cfg);
+  const VelocityCommand cmd{{10.0, 0.0}, 10.0};
+  for (int i = 0; i < 500; ++i) d.step(cmd, 0.01);
+  EXPECT_LE(d.velocity_body().norm(), 0.5 + 1e-6);
+  EXPECT_LE(d.yaw_rate(), 1.0 + 1e-6);
+}
+
+TEST(Drone, IntegratesStraightPath) {
+  Drone d;
+  const VelocityCommand cmd{{0.5, 0.0}, 0.0};
+  for (int i = 0; i < 1000; ++i) d.step(cmd, 0.01);  // 10 s
+  // Position ≈ v·(t − τ) for a first-order start.
+  EXPECT_NEAR(d.pose().x(), 0.5 * (10.0 - 0.25), 0.05);
+  EXPECT_NEAR(d.pose().y(), 0.0, 1e-9);
+}
+
+TEST(Drone, YawWrapsProperly) {
+  Drone d;
+  const VelocityCommand cmd{{0.0, 0.0}, 2.0};
+  for (int i = 0; i < 1000; ++i) d.step(cmd, 0.01);  // ~20 rad of rotation
+  EXPECT_LE(std::abs(d.pose().yaw), kPi + 1e-9);
+}
+
+TEST(Drone, RejectsBadDt) {
+  Drone d;
+  EXPECT_THROW(d.step({}, 0.0), PreconditionError);
+}
+
+TEST(Controller, RejectsEmptyPathAndBadSpeed) {
+  EXPECT_THROW(WaypointController({}, ControllerConfig{}), PreconditionError);
+  EXPECT_THROW(WaypointController({{{1.0, 0.0}, 0.0}}, ControllerConfig{}),
+               PreconditionError);
+}
+
+TEST(Controller, CommandsTowardWaypoint) {
+  WaypointController ctl({{{2.0, 0.0}, 0.4}}, ControllerConfig{});
+  const VelocityCommand cmd = ctl.command(Pose2{0.0, 0.0, 0.0});
+  EXPECT_NEAR(cmd.velocity_body.x, 0.4, 1e-9);
+  EXPECT_NEAR(cmd.velocity_body.y, 0.0, 1e-9);
+}
+
+TEST(Controller, BodyFrameConversion) {
+  // Target due +x in the world, drone facing +y: command must point right
+  // (−y in body frame... target is at body-frame angle −90°).
+  WaypointController ctl({{{2.0, 0.0}, 0.4}}, ControllerConfig{});
+  const VelocityCommand cmd = ctl.command(Pose2{0.0, 0.0, kPi / 2.0});
+  EXPECT_NEAR(cmd.velocity_body.x, 0.0, 1e-9);
+  EXPECT_NEAR(cmd.velocity_body.y, -0.4, 1e-9);
+}
+
+TEST(Controller, DeceleratesOnApproach) {
+  ControllerConfig cfg;
+  cfg.approach_distance_m = 0.5;
+  WaypointController ctl({{{0.3, 0.0}, 0.4}}, cfg);
+  const VelocityCommand cmd = ctl.command(Pose2{0.0, 0.0, 0.0});
+  EXPECT_LT(cmd.velocity_body.norm(), 0.4);
+  EXPECT_GE(cmd.velocity_body.norm(), 0.1 - 1e-9);
+}
+
+TEST(Controller, AdvancesThroughWaypoints) {
+  WaypointController ctl({{{1.0, 0.0}, 0.4}, {{1.0, 1.0}, 0.4}},
+                         ControllerConfig{});
+  EXPECT_EQ(ctl.active_waypoint(), 0u);
+  ctl.command(Pose2{0.95, 0.0, 0.0});  // within tolerance of wp 0
+  EXPECT_EQ(ctl.active_waypoint(), 1u);
+  EXPECT_FALSE(ctl.done());
+  ctl.command(Pose2{1.0, 0.95, 0.0});
+  EXPECT_TRUE(ctl.done());
+  EXPECT_DOUBLE_EQ(ctl.command(Pose2{}).velocity_body.norm(), 0.0);
+}
+
+TEST(Controller, FaceTravelYawCommand) {
+  ControllerConfig cfg;
+  cfg.yaw_gain = 2.0;
+  WaypointController ctl({{{0.0, 2.0}, 0.4}}, cfg);
+  // Target straight +y, drone facing +x: desired yaw π/2, error π/2.
+  const VelocityCommand cmd = ctl.command(Pose2{0.0, 0.0, 0.0});
+  EXPECT_NEAR(cmd.yaw_rate, 2.0 * kPi / 2.0, 1e-9);
+}
+
+TEST(Controller, SweepMode) {
+  ControllerConfig cfg;
+  cfg.yaw_mode = YawMode::kSweep;
+  cfg.sweep_rate_rad_s = 0.7;
+  WaypointController ctl({{{5.0, 0.0}, 0.4}}, cfg);
+  EXPECT_DOUBLE_EQ(ctl.command(Pose2{}).yaw_rate, 0.7);
+}
+
+TEST(ClosedLoop, DroneReachesWaypoints) {
+  Drone drone(DroneConfig{}, Pose2{0.0, 0.0, 0.0});
+  WaypointController ctl(
+      {{{1.5, 0.0}, 0.4}, {{1.5, 1.5}, 0.4}, {{0.0, 1.5}, 0.4}},
+      ControllerConfig{});
+  double t = 0.0;
+  while (!ctl.done() && t < 60.0) {
+    drone.step(ctl.command(drone.pose()), 0.01);
+    t += 0.01;
+  }
+  EXPECT_TRUE(ctl.done());
+  EXPECT_LT(t, 30.0);
+  EXPECT_NEAR(drone.pose().x(), 0.0, 0.3);
+  EXPECT_NEAR(drone.pose().y(), 1.5, 0.3);
+}
+
+}  // namespace
+}  // namespace tofmcl::sim

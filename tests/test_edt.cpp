@@ -1,0 +1,160 @@
+// Tests for the Felzenszwalb–Huttenlocher Euclidean distance transform,
+// including exactness against the O(n²) reference on randomized grids
+// (parameterized property sweep) and the truncation semantics the
+// observation model relies on.
+
+#include "map/edt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace tofmcl::map {
+namespace {
+
+OccupancyGrid empty_grid(int w, int h) {
+  return OccupancyGrid(w, h, 0.05, {0.0, 0.0}, CellState::kFree);
+}
+
+TEST(Dt1d, SingleSource) {
+  // f = [INF, INF, 0, INF]: d[i] = (i-2)².
+  std::vector<double> f{1e18, 1e18, 0.0, 1e18};
+  std::vector<double> d;
+  detail::dt_1d(f, d);
+  EXPECT_DOUBLE_EQ(d[0], 4.0);
+  EXPECT_DOUBLE_EQ(d[1], 1.0);
+  EXPECT_DOUBLE_EQ(d[2], 0.0);
+  EXPECT_DOUBLE_EQ(d[3], 1.0);
+}
+
+TEST(Dt1d, TwoSources) {
+  std::vector<double> f{0.0, 1e18, 1e18, 1e18, 0.0};
+  std::vector<double> d;
+  detail::dt_1d(f, d);
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+  EXPECT_DOUBLE_EQ(d[1], 1.0);
+  EXPECT_DOUBLE_EQ(d[2], 4.0);
+  EXPECT_DOUBLE_EQ(d[3], 1.0);
+  EXPECT_DOUBLE_EQ(d[4], 0.0);
+}
+
+TEST(Dt1d, NonZeroBaseValues) {
+  // Seeded costs act as parabola heights: d[i] = min_j (i-j)² + f[j].
+  std::vector<double> f{2.0, 1e18, 0.5};
+  std::vector<double> d;
+  detail::dt_1d(f, d);
+  EXPECT_DOUBLE_EQ(d[0], 2.0);  // min(0+2.0, 1+1e18, 4+0.5)
+  EXPECT_DOUBLE_EQ(d[1], 1.5);  // min(1+2.0, 0+1e18, 1+0.5)
+  EXPECT_DOUBLE_EQ(d[2], 0.5);
+}
+
+TEST(Dt1d, EmptyAndSingleton) {
+  std::vector<double> d;
+  detail::dt_1d({}, d);
+  EXPECT_TRUE(d.empty());
+  detail::dt_1d({7.0}, d);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_DOUBLE_EQ(d[0], 7.0);
+}
+
+TEST(Edt, SingleObstacleDistances) {
+  auto g = empty_grid(5, 5);
+  g.set({2, 2}, CellState::kOccupied);
+  const auto sq = edt_squared_cells(g);
+  const auto at = [&](int x, int y) {
+    return sq[static_cast<std::size_t>(y) * 5 + static_cast<std::size_t>(x)];
+  };
+  EXPECT_DOUBLE_EQ(at(2, 2), 0.0);
+  EXPECT_DOUBLE_EQ(at(3, 2), 1.0);
+  EXPECT_DOUBLE_EQ(at(2, 0), 4.0);
+  EXPECT_DOUBLE_EQ(at(0, 0), 8.0);
+  EXPECT_DOUBLE_EQ(at(4, 4), 8.0);
+}
+
+TEST(Edt, UnknownCellsAreNotSources) {
+  auto g = empty_grid(5, 1);
+  g.set({0, 0}, CellState::kUnknown);
+  g.set({4, 0}, CellState::kOccupied);
+  const auto sq = edt_squared_cells(g);
+  EXPECT_DOUBLE_EQ(sq[0], 16.0);  // unknown cell measures to the occupied one
+  EXPECT_DOUBLE_EQ(sq[3], 1.0);
+}
+
+TEST(Edt, NoObstaclesGivesFarSentinel) {
+  const auto g = empty_grid(8, 8);
+  const auto sq = edt_squared_cells(g);
+  for (const double v : sq) EXPECT_GE(v, 1e17);
+}
+
+TEST(Edt, MetersScalingAndTruncation) {
+  auto g = empty_grid(41, 1);  // 41 cells × 0.05 m
+  g.set({0, 0}, CellState::kOccupied);
+  const double rmax = 1.5;
+  const auto m = edt_meters(g, rmax);
+  EXPECT_FLOAT_EQ(m[0], 0.0f);
+  EXPECT_FLOAT_EQ(m[10], 0.5f);
+  EXPECT_FLOAT_EQ(m[30], 1.5f);
+  // Beyond 30 cells (1.5 m) everything is truncated at rmax.
+  EXPECT_FLOAT_EQ(m[31], 1.5f);
+  EXPECT_FLOAT_EQ(m[40], 1.5f);
+}
+
+TEST(Edt, MetersOnEmptyMapIsRmaxEverywhere) {
+  const auto g = empty_grid(6, 6);
+  const auto m = edt_meters(g, 1.5);
+  for (const float v : m) EXPECT_FLOAT_EQ(v, 1.5f);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: exactness vs brute force on randomized grids of varying
+// size and occupancy density.
+
+struct EdtCase {
+  int width;
+  int height;
+  double density;
+  std::uint64_t seed;
+};
+
+class EdtProperty : public ::testing::TestWithParam<EdtCase> {};
+
+TEST_P(EdtProperty, MatchesBruteForce) {
+  const EdtCase c = GetParam();
+  Rng rng(c.seed);
+  OccupancyGrid g(c.width, c.height, 0.05, {0.0, 0.0}, CellState::kFree);
+  for (int y = 0; y < c.height; ++y) {
+    for (int x = 0; x < c.width; ++x) {
+      if (rng.bernoulli(c.density)) g.set({x, y}, CellState::kOccupied);
+    }
+  }
+  const auto fast = edt_squared_cells(g);
+  const auto slow = edt_squared_cells_brute_force(g);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    if (slow[i] >= 1e17) {
+      EXPECT_GE(fast[i], 1e17) << "cell " << i;
+    } else {
+      EXPECT_DOUBLE_EQ(fast[i], slow[i]) << "cell " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGrids, EdtProperty,
+    ::testing::Values(EdtCase{1, 1, 0.5, 1}, EdtCase{16, 1, 0.2, 2},
+                      EdtCase{1, 16, 0.2, 3}, EdtCase{8, 8, 0.1, 4},
+                      EdtCase{8, 8, 0.9, 5}, EdtCase{31, 17, 0.05, 6},
+                      EdtCase{17, 31, 0.3, 7}, EdtCase{40, 40, 0.02, 8},
+                      EdtCase{40, 40, 0.5, 9}, EdtCase{64, 64, 0.01, 10},
+                      EdtCase{25, 25, 0.0, 11}, EdtCase{25, 25, 1.0, 12}),
+    [](const ::testing::TestParamInfo<EdtCase>& param_info) {
+      const auto& c = param_info.param;
+      return std::to_string(c.width) + "x" + std::to_string(c.height) +
+             "_d" + std::to_string(static_cast<int>(c.density * 100)) +
+             "_s" + std::to_string(c.seed);
+    });
+
+}  // namespace
+}  // namespace tofmcl::map

@@ -1,0 +1,127 @@
+// Tests for the sweep/replay harness: variant properties, replay
+// correctness on a known-good case and a miniature end-to-end sweep.
+
+#include "eval/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tofmcl::eval {
+namespace {
+
+TEST(Variant, Names) {
+  EXPECT_STREQ(to_string(Variant::kFp32), "fp32");
+  EXPECT_STREQ(to_string(Variant::kFp32_1Tof), "fp32_1tof");
+  EXPECT_STREQ(to_string(Variant::kFp32Qm), "fp32qm");
+  EXPECT_STREQ(to_string(Variant::kFp16Qm), "fp16qm");
+}
+
+TEST(Variant, PrecisionMapping) {
+  EXPECT_EQ(precision_of(Variant::kFp32), core::Precision::kFp32);
+  EXPECT_EQ(precision_of(Variant::kFp32_1Tof), core::Precision::kFp32);
+  EXPECT_EQ(precision_of(Variant::kFp32Qm), core::Precision::kFp32Qm);
+  EXPECT_EQ(precision_of(Variant::kFp16Qm), core::Precision::kFp16Qm);
+}
+
+TEST(Variant, RearSensorUsage) {
+  EXPECT_TRUE(uses_rear_sensor(Variant::kFp32));
+  EXPECT_FALSE(uses_rear_sensor(Variant::kFp32_1Tof));
+  EXPECT_TRUE(uses_rear_sensor(Variant::kFp16Qm));
+}
+
+TEST(Replay, ProducesErrorTrace) {
+  const sim::EvaluationEnvironment env = sim::evaluation_environment();
+  const map::OccupancyGrid grid = sim::rasterize_environment(env, 0.05, 0.01);
+  const auto plans = sim::standard_flight_plans();
+  Rng rng(77);
+  const sim::Sequence seq = sim::generate_sequence(
+      env.world, plans[3], sim::default_generator_config(), rng);
+
+  core::LocalizerConfig loc;
+  loc.mcl.num_particles = 2048;
+  loc.mcl.seed = 3;
+  core::SerialExecutor exec;
+  const auto errors = replay_sequence(seq, grid, loc, true, exec);
+  ASSERT_GT(errors.size(), 30u);
+  // Timestamps strictly increasing and inside the sequence span.
+  for (std::size_t i = 1; i < errors.size(); ++i) {
+    EXPECT_GT(errors[i].t, errors[i - 1].t);
+  }
+  EXPECT_LE(errors.back().t, seq.duration_s + 1e-9);
+  // Errors are physical quantities.
+  for (const ErrorSample& e : errors) {
+    EXPECT_GE(e.pos_error, 0.0);
+    EXPECT_GE(e.yaw_error, 0.0);
+    EXPECT_LE(e.yaw_error, kPi + 1e-9);
+  }
+}
+
+TEST(Replay, SingleSensorSeesFewerBeamsButRuns) {
+  const sim::EvaluationEnvironment env = sim::evaluation_environment();
+  const map::OccupancyGrid grid = sim::rasterize_environment(env, 0.05, 0.01);
+  const auto plans = sim::standard_flight_plans();
+  Rng rng(78);
+  const sim::Sequence seq = sim::generate_sequence(
+      env.world, plans[3], sim::default_generator_config(), rng);
+  core::LocalizerConfig loc;
+  loc.mcl.num_particles = 512;
+  core::SerialExecutor exec;
+  const auto errors = replay_sequence(seq, grid, loc, false, exec);
+  EXPECT_GT(errors.size(), 30u);
+}
+
+TEST(Sweep, MiniatureEndToEnd) {
+  SweepConfig cfg;
+  cfg.variants = {Variant::kFp32Qm};
+  cfg.particle_counts = {512};
+  cfg.sequences = 1;
+  cfg.seeds_per_sequence = 2;
+  cfg.threads = 2;
+  const SweepResult result = run_accuracy_sweep(cfg);
+  ASSERT_EQ(result.runs.size(), 2u);
+  EXPECT_GT(result.horizon_s, 10.0);
+  for (const RunResult& run : result.runs) {
+    EXPECT_EQ(run.variant, Variant::kFp32Qm);
+    EXPECT_EQ(run.particles, 512u);
+    EXPECT_EQ(run.sequence, 0u);
+  }
+  // Two seeds must actually differ.
+  EXPECT_NE(result.runs[0].seed, result.runs[1].seed);
+
+  const auto cells = summarize(cfg, result);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].runs, 2u);
+  EXPECT_GE(cells[0].success_rate, 0.0);
+  EXPECT_LE(cells[0].success_rate, 1.0);
+
+  const auto curve =
+      cell_convergence_curve(result, Variant::kFp32Qm, 512, 20);
+  EXPECT_EQ(curve.time_s.size(), 20u);
+}
+
+TEST(Sweep, DeterministicAcrossCalls) {
+  SweepConfig cfg;
+  cfg.variants = {Variant::kFp32Qm};
+  cfg.particle_counts = {256};
+  cfg.sequences = 1;
+  cfg.seeds_per_sequence = 1;
+  cfg.threads = 2;
+  const SweepResult a = run_accuracy_sweep(cfg);
+  const SweepResult b = run_accuracy_sweep(cfg);
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  EXPECT_EQ(a.runs[0].metrics.converged, b.runs[0].metrics.converged);
+  EXPECT_DOUBLE_EQ(a.runs[0].metrics.ate_m, b.runs[0].metrics.ate_m);
+}
+
+TEST(Sweep, RejectsBadConfig) {
+  SweepConfig cfg;
+  cfg.sequences = 0;
+  EXPECT_THROW(run_accuracy_sweep(cfg), PreconditionError);
+  cfg.sequences = 7;
+  EXPECT_THROW(run_accuracy_sweep(cfg), PreconditionError);
+  cfg.sequences = 1;
+  cfg.seeds_per_sequence = 0;
+  EXPECT_THROW(run_accuracy_sweep(cfg), PreconditionError);
+}
+
+}  // namespace
+}  // namespace tofmcl::eval

@@ -1,0 +1,84 @@
+// Tests for frontier detection and selection (the exploration extension).
+
+#include "plan/frontier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tofmcl::plan {
+namespace {
+
+using map::CellState;
+using map::OccupancyGrid;
+
+TEST(Frontier, NoUnknownMeansNoFrontier) {
+  OccupancyGrid grid(20, 20, 0.05, {}, CellState::kFree);
+  EXPECT_TRUE(find_frontiers(grid).empty());
+}
+
+TEST(Frontier, AllUnknownMeansNoFrontier) {
+  OccupancyGrid grid(20, 20, 0.05, {}, CellState::kUnknown);
+  EXPECT_TRUE(find_frontiers(grid).empty());
+}
+
+TEST(Frontier, BoundaryBetweenFreeAndUnknown) {
+  // Left half explored, right half unknown: one vertical frontier line.
+  OccupancyGrid grid(20, 10, 0.1, {}, CellState::kUnknown);
+  for (int y = 0; y < 10; ++y) {
+    for (int x = 0; x < 10; ++x) grid.set({x, y}, CellState::kFree);
+  }
+  const auto frontiers = find_frontiers(grid);
+  ASSERT_EQ(frontiers.size(), 1u);
+  EXPECT_EQ(frontiers[0].size(), 10u);  // the x=9 column
+  for (const map::CellIndex& c : frontiers[0].cells) {
+    EXPECT_EQ(c.x, 9);
+  }
+  // Centroid on that column.
+  EXPECT_NEAR(frontiers[0].centroid.x, 0.95, 1e-9);
+}
+
+TEST(Frontier, WallsBlockFrontierStatus) {
+  // Free cells separated from unknown space by a wall are not frontiers.
+  OccupancyGrid grid(3, 1, 0.1, {}, CellState::kFree);
+  grid.set({1, 0}, CellState::kOccupied);
+  grid.set({2, 0}, CellState::kUnknown);
+  EXPECT_TRUE(find_frontiers(grid, 1).empty());
+}
+
+TEST(Frontier, MinSizeFilters) {
+  OccupancyGrid grid(10, 10, 0.1, {}, CellState::kFree);
+  grid.set({5, 5}, CellState::kUnknown);  // creates a 4-cell frontier ring
+  EXPECT_FALSE(find_frontiers(grid, 1).empty());
+  EXPECT_TRUE(find_frontiers(grid, 9).empty());
+}
+
+TEST(Frontier, TwoSeparateRegions) {
+  OccupancyGrid grid(21, 5, 0.1, {}, CellState::kFree);
+  // Unknown stripes at both ends, separated by a long free middle.
+  for (int y = 0; y < 5; ++y) {
+    grid.set({0, y}, CellState::kUnknown);
+    grid.set({20, y}, CellState::kUnknown);
+  }
+  const auto frontiers = find_frontiers(grid);
+  ASSERT_EQ(frontiers.size(), 2u);
+  EXPECT_EQ(frontiers[0].size(), 5u);
+  EXPECT_EQ(frontiers[1].size(), 5u);
+}
+
+TEST(Frontier, SelectionBalancesSizeAndDistance) {
+  std::vector<Frontier> frontiers(2);
+  frontiers[0].centroid = {10.0, 0.0};  // big but far
+  frontiers[0].cells.resize(20);
+  frontiers[1].centroid = {1.0, 0.0};  // small but near
+  frontiers[1].cells.resize(5);
+  // From the origin: 20/(10+1) = 1.8 vs 5/(1+1) = 2.5 → pick the near one.
+  EXPECT_EQ(select_frontier(frontiers, {0.0, 0.0}), 1);
+  // From next to the big one: 20/1 vs 5/10 → pick the big one.
+  EXPECT_EQ(select_frontier(frontiers, {10.0, 0.0}), 0);
+}
+
+TEST(Frontier, SelectionEmpty) {
+  EXPECT_EQ(select_frontier({}, {0.0, 0.0}), -1);
+}
+
+}  // namespace
+}  // namespace tofmcl::plan

@@ -1,0 +1,91 @@
+// Tests for the GAP9 power model (Table II) and the system power budget
+// (Section IV-E: sensing + processing below 7 % of total drone power).
+
+#include "platform/gap9_power.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace tofmcl::platform {
+namespace {
+
+TEST(Gap9Power, ReproducesTableTwoOperatingPoints) {
+  const Gap9PowerModel power;
+  // Published: 61 mW @ 400 MHz, 38 mW @ 200 MHz, 13 mW @ 12 MHz.
+  EXPECT_NEAR(power.active_power_mw(400.0), 61.0, 61.0 * 0.10);
+  EXPECT_NEAR(power.active_power_mw(200.0), 38.0, 38.0 * 0.10);
+  EXPECT_NEAR(power.active_power_mw(12.0), 13.0, 13.0 * 0.10);
+}
+
+TEST(Gap9Power, TableTwoExecutionTimes) {
+  const Gap9PowerModel power;
+  const Gap9TimingModel timing = calibrated_timing_model();
+  // 1024 particles: 1.901 ms @ 400 MHz, 59.898 ms @ 12 MHz.
+  EXPECT_NEAR(timing.update_ns(1024, 8, Placement::kL1, 400.0) * 1e-6,
+              1.901, 0.25);
+  EXPECT_NEAR(timing.update_ns(1024, 8, Placement::kL1, 12.0) * 1e-6,
+              59.898, 8.0);
+  // 16384 particles: 30.880 ms @ 400 MHz, 61.524 ms @ 200 MHz.
+  EXPECT_NEAR(timing.update_ns(16384, 8, Placement::kL2, 400.0) * 1e-6,
+              30.880, 3.0);
+  EXPECT_NEAR(timing.update_ns(16384, 8, Placement::kL2, 200.0) * 1e-6,
+              61.524, 6.0);
+}
+
+TEST(Gap9Power, PowerMonotoneInFrequency) {
+  const Gap9PowerModel power;
+  double prev = 0.0;
+  for (double f = 10.0; f <= 400.0; f += 10.0) {
+    const double p = power.active_power_mw(f);
+    EXPECT_GT(p, prev) << "f=" << f;
+    prev = p;
+  }
+}
+
+TEST(Gap9Power, VoltageInterpolatesAndClamps) {
+  const Gap9PowerModel power;
+  EXPECT_DOUBLE_EQ(power.voltage_at(12.0), 0.46);
+  EXPECT_DOUBLE_EQ(power.voltage_at(400.0), 0.80);
+  EXPECT_DOUBLE_EQ(power.voltage_at(1000.0), 0.80);  // clamped
+  EXPECT_DOUBLE_EQ(power.voltage_at(1.0), 0.46);     // clamped
+  const double mid = power.voltage_at(300.0);
+  EXPECT_GT(mid, 0.70);
+  EXPECT_LT(mid, 0.80);
+  EXPECT_THROW(power.voltage_at(0.0), PreconditionError);
+}
+
+TEST(Gap9Power, EnergyPerUpdate) {
+  const Gap9PowerModel power;
+  const Gap9TimingModel timing = calibrated_timing_model();
+  // 1024 particles @ 400 MHz: ~1.9 ms × 61 mW ≈ 116 µJ.
+  const double e400 =
+      power.update_energy_uj(timing, 1024, 8, Placement::kL1, 400.0);
+  EXPECT_NEAR(e400, 116.0, 25.0);
+  // Racing to idle vs slow execution: at 12 MHz the same update takes
+  // ~60 ms × 13 mW ≈ 780 µJ — lower power but more energy per update.
+  const double e12 =
+      power.update_energy_uj(timing, 1024, 8, Placement::kL1, 12.0);
+  EXPECT_GT(e12, 4.0 * e400);
+}
+
+TEST(SystemBudget, PaperPowerBreakdown) {
+  const SystemPowerBudget budget;
+  // Section IV-E: 2×320 mW sensors + 280 mW electronics + 61 mW GAP9 =
+  // 981 mW ≈ 7 % of total drone power.
+  EXPECT_DOUBLE_EQ(budget.sensing_processing_mw(61.0), 981.0);
+  EXPECT_NEAR(budget.overhead_fraction(61.0), 0.07, 0.005);
+  // Claim (iv): 3–7 % across operating points — the lowest point uses one
+  // sensor... even with both sensors at 13 mW the fraction stays within
+  // the advertised band.
+  EXPECT_GT(budget.overhead_fraction(13.0), 0.03);
+  EXPECT_LT(budget.overhead_fraction(13.0), 0.07);
+}
+
+TEST(SystemBudget, FractionIncreasesWithGap9Power) {
+  const SystemPowerBudget budget;
+  EXPECT_LT(budget.overhead_fraction(13.0), budget.overhead_fraction(61.0));
+}
+
+}  // namespace
+}  // namespace tofmcl::platform

@@ -1,0 +1,185 @@
+// Tests for the GAP9 timing model, including the headline check: the
+// calibrated model must reproduce the paper's Table I (per-particle times
+// for 1 and 8 cores) within tolerance, and the Fig 10 speedup shape.
+
+#include "platform/gap9_timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace tofmcl::platform {
+namespace {
+
+constexpr double kF = 400.0;  // MHz, the paper's measurement frequency
+
+Placement paper_placement(std::size_t particles) {
+  // Tables I/II footnote: 4096 and 16384 particles live in L2.
+  return particles >= 4096 ? Placement::kL2 : Placement::kL1;
+}
+
+struct TableOneRow {
+  std::size_t particles;
+  double observation[2];  // ns/particle {1 core, 8 cores}
+  double motion[2];
+  double resampling[2];
+  double pose[2];
+};
+
+// The published Table I.
+constexpr TableOneRow kTableOne[] = {
+    {64, {8531, 1412}, {2828, 500}, {313, 250}, {750, 234}},
+    {256, {8484, 1313}, {2715, 391}, {191, 121}, {633, 117}},
+    {1024, {8518, 1283}, {2689, 357}, {161, 84}, {604, 86}},
+    {4096, {8649, 1294}, {3002, 390}, {558, 108}, {777, 101}},
+    {16384, {8704, 1295}, {2985, 386}, {556, 104}, {775, 99}},
+};
+
+class TableOneReproduction
+    : public ::testing::TestWithParam<TableOneRow> {};
+
+TEST_P(TableOneReproduction, WithinTolerance) {
+  const TableOneRow row = GetParam();
+  const Gap9TimingModel model = calibrated_timing_model();
+  const Placement placement = paper_placement(row.particles);
+
+  const auto check = [&](Phase phase, const double expected[2]) {
+    const double t1 = model.phase_ns_per_particle(phase, row.particles, 1,
+                                                  placement, kF);
+    const double t8 = model.phase_ns_per_particle(phase, row.particles, 8,
+                                                  placement, kF);
+    // Reproduction target: within 15 % of the published measurement.
+    EXPECT_NEAR(t1, expected[0], 0.15 * expected[0])
+        << to_string(phase) << " 1-core N=" << row.particles;
+    EXPECT_NEAR(t8, expected[1], 0.15 * expected[1])
+        << to_string(phase) << " 8-core N=" << row.particles;
+  };
+  check(Phase::kObservation, row.observation);
+  check(Phase::kMotion, row.motion);
+  check(Phase::kResampling, row.resampling);
+  check(Phase::kPoseComputation, row.pose);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRows, TableOneReproduction,
+                         ::testing::ValuesIn(kTableOne),
+                         [](const auto& suite_info) {
+                           return "N" + std::to_string(suite_info.param.particles);
+                         });
+
+TEST(Gap9Timing, FortyMicrosecondUpdateOverhead) {
+  const Gap9TimingModel model = calibrated_timing_model();
+  // Overhead = update minus the four phases, independent of N and cores.
+  for (const std::size_t n : {64u, 1024u, 16384u}) {
+    for (const std::size_t cores : {1u, 8u}) {
+      const Placement placement = paper_placement(n);
+      double phases = 0.0;
+      for (const Phase p : kAllPhases) {
+        phases += model.phase_ns(p, n, cores, placement, kF);
+      }
+      const double overhead =
+          model.update_ns(n, cores, placement, kF) - phases;
+      EXPECT_NEAR(overhead, 40000.0, 1000.0);
+    }
+  }
+}
+
+TEST(Gap9Timing, UpdateLatencyRangeMatchesPaper) {
+  // Abstract claim: 0.2–30 ms latency depending on particle count
+  // (8 cores, 400 MHz); Table II: 1.901 ms at 1024, 30.880 ms at 16384.
+  const Gap9TimingModel model = calibrated_timing_model();
+  const double t64 =
+      model.update_ns(64, 8, Placement::kL1, kF) * 1e-6;
+  const double t1024 =
+      model.update_ns(1024, 8, Placement::kL1, kF) * 1e-6;
+  const double t16384 =
+      model.update_ns(16384, 8, Placement::kL2, kF) * 1e-6;
+  EXPECT_NEAR(t64, 0.2, 0.08);
+  EXPECT_NEAR(t1024, 1.901, 0.25);
+  EXPECT_NEAR(t16384, 30.880, 3.0);
+}
+
+TEST(Gap9Timing, SpeedupImprovesWithParticleCount) {
+  // Fig 10: total speedup grows with N, approaching ~7× at 16384.
+  const Gap9TimingModel model = calibrated_timing_model();
+  double prev = 0.0;
+  for (const std::size_t n : {64u, 256u, 1024u, 4096u, 16384u}) {
+    const double s = model.total_speedup(n, 8, paper_placement(n));
+    EXPECT_GT(s, prev) << "N=" << n;
+    prev = s;
+  }
+  EXPECT_NEAR(prev, 7.0, 0.5);
+  // And the small-N end is clearly below the asymptote.
+  EXPECT_LT(model.total_speedup(64, 8, Placement::kL1), 5.0);
+}
+
+TEST(Gap9Timing, ResamplingScalesWorst) {
+  // Fig 10: resampling has the lowest speedup of the four phases in L1,
+  // yet exceeds 5× for large particle counts in L2.
+  const Gap9TimingModel model = calibrated_timing_model();
+  const double res_1024 =
+      model.phase_speedup(Phase::kResampling, 1024, 8, Placement::kL1);
+  for (const Phase p :
+       {Phase::kObservation, Phase::kMotion, Phase::kPoseComputation}) {
+    EXPECT_LT(res_1024, model.phase_speedup(p, 1024, 8, Placement::kL1));
+  }
+  EXPECT_GT(model.phase_speedup(Phase::kResampling, 16384, 8,
+                                Placement::kL2),
+            5.0);
+}
+
+TEST(Gap9Timing, MonotoneInCores) {
+  const Gap9TimingModel model = calibrated_timing_model();
+  for (const Phase p : kAllPhases) {
+    double prev = 1e300;
+    for (std::size_t cores = 1; cores <= 8; ++cores) {
+      const double t = model.phase_cycles(p, 4096, cores, Placement::kL2);
+      EXPECT_LE(t, prev + 1e-9) << to_string(p) << " cores=" << cores;
+      prev = t;
+    }
+  }
+}
+
+TEST(Gap9Timing, RealtimeFrequencies) {
+  // Table II: 1024 particles still meet 67 ms at 12 MHz; 16384 need
+  // ~200 MHz.
+  const Gap9TimingModel model = calibrated_timing_model();
+  const double f1024 =
+      model.min_realtime_frequency_mhz(1024, 8, Placement::kL1);
+  const double f16384 =
+      model.min_realtime_frequency_mhz(16384, 8, Placement::kL2);
+  EXPECT_LT(f1024, 12.5);
+  EXPECT_GT(f16384, 150.0);
+  EXPECT_LT(f16384, 200.0);
+}
+
+TEST(Gap9Timing, FrequencyScalesLinearly) {
+  const Gap9TimingModel model = calibrated_timing_model();
+  const double t400 = model.update_ns(1024, 8, Placement::kL1, 400.0);
+  const double t200 = model.update_ns(1024, 8, Placement::kL1, 200.0);
+  const double t12 = model.update_ns(1024, 8, Placement::kL1, 12.0);
+  EXPECT_NEAR(t200, 2.0 * t400, 1e-6);
+  EXPECT_NEAR(t12, 400.0 / 12.0 * t400, 1e-3);
+}
+
+TEST(Gap9Timing, InvalidArgsThrow) {
+  const Gap9TimingModel model = calibrated_timing_model();
+  EXPECT_THROW(model.phase_cycles(Phase::kMotion, 0, 1, Placement::kL1),
+               PreconditionError);
+  EXPECT_THROW(model.phase_cycles(Phase::kMotion, 64, 0, Placement::kL1),
+               PreconditionError);
+  EXPECT_THROW(model.phase_cycles(Phase::kMotion, 64, 9, Placement::kL1),
+               PreconditionError);
+  EXPECT_THROW(model.phase_ns(Phase::kMotion, 64, 1, Placement::kL1, 0.0),
+               PreconditionError);
+}
+
+TEST(Gap9Spec, PlacementThreshold) {
+  // 1024 fp32 particles (32 kB double-buffered) fit the L1 budget; 4096
+  // (128 kB) do not — matching the paper's Table I/II footnotes.
+  EXPECT_EQ(placement_for(1024 * 32), Placement::kL1);
+  EXPECT_EQ(placement_for(4096 * 32), Placement::kL2);
+  EXPECT_EQ(placement_for(16384 * 16), Placement::kL2);
+}
+
+}  // namespace
+}  // namespace tofmcl::platform

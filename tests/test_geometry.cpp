@@ -1,0 +1,143 @@
+// Unit tests for common/geometry.hpp: vector algebra, pose composition and
+// the compose/between inverse relationship used throughout odometry
+// handling.
+
+#include "common/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/angles.hpp"
+#include "common/rng.hpp"
+
+namespace tofmcl {
+namespace {
+
+TEST(Vec2, ArithmeticBasics) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{-3.0, 4.5};
+  EXPECT_EQ(a + b, Vec2(-2.0, 6.5));
+  EXPECT_EQ(a - b, Vec2(4.0, -2.5));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+  EXPECT_EQ(a / 2.0, Vec2(0.5, 1.0));
+  EXPECT_EQ(-a, Vec2(-1.0, -2.0));
+}
+
+TEST(Vec2, CompoundAssignment) {
+  Vec2 v{1.0, 1.0};
+  v += {2.0, 3.0};
+  EXPECT_EQ(v, Vec2(3.0, 4.0));
+  v -= {1.0, 1.0};
+  EXPECT_EQ(v, Vec2(2.0, 3.0));
+  v *= 2.0;
+  EXPECT_EQ(v, Vec2(4.0, 6.0));
+}
+
+TEST(Vec2, DotAndCross) {
+  const Vec2 a{1.0, 0.0};
+  const Vec2 b{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(a.dot(b), 0.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), 1.0);
+  EXPECT_DOUBLE_EQ(b.cross(a), -1.0);
+  EXPECT_DOUBLE_EQ(Vec2(3.0, 4.0).dot(Vec2(3.0, 4.0)), 25.0);
+}
+
+TEST(Vec2, NormAndNormalized) {
+  EXPECT_DOUBLE_EQ(Vec2(3.0, 4.0).norm(), 5.0);
+  EXPECT_DOUBLE_EQ(Vec2(3.0, 4.0).squared_norm(), 25.0);
+  const Vec2 n = Vec2(3.0, 4.0).normalized();
+  EXPECT_NEAR(n.norm(), 1.0, 1e-12);
+  EXPECT_EQ(Vec2{}.normalized(), Vec2{});
+}
+
+TEST(Vec2, RotationQuarterTurn) {
+  const Vec2 x{1.0, 0.0};
+  const Vec2 r = x.rotated(kPi / 2.0);
+  EXPECT_NEAR(r.x, 0.0, 1e-12);
+  EXPECT_NEAR(r.y, 1.0, 1e-12);
+}
+
+TEST(Vec2, RotationPreservesNorm) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const Vec2 v{rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    const double angle = rng.uniform(-10, 10);
+    EXPECT_NEAR(v.rotated(angle).norm(), v.norm(), 1e-9);
+  }
+}
+
+TEST(Pose2, TransformRoundTrip) {
+  const Pose2 pose{1.0, -2.0, 0.7};
+  const Vec2 body{0.5, 0.25};
+  const Vec2 world = pose.transform(body);
+  const Vec2 back = pose.inverse_transform(world);
+  EXPECT_NEAR(back.x, body.x, 1e-12);
+  EXPECT_NEAR(back.y, body.y, 1e-12);
+}
+
+TEST(Pose2, IdentityCompose) {
+  const Pose2 pose{1.0, 2.0, 0.3};
+  const Pose2 composed = pose.compose(Pose2{});
+  EXPECT_NEAR(composed.x(), pose.x(), 1e-12);
+  EXPECT_NEAR(composed.y(), pose.y(), 1e-12);
+  EXPECT_NEAR(composed.yaw, pose.yaw, 1e-12);
+}
+
+TEST(Pose2, ComposeBetweenInverse) {
+  // between() must recover exactly the delta that compose() applied —
+  // this pair implements odometry accumulation and differencing.
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    const Pose2 a{rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-3, 3)};
+    const Pose2 delta{rng.uniform(-1, 1), rng.uniform(-1, 1),
+                      rng.uniform(-0.5, 0.5)};
+    const Pose2 b = a.compose(delta);
+    const Pose2 recovered = a.between(b);
+    EXPECT_NEAR(recovered.x(), delta.x(), 1e-9);
+    EXPECT_NEAR(recovered.y(), delta.y(), 1e-9);
+    EXPECT_NEAR(recovered.yaw, delta.yaw, 1e-9);
+  }
+}
+
+TEST(Pose2, BetweenOfSelfIsIdentity) {
+  const Pose2 p{3.0, -1.0, 2.2};
+  const Pose2 d = p.between(p);
+  EXPECT_NEAR(d.x(), 0.0, 1e-12);
+  EXPECT_NEAR(d.y(), 0.0, 1e-12);
+  EXPECT_NEAR(d.yaw, 0.0, 1e-12);
+}
+
+TEST(Pose2, TransformMatchesComposeOnPosition) {
+  const Pose2 p{1.0, 2.0, 0.5};
+  const Vec2 q{0.3, 0.4};
+  const Pose2 composed = p.compose(Pose2{q, 0.0});
+  const Vec2 transformed = p.transform(q);
+  EXPECT_NEAR(composed.x(), transformed.x, 1e-12);
+  EXPECT_NEAR(composed.y(), transformed.y, 1e-12);
+}
+
+TEST(Aabb, ContainsAndArea) {
+  const Aabb box{{0.0, 0.0}, {2.0, 3.0}};
+  EXPECT_TRUE(box.contains({1.0, 1.0}));
+  EXPECT_TRUE(box.contains({0.0, 0.0}));
+  EXPECT_TRUE(box.contains({2.0, 3.0}));
+  EXPECT_FALSE(box.contains({2.1, 1.0}));
+  EXPECT_FALSE(box.contains({1.0, -0.1}));
+  EXPECT_DOUBLE_EQ(box.area(), 6.0);
+  EXPECT_DOUBLE_EQ(box.width(), 2.0);
+  EXPECT_DOUBLE_EQ(box.height(), 3.0);
+}
+
+TEST(Aabb, Expanded) {
+  const Aabb box{{0.0, 0.0}, {1.0, 1.0}};
+  const Aabb grown = box.expanded({-1.0, 2.0});
+  EXPECT_DOUBLE_EQ(grown.min.x, -1.0);
+  EXPECT_DOUBLE_EQ(grown.min.y, 0.0);
+  EXPECT_DOUBLE_EQ(grown.max.x, 1.0);
+  EXPECT_DOUBLE_EQ(grown.max.y, 2.0);
+}
+
+}  // namespace
+}  // namespace tofmcl

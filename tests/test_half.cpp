@@ -1,0 +1,202 @@
+// Tests for the software IEEE-754 binary16 implementation, including
+// round-trip properties, rounding behaviour at representable boundaries and
+// special values. The fp16qm configuration's accuracy claim rests on this
+// type behaving exactly like hardware FP16 storage.
+
+#include "fp16/half.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+
+namespace tofmcl {
+namespace {
+
+using half_literals::operator""_h;
+
+TEST(Half, ZeroAndSignedZero) {
+  EXPECT_EQ(Half(0.0f).bits(), 0x0000);
+  EXPECT_EQ(Half(-0.0f).bits(), 0x8000);
+  EXPECT_TRUE(Half(-0.0f).is_zero());
+  EXPECT_EQ(static_cast<float>(Half(-0.0f)), 0.0f);
+  EXPECT_TRUE(std::signbit(static_cast<float>(Half(-0.0f))));
+}
+
+TEST(Half, KnownBitPatterns) {
+  EXPECT_EQ(Half(1.0f).bits(), 0x3C00);
+  EXPECT_EQ(Half(-1.0f).bits(), 0xBC00);
+  EXPECT_EQ(Half(2.0f).bits(), 0x4000);
+  EXPECT_EQ(Half(0.5f).bits(), 0x3800);
+  EXPECT_EQ(Half(65504.0f).bits(), 0x7BFF);  // max finite
+  EXPECT_EQ(Half(0.0000610352f).bits(), 0x0400);  // min normal 2^-14
+}
+
+TEST(Half, RoundTripExactForRepresentableValues) {
+  // Every half value must survive half→float→half exactly.
+  for (std::uint32_t b = 0; b <= 0xFFFF; ++b) {
+    const auto h = Half::from_bits(static_cast<std::uint16_t>(b));
+    if (h.is_nan()) continue;  // NaN payloads compare by is_nan below
+    const float f = static_cast<float>(h);
+    EXPECT_EQ(Half(f).bits(), h.bits()) << "bits=" << b;
+  }
+}
+
+TEST(Half, NanRoundTripStaysNan) {
+  for (std::uint32_t b = 0x7C01; b <= 0x7FFF; ++b) {
+    const auto h = Half::from_bits(static_cast<std::uint16_t>(b));
+    ASSERT_TRUE(h.is_nan());
+    EXPECT_TRUE(Half(static_cast<float>(h)).is_nan());
+  }
+}
+
+TEST(Half, InfinityHandling) {
+  EXPECT_EQ(Half(std::numeric_limits<float>::infinity()).bits(), 0x7C00);
+  EXPECT_EQ(Half(-std::numeric_limits<float>::infinity()).bits(), 0xFC00);
+  EXPECT_TRUE(Half::from_bits(0x7C00).is_inf());
+  EXPECT_TRUE(std::isinf(static_cast<float>(Half::from_bits(0xFC00))));
+}
+
+TEST(Half, OverflowToInfinity) {
+  EXPECT_TRUE(Half(65536.0f).is_inf());
+  EXPECT_TRUE(Half(1e10f).is_inf());
+  EXPECT_TRUE(Half(-1e10f).is_inf());
+  EXPECT_TRUE(Half(-1e10f).sign_bit());
+  // 65520 is the exact midpoint between 65504 (max finite) and the next
+  // step 65536; ties round to even, which is the infinity side here.
+  EXPECT_TRUE(Half(65520.0f).is_inf());
+  EXPECT_EQ(Half(65519.0f).bits(), 0x7BFF);
+}
+
+TEST(Half, UnderflowToZeroAndSubnormals) {
+  // 2^-24 is the smallest subnormal.
+  EXPECT_EQ(Half(5.960464478e-8f).bits(), 0x0001);
+  EXPECT_TRUE(Half::from_bits(0x0001).is_subnormal());
+  // Half of that (2^-25) ties to even → zero.
+  EXPECT_EQ(Half(2.98023224e-8f).bits(), 0x0000);
+  // Just above the tie rounds up to the smallest subnormal.
+  EXPECT_EQ(Half(3.1e-8f).bits(), 0x0001);
+  // Anything below half the smallest subnormal flushes to zero.
+  EXPECT_EQ(Half(1e-9f).bits(), 0x0000);
+  EXPECT_EQ(Half(-1e-9f).bits(), 0x8000);
+}
+
+TEST(Half, RoundToNearestEvenAtMantissaBoundary) {
+  // 1 + 2^-11 is exactly between 1.0 and 1+2^-10: ties to even → 1.0.
+  EXPECT_EQ(Half(1.0f + 0x1.0p-11f).bits(), 0x3C00);
+  // 1 + 3*2^-11 is between 1+2^-10 and 1+2^-9: ties to even → 1+2^-9.
+  EXPECT_EQ(Half(1.0f + 3.0f * 0x1.0p-11f).bits(), 0x3C02);
+  // Slightly above a tie rounds up.
+  EXPECT_EQ(Half(1.0f + 0x1.0p-11f + 0x1.0p-20f).bits(), 0x3C01);
+}
+
+TEST(Half, ConversionErrorBounded) {
+  // Relative error of a single conversion is at most 2^-11 for normals.
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) {
+    const float x = static_cast<float>(rng.uniform(-1000.0, 1000.0));
+    if (std::abs(x) < 6.2e-5f) continue;  // skip subnormal range
+    const float back = static_cast<float>(Half(x));
+    EXPECT_LE(std::abs(back - x), std::abs(x) * 0x1.0p-11f + 1e-30f)
+        << "x=" << x;
+  }
+}
+
+TEST(Half, SubnormalAbsoluteErrorBounded) {
+  // In the subnormal range the absolute error is at most 2^-25.
+  Rng rng(32);
+  for (int i = 0; i < 10000; ++i) {
+    const float x = static_cast<float>(rng.uniform(-6e-5, 6e-5));
+    const float back = static_cast<float>(Half(x));
+    EXPECT_LE(std::abs(back - x), 0x1.0p-25f) << "x=" << x;
+  }
+}
+
+TEST(Half, ArithmeticPromotesToFloat) {
+  const Half a(1.5f);
+  const Half b(2.25f);
+  EXPECT_EQ(static_cast<float>(a + b), 3.75f);
+  EXPECT_EQ(static_cast<float>(b - a), 0.75f);
+  EXPECT_EQ(static_cast<float>(a * b), 3.375f);
+  EXPECT_EQ(static_cast<float>(b / Half(0.5f)), 4.5f);
+}
+
+TEST(Half, ArithmeticRoundsResult) {
+  // 1024 + 1 = 1025 is not representable (spacing is 1 at 1024... actually
+  // spacing is 1 for [1024, 2048); 1025 IS representable. Use 2048+1:
+  // spacing is 2 in [2048, 4096), so 2049 ties to even → 2048.
+  EXPECT_EQ(static_cast<float>(Half(2048.0f) + Half(1.0f)), 2048.0f);
+  // 2048+3 → 2051 rounds to nearest even multiple of 2 → 2052.
+  EXPECT_EQ(static_cast<float>(Half(2048.0f) + Half(3.0f)), 2052.0f);
+}
+
+TEST(Half, CompoundAssignment) {
+  Half h(1.0f);
+  h += Half(2.0f);
+  EXPECT_EQ(static_cast<float>(h), 3.0f);
+  h -= Half(1.0f);
+  EXPECT_EQ(static_cast<float>(h), 2.0f);
+  h *= Half(3.0f);
+  EXPECT_EQ(static_cast<float>(h), 6.0f);
+  h /= Half(2.0f);
+  EXPECT_EQ(static_cast<float>(h), 3.0f);
+}
+
+TEST(Half, Negation) {
+  EXPECT_EQ((-Half(1.5f)).bits(), Half(-1.5f).bits());
+  EXPECT_EQ((-Half(0.0f)).bits(), 0x8000);
+}
+
+TEST(Half, Comparisons) {
+  EXPECT_TRUE(Half(1.0f) < Half(2.0f));
+  EXPECT_TRUE(Half(2.0f) > Half(1.0f));
+  EXPECT_TRUE(Half(1.0f) <= Half(1.0f));
+  EXPECT_TRUE(Half(1.0f) >= Half(1.0f));
+  EXPECT_TRUE(Half(1.0f) == Half(1.0f));
+  EXPECT_TRUE(Half(1.0f) != Half(2.0f));
+  // +0 == -0 per IEEE.
+  EXPECT_TRUE(Half(0.0f) == Half(-0.0f));
+  // NaN compares false with everything.
+  const Half nan = std::numeric_limits<Half>::quiet_NaN();
+  EXPECT_FALSE(nan == nan);
+  EXPECT_TRUE(nan != nan);
+  EXPECT_FALSE(nan < Half(1.0f));
+}
+
+TEST(Half, NumericLimits) {
+  using L = std::numeric_limits<Half>;
+  EXPECT_EQ(static_cast<float>(L::max()), 65504.0f);
+  EXPECT_EQ(static_cast<float>(L::lowest()), -65504.0f);
+  EXPECT_EQ(static_cast<float>(L::min()), 0x1.0p-14f);
+  EXPECT_EQ(static_cast<float>(L::denorm_min()), 0x1.0p-24f);
+  EXPECT_EQ(static_cast<float>(L::epsilon()), 0x1.0p-10f);
+  EXPECT_TRUE(L::infinity().is_inf());
+  EXPECT_TRUE(L::quiet_NaN().is_nan());
+}
+
+TEST(Half, Literals) {
+  EXPECT_EQ((1.5_h).bits(), Half(1.5f).bits());
+  EXPECT_EQ((0.25_h).bits(), 0x3400);
+}
+
+TEST(Half, WeightRangeForMcl) {
+  // Particle weights live in (0, 1]; verify representable resolution there
+  // is adequate: relative spacing ≤ 2^-10 ≈ 0.001.
+  for (float w : {1.0f, 0.5f, 0.1f, 0.01f, 0.001f, 1e-4f}) {
+    const float back = static_cast<float>(Half(w));
+    EXPECT_NEAR(back, w, w * 0x1.0p-10f) << "w=" << w;
+  }
+}
+
+TEST(Half, YawRangeResolution) {
+  // Yaw in (-π, π]: spacing at |θ|≈π is 2^-9 ≈ 0.002 rad ≈ 0.11°, far finer
+  // than the 36° convergence threshold. Verify worst-case quantization.
+  const float pi = 3.14159265f;
+  const float back = static_cast<float>(Half(pi));
+  EXPECT_NEAR(back, pi, 0x1.0p-9f);
+}
+
+}  // namespace
+}  // namespace tofmcl

@@ -1,0 +1,92 @@
+// Round-trip and error-path tests for the grid text format.
+
+#include "map/map_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace tofmcl::map {
+namespace {
+
+OccupancyGrid random_grid(std::uint64_t seed) {
+  Rng rng(seed);
+  OccupancyGrid g(17, 9, 0.05, {-1.25, 2.5}, CellState::kFree);
+  for (int y = 0; y < g.height(); ++y) {
+    for (int x = 0; x < g.width(); ++x) {
+      const double u = rng.uniform();
+      if (u < 0.2) g.set({x, y}, CellState::kOccupied);
+      else if (u < 0.35) g.set({x, y}, CellState::kUnknown);
+    }
+  }
+  return g;
+}
+
+TEST(MapIo, StreamRoundTrip) {
+  const OccupancyGrid g = random_grid(1);
+  std::stringstream ss;
+  save_grid(g, ss);
+  const OccupancyGrid loaded = load_grid(ss);
+  EXPECT_EQ(loaded, g);
+}
+
+TEST(MapIo, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "tofmcl_test_maps" / "grid.txt";
+  const OccupancyGrid g = random_grid(2);
+  save_grid(g, path);
+  const OccupancyGrid loaded = load_grid(path);
+  EXPECT_EQ(loaded, g);
+  std::filesystem::remove_all(path.parent_path());
+}
+
+TEST(MapIo, RejectsWrongMagic) {
+  std::stringstream ss("not-a-grid 1\n3 3 0.05 0 0\n...\n...\n...\n");
+  EXPECT_THROW(load_grid(ss), IoError);
+}
+
+TEST(MapIo, RejectsWrongVersion) {
+  std::stringstream ss("tofmcl-grid 9\n3 3 0.05 0 0\n...\n...\n...\n");
+  EXPECT_THROW(load_grid(ss), IoError);
+}
+
+TEST(MapIo, RejectsBadHeader) {
+  std::stringstream ss("tofmcl-grid 1\n0 3 0.05 0 0\n");
+  EXPECT_THROW(load_grid(ss), IoError);
+  std::stringstream ss2("tofmcl-grid 1\n3 3 -1 0 0\n...\n...\n...\n");
+  EXPECT_THROW(load_grid(ss2), IoError);
+}
+
+TEST(MapIo, RejectsTruncatedBody) {
+  std::stringstream ss("tofmcl-grid 1\n3 3 0.05 0 0\n...\n...\n");
+  EXPECT_THROW(load_grid(ss), IoError);
+}
+
+TEST(MapIo, RejectsWrongRowWidth) {
+  std::stringstream ss("tofmcl-grid 1\n3 2 0.05 0 0\n....\n...\n");
+  EXPECT_THROW(load_grid(ss), IoError);
+}
+
+TEST(MapIo, RejectsInvalidGlyph) {
+  std::stringstream ss("tofmcl-grid 1\n3 1 0.05 0 0\n.x.\n");
+  EXPECT_THROW(load_grid(ss), IoError);
+}
+
+TEST(MapIo, MissingFileThrows) {
+  EXPECT_THROW(load_grid(std::filesystem::path("/nonexistent/nope.txt")),
+               IoError);
+}
+
+TEST(MapIo, AsciiRendering) {
+  OccupancyGrid g(3, 2, 0.05, {}, CellState::kFree);
+  g.set({0, 0}, CellState::kOccupied);
+  g.set({2, 1}, CellState::kUnknown);
+  // Top row (y=1) first in the rendering.
+  EXPECT_EQ(to_ascii(g), "..?\n#..\n");
+}
+
+}  // namespace
+}  // namespace tofmcl::map

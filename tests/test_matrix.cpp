@@ -1,0 +1,140 @@
+// Tests for the fixed-size matrix algebra backing the EKF.
+
+#include "common/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace tofmcl {
+namespace {
+
+TEST(Mat, ZeroAndIdentity) {
+  const auto z = Mat<3, 3>::zero();
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(z(r, c), 0.0);
+  }
+  const auto i = Mat<3, 3>::identity();
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Mat, Diagonal) {
+  const auto d = Mat<3, 3>::diagonal({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(d(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(d(2, 2), 3.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(Mat, AddSubScale) {
+  Mat<2, 2> a;
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 3.0;
+  a(1, 1) = 4.0;
+  const auto b = a * 2.0;
+  EXPECT_DOUBLE_EQ(b(1, 1), 8.0);
+  const auto c = b - a;
+  EXPECT_DOUBLE_EQ(c(0, 1), 2.0);
+  const auto d = a + a;
+  EXPECT_DOUBLE_EQ(d(1, 0), 6.0);
+  const auto e = 3.0 * a;
+  EXPECT_DOUBLE_EQ(e(0, 0), 3.0);
+}
+
+TEST(Mat, MultiplyKnown) {
+  Mat<2, 3> a;
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  Mat<3, 2> b;
+  b(0, 0) = 7;
+  b(0, 1) = 8;
+  b(1, 0) = 9;
+  b(1, 1) = 10;
+  b(2, 0) = 11;
+  b(2, 1) = 12;
+  const Mat<2, 2> c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Mat, IdentityIsMultiplicativeNeutral) {
+  using Mat3 = Mat<3, 3>;
+  Mat3 a;
+  for (std::size_t i = 0; i < 9; ++i) a.m[i] = static_cast<double>(i) - 4.0;
+  EXPECT_EQ(a * Mat3::identity(), a);
+  EXPECT_EQ(Mat3::identity() * a, a);
+}
+
+TEST(Mat, Transpose) {
+  Mat<2, 3> a;
+  a(0, 2) = 5.0;
+  a(1, 0) = -2.0;
+  const Mat<3, 2> t = a.transposed();
+  EXPECT_DOUBLE_EQ(t(2, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), -2.0);
+  EXPECT_EQ(t.transposed(), a);
+}
+
+TEST(Mat, Symmetrize) {
+  Mat<2, 2> a;
+  a(0, 1) = 1.0;
+  a(1, 0) = 3.0;
+  a.symmetrize();
+  EXPECT_DOUBLE_EQ(a(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(a(1, 0), 2.0);
+}
+
+TEST(Mat, Inverse2x2) {
+  Mat<2, 2> a;
+  a(0, 0) = 4.0;
+  a(0, 1) = 7.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 6.0;
+  const Mat<2, 2> inv = inverse(a);
+  const Mat<2, 2> prod = a * inv;
+  EXPECT_NEAR(prod(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(prod(0, 1), 0.0, 1e-12);
+  EXPECT_NEAR(prod(1, 0), 0.0, 1e-12);
+  EXPECT_NEAR(prod(1, 1), 1.0, 1e-12);
+}
+
+TEST(Mat, InverseSingularThrows) {
+  Mat<2, 2> a;  // all zeros
+  EXPECT_THROW(inverse(a), PreconditionError);
+  Mat<1, 1> b;
+  EXPECT_THROW(inverse(b), PreconditionError);
+}
+
+TEST(Mat, Inverse1x1) {
+  Mat<1, 1> a;
+  a(0, 0) = 4.0;
+  EXPECT_DOUBLE_EQ(inverse(a)(0, 0), 0.25);
+}
+
+TEST(Mat, VectorProduct) {
+  Mat<2, 2> a;
+  a(0, 0) = 0.0;
+  a(0, 1) = -1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;  // 90° rotation
+  Vec<2> v;
+  v(0, 0) = 1.0;
+  v(1, 0) = 0.0;
+  const Vec<2> r = a * v;
+  EXPECT_DOUBLE_EQ(r(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(r(1, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace tofmcl

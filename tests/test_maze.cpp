@@ -1,0 +1,152 @@
+// Tests for the maze builders and the composite evaluation environment:
+// geometry, structured area, connectivity-relevant clearances and the
+// Unknown-outside-mazes rasterization.
+
+#include "sim/maze.hpp"
+
+#include <gtest/gtest.h>
+
+#include "map/rasterize.hpp"
+#include "sim/sequence_generator.hpp"
+
+namespace tofmcl::sim {
+namespace {
+
+TEST(DroneMaze, BoundsAndArea) {
+  const map::World maze = drone_maze();
+  const Aabb b = maze.bounds();
+  EXPECT_DOUBLE_EQ(b.min.x, 0.0);
+  EXPECT_DOUBLE_EQ(b.min.y, 0.0);
+  EXPECT_DOUBLE_EQ(b.max.x, 4.0);
+  EXPECT_DOUBLE_EQ(b.max.y, 4.0);
+  EXPECT_DOUBLE_EQ(drone_maze_area(), 16.0);
+}
+
+TEST(DroneMaze, CorridorWaypointsHaveClearance) {
+  // Every waypoint of every standard flight plan must have enough wall
+  // clearance for the drone (including controller overshoot).
+  const map::World maze = drone_maze();
+  for (const FlightPlan& plan : standard_flight_plans()) {
+    EXPECT_GE(maze.clearance(plan.start.position), 0.2) << plan.name;
+    for (const Waypoint& w : plan.path) {
+      EXPECT_GE(maze.clearance(w.position), 0.2)
+          << plan.name << " waypoint (" << w.position.x << ","
+          << w.position.y << ")";
+    }
+  }
+}
+
+TEST(DroneMaze, InteriorWallsCreateStructure) {
+  const map::World maze = drone_maze();
+  // More than just the outer box.
+  EXPECT_GT(maze.segments().size(), 4u);
+  // A ray across the middle must be interrupted by interior walls.
+  const auto hit = maze.raycast({0.5, 0.5}, 0.0, 10.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_LT(hit->distance, 3.0);
+}
+
+TEST(ArtificialMaze, DeterministicForSeed) {
+  Rng rng1(11);
+  Rng rng2(11);
+  const map::World a = artificial_maze(rng1, 2.25);
+  const map::World b = artificial_maze(rng2, 2.25);
+  ASSERT_EQ(a.segments().size(), b.segments().size());
+  for (std::size_t i = 0; i < a.segments().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.segments()[i].a.x, b.segments()[i].a.x);
+    EXPECT_DOUBLE_EQ(a.segments()[i].b.y, b.segments()[i].b.y);
+  }
+}
+
+TEST(ArtificialMaze, StaysInsideBox) {
+  Rng rng(12);
+  const map::World maze = artificial_maze(rng, 2.25);
+  const Aabb b = maze.bounds();
+  EXPECT_GE(b.min.x, -1e-9);
+  EXPECT_GE(b.min.y, -1e-9);
+  EXPECT_LE(b.max.x, 2.25 + 1e-9);
+  EXPECT_LE(b.max.y, 2.25 + 1e-9);
+}
+
+TEST(ArtificialMaze, DifferentSeedsDiffer) {
+  Rng rng1(1);
+  Rng rng2(2);
+  const map::World a = artificial_maze(rng1, 2.25);
+  const map::World b = artificial_maze(rng2, 2.25);
+  // Either segment counts differ or at least one coordinate does.
+  bool different = a.segments().size() != b.segments().size();
+  if (!different) {
+    for (std::size_t i = 0; i < a.segments().size(); ++i) {
+      if (a.segments()[i].a.x != b.segments()[i].a.x ||
+          a.segments()[i].a.y != b.segments()[i].a.y) {
+        different = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(different);
+}
+
+TEST(ArtificialMaze, RejectsTinyBox) {
+  Rng rng(13);
+  EXPECT_THROW(artificial_maze(rng, 0.5), PreconditionError);
+}
+
+TEST(EvaluationEnvironment, StructuredAreaMatchesPaper) {
+  const EvaluationEnvironment env = evaluation_environment();
+  EXPECT_EQ(env.maze_regions.size(), 4u);
+  // 16 + 3 · 5.0625 = 31.1875 ≈ the paper's 31.2 m².
+  EXPECT_NEAR(env.structured_area_m2, 31.2, 0.05);
+  // Region 0 is the real maze.
+  EXPECT_DOUBLE_EQ(env.maze_regions[0].max.x, 4.0);
+}
+
+TEST(EvaluationEnvironment, RegionsDoNotOverlap) {
+  const EvaluationEnvironment env = evaluation_environment();
+  for (std::size_t i = 0; i < env.maze_regions.size(); ++i) {
+    for (std::size_t j = i + 1; j < env.maze_regions.size(); ++j) {
+      const Aabb& a = env.maze_regions[i];
+      const Aabb& b = env.maze_regions[j];
+      const bool disjoint = a.max.x <= b.min.x || b.max.x <= a.min.x ||
+                            a.max.y <= b.min.y || b.max.y <= a.min.y;
+      EXPECT_TRUE(disjoint) << "regions " << i << " and " << j;
+    }
+  }
+}
+
+TEST(RasterizeEnvironment, CellStateLayout) {
+  const EvaluationEnvironment env = evaluation_environment();
+  const map::OccupancyGrid grid = rasterize_environment(env, 0.05, 0.0);
+  // Inside the drone maze: free corridor cell.
+  EXPECT_EQ(grid.state_at({0.5, 0.5}), map::CellState::kFree);
+  // On the outer wall of the drone maze: occupied.
+  EXPECT_EQ(grid.state_at({0.0, 2.0}), map::CellState::kOccupied);
+  // Between mazes: unknown.
+  EXPECT_EQ(grid.state_at({4.25, 1.0}), map::CellState::kUnknown);
+  // Inside an artificial maze: free or occupied but not unknown.
+  EXPECT_NE(grid.state_at({5.6, 1.1}), map::CellState::kUnknown);
+}
+
+TEST(RasterizeEnvironment, MapErrorPerturbsWalls) {
+  const EvaluationEnvironment env = evaluation_environment();
+  const map::OccupancyGrid perfect = rasterize_environment(env, 0.05, 0.0);
+  const map::OccupancyGrid noisy = rasterize_environment(env, 0.05, 0.02);
+  EXPECT_FALSE(perfect == noisy);
+  // Same geometry parameters though.
+  EXPECT_EQ(perfect.width(), noisy.width());
+  EXPECT_EQ(perfect.height(), noisy.height());
+}
+
+TEST(RasterizeEnvironment, FreeSpaceIsSubstantial) {
+  const EvaluationEnvironment env = evaluation_environment();
+  const map::OccupancyGrid grid = rasterize_environment(env);
+  const double cell_area = 0.05 * 0.05;
+  const double free_area =
+      static_cast<double>(grid.count(map::CellState::kFree)) * cell_area;
+  // Most of the 31.2 m² structured area is corridor.
+  EXPECT_GT(free_area, 20.0);
+  EXPECT_LT(free_area, 31.2);
+}
+
+}  // namespace
+}  // namespace tofmcl::sim

@@ -1,0 +1,115 @@
+// Tests for the Fig 9 memory capacity model: bytes-per-cell/particle
+// accounting and the particles-vs-map-size trade-off on L1 and L2.
+
+#include "platform/memory_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace tofmcl::platform {
+namespace {
+
+using core::Precision;
+
+constexpr double kRes = 0.05;
+
+TEST(MemoryModel, FootprintsMatchPaper) {
+  // Section III-C2: full precision 5 B/cell & 32 B/particle (double
+  // buffered); quantized 2 B/cell; fp16 16 B/particle.
+  EXPECT_EQ(footprint_of(Precision::kFp32).bytes_per_cell, 5u);
+  EXPECT_EQ(footprint_of(Precision::kFp32).bytes_per_particle, 32u);
+  EXPECT_EQ(footprint_of(Precision::kFp32Qm).bytes_per_cell, 2u);
+  EXPECT_EQ(footprint_of(Precision::kFp32Qm).bytes_per_particle, 32u);
+  EXPECT_EQ(footprint_of(Precision::kFp16Qm).bytes_per_cell, 2u);
+  EXPECT_EQ(footprint_of(Precision::kFp16Qm).bytes_per_particle, 16u);
+}
+
+TEST(MemoryModel, MapBytes) {
+  // 1 m² at 0.05 m = 400 cells.
+  EXPECT_EQ(map_bytes(1.0, kRes, Precision::kFp32), 2000u);
+  EXPECT_EQ(map_bytes(1.0, kRes, Precision::kFp16Qm), 800u);
+  // The paper's 31.2 m² evaluation map: 12480 cells.
+  EXPECT_EQ(map_bytes(31.2, kRes, Precision::kFp32), 62400u);
+  EXPECT_EQ(map_bytes(31.2, kRes, Precision::kFp16Qm), 24960u);
+  EXPECT_EQ(map_bytes(0.0, kRes, Precision::kFp32), 0u);
+}
+
+TEST(MemoryModel, MapBytesRejectsBadArgs) {
+  EXPECT_THROW(map_bytes(-1.0, kRes, Precision::kFp32), PreconditionError);
+  EXPECT_THROW(map_bytes(1.0, 0.0, Precision::kFp32), PreconditionError);
+}
+
+TEST(MemoryModel, MaxParticlesOnL1) {
+  const Gap9Spec spec;
+  // Fig 9 anchor: fp32 with the paper's 31.2 m² map in L1:
+  // (131072 − 62400) / 32 = 2146 particles.
+  EXPECT_EQ(max_particles(31.2, kRes, Precision::kFp32, spec.l1_bytes),
+            2146u);
+  // fp16qm: (131072 − 24960) / 16 = 6632 particles.
+  EXPECT_EQ(max_particles(31.2, kRes, Precision::kFp16Qm, spec.l1_bytes),
+            6632u);
+}
+
+TEST(MemoryModel, MaxParticlesOnL2) {
+  const Gap9Spec spec;
+  // L2 holds the paper's largest configuration: 16384 fp32 particles need
+  // 512 kB, leaving ≈ 1 MB for maps.
+  EXPECT_GE(max_particles(31.2, kRes, Precision::kFp32, spec.l2_bytes),
+            16384u);
+  // (1.5 MB − 512 kB) / 5 B per cell × 0.0025 m²/cell ≈ 524 m².
+  const double area =
+      max_map_area_m2(16384, kRes, Precision::kFp32, spec.l2_bytes);
+  EXPECT_NEAR(area, 524.0, 5.0);
+}
+
+TEST(MemoryModel, QuantizationExtendsCapacity) {
+  const Gap9Spec spec;
+  // At every map size, the quantized/fp16 representation fits at least
+  // 2× the particles of full precision (2 B vs 5 B cells, 16 vs 32 B
+  // particles).
+  for (const double area : {2.0, 8.0, 31.2, 64.0}) {
+    const std::size_t full =
+        max_particles(area, kRes, Precision::kFp32, spec.l1_bytes);
+    const std::size_t slim =
+        max_particles(area, kRes, Precision::kFp16Qm, spec.l1_bytes);
+    EXPECT_GE(slim, 2 * full) << "area=" << area;
+  }
+}
+
+TEST(MemoryModel, CapacityMonotoneDecreasingInArea) {
+  const Gap9Spec spec;
+  std::size_t prev = SIZE_MAX;
+  for (double area = 2.0; area <= 2048.0; area *= 2.0) {
+    const std::size_t n =
+        max_particles(area, kRes, Precision::kFp16Qm, spec.l2_bytes);
+    EXPECT_LE(n, prev);
+    prev = n;
+  }
+}
+
+TEST(MemoryModel, OversizedMapGivesZero) {
+  const Gap9Spec spec;
+  // 2048 m² at 5 B/cell = 4 MB ≫ L2.
+  EXPECT_EQ(max_particles(2048.0, kRes, Precision::kFp32, spec.l2_bytes),
+            0u);
+  EXPECT_EQ(max_map_area_m2(1 << 20, kRes, Precision::kFp32, spec.l1_bytes),
+            0.0);
+}
+
+TEST(MemoryModel, RoundTripConsistency) {
+  // max_map_area and max_particles must be mutually consistent: the area
+  // reported for N particles admits at least N particles.
+  const Gap9Spec spec;
+  for (const std::size_t n : {64u, 1024u, 16384u}) {
+    const double area =
+        max_map_area_m2(n, kRes, Precision::kFp32Qm, spec.l2_bytes);
+    ASSERT_GT(area, 0.0);
+    EXPECT_GE(max_particles(area * 0.99, kRes, Precision::kFp32Qm,
+                            spec.l2_bytes),
+              n);
+  }
+}
+
+}  // namespace
+}  // namespace tofmcl::platform

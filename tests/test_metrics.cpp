@@ -1,0 +1,139 @@
+// Tests for the evaluation metrics: convergence detection, ATE, the
+// success criterion and the convergence-probability curve.
+
+#include "eval/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace tofmcl::eval {
+namespace {
+
+ErrorSample at(double t, double pos, double yaw = 0.0) {
+  return {t, pos, yaw};
+}
+
+/// Single-sample convergence criteria for unit-testing the gate logic in
+/// isolation from the stability window.
+ConvergenceCriteria instant() {
+  ConvergenceCriteria c;
+  c.stable_steps = 1;
+  return c;
+}
+
+TEST(EvaluateRun, EmptyTraceNeverConverges) {
+  const RunMetrics m = evaluate_run({});
+  EXPECT_FALSE(m.converged);
+  EXPECT_FALSE(m.success);
+}
+
+TEST(EvaluateRun, NeverWithinGates) {
+  const RunMetrics m =
+      evaluate_run({at(0, 1.5), at(1, 0.8), at(2, 0.5), at(3, 0.3)});
+  EXPECT_FALSE(m.converged);
+  EXPECT_FALSE(m.success);
+}
+
+TEST(EvaluateRun, ConvergenceRequiresBothGates) {
+  // Position inside 0.2 m but yaw beyond 36° does not converge.
+  const RunMetrics m1 = evaluate_run({at(0, 0.1, deg_to_rad(90.0))}, instant());
+  EXPECT_FALSE(m1.converged);
+  // Both inside.
+  const RunMetrics m2 = evaluate_run({at(0, 0.1, deg_to_rad(10.0))}, instant());
+  EXPECT_TRUE(m2.converged);
+}
+
+TEST(EvaluateRun, ConvergenceTimeIsFirstCrossing) {
+  const RunMetrics m = evaluate_run(
+      {at(0, 2.0), at(1, 0.6), at(2, 0.15), at(3, 0.1)}, instant());
+  ASSERT_TRUE(m.converged);
+  EXPECT_DOUBLE_EQ(m.convergence_time_s, 2.0);
+}
+
+TEST(EvaluateRun, AteAveragedAfterConvergence) {
+  const RunMetrics m = evaluate_run(
+      {at(0, 3.0), at(1, 0.1), at(2, 0.2), at(3, 0.3)}, instant());
+  ASSERT_TRUE(m.converged);
+  EXPECT_NEAR(m.ate_m, 0.2, 1e-12);  // pre-convergence sample excluded
+  EXPECT_DOUBLE_EQ(m.max_error_after_convergence_m, 0.3);
+  EXPECT_TRUE(m.success);
+}
+
+TEST(EvaluateRun, DivergenceAfterConvergenceFails) {
+  // Converges then blows past 1 m: tracking is not reliable.
+  const RunMetrics m = evaluate_run(
+      {at(0, 0.1), at(1, 0.1), at(2, 2.5), at(3, 2.5), at(4, 2.5)},
+      instant());
+  ASSERT_TRUE(m.converged);
+  EXPECT_GT(m.ate_m, 1.0);
+  EXPECT_FALSE(m.success);
+}
+
+TEST(EvaluateRun, BriefSpikeToleratedByAte) {
+  // A short spike above 1 m keeps the mean below the bound — tracking is
+  // judged on the aggregate ATE, as in the paper.
+  std::vector<ErrorSample> trace{at(0, 0.1)};
+  for (int i = 1; i <= 20; ++i) trace.push_back(at(i, 0.1));
+  trace.push_back(at(21, 1.4));
+  trace.push_back(at(22, 0.1));
+  const RunMetrics m = evaluate_run(trace);
+  EXPECT_TRUE(m.success);
+  EXPECT_DOUBLE_EQ(m.max_error_after_convergence_m, 1.4);
+}
+
+TEST(EvaluateRun, StableWindowFiltersFlukes) {
+  // Default criteria require 3 consecutive in-gate samples: a single dip
+  // does not count as convergence.
+  const RunMetrics fluke = evaluate_run(
+      {at(0, 2.0), at(1, 0.1), at(2, 2.0), at(3, 2.0), at(4, 2.0)});
+  EXPECT_FALSE(fluke.converged);
+  // Three consecutive do, and convergence dates from the window start.
+  const RunMetrics real = evaluate_run(
+      {at(0, 2.0), at(1, 0.1), at(2, 0.1), at(3, 0.1), at(4, 0.1)});
+  ASSERT_TRUE(real.converged);
+  EXPECT_DOUBLE_EQ(real.convergence_time_s, 1.0);
+}
+
+TEST(EvaluateRun, CustomCriteria) {
+  ConvergenceCriteria strict;
+  strict.pos_m = 0.05;
+  const RunMetrics m = evaluate_run({at(0, 0.1)}, strict);
+  EXPECT_FALSE(m.converged);
+}
+
+TEST(ConvergenceCurve, MonotoneAndBounded) {
+  std::vector<RunMetrics> runs(4);
+  runs[0].converged = true;
+  runs[0].convergence_time_s = 5.0;
+  runs[1].converged = true;
+  runs[1].convergence_time_s = 20.0;
+  runs[2].converged = true;
+  runs[2].convergence_time_s = 45.0;
+  runs[3].converged = false;  // never
+  const ConvergenceCurve curve = convergence_curve(runs, 60.0, 61);
+  ASSERT_EQ(curve.time_s.size(), 61u);
+  EXPECT_DOUBLE_EQ(curve.probability.front(), 0.0);
+  EXPECT_DOUBLE_EQ(curve.probability.back(), 0.75);  // 3 of 4
+  double prev = 0.0;
+  for (const double p : curve.probability) {
+    EXPECT_GE(p, prev);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+  // P(t=20) counts the first two runs.
+  EXPECT_DOUBLE_EQ(curve.probability[20], 0.5);
+}
+
+TEST(ConvergenceCurve, RejectsBadArgs) {
+  EXPECT_THROW(convergence_curve({}, 0.0, 10), PreconditionError);
+  EXPECT_THROW(convergence_curve({}, 10.0, 1), PreconditionError);
+}
+
+TEST(ConvergenceCurve, EmptyRunsGiveZeroCurve) {
+  const ConvergenceCurve curve = convergence_curve({}, 10.0, 5);
+  for (const double p : curve.probability) EXPECT_DOUBLE_EQ(p, 0.0);
+}
+
+}  // namespace
+}  // namespace tofmcl::eval

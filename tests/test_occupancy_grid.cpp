@@ -1,0 +1,106 @@
+// Tests for the 3-state occupancy grid: coordinate anchoring, bounds
+// handling and cell bookkeeping.
+
+#include "map/occupancy_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace tofmcl::map {
+namespace {
+
+TEST(OccupancyGrid, ConstructionAndFill) {
+  const OccupancyGrid g(10, 5, 0.1, {1.0, 2.0});
+  EXPECT_EQ(g.width(), 10);
+  EXPECT_EQ(g.height(), 5);
+  EXPECT_EQ(g.cell_count(), 50u);
+  EXPECT_DOUBLE_EQ(g.resolution(), 0.1);
+  EXPECT_EQ(g.count(CellState::kUnknown), 50u);
+  EXPECT_EQ(g.count(CellState::kFree), 0u);
+}
+
+TEST(OccupancyGrid, RejectsInvalidConstruction) {
+  EXPECT_THROW(OccupancyGrid(0, 5, 0.1, {}), PreconditionError);
+  EXPECT_THROW(OccupancyGrid(5, -1, 0.1, {}), PreconditionError);
+  EXPECT_THROW(OccupancyGrid(5, 5, 0.0, {}), PreconditionError);
+  EXPECT_THROW(OccupancyGrid(5, 5, -0.5, {}), PreconditionError);
+}
+
+TEST(OccupancyGrid, SetAndGet) {
+  OccupancyGrid g(4, 4, 0.05, {}, CellState::kFree);
+  g.set({2, 3}, CellState::kOccupied);
+  EXPECT_EQ(g.at({2, 3}), CellState::kOccupied);
+  EXPECT_TRUE(g.is_occupied({2, 3}));
+  EXPECT_TRUE(g.is_free({0, 0}));
+  EXPECT_EQ(g.count(CellState::kOccupied), 1u);
+  EXPECT_EQ(g.count(CellState::kFree), 15u);
+}
+
+TEST(OccupancyGrid, OutOfBoundsAccessThrows) {
+  OccupancyGrid g(4, 4, 0.05, {});
+  EXPECT_THROW(g.at({4, 0}), PreconditionError);
+  EXPECT_THROW(g.at({0, -1}), PreconditionError);
+  EXPECT_THROW(g.set({-1, 0}, CellState::kFree), PreconditionError);
+}
+
+TEST(OccupancyGrid, WorldToCellAnchoring) {
+  // Origin at (1, 2), resolution 0.5: cell (0,0) covers [1,1.5)x[2,2.5).
+  const OccupancyGrid g(10, 10, 0.5, {1.0, 2.0});
+  EXPECT_EQ(g.world_to_cell({1.0, 2.0}), (CellIndex{0, 0}));
+  EXPECT_EQ(g.world_to_cell({1.49, 2.49}), (CellIndex{0, 0}));
+  EXPECT_EQ(g.world_to_cell({1.5, 2.0}), (CellIndex{1, 0}));
+  EXPECT_EQ(g.world_to_cell({0.99, 2.0}), (CellIndex{-1, 0}));
+}
+
+TEST(OccupancyGrid, CellCenterRoundTrip) {
+  const OccupancyGrid g(20, 20, 0.05, {-0.5, -0.5});
+  for (int y = 0; y < 20; y += 3) {
+    for (int x = 0; x < 20; x += 3) {
+      const Vec2 c = g.cell_center({x, y});
+      EXPECT_EQ(g.world_to_cell(c), (CellIndex{x, y}));
+    }
+  }
+}
+
+TEST(OccupancyGrid, StateAtWorldPoint) {
+  OccupancyGrid g(4, 4, 1.0, {}, CellState::kFree);
+  g.set({1, 1}, CellState::kOccupied);
+  EXPECT_EQ(g.state_at({1.5, 1.5}), CellState::kOccupied);
+  EXPECT_EQ(g.state_at({0.5, 0.5}), CellState::kFree);
+  // Out of map reads as Unknown rather than throwing.
+  EXPECT_EQ(g.state_at({-1.0, 0.0}), CellState::kUnknown);
+  EXPECT_EQ(g.state_at({100.0, 100.0}), CellState::kUnknown);
+}
+
+TEST(OccupancyGrid, BoundsAndArea) {
+  const OccupancyGrid g(40, 20, 0.05, {1.0, -1.0});
+  const Aabb b = g.bounds();
+  EXPECT_DOUBLE_EQ(b.min.x, 1.0);
+  EXPECT_DOUBLE_EQ(b.min.y, -1.0);
+  EXPECT_DOUBLE_EQ(b.max.x, 3.0);
+  EXPECT_DOUBLE_EQ(b.max.y, 0.0);
+  EXPECT_DOUBLE_EQ(g.area(), 2.0);
+}
+
+TEST(OccupancyGrid, FreeCellCenters) {
+  OccupancyGrid g(3, 3, 1.0, {}, CellState::kUnknown);
+  g.set({0, 0}, CellState::kFree);
+  g.set({2, 1}, CellState::kFree);
+  const auto centers = g.free_cell_centers();
+  ASSERT_EQ(centers.size(), 2u);
+  EXPECT_DOUBLE_EQ(centers[0].x, 0.5);
+  EXPECT_DOUBLE_EQ(centers[0].y, 0.5);
+  EXPECT_DOUBLE_EQ(centers[1].x, 2.5);
+  EXPECT_DOUBLE_EQ(centers[1].y, 1.5);
+}
+
+TEST(OccupancyGrid, OneBytePerCellLayout) {
+  // The paper stores 1 byte per cell; the memory model depends on it.
+  const OccupancyGrid g(7, 3, 0.05, {});
+  EXPECT_EQ(g.raw().size(), 21u);
+  EXPECT_EQ(sizeof(g.raw()[0]), 1u);
+}
+
+}  // namespace
+}  // namespace tofmcl::map

@@ -1,0 +1,75 @@
+// Tests for the table/CSV writer used by the bench harness.
+
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace tofmcl {
+namespace {
+
+TEST(Table, RowWidthEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_EQ(t.column_count(), 2u);
+}
+
+TEST(Table, RowBuilderTypes) {
+  Table t({"name", "value", "count", "signed"});
+  t.row().cell("x").cell(1.23456, 2).cell(std::size_t{7}).cell(-5LL).commit();
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "name,value,count,signed\nx,1.23,7,-5\n");
+}
+
+TEST(Table, PrintAligned) {
+  Table t({"col", "x"});
+  t.add_row({"longer-cell", "1"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header, separator, one row.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+  EXPECT_NE(out.find("longer-cell"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"a"});
+  t.add_row({"plain"});
+  t.add_row({"with,comma"});
+  t.add_row({"with\"quote"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a\nplain\n\"with,comma\"\n\"with\"\"quote\"\n");
+}
+
+TEST(Table, WriteCsvToFileCreatesDirectories) {
+  const auto dir = std::filesystem::temp_directory_path() / "tofmcl_test_csv";
+  std::filesystem::remove_all(dir);
+  Table t({"h"});
+  t.add_row({"v"});
+  const auto path = dir / "nested" / "out.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "h");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FormatFixed, Precision) {
+  EXPECT_EQ(format_fixed(1.0, 3), "1.000");
+  EXPECT_EQ(format_fixed(0.15, 2), "0.15");
+  EXPECT_EQ(format_fixed(-2.5, 0), "-2");  // round-half-even at 0 digits
+}
+
+}  // namespace
+}  // namespace tofmcl

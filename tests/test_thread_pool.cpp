@@ -1,0 +1,121 @@
+// Tests for the thread pool and the static chunk partitioning that mirrors
+// the GAP9 cluster's per-core particle distribution.
+
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace tofmcl {
+namespace {
+
+TEST(ChunkBegin, PartitionsEvenly) {
+  // 10 elements over 4 chunks: sizes 3,3,2,2.
+  EXPECT_EQ(chunk_begin(10, 4, 0), 0u);
+  EXPECT_EQ(chunk_begin(10, 4, 1), 3u);
+  EXPECT_EQ(chunk_begin(10, 4, 2), 6u);
+  EXPECT_EQ(chunk_begin(10, 4, 3), 8u);
+  EXPECT_EQ(chunk_begin(10, 4, 4), 10u);
+}
+
+TEST(ChunkBegin, ExactDivision) {
+  for (std::size_t i = 0; i <= 8; ++i) {
+    EXPECT_EQ(chunk_begin(64, 8, i), i * 8);
+  }
+}
+
+TEST(ChunkBegin, CoversWholeRangeProperty) {
+  for (std::size_t count : {1u, 7u, 64u, 1000u, 16384u}) {
+    for (std::size_t chunks : {1u, 2u, 3u, 8u}) {
+      EXPECT_EQ(chunk_begin(count, chunks, 0), 0u);
+      EXPECT_EQ(chunk_begin(count, chunks, chunks), count);
+      for (std::size_t i = 0; i < chunks; ++i) {
+        const std::size_t b = chunk_begin(count, chunks, i);
+        const std::size_t e = chunk_begin(count, chunks, i + 1);
+        EXPECT_LE(b, e);
+        // Chunk sizes differ by at most one.
+        const std::size_t size = e - b;
+        EXPECT_GE(size + 1, count / chunks);
+        EXPECT_LE(size, count / chunks + 1);
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForTouchesEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> touched(1000);
+  pool.parallel_for(touched.size(),
+                    [&touched](std::size_t i) { touched[i].fetch_add(1); });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroCount) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&called](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelChunksCoverRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(257);
+  std::atomic<int> chunks_seen{0};
+  pool.parallel_chunks(touched.size(), 8,
+                       [&](std::size_t, std::size_t begin, std::size_t end) {
+                         chunks_seen.fetch_add(1);
+                         for (std::size_t i = begin; i < end; ++i) {
+                           touched[i].fetch_add(1);
+                         }
+                       });
+  EXPECT_EQ(chunks_seen.load(), 8);
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPool, ChunksClampedToCount) {
+  ThreadPool pool(4);
+  std::atomic<int> chunks_seen{0};
+  pool.parallel_chunks(3, 8,
+                       [&](std::size_t, std::size_t, std::size_t) {
+                         chunks_seen.fetch_add(1);
+                       });
+  EXPECT_EQ(chunks_seen.load(), 3);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial) {
+  ThreadPool pool(4);
+  std::vector<double> values(10000);
+  std::iota(values.begin(), values.end(), 0.0);
+  std::vector<double> partial(8, 0.0);
+  pool.parallel_chunks(values.size(), 8,
+                       [&](std::size_t c, std::size_t b, std::size_t e) {
+                         for (std::size_t i = b; i < e; ++i) {
+                           partial[c] += values[i];
+                         }
+                       });
+  const double serial = std::accumulate(values.begin(), values.end(), 0.0);
+  const double parallel =
+      std::accumulate(partial.begin(), partial.end(), 0.0);
+  EXPECT_DOUBLE_EQ(parallel, serial);
+}
+
+TEST(ThreadPool, SizeReflectsConstruction) {
+  ThreadPool pool(5);
+  EXPECT_EQ(pool.size(), 5u);
+}
+
+}  // namespace
+}  // namespace tofmcl

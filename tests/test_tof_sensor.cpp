@@ -1,0 +1,209 @@
+// Tests for the VL53L5CX multizone sensor model: zone geometry, slant
+// ranges, error flags, the noise model and determinism.
+
+#include "sensor/tof_sensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/angles.hpp"
+#include "common/stats.hpp"
+
+namespace tofmcl::sensor {
+namespace {
+
+map::World box_world() {
+  map::World w;
+  w.add_rectangle({{-2.0, -2.0}, {2.0, 2.0}});
+  return w;
+}
+
+TofSensorConfig front_sensor() {
+  TofSensorConfig cfg;
+  cfg.sensor_id = 0;
+  cfg.mount = Pose2{0.0, 0.0, 0.0};  // at body center for geometric tests
+  return cfg;
+}
+
+TEST(ZoneGeometry, AzimuthSymmetricAndOrdered) {
+  const TofSensorConfig cfg = front_sensor();
+  // 8 columns over 45°: zone width 5.625°, outermost centers ±19.6875°.
+  EXPECT_NEAR(zone_azimuth(cfg, 0), deg_to_rad(19.6875), 1e-12);
+  EXPECT_NEAR(zone_azimuth(cfg, 7), deg_to_rad(-19.6875), 1e-12);
+  // Symmetric pairs.
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_NEAR(zone_azimuth(cfg, c), -zone_azimuth(cfg, 7 - c), 1e-12);
+  }
+  // Strictly decreasing from left to right.
+  for (int c = 1; c < 8; ++c) {
+    EXPECT_LT(zone_azimuth(cfg, c), zone_azimuth(cfg, c - 1));
+  }
+}
+
+TEST(ZoneGeometry, ElevationSymmetric) {
+  const TofSensorConfig cfg = front_sensor();
+  EXPECT_NEAR(zone_elevation(cfg, 0), deg_to_rad(-19.6875), 1e-12);
+  EXPECT_NEAR(zone_elevation(cfg, 7), deg_to_rad(19.6875), 1e-12);
+  EXPECT_NEAR(zone_elevation(cfg, 3), deg_to_rad(-2.8125), 1e-12);
+  EXPECT_NEAR(zone_elevation(cfg, 4), deg_to_rad(2.8125), 1e-12);
+}
+
+TEST(ZoneGeometry, FourByFourMode) {
+  TofSensorConfig cfg = front_sensor();
+  cfg.mode = ZoneMode::k4x4;
+  EXPECT_NEAR(zone_azimuth(cfg, 0), deg_to_rad(16.875), 1e-12);
+  EXPECT_NEAR(zone_azimuth(cfg, 3), deg_to_rad(-16.875), 1e-12);
+  EXPECT_THROW(zone_azimuth(cfg, 4), PreconditionError);
+}
+
+TEST(ZoneGeometry, ModeProperties) {
+  EXPECT_EQ(zones_per_side(ZoneMode::k8x8), 8);
+  EXPECT_EQ(zones_per_side(ZoneMode::k4x4), 4);
+  EXPECT_DOUBLE_EQ(max_rate_hz(ZoneMode::k8x8), 15.0);
+  EXPECT_DOUBLE_EQ(max_rate_hz(ZoneMode::k4x4), 60.0);
+}
+
+TEST(MultizoneToF, RejectsBadConfig) {
+  TofSensorConfig cfg = front_sensor();
+  cfg.fov_rad = 0.0;
+  EXPECT_THROW(MultizoneToF{cfg}, PreconditionError);
+  cfg = front_sensor();
+  cfg.max_range_m = 0.01;
+  EXPECT_THROW(MultizoneToF{cfg}, PreconditionError);
+  cfg = front_sensor();
+  cfg.flight_height_m = 2.0;  // above the walls
+  cfg.wall_height_m = 1.0;
+  EXPECT_THROW(MultizoneToF{cfg}, PreconditionError);
+}
+
+TEST(MultizoneToF, IdealFrameCenterZonesMeasureWallDistance) {
+  const MultizoneToF sensor(front_sensor());
+  // Facing +x from the center of a 4×4 box: wall at 2 m.
+  const TofFrame frame = sensor.measure_ideal(box_world(), {0, 0, 0}, 0.0);
+  ASSERT_EQ(frame.zones.size(), 64u);
+  // Central rows/columns: nearly straight ahead.
+  for (const int row : {3, 4}) {
+    for (const int col : {3, 4}) {
+      const ZoneMeasurement& z = frame.zone(row, col);
+      ASSERT_TRUE(z.valid()) << "row=" << row << " col=" << col;
+      const double az = zone_azimuth(sensor.config(), col);
+      const double el = zone_elevation(sensor.config(), row);
+      const double expected = 2.0 / std::cos(az) / std::cos(el);
+      EXPECT_NEAR(z.distance_m, expected, 1e-4);
+    }
+  }
+}
+
+TEST(MultizoneToF, SlantRangeGrowsWithElevation) {
+  const MultizoneToF sensor(front_sensor());
+  const TofFrame frame = sensor.measure_ideal(box_world(), {0, 0, 0}, 0.0);
+  // For the same column, higher |elevation| → longer slant range (until the
+  // beam leaves the wall panel).
+  const double d_center = static_cast<double>(frame.zone(4, 3).distance_m);
+  const double d_up =
+      frame.zone(5, 3).valid()
+          ? static_cast<double>(frame.zone(5, 3).distance_m)
+          : std::numeric_limits<double>::infinity();
+  EXPECT_GT(d_up, d_center);
+}
+
+TEST(MultizoneToF, HighElevationZonesOvershootWalls) {
+  // At 0.5 m flight height with 1 m walls and a wall 2 m away, a beam at
+  // +19.7° elevation reaches height 0.5 + 2·tan(19.7°) ≈ 1.22 m > 1 m:
+  // out of range.
+  const MultizoneToF sensor(front_sensor());
+  const TofFrame frame = sensor.measure_ideal(box_world(), {0, 0, 0}, 0.0);
+  EXPECT_EQ(frame.zone(7, 3).status, ZoneStatus::kOutOfRange);
+  // Downward beams hit the wall below: 0.5 - 2·tan(19.7°) < 0 → the floor,
+  // also out of range in our wall-only world.
+  EXPECT_EQ(frame.zone(0, 3).status, ZoneStatus::kOutOfRange);
+}
+
+TEST(MultizoneToF, OutOfRangeWhenNoWall) {
+  map::World w;
+  w.add_segment({10.0, -5.0}, {10.0, 5.0});  // beyond the 4 m limit
+  const MultizoneToF sensor(front_sensor());
+  const TofFrame frame = sensor.measure_ideal(w, {0, 0, 0}, 0.0);
+  for (const auto& z : frame.zones) {
+    EXPECT_EQ(z.status, ZoneStatus::kOutOfRange);
+  }
+}
+
+TEST(MultizoneToF, RearMountLooksBackwards) {
+  TofSensorConfig cfg = front_sensor();
+  cfg.sensor_id = 1;
+  cfg.mount = Pose2{-0.02, 0.0, kPi};
+  const MultizoneToF rear(cfg);
+  map::World w;
+  w.add_segment({-1.0, -5.0}, {-1.0, 5.0});  // wall behind the drone
+  const TofFrame frame = rear.measure_ideal(w, {0, 0, 0}, 0.0);
+  const ZoneMeasurement& z = frame.zone(4, 3);
+  ASSERT_TRUE(z.valid());
+  EXPECT_NEAR(z.distance_m, 0.98 / std::cos(deg_to_rad(2.8125)) /
+                                std::cos(deg_to_rad(2.8125)),
+              0.01);
+  EXPECT_EQ(frame.sensor_id, 1);
+}
+
+TEST(MultizoneToF, NoiseIsUnbiasedAndScaled) {
+  TofSensorConfig cfg = front_sensor();
+  cfg.p_interference = 0.0;
+  cfg.p_grazing_dropout = 0.0;
+  const MultizoneToF sensor(cfg);
+  Rng rng(99);
+  RunningStats stats;
+  const double ideal =
+      sensor.measure_ideal(box_world(), {0, 0, 0}, 0.0).zone(4, 4).distance_m;
+  for (int i = 0; i < 2000; ++i) {
+    const TofFrame f = sensor.measure(box_world(), {0, 0, 0}, 0.0, rng);
+    if (f.zone(4, 4).valid()) stats.add(f.zone(4, 4).distance_m);
+  }
+  EXPECT_NEAR(stats.mean(), ideal, 0.01);
+  const double expected_sigma = cfg.sigma_base_m +
+                                cfg.sigma_proportional * ideal;
+  EXPECT_NEAR(stats.stddev(), expected_sigma, 0.01);
+}
+
+TEST(MultizoneToF, InterferenceRateMatchesConfig) {
+  TofSensorConfig cfg = front_sensor();
+  cfg.p_interference = 0.2;
+  cfg.p_grazing_dropout = 0.0;
+  const MultizoneToF sensor(cfg);
+  Rng rng(7);
+  int flagged = 0;
+  int total = 0;
+  for (int i = 0; i < 500; ++i) {
+    const TofFrame f = sensor.measure(box_world(), {0, 0, 0}, 0.0, rng);
+    const ZoneMeasurement& z = f.zone(4, 4);
+    ++total;
+    if (z.status == ZoneStatus::kInterference) ++flagged;
+  }
+  EXPECT_NEAR(static_cast<double>(flagged) / total, 0.2, 0.05);
+}
+
+TEST(MultizoneToF, DeterministicGivenSeed) {
+  const MultizoneToF sensor(front_sensor());
+  Rng rng1(123);
+  Rng rng2(123);
+  const TofFrame a = sensor.measure(box_world(), {0.3, 0.1, 0.5}, 1.0, rng1);
+  const TofFrame b = sensor.measure(box_world(), {0.3, 0.1, 0.5}, 1.0, rng2);
+  ASSERT_EQ(a.zones.size(), b.zones.size());
+  for (std::size_t i = 0; i < a.zones.size(); ++i) {
+    EXPECT_EQ(a.zones[i].status, b.zones[i].status);
+    EXPECT_EQ(a.zones[i].distance_m, b.zones[i].distance_m);
+  }
+}
+
+TEST(MultizoneToF, FrameMetadata) {
+  const MultizoneToF sensor(front_sensor());
+  const TofFrame f = sensor.measure_ideal(box_world(), {0, 0, 0}, 3.25);
+  EXPECT_DOUBLE_EQ(f.timestamp_s, 3.25);
+  EXPECT_EQ(f.mode, ZoneMode::k8x8);
+  EXPECT_EQ(f.side(), 8);
+  EXPECT_THROW(f.zone(8, 0), PreconditionError);
+  EXPECT_THROW(f.zone(0, -1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace tofmcl::sensor

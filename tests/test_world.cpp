@@ -1,0 +1,176 @@
+// Tests for the continuous line-segment world: exact raycasting geometry,
+// clearance queries and the measurement-error perturbation.
+
+#include "map/world.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/angles.hpp"
+#include "common/rng.hpp"
+
+namespace tofmcl::map {
+namespace {
+
+TEST(World, RaycastHitsPerpendicularWall) {
+  World w;
+  w.add_segment({2.0, -1.0}, {2.0, 1.0});
+  const auto hit = w.raycast({0.0, 0.0}, 0.0, 10.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->distance, 2.0, 1e-12);
+  EXPECT_NEAR(hit->point.x, 2.0, 1e-12);
+  EXPECT_NEAR(hit->point.y, 0.0, 1e-12);
+  EXPECT_EQ(hit->segment, 0u);
+}
+
+TEST(World, RaycastMissesBehind) {
+  World w;
+  w.add_segment({2.0, -1.0}, {2.0, 1.0});
+  EXPECT_FALSE(w.raycast({0.0, 0.0}, kPi, 10.0).has_value());
+}
+
+TEST(World, RaycastRespectsMaxRange) {
+  World w;
+  w.add_segment({5.0, -1.0}, {5.0, 1.0});
+  EXPECT_FALSE(w.raycast({0.0, 0.0}, 0.0, 4.0).has_value());
+  EXPECT_TRUE(w.raycast({0.0, 0.0}, 0.0, 6.0).has_value());
+}
+
+TEST(World, RaycastPicksNearestOfManyWalls) {
+  World w;
+  w.add_segment({3.0, -1.0}, {3.0, 1.0});
+  w.add_segment({1.5, -1.0}, {1.5, 1.0});
+  w.add_segment({4.0, -1.0}, {4.0, 1.0});
+  const auto hit = w.raycast({0.0, 0.0}, 0.0, 10.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->distance, 1.5, 1e-12);
+  EXPECT_EQ(hit->segment, 1u);
+}
+
+TEST(World, RaycastAtAngle) {
+  World w;
+  w.add_segment({0.0, 2.0}, {10.0, 2.0});  // horizontal wall at y=2
+  const auto hit = w.raycast({1.0, 0.0}, kPi / 4.0, 10.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->distance, 2.0 * std::numbers::sqrt2, 1e-9);
+  EXPECT_NEAR(hit->point.x, 3.0, 1e-9);
+  EXPECT_NEAR(hit->point.y, 2.0, 1e-9);
+}
+
+TEST(World, RaycastParallelToWallMisses) {
+  World w;
+  w.add_segment({0.0, 1.0}, {10.0, 1.0});
+  EXPECT_FALSE(w.raycast({0.0, 0.0}, 0.0, 20.0).has_value());
+}
+
+TEST(World, RaycastSegmentEndpointInclusive) {
+  World w;
+  w.add_segment({2.0, 0.0}, {2.0, 1.0});
+  // Ray aimed exactly at the segment's lower endpoint.
+  const auto hit = w.raycast({0.0, 0.0}, 0.0, 10.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->distance, 2.0, 1e-12);
+}
+
+TEST(World, RectangleRaycastFromInside) {
+  World w;
+  w.add_rectangle({{0.0, 0.0}, {4.0, 2.0}});
+  EXPECT_EQ(w.segments().size(), 4u);
+  const Vec2 center{2.0, 1.0};
+  const auto right = w.raycast(center, 0.0, 10.0);
+  const auto up = w.raycast(center, kPi / 2.0, 10.0);
+  const auto left = w.raycast(center, kPi, 10.0);
+  const auto down = w.raycast(center, -kPi / 2.0, 10.0);
+  ASSERT_TRUE(right && up && left && down);
+  EXPECT_NEAR(right->distance, 2.0, 1e-12);
+  EXPECT_NEAR(up->distance, 1.0, 1e-12);
+  EXPECT_NEAR(left->distance, 2.0, 1e-12);
+  EXPECT_NEAR(down->distance, 1.0, 1e-12);
+}
+
+TEST(World, PolylineSegmentCount) {
+  World w;
+  w.add_polyline({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  EXPECT_EQ(w.segments().size(), 3u);
+}
+
+TEST(World, AddWorldWithOffset) {
+  World a;
+  a.add_segment({0.0, 0.0}, {1.0, 0.0});
+  World b;
+  b.add_world(a, {10.0, 5.0});
+  ASSERT_EQ(b.segments().size(), 1u);
+  EXPECT_DOUBLE_EQ(b.segments()[0].a.x, 10.0);
+  EXPECT_DOUBLE_EQ(b.segments()[0].b.x, 11.0);
+  EXPECT_DOUBLE_EQ(b.segments()[0].a.y, 5.0);
+}
+
+TEST(World, Bounds) {
+  World w;
+  w.add_segment({-1.0, 2.0}, {3.0, -4.0});
+  w.add_segment({0.0, 5.0}, {1.0, 1.0});
+  const Aabb b = w.bounds();
+  EXPECT_DOUBLE_EQ(b.min.x, -1.0);
+  EXPECT_DOUBLE_EQ(b.min.y, -4.0);
+  EXPECT_DOUBLE_EQ(b.max.x, 3.0);
+  EXPECT_DOUBLE_EQ(b.max.y, 5.0);
+}
+
+TEST(World, Clearance) {
+  World w;
+  w.add_segment({0.0, 0.0}, {4.0, 0.0});
+  EXPECT_NEAR(w.clearance({2.0, 1.5}), 1.5, 1e-12);
+  EXPECT_NEAR(w.clearance({-3.0, 4.0}), 5.0, 1e-12);  // to endpoint (0,0)
+  EXPECT_NEAR(w.clearance({2.0, 0.0}), 0.0, 1e-12);
+  EXPECT_TRUE(std::isinf(World{}.clearance({0.0, 0.0})));
+}
+
+TEST(World, PerturbedPreservesTopology) {
+  World w;
+  w.add_rectangle({{0.0, 0.0}, {4.0, 4.0}});
+  Rng rng(3);
+  const World p = w.perturbed(rng, 0.02);
+  ASSERT_EQ(p.segments().size(), w.segments().size());
+  double max_shift = 0.0;
+  for (std::size_t i = 0; i < p.segments().size(); ++i) {
+    max_shift = std::max(max_shift,
+                         (p.segments()[i].a - w.segments()[i].a).norm());
+    max_shift = std::max(max_shift,
+                         (p.segments()[i].b - w.segments()[i].b).norm());
+  }
+  EXPECT_GT(max_shift, 0.0);
+  EXPECT_LT(max_shift, 0.2);  // 10σ: overwhelmingly likely
+}
+
+TEST(World, PerturbedZeroSigmaIsIdentity) {
+  World w;
+  w.add_segment({1.0, 2.0}, {3.0, 4.0});
+  Rng rng(4);
+  const World p = w.perturbed(rng, 0.0);
+  EXPECT_DOUBLE_EQ(p.segments()[0].a.x, 1.0);
+  EXPECT_DOUBLE_EQ(p.segments()[0].b.y, 4.0);
+}
+
+TEST(World, RaycastConsistencyProperty) {
+  // Distance reported must equal the Euclidean distance to the hit point,
+  // and the hit point must lie on the segment.
+  World w;
+  w.add_rectangle({{-2.0, -2.0}, {2.0, 2.0}});
+  w.add_segment({0.0, -1.0}, {1.0, 1.0});
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const Vec2 origin{rng.uniform(-1.8, 1.8), rng.uniform(-1.8, 1.8)};
+    const double angle = rng.uniform(-kPi, kPi);
+    const auto hit = w.raycast(origin, angle, 10.0);
+    ASSERT_TRUE(hit.has_value());  // inside a closed box something is hit
+    EXPECT_NEAR((hit->point - origin).norm(), hit->distance, 1e-9);
+    const Segment& s = w.segments()[hit->segment];
+    const Vec2 e = s.b - s.a;
+    const double cross = (hit->point - s.a).cross(e);
+    EXPECT_NEAR(cross, 0.0, 1e-7);  // collinear with the segment
+  }
+}
+
+}  // namespace
+}  // namespace tofmcl::map

@@ -1,0 +1,74 @@
+// Diagnostic harness (not installed): replays a generated sequence through
+// the Localizer and prints error-over-time plus particle statistics, used
+// to tune the observation model parameters.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/angles.hpp"
+#include "core/localizer.hpp"
+#include "sim/maze.hpp"
+#include "sim/sequence_generator.hpp"
+
+using namespace tofmcl;
+
+int main(int argc, char** argv) {
+  const double sigma_obs = argc > 1 ? std::atof(argv[1]) : 0.1;
+  const std::size_t particles =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 4096;
+  const int plan_idx = argc > 3 ? std::atoi(argv[3]) : 1;
+  const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 11;
+  const bool scaled = argc > 5 && std::atoi(argv[5]) != 0;
+
+  const map::World maze = sim::drone_maze();
+  sim::EvaluationEnvironment env;
+  env.world = maze;
+  env.maze_regions.push_back({{0.0, 0.0}, {4.0, 4.0}});
+  const map::OccupancyGrid grid = sim::rasterize_environment(env, 0.05, 0.01);
+
+  const auto plans = sim::standard_flight_plans();
+  Rng rng(seed);
+  const sim::Sequence seq = sim::generate_sequence(
+      maze, plans[static_cast<std::size_t>(plan_idx)],
+      sim::default_generator_config(), rng);
+  std::printf("sequence %s: duration=%.1fs odom=%zu frames=%zu\n",
+              seq.name.c_str(), seq.duration_s, seq.odometry.size(),
+              seq.frames.size());
+
+  core::SerialExecutor exec;
+  core::LocalizerConfig cfg;
+  cfg.precision = core::Precision::kFp32;
+  cfg.mcl.num_particles = particles;
+  cfg.mcl.sigma_obs = sigma_obs;
+  cfg.mcl.seed = 5;
+  if (scaled) {
+    cfg.mcl.scale_noise_with_motion = true;
+    cfg.mcl.sigma_odom_xy = 0.2;
+    cfg.mcl.sigma_odom_yaw = 0.2;
+  }
+  core::Localizer loc(grid, cfg, exec);
+  loc.start_global();
+
+  std::size_t frame_idx = 0;
+  for (std::size_t i = 0; i < seq.odometry.size(); ++i) {
+    const double t = seq.odometry[i].t;
+    loc.on_odometry(seq.odometry[i].pose);
+    while (frame_idx + 1 < seq.frames.size() &&
+           seq.frames[frame_idx].timestamp_s <= t) {
+      const std::array<sensor::TofFrame, 2> pair{seq.frames[frame_idx],
+                                                 seq.frames[frame_idx + 1]};
+      if (loc.on_frames(pair)) {
+        const auto est = loc.estimate();
+        const Pose2 truth = sim::interpolate_pose(seq.ground_truth, t);
+        const double err = (est.pose.position - truth.position).norm();
+        const double yaw_err = angle_dist(est.pose.yaw, truth.yaw);
+        std::printf(
+            "t=%6.2f upd=%3zu err=%.3f yaw_err=%.3f stddev=%.3f conc=%.2f\n",
+            t, loc.updates_run(), err, yaw_err, est.position_stddev,
+            est.yaw_concentration);
+      }
+      frame_idx += 2;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Diagnostic: compares the fixed-per-update noise mode (paper literal)
+// with the distance-scaled mode across the Fig 6/7 sweep grid.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "eval/experiment.hpp"
+
+using namespace tofmcl;
+
+int main(int argc, char** argv) {
+  eval::SweepConfig cfg;
+  cfg.sequences = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 6;
+  cfg.seeds_per_sequence =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 2;
+  const bool scaled = argc > 3 && std::atoi(argv[3]) != 0;
+  cfg.particle_counts = {64, 256, 1024, 4096, 16384};
+  cfg.threads = 2;
+  if (scaled) {
+    cfg.mcl.scale_noise_with_motion = true;
+    cfg.mcl.sigma_odom_xy = 0.2;
+    cfg.mcl.sigma_odom_yaw = 0.2;
+  }
+  std::printf("mode=%s\n", scaled ? "scaled(0.2)" : "fixed(0.1)");
+  const auto result = eval::run_accuracy_sweep(cfg);
+  for (const auto& run : result.runs) {
+    if (!run.metrics.success && run.particles >= 4096) {
+      std::printf("FAIL %-10s N=%zu seq=%zu seed=%llu conv=%d t=%.1f ate=%.2f\n",
+                  eval::to_string(run.variant), run.particles, run.sequence,
+                  static_cast<unsigned long long>(run.seed),
+                  run.metrics.converged ? 1 : 0,
+                  run.metrics.convergence_time_s, run.metrics.ate_m);
+    }
+  }
+  for (const auto& cell : eval::summarize(cfg, result)) {
+    std::printf("%-10s N=%6zu ATE=%.3f success=%5.1f%% conv_t=%5.1fs (runs=%zu)\n",
+                eval::to_string(cell.variant), cell.particles,
+                cell.mean_ate_m, 100.0 * cell.success_rate,
+                cell.mean_convergence_s, cell.runs);
+  }
+  return 0;
+}
