@@ -1,0 +1,156 @@
+// Tests for the beam end-point observation likelihood (paper Eq. 1):
+// mixture shape, monotonicity in the distance-map error, the quantized
+// LUT path's agreement with the direct path, and out-of-map endpoint
+// handling (rmax ⇒ least-informative factor, never zero).
+
+#include "core/likelihood.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "map/distance_map.hpp"
+#include "map/occupancy_grid.hpp"
+
+namespace tofmcl::core {
+namespace {
+
+// A 1 m × 1 m free grid with a single occupied cell in the middle, so the
+// EDT grows monotonically away from the center.
+map::OccupancyGrid center_obstacle_grid() {
+  map::OccupancyGrid grid(20, 20, 0.05, {0.0, 0.0}, map::CellState::kFree);
+  grid.set({10, 10}, map::CellState::kOccupied);
+  return grid;
+}
+
+TEST(BeamLikelihood, PeaksAtZeroDistance) {
+  const BeamModelParams params;
+  EXPECT_FLOAT_EQ(beam_likelihood(0.0f, params), params.z_hit + params.z_rand);
+}
+
+TEST(BeamLikelihood, MonotoneNonIncreasingWithDistance) {
+  // Strictly decreasing while the Gaussian term is representable (≤ 5σ);
+  // beyond that fp32 underflow saturates the factor at exactly z_rand, so
+  // the tail is asserted non-increasing with the floor as its limit.
+  const BeamModelParams params;
+  float prev = beam_likelihood(0.0f, params);
+  for (float d = 0.05f; d <= 0.5f; d += 0.05f) {
+    const float cur = beam_likelihood(d, params);
+    EXPECT_LT(cur, prev) << "d=" << d;
+    prev = cur;
+  }
+  for (float d = 0.55f; d <= 1.5f; d += 0.05f) {
+    const float cur = beam_likelihood(d, params);
+    EXPECT_LE(cur, prev) << "d=" << d;
+    EXPECT_GE(cur, params.z_rand) << "d=" << d;
+    prev = cur;
+  }
+}
+
+TEST(BeamLikelihood, FloorAbsorbsUnexplainedBeams) {
+  // Far from any obstacle the Gaussian term vanishes but the z_rand floor
+  // keeps the factor strictly positive — one outlier beam must never
+  // annihilate a particle.
+  const BeamModelParams params;
+  const float far = beam_likelihood(10.0f, params);
+  EXPECT_GT(far, 0.0f);
+  EXPECT_NEAR(far, params.z_rand, 1e-6f);
+}
+
+TEST(BeamLikelihood, SharperSigmaDecaysFaster) {
+  BeamModelParams sharp;
+  sharp.sigma_obs = 0.05f;
+  BeamModelParams flat;
+  flat.sigma_obs = 0.5f;
+  // Same mixture weights, same distance: the sharp model penalizes a
+  // 0.2 m map mismatch much harder.
+  EXPECT_LT(beam_likelihood(0.2f, sharp), beam_likelihood(0.2f, flat));
+}
+
+TEST(LikelihoodLut, MatchesDirectEvaluationAtCodePoints) {
+  const BeamModelParams params;
+  const float step = 1.5f / 255.0f;
+  const LikelihoodLut lut(step, params);
+  for (int code = 0; code <= 255; ++code) {
+    const float d = static_cast<float>(code) * step;
+    EXPECT_FLOAT_EQ(lut[static_cast<std::uint8_t>(code)],
+                    beam_likelihood(d, params))
+        << "code=" << code;
+  }
+}
+
+TEST(LikelihoodLut, RejectsInvalidParameters) {
+  const BeamModelParams params;
+  EXPECT_THROW(LikelihoodLut(0.0f, params), PreconditionError);
+  BeamModelParams bad;
+  bad.sigma_obs = 0.0f;
+  EXPECT_THROW(LikelihoodLut(0.01f, bad), PreconditionError);
+}
+
+TEST(DirectObservationModel, MonotoneInDistanceMapError) {
+  // Factor at the obstacle cell must dominate, then fall monotonically as
+  // the queried endpoint moves away — the property resampling relies on.
+  const auto grid = center_obstacle_grid();
+  const map::DistanceMap dmap(grid, 1.5);
+  const DirectObservationModel model(dmap, {});
+
+  const float cx = 0.525f, cy = 0.525f;  // Center of the occupied cell.
+  float prev = model.factor(cx, cy);
+  for (int i = 1; i <= 8; ++i) {
+    const float cur = model.factor(cx + 0.05f * static_cast<float>(i), cy);
+    EXPECT_LE(cur, prev) << "offset cells=" << i;
+    prev = cur;
+  }
+}
+
+TEST(DirectObservationModel, OutOfMapEndpointIsLeastInformative) {
+  // An endpoint outside the map reads EDT = rmax: the factor equals the
+  // in-map factor at full truncation distance (≈ z_rand), is positive,
+  // and cannot beat any in-map endpoint nearer to an obstacle.
+  const auto grid = center_obstacle_grid();
+  const map::DistanceMap dmap(grid, 1.5);
+  const BeamModelParams params;
+  const DirectObservationModel model(dmap, params);
+
+  const float outside = model.factor(50.0f, -50.0f);
+  EXPECT_FLOAT_EQ(outside, beam_likelihood(dmap.rmax(), params));
+  EXPECT_GT(outside, 0.0f);
+  EXPECT_LE(outside, model.factor(0.525f, 0.525f));
+}
+
+TEST(LutObservationModel, AgreesWithDirectModelWithinQuantization) {
+  // The quantized path may differ from the direct path only by the
+  // likelihood change across one quantization step (≈ 2.9 mm of distance)
+  // — the paper's "no accuracy loss" claim at unit-test granularity.
+  const auto grid = center_obstacle_grid();
+  const map::DistanceMap dmap(grid, 1.5);
+  const map::QuantizedDistanceMap qmap(grid, 1.5);
+  const BeamModelParams params;
+  const DirectObservationModel direct(dmap, params);
+  const LutObservationModel lut(qmap, params);
+
+  // Worst-case likelihood slope: |dL/dd| ≤ z_hit/(σ√e) ⇒ bound the error
+  // by slope · step/2 with margin.
+  const float step = qmap.step();
+  const float tol =
+      params.z_hit / (params.sigma_obs * std::sqrt(std::exp(1.0f))) * step;
+  for (float x = 0.0f; x < 1.0f; x += 0.11f) {
+    for (float y = 0.0f; y < 1.0f; y += 0.13f) {
+      EXPECT_NEAR(lut.factor(x, y), direct.factor(x, y), tol)
+          << "(" << x << ", " << y << ")";
+    }
+  }
+}
+
+TEST(LutObservationModel, OutOfMapEndpointUsesTruncationCode) {
+  const auto grid = center_obstacle_grid();
+  const map::QuantizedDistanceMap qmap(grid, 1.5);
+  const BeamModelParams params;
+  const LutObservationModel model(qmap, params);
+  const LikelihoodLut lut(qmap.step(), params);
+  EXPECT_FLOAT_EQ(model.factor(-10.0f, 10.0f), lut[255]);
+  EXPECT_GT(model.factor(-10.0f, 10.0f), 0.0f);
+}
+
+}  // namespace
+}  // namespace tofmcl::core

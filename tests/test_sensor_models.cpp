@@ -1,0 +1,180 @@
+// Tests for the proprioceptive sensor models (estimation/sensor_models.hpp):
+// gyro bias and noise behaviour, optical-flow scale error and dropout —
+// the drift sources the EKF integrates and MCL must correct. Includes the
+// degenerate edge cases: noise-free configs reproduce truth exactly, and
+// zero-motion inputs stay zero-mean.
+
+#include "estimation/sensor_models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace tofmcl::estimation {
+namespace {
+
+GyroConfig noise_free_gyro() {
+  GyroConfig cfg;
+  cfg.noise_stddev_rad_s = 0.0;
+  cfg.initial_bias_rad_s = 0.0;
+  cfg.bias_walk_rad_s2 = 0.0;
+  return cfg;
+}
+
+FlowConfig noise_free_flow() {
+  FlowConfig cfg;
+  cfg.noise_stddev_m_s = 0.0;
+  cfg.scale_error_stddev = 0.0;
+  cfg.p_dropout = 0.0;
+  return cfg;
+}
+
+TEST(Gyro, NoiseFreeConfigReproducesTruthExactly) {
+  Rng rng(1);
+  Gyro gyro(noise_free_gyro(), rng);
+  EXPECT_DOUBLE_EQ(gyro.bias(), 0.0);
+  EXPECT_DOUBLE_EQ(gyro.measure(0.7, 0.01, rng), 0.7);
+  EXPECT_DOUBLE_EQ(gyro.measure(-1.3, 0.01, rng), -1.3);
+  // Zero-rate edge case: a stationary drone reads exactly zero.
+  EXPECT_DOUBLE_EQ(gyro.measure(0.0, 0.01, rng), 0.0);
+}
+
+TEST(Gyro, InitialBiasIsDrawnFromConfiguredSigma) {
+  // Over many constructions the bias draw must match N(0, σ): zero-mean,
+  // σ within a loose statistical gate.
+  GyroConfig cfg = noise_free_gyro();
+  cfg.initial_bias_rad_s = 0.01;
+  Rng rng(2);
+  RunningStats biases;
+  for (int i = 0; i < 2000; ++i) {
+    Gyro gyro(cfg, rng);
+    biases.add(gyro.bias());
+  }
+  EXPECT_NEAR(biases.mean(), 0.0, 0.001);
+  EXPECT_NEAR(biases.stddev(), cfg.initial_bias_rad_s,
+              0.2 * cfg.initial_bias_rad_s);
+}
+
+TEST(Gyro, MeasurementIsTruthPlusBiasOnAverage) {
+  GyroConfig cfg;
+  cfg.noise_stddev_rad_s = 0.005;
+  cfg.initial_bias_rad_s = 0.05;
+  cfg.bias_walk_rad_s2 = 0.0;  // Freeze the bias to isolate the offset.
+  Rng rng(3);
+  Gyro gyro(cfg, rng);
+  const double bias = gyro.bias();
+  RunningStats samples;
+  for (int i = 0; i < 4000; ++i) {
+    samples.add(gyro.measure(0.5, 0.01, rng));
+  }
+  EXPECT_NEAR(samples.mean(), 0.5 + bias, 3.0 * 0.005 / std::sqrt(4000.0));
+  EXPECT_NEAR(samples.stddev(), cfg.noise_stddev_rad_s,
+              0.1 * cfg.noise_stddev_rad_s);
+}
+
+TEST(Gyro, BiasRandomWalkAccumulates) {
+  GyroConfig cfg = noise_free_gyro();
+  cfg.bias_walk_rad_s2 = 0.01;
+  Rng rng(4);
+  Gyro gyro(cfg, rng);
+  const double initial = gyro.bias();
+  for (int i = 0; i < 1000; ++i) {
+    gyro.measure(0.0, 0.01, rng);
+  }
+  // After 1000 walk steps the bias has moved with probability ≈ 1.
+  EXPECT_NE(gyro.bias(), initial);
+  EXPECT_TRUE(std::isfinite(gyro.bias()));
+}
+
+TEST(Gyro, DeterministicForFixedSeed) {
+  GyroConfig cfg;  // Defaults: all noise mechanisms active.
+  Rng rng_a(42), rng_b(42);
+  Gyro a(cfg, rng_a), b(cfg, rng_b);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.measure(0.3, 0.01, rng_a), b.measure(0.3, 0.01, rng_b));
+  }
+}
+
+TEST(FlowSensor, NoiseFreeConfigReproducesTruthExactly) {
+  Rng rng(5);
+  const FlowSensor flow(noise_free_flow(), rng);
+  EXPECT_DOUBLE_EQ(flow.scale(), 1.0);
+  const FlowMeasurement m = flow.measure({0.4, -0.2}, rng);
+  ASSERT_TRUE(m.valid);
+  EXPECT_DOUBLE_EQ(m.velocity_body.x, 0.4);
+  EXPECT_DOUBLE_EQ(m.velocity_body.y, -0.2);
+}
+
+TEST(FlowSensor, ZeroVelocityStaysZeroMean) {
+  // Hover edge case: no systematic velocity may appear from the scale
+  // error (0 · scale = 0); only white noise remains.
+  FlowConfig cfg = noise_free_flow();
+  cfg.noise_stddev_m_s = 0.02;
+  cfg.scale_error_stddev = 0.5;  // Huge scale error, irrelevant at v = 0.
+  Rng rng(6);
+  const FlowSensor flow(cfg, rng);
+  RunningStats vx;
+  for (int i = 0; i < 4000; ++i) {
+    const FlowMeasurement m = flow.measure({0.0, 0.0}, rng);
+    ASSERT_TRUE(m.valid);
+    vx.add(m.velocity_body.x);
+  }
+  EXPECT_NEAR(vx.mean(), 0.0, 3.0 * 0.02 / std::sqrt(4000.0));
+}
+
+TEST(FlowSensor, ScaleErrorIsMultiplicative) {
+  FlowConfig cfg = noise_free_flow();
+  cfg.scale_error_stddev = 0.1;
+  Rng rng(7);
+  const FlowSensor flow(cfg, rng);
+  const double scale = flow.scale();
+  EXPECT_NE(scale, 1.0);
+  const FlowMeasurement m = flow.measure({1.0, 2.0}, rng);
+  ASSERT_TRUE(m.valid);
+  EXPECT_DOUBLE_EQ(m.velocity_body.x, scale * 1.0);
+  EXPECT_DOUBLE_EQ(m.velocity_body.y, scale * 2.0);
+}
+
+TEST(FlowSensor, DropoutRateMatchesConfig) {
+  FlowConfig cfg = noise_free_flow();
+  cfg.p_dropout = 0.25;
+  Rng rng(8);
+  const FlowSensor flow(cfg, rng);
+  int dropped = 0;
+  const int trials = 4000;
+  for (int i = 0; i < trials; ++i) {
+    if (!flow.measure({0.1, 0.0}, rng).valid) ++dropped;
+  }
+  const double rate = static_cast<double>(dropped) / trials;
+  EXPECT_NEAR(rate, cfg.p_dropout, 0.03);
+}
+
+TEST(FlowSensor, DroppedMeasurementIsInvalidAndZero) {
+  FlowConfig cfg = noise_free_flow();
+  cfg.p_dropout = 1.0;  // Degenerate edge: every update dropped.
+  Rng rng(9);
+  const FlowSensor flow(cfg, rng);
+  const FlowMeasurement m = flow.measure({3.0, -3.0}, rng);
+  EXPECT_FALSE(m.valid);
+  EXPECT_DOUBLE_EQ(m.velocity_body.x, 0.0);
+  EXPECT_DOUBLE_EQ(m.velocity_body.y, 0.0);
+}
+
+TEST(FlowSensor, DeterministicForFixedSeed) {
+  FlowConfig cfg;  // Defaults: all noise mechanisms active.
+  Rng rng_a(10), rng_b(10);
+  const FlowSensor a(cfg, rng_a), b(cfg, rng_b);
+  for (int i = 0; i < 100; ++i) {
+    const FlowMeasurement ma = a.measure({0.2, 0.1}, rng_a);
+    const FlowMeasurement mb = b.measure({0.2, 0.1}, rng_b);
+    EXPECT_EQ(ma.valid, mb.valid);
+    EXPECT_DOUBLE_EQ(ma.velocity_body.x, mb.velocity_body.x);
+    EXPECT_DOUBLE_EQ(ma.velocity_body.y, mb.velocity_body.y);
+  }
+}
+
+}  // namespace
+}  // namespace tofmcl::estimation
