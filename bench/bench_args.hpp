@@ -7,6 +7,8 @@
 ///   --sequences N     number of standard flight plans (1..6)
 ///   --seeds N         noise seeds per sequence
 ///   --threads N       worker threads (0 = hardware concurrency)
+///   --serial-runs     run-at-a-time reference schedule instead of the
+///                     batched campaign engine (bit-identical results)
 ///   --csv DIR         also write the series as CSV into DIR
 ///   --help            usage
 
@@ -22,6 +24,7 @@ struct BenchArgs {
   std::size_t sequences = 6;
   std::size_t seeds = 2;
   std::size_t threads = 0;
+  bool batched_runs = true;
   std::optional<std::string> csv_dir;
 };
 
@@ -33,6 +36,7 @@ inline void print_usage(const char* name, const char* description) {
       "  --sequences N   standard flight plans to use (1..6, default 6)\n"
       "  --seeds N       noise seeds per sequence (default 2)\n"
       "  --threads N     worker threads (default: hardware)\n"
+      "  --serial-runs   one run at a time instead of batched campaign\n"
       "  --csv DIR       write result series as CSV into DIR\n"
       "  --help          this message\n");
 }
@@ -62,6 +66,8 @@ inline BenchArgs parse_args(int argc, char** argv, const char* description) {
       args.seeds = static_cast<std::size_t>(std::atoi(value()));
     } else if (is("--threads")) {
       args.threads = static_cast<std::size_t>(std::atoi(value()));
+    } else if (is("--serial-runs")) {
+      args.batched_runs = false;
     } else if (is("--csv")) {
       args.csv_dir = value();
     } else {

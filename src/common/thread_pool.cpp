@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -26,37 +28,64 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
-  TOFMCL_EXPECTS(static_cast<bool>(task), "cannot submit empty task");
+void ThreadPool::enqueue(std::function<void()> task, bool chunk_task) {
   {
     std::lock_guard lock(mutex_);
-    queue_.push(std::move(task));
+    (chunk_task ? chunk_queue_ : queue_).push(std::move(task));
     ++in_flight_;
   }
   cv_task_.notify_one();
 }
 
+void ThreadPool::submit(std::function<void()> task) {
+  TOFMCL_EXPECTS(static_cast<bool>(task), "cannot submit empty task");
+  enqueue(std::move(task), /*chunk_task=*/false);
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+bool ThreadPool::run_one(std::unique_lock<std::mutex>& lock,
+                         bool chunk_only) {
+  std::queue<std::function<void()>>* queue = nullptr;
+  if (!chunk_queue_.empty()) {
+    queue = &chunk_queue_;
+  } else if (!chunk_only && !queue_.empty()) {
+    queue = &queue_;
+  } else {
+    return false;
+  }
+  std::function<void()> task = std::move(queue->front());
+  queue->pop();
+  lock.unlock();
+  try {
+    task();
+  } catch (...) {
+    lock.lock();
+    if (!first_error_) first_error_ = std::current_exception();
+    lock.unlock();
+  }
+  lock.lock();
+  --in_flight_;
+  if (in_flight_ == 0) cv_idle_.notify_all();
+  return true;
 }
 
 void ThreadPool::worker_loop() {
+  std::unique_lock lock(mutex_);
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock lock(mutex_);
-      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (stop_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop();
-    }
-    task();
-    {
-      std::lock_guard lock(mutex_);
-      --in_flight_;
-      if (in_flight_ == 0) cv_idle_.notify_all();
-    }
+    cv_task_.wait(lock, [this] {
+      return stop_ || !chunk_queue_.empty() || !queue_.empty();
+    });
+    if (stop_ && chunk_queue_.empty() && queue_.empty()) return;
+    run_one(lock, /*chunk_only=*/false);
   }
 }
 
@@ -73,23 +102,68 @@ void ThreadPool::parallel_chunks(
     const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
   if (count == 0) return;
   chunks = std::clamp<std::size_t>(chunks, 1, count);
-  // The calling thread runs chunk 0; the pool runs the rest. A dedicated
-  // latch-style counter avoids interleaving with unrelated submitted work.
-  std::atomic<std::size_t> remaining(chunks - 1);
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+
+  // Per-call completion state. Chunk failures are captured here (not in
+  // first_error_) so the exception surfaces on THIS caller, not on some
+  // unrelated wait_idle().
+  struct CallState {
+    std::atomic<std::size_t> remaining{0};
+    std::exception_ptr error;  // guarded by the pool mutex
+  };
+  auto state = std::make_shared<CallState>();
+  state->remaining.store(chunks - 1, std::memory_order_relaxed);
+
   for (std::size_t c = 1; c < chunks; ++c) {
-    submit([&, c] {
-      fn(c, chunk_begin(count, chunks, c), chunk_begin(count, chunks, c + 1));
-      if (remaining.fetch_sub(1) == 1) {
-        std::lock_guard lock(done_mutex);
-        done_cv.notify_all();
-      }
-    });
+    enqueue(
+        [this, state, &fn, c, count, chunks] {
+          try {
+            fn(c, chunk_begin(count, chunks, c),
+               chunk_begin(count, chunks, c + 1));
+          } catch (...) {
+            std::lock_guard lock(mutex_);
+            if (!state->error) state->error = std::current_exception();
+          }
+          // Decrement under the pool mutex: the waiter below re-checks
+          // `remaining` under the same mutex before sleeping, so the
+          // final notify can never be lost.
+          bool last = false;
+          {
+            std::lock_guard lock(mutex_);
+            last =
+                state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1;
+          }
+          if (last) cv_task_.notify_all();
+        },
+        /*chunk_task=*/true);
   }
-  fn(0, chunk_begin(count, chunks, 0), chunk_begin(count, chunks, 1));
-  std::unique_lock lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+
+  // The calling thread runs chunk 0 ...
+  std::exception_ptr local_error;
+  try {
+    fn(0, chunk_begin(count, chunks, 0), chunk_begin(count, chunks, 1));
+  } catch (...) {
+    local_error = std::current_exception();
+  }
+
+  // ... then helps drain the CHUNK queue until its own chunks are done.
+  // Helping (instead of plain blocking) is what makes nested fork-join
+  // safe: a pool task may itself call parallel_chunks without
+  // deadlocking even when every worker is busy — its chunks are either
+  // running or in chunk_queue_, where the waiter can execute them
+  // itself. General tasks are never stolen here: a chunk barrier must
+  // not stall behind (or recurse into) an unrelated long-running task.
+  std::unique_lock lock(mutex_);
+  while (state->remaining.load(std::memory_order_acquire) != 0) {
+    if (!run_one(lock, /*chunk_only=*/true)) {
+      cv_task_.wait(lock, [&] {
+        return state->remaining.load(std::memory_order_acquire) == 0 ||
+               !chunk_queue_.empty();
+      });
+    }
+  }
+  std::exception_ptr error = local_error ? local_error : state->error;
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace tofmcl

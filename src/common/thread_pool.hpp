@@ -5,9 +5,28 @@
 /// Used by the evaluation harness to spread independent localization runs
 /// across host cores, and by the ThreadPoolExecutor to emulate the GAP9
 /// cluster's fork-join execution style on the host.
+///
+/// Two properties matter for the campaign engine built on top:
+///
+///  * Exceptions do not kill the process. A throwing task is captured and
+///    rethrown on the thread that observes completion: `parallel_chunks`
+///    rethrows the first failure of its own chunks before returning, and
+///    `wait_idle` rethrows the first failure of plainly `submit`ted tasks.
+///    The worker keeps running and `in_flight_` stays balanced either way
+///    (previously a throw escaped `worker_loop` → std::terminate, and a
+///    hypothetical survivor would have deadlocked `wait_idle`).
+///
+///  * `parallel_chunks` may be called from INSIDE a pool task (nested
+///    fork-join). Chunk tasks live in a dedicated queue; while waiting
+///    for its chunks the calling thread helps drain THAT queue (never the
+///    general one), so run-level tasks and filter-level chunk tasks can
+///    share one pool without deadlock, and a fine-grained chunk barrier
+///    can never stall behind — or recurse into — a stolen long-running
+///    general task.
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -27,12 +46,13 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueue a task; returns immediately. Tasks must not throw — exceptions
-  /// escaping a task terminate the program (fail-fast, per the pool's use
-  /// for pure compute kernels). Wrap fallible work in the caller.
+  /// Enqueue a task; returns immediately. If the task throws, the first
+  /// such exception is captured and rethrown by the next wait_idle() call;
+  /// the worker thread survives and later tasks still run.
   void submit(std::function<void()> task);
 
-  /// Block until every submitted task has finished.
+  /// Block until every submitted task has finished. Rethrows the first
+  /// exception captured from a submitted task since the last wait_idle().
   void wait_idle();
 
   /// Run fn(i) for i in [0, count), partitioned into contiguous chunks and
@@ -43,21 +63,33 @@ class ThreadPool {
 
   /// Run fn(chunk_index, begin, end) over `chunks` contiguous ranges of
   /// [0, count), matching the static particle partitioning the paper uses
-  /// on the GAP9 cluster. Blocks until done.
+  /// on the GAP9 cluster. Blocks until done; while blocked, the calling
+  /// thread executes other queued tasks (safe to call from inside a pool
+  /// task). Rethrows the first exception thrown by any chunk, after all
+  /// chunks have completed.
   void parallel_chunks(
       std::size_t count, std::size_t chunks,
       const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
 
  private:
   void worker_loop();
+  void enqueue(std::function<void()> task, bool chunk_task);
+  /// Pops and runs one queued task — chunk tasks first; general tasks
+  /// only when `chunk_only` is false. `lock` must hold mutex_ on entry
+  /// and holds it again on return. Returns false if nothing was eligible.
+  bool run_one(std::unique_lock<std::mutex>& lock, bool chunk_only);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<std::function<void()>> queue_;        ///< General tasks.
+  std::queue<std::function<void()>> chunk_queue_;  ///< parallel_chunks work.
   std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+  /// First exception thrown by a plain submit() task (parallel_chunks
+  /// failures are tracked per call, not here). Guarded by mutex_.
+  std::exception_ptr first_error_;
 };
 
 /// Split [0, count) into `chunks` nearly-equal contiguous ranges; chunk i

@@ -44,6 +44,13 @@ inline float beam_likelihood(float distance, const BeamModelParams& params) {
 }
 
 /// Precomputed per-code likelihoods for a quantized distance map.
+///
+/// Each entry is evaluated at the map's reconstruction value for that code
+/// (QuantizedDistanceMap::reconstruct — the bin center under its
+/// round-to-nearest rule), so `lut[code]` equals `beam_likelihood` of the
+/// distance the map actually reports for that code, bit for bit. The
+/// quantization rule lives in ONE place; the table cannot drift to a bin
+/// edge if the map's rounding ever changes.
 class LikelihoodLut {
  public:
   /// `step` is the meters-per-code of the quantized map.
@@ -51,7 +58,8 @@ class LikelihoodLut {
     TOFMCL_EXPECTS(step > 0.0f, "quantization step must be positive");
     TOFMCL_EXPECTS(params.sigma_obs > 0.0f, "sigma_obs must be positive");
     for (std::size_t code = 0; code < table_.size(); ++code) {
-      const float d = static_cast<float>(code) * step;
+      const float d = map::QuantizedDistanceMap::reconstruct(
+          static_cast<std::uint8_t>(code), step);
       table_[code] = beam_likelihood(d, params);
     }
   }
@@ -89,6 +97,12 @@ class LutObservationModel {
   LutObservationModel(const map::QuantizedDistanceMap& map,
                       const BeamModelParams& params)
       : map_(&map), lut_(map.step(), params) {}
+
+  /// Shares a prebuilt table (copied — 1 KB) so evaluation campaigns pay
+  /// the 256 transcendental evaluations once per map, not once per run.
+  LutObservationModel(const map::QuantizedDistanceMap& map,
+                      const LikelihoodLut& lut)
+      : map_(&map), lut_(lut) {}
 
   float factor(float world_x, float world_y) const {
     return lut_[map_->code_at({world_x, world_y})];

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 namespace tofmcl::core {
 
@@ -29,44 +30,109 @@ std::vector<sensor::TofSensorConfig> default_sensors() {
   return {front, rear};
 }
 
+BeamModelParams beam_params(const MclConfig& mcl) {
+  return BeamModelParams{static_cast<float>(mcl.sigma_obs),
+                         static_cast<float>(mcl.z_hit),
+                         static_cast<float>(mcl.z_rand)};
+}
+
+bool params_equal(const BeamModelParams& a, const BeamModelParams& b) {
+  return a.sigma_obs == b.sigma_obs && a.z_hit == b.z_hit &&
+         a.z_rand == b.z_rand;
+}
+
 }  // namespace
 
-Localizer::FilterVariant Localizer::make_filter(
-    const map::OccupancyGrid& grid, const LocalizerConfig& config,
-    Executor& executor, std::optional<map::DistanceMap>& float_map,
-    std::optional<map::QuantizedDistanceMap>& quantized_map) {
+std::shared_ptr<const MapResources> build_map_resources(
+    const map::OccupancyGrid& grid, const MclConfig& mcl,
+    std::span<const Precision> precisions) {
+  TOFMCL_EXPECTS(!precisions.empty(), "need at least one precision");
+  auto res = std::make_shared<MapResources>();
+  res->free_cells = grid.free_cell_centers();
+  res->cell_jitter = grid.resolution() / 2.0;
+  res->rmax = mcl.rmax;
+  const bool need_float =
+      std::find(precisions.begin(), precisions.end(), Precision::kFp32) !=
+      precisions.end();
+  const bool need_quantized =
+      std::find_if(precisions.begin(), precisions.end(), [](Precision p) {
+        return p == Precision::kFp32Qm || p == Precision::kFp16Qm;
+      }) != precisions.end();
+  if (need_float) res->float_map.emplace(grid, mcl.rmax);
+  if (need_quantized) {
+    res->quantized_map.emplace(grid, mcl.rmax);
+    res->lut_params = beam_params(mcl);
+    res->lut.emplace(res->quantized_map->step(), res->lut_params);
+  }
+  return res;
+}
+
+namespace {
+
+/// Builds a quantized-map filter, reusing the shared LUT when it was
+/// built for this run's beam-model parameters and falling back to a
+/// per-filter table otherwise.
+template <typename Traits, typename Variant>
+Variant make_qm_filter(const MapResources& maps, const LocalizerConfig& config,
+                       Executor& executor) {
+  TOFMCL_EXPECTS(maps.quantized_map.has_value(),
+                 "shared map resources lack the quantized EDT");
+  if (maps.lut.has_value() &&
+      params_equal(maps.lut_params, beam_params(config.mcl))) {
+    return Variant(std::in_place_type<ParticleFilter<Traits>>,
+                   *maps.quantized_map, config.mcl, executor,
+                   LutObservationModel(*maps.quantized_map, *maps.lut));
+  }
+  return Variant(std::in_place_type<ParticleFilter<Traits>>,
+                 *maps.quantized_map, config.mcl, executor);
+}
+
+}  // namespace
+
+Localizer::FilterVariant Localizer::make_filter(const MapResources& maps,
+                                                const LocalizerConfig& config,
+                                                Executor& executor) {
   switch (config.precision) {
     case Precision::kFp32:
-      float_map.emplace(grid, config.mcl.rmax);
+      TOFMCL_EXPECTS(maps.float_map.has_value(),
+                     "shared map resources lack the float EDT");
       return FilterVariant(std::in_place_type<ParticleFilter<Fp32Traits>>,
-                           *float_map, config.mcl, executor);
+                           *maps.float_map, config.mcl, executor);
     case Precision::kFp32Qm:
-      quantized_map.emplace(grid, config.mcl.rmax);
-      return FilterVariant(std::in_place_type<ParticleFilter<Fp32QmTraits>>,
-                           *quantized_map, config.mcl, executor);
+      return make_qm_filter<Fp32QmTraits, FilterVariant>(maps, config,
+                                                         executor);
     case Precision::kFp16Qm:
-      quantized_map.emplace(grid, config.mcl.rmax);
-      return FilterVariant(std::in_place_type<ParticleFilter<Fp16QmTraits>>,
-                           *quantized_map, config.mcl, executor);
+      return make_qm_filter<Fp16QmTraits, FilterVariant>(maps, config,
+                                                         executor);
   }
   throw ConfigError("unknown precision variant");
 }
 
 Localizer::Localizer(const map::OccupancyGrid& grid,
                      const LocalizerConfig& config, Executor& executor)
+    : Localizer(build_map_resources(grid, config.mcl,
+                                    std::span<const Precision>(
+                                        &config.precision, 1)),
+                config, executor) {}
+
+Localizer::Localizer(std::shared_ptr<const MapResources> maps,
+                     const LocalizerConfig& config, Executor& executor)
     : config_(config),
-      free_cells_(grid.free_cell_centers()),
-      cell_jitter_(grid.resolution() / 2.0),
-      filter_(make_filter(grid, config_, executor, float_map_,
-                          quantized_map_)) {
-  TOFMCL_EXPECTS(!free_cells_.empty(),
+      maps_(std::move(maps)),
+      filter_(make_filter(*maps_, config_, executor)) {
+  TOFMCL_EXPECTS(!maps_->free_cells.empty(),
                  "map has no free cells to localize in");
+  TOFMCL_EXPECTS(maps_->rmax == config_.mcl.rmax,
+                 "shared map resources built with a different rmax");
   if (config_.sensors.empty()) config_.sensors = default_sensors();
 }
 
 void Localizer::start_global() {
-  std::visit([&](auto& pf) { pf.init_uniform(free_cells_, cell_jitter_); },
-             filter_);
+  std::visit(
+      [&](auto& pf) {
+        pf.init_uniform(maps_->free_cells, maps_->cell_jitter);
+      },
+      filter_);
   last_motion_odom_ = current_odom_;
   gate_odom_ = current_odom_;
   updates_run_ = 0;
@@ -79,7 +145,7 @@ void Localizer::start_at(const Pose2& pose, double sigma_xy,
         pf.init_gaussian(pose, sigma_xy, sigma_yaw);
         // Recovery injection works in tracking mode too: a kidnapped or
         // lost tracker can re-seed hypotheses across the free space.
-        pf.set_injection_support(free_cells_, cell_jitter_);
+        pf.set_injection_support(maps_->free_cells, maps_->cell_jitter);
       },
       filter_);
   last_motion_odom_ = current_odom_;
@@ -101,6 +167,7 @@ bool Localizer::gate_passed(const Pose2& delta) const {
 bool Localizer::on_frames(std::span<const sensor::TofFrame> frames) {
   if (!current_odom_ || !last_motion_odom_) return false;
 
+  std::size_t usable = 0;
   std::vector<sensor::Beam> beams;
   for (const sensor::TofFrame& frame : frames) {
     const auto it = std::find_if(
@@ -108,13 +175,33 @@ bool Localizer::on_frames(std::span<const sensor::TofFrame> frames) {
         [&](const sensor::TofSensorConfig& s) {
           return s.sensor_id == frame.sensor_id;
         });
-    TOFMCL_EXPECTS(it != config_.sensors.end(),
-                   "frame from an unconfigured sensor_id");
+    // Malformed frames are dropped, not fatal: an unconfigured sensor id,
+    // a mode differing from the configured sensor, or a zone payload that
+    // does not match the advertised mode. The rest of the batch (and the
+    // flight loop) continues.
+    const auto zones_expected =
+        static_cast<std::size_t>(frame.side()) *
+        static_cast<std::size_t>(frame.side());
+    if (it == config_.sensors.end() || frame.mode != it->mode ||
+        frame.zones.size() != zones_expected) {
+      ++dropped_frames_;
+      continue;
+    }
+    ++usable;
     const auto frame_beams =
         sensor::extract_beams(frame, *it, config_.extraction);
     beams.insert(beams.end(), frame_beams.begin(), frame_beams.end());
   }
 
+  // A batch whose every frame was malformed must not consume the
+  // correction gate: sample the motion model (odometry accrued) but keep
+  // the gate armed so the next VALID frame still gets its correction. A
+  // usable frame with zero extractable beams still steps the full filter
+  // — that is real (if uninformative) sensor data, unchanged semantics.
+  if (!frames.empty() && usable == 0) {
+    step_motion_only();
+    return false;
+  }
   return step_filter(beams);
 }
 
@@ -123,20 +210,31 @@ bool Localizer::on_beams(std::span<const sensor::Beam> beams) {
   return step_filter(beams);
 }
 
+void Localizer::step_motion_only() {
+  const Pose2 motion_delta = last_motion_odom_->between(*current_odom_);
+  last_motion_odom_ = current_odom_;
+  std::visit([&](auto& pf) { pf.motion_update(motion_delta); }, filter_);
+}
+
 bool Localizer::step_filter(std::span<const sensor::Beam> beams) {
   // Motion phase on every tick: sample the proposal with the odometry
   // accrued since the last motion update. The σ_odom noise injected here
   // at the frame rate is what maintains particle diversity.
   const Pose2 motion_delta = last_motion_odom_->between(*current_odom_);
-  std::visit([&](auto& pf) { pf.motion_update(motion_delta); }, filter_);
   last_motion_odom_ = current_odom_;
 
-  // Correction phases only after enough motion (paper's dxy/dθ gate).
+  // Correction phases only after enough motion (paper's dxy/dθ gate). The
+  // gate depends on odometry alone, so it is decided first: a gated-out
+  // tick runs the lone motion phase, a correction runs the fused
+  // motion+observation pass (one sweep over the particle state).
   const Pose2 gate_delta = gate_odom_->between(*current_odom_);
-  if (!gate_passed(gate_delta)) return false;
+  if (!gate_passed(gate_delta)) {
+    std::visit([&](auto& pf) { pf.motion_update(motion_delta); }, filter_);
+    return false;
+  }
   std::visit(
       [&](auto& pf) {
-        pf.observation_update(beams);
+        pf.motion_observation_update(motion_delta, beams);
         pf.resample();
         pf.compute_pose();
       },
@@ -152,15 +250,25 @@ const PoseEstimate& Localizer::estimate() const {
       filter_);
 }
 
+const UpdateWorkload& Localizer::workload() const {
+  return std::visit(
+      [](const auto& pf) -> const UpdateWorkload& { return pf.workload(); },
+      filter_);
+}
+
 std::size_t Localizer::map_bytes() const {
-  if (float_map_) {
-    return static_cast<std::size_t>(float_map_->width()) *
-           static_cast<std::size_t>(float_map_->height()) *
-           map::DistanceMap::bytes_per_cell();
+  switch (config_.precision) {
+    case Precision::kFp32:
+      return static_cast<std::size_t>(maps_->float_map->width()) *
+             static_cast<std::size_t>(maps_->float_map->height()) *
+             map::DistanceMap::bytes_per_cell();
+    case Precision::kFp32Qm:
+    case Precision::kFp16Qm:
+      return static_cast<std::size_t>(maps_->quantized_map->width()) *
+             static_cast<std::size_t>(maps_->quantized_map->height()) *
+             map::QuantizedDistanceMap::bytes_per_cell();
   }
-  return static_cast<std::size_t>(quantized_map_->width()) *
-         static_cast<std::size_t>(quantized_map_->height()) *
-         map::QuantizedDistanceMap::bytes_per_cell();
+  return 0;
 }
 
 std::size_t Localizer::particle_bytes() const {

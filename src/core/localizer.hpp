@@ -2,8 +2,8 @@
 /// \file localizer.hpp
 /// \brief Runtime facade over the templated particle filter.
 ///
-/// Owns the distance-map representation matching the selected precision,
-/// converts multizone ToF frames to beams, applies the paper's
+/// Owns (or shares) the distance-map representation matching the selected
+/// precision, converts multizone ToF frames to beams, applies the paper's
 /// asynchronous update gating (dxy / dθ, Section III-C2) and dispatches to
 /// the right ParticleFilter instantiation. This is the class an
 /// application integrates:
@@ -13,8 +13,17 @@
 ///     loc.on_odometry(ekf_pose);          // whenever odometry ticks
 ///     loc.on_frames(frames_at_same_t);    // whenever ToF frames arrive
 ///     const auto est = loc.estimate();
+///
+/// Evaluation campaigns that run MANY localizers over one map build the
+/// expensive read-only state once with build_map_resources() and hand the
+/// same MapResources to every run:
+///
+///     auto maps = core::build_map_resources(grid, cfg.mcl, precisions);
+///     core::Localizer a(maps, cfg_run_a, exec), b(maps, cfg_run_b, exec);
 
+#include <memory>
 #include <optional>
+#include <span>
 #include <variant>
 #include <vector>
 
@@ -35,12 +44,42 @@ struct LocalizerConfig {
   std::vector<sensor::TofSensorConfig> sensors;
 };
 
+/// Read-only per-map state shared by every localizer on that map: the
+/// free-space support, the distance field(s) and the likelihood LUT. Built
+/// once per (grid, MCL parameters) and handed out as shared_ptr-to-const;
+/// campaign batches reuse it across all concurrent runs.
+struct MapResources {
+  std::vector<Vec2> free_cells;
+  double cell_jitter = 0.0;
+  double rmax = 0.0;
+  std::optional<map::DistanceMap> float_map;
+  std::optional<map::QuantizedDistanceMap> quantized_map;
+  /// Prebuilt LUT for the quantized maps; only valid for filters whose
+  /// beam-model parameters equal lut_params.
+  std::optional<LikelihoodLut> lut;
+  BeamModelParams lut_params{};
+};
+
+/// Builds the resources needed by `precisions` from one occupancy grid:
+/// the float EDT iff kFp32 is requested, the quantized EDT (plus LUT) iff
+/// a *qm precision is requested. `mcl` supplies rmax and the beam-model
+/// parameters baked into the LUT.
+std::shared_ptr<const MapResources> build_map_resources(
+    const map::OccupancyGrid& grid, const MclConfig& mcl,
+    std::span<const Precision> precisions);
+
 class Localizer {
  public:
   /// Builds the distance representation for `config.precision` from the
   /// occupancy grid. The grid itself is not retained.
   Localizer(const map::OccupancyGrid& grid, const LocalizerConfig& config,
             Executor& executor);
+
+  /// Shares prebuilt map resources (see build_map_resources). The
+  /// resources must contain the representation `config.precision` needs
+  /// and must have been built with the same rmax.
+  Localizer(std::shared_ptr<const MapResources> maps,
+            const LocalizerConfig& config, Executor& executor);
 
   /// Global localization: uniform over the grid's free cells.
   void start_global();
@@ -57,6 +96,12 @@ class Localizer {
   /// observation + resampling + pose phases run only once the drone has
   /// moved dxy or rotated dθ since the last correction. Returns true when
   /// the correction ran.
+  ///
+  /// Malformed frames — an unconfigured sensor_id, a zone-mode mismatch
+  /// with the configured sensor, or a zone count inconsistent with the
+  /// mode — are skipped and counted in dropped_frames() instead of
+  /// aborting the flight loop: one corrupt radio packet must not ground
+  /// the drone.
   bool on_frames(std::span<const sensor::TofFrame> frames);
 
   /// Convenience for pre-extracted beams (used by benches/tests).
@@ -68,6 +113,10 @@ class Localizer {
   std::size_t num_particles() const { return config_.mcl.num_particles; }
   /// Number of update cycles that actually ran (passed the gate).
   std::size_t updates_run() const { return updates_run_; }
+  /// Frames rejected by on_frames() since construction.
+  std::size_t dropped_frames() const { return dropped_frames_; }
+  /// Workload of the most recent correction (particles × beams).
+  const UpdateWorkload& workload() const;
 
   /// Map memory of the active representation, bytes (Fig 9 accounting).
   std::size_t map_bytes() const;
@@ -79,30 +128,31 @@ class Localizer {
       std::variant<ParticleFilter<Fp32Traits>, ParticleFilter<Fp32QmTraits>,
                    ParticleFilter<Fp16QmTraits>>;
 
-  /// Builds the distance map for the chosen precision into the optionals
-  /// and returns the matching filter instantiation.
-  static FilterVariant make_filter(
-      const map::OccupancyGrid& grid, const LocalizerConfig& config,
-      Executor& executor, std::optional<map::DistanceMap>& float_map,
-      std::optional<map::QuantizedDistanceMap>& quantized_map);
+  /// Returns the filter instantiation matching config.precision, built on
+  /// the shared map resources (and their prebuilt LUT when applicable).
+  static FilterVariant make_filter(const MapResources& maps,
+                                   const LocalizerConfig& config,
+                                   Executor& executor);
 
   bool gate_passed(const Pose2& delta) const;
+  /// Motion phase only, without touching the correction gate (used when a
+  /// frame batch carried no usable frames).
+  void step_motion_only();
   /// Runs the motion phase for odometry accrued since the last motion
-  /// update, then the gated correction phases. Returns true if the
-  /// correction ran.
+  /// update, then the gated correction phases (motion and observation
+  /// fused into one particle pass when the gate opens). Returns true if
+  /// the correction ran.
   bool step_filter(std::span<const sensor::Beam> beams);
 
   LocalizerConfig config_;
-  std::vector<Vec2> free_cells_;
-  double cell_jitter_;
-  std::optional<map::DistanceMap> float_map_;
-  std::optional<map::QuantizedDistanceMap> quantized_map_;
+  std::shared_ptr<const MapResources> maps_;
   FilterVariant filter_;
 
   std::optional<Pose2> current_odom_;
   std::optional<Pose2> last_motion_odom_;  ///< Odometry at last motion update.
   std::optional<Pose2> gate_odom_;         ///< Odometry at last correction.
   std::size_t updates_run_ = 0;
+  std::size_t dropped_frames_ = 0;
 };
 
 }  // namespace tofmcl::core

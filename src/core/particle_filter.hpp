@@ -17,6 +17,15 @@
 ///                            (Fig 4), bit-identical to the serial wheel
 ///   4. pose computation    — weighted mean, circular mean for yaw
 ///
+/// Particles live in structure-of-arrays storage (particle_soa.hpp) so the
+/// per-particle kernels stream unit-stride over each field and vectorize;
+/// phases 1 and 2 are additionally available fused into one pass
+/// (motion_observation_update) so a correction touches the particle state
+/// once instead of twice. Both the fusion and the SoA layout are pure
+/// re-orderings of memory traffic: every particle still sees the exact
+/// arithmetic (and per-chunk RNG stream) of the phase-by-phase path, so
+/// results are bit-identical to it.
+///
 /// Given a fixed chunk count, results are bit-identical on every executor;
 /// threads only change wall-clock. Per-chunk RNG streams make the whole
 /// filter reproducible from MclConfig::seed.
@@ -28,6 +37,7 @@
 #include <array>
 #include <cmath>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/angles.hpp"
@@ -38,6 +48,7 @@
 #include "core/likelihood.hpp"
 #include "core/mcl_config.hpp"
 #include "core/particle.hpp"
+#include "core/particle_soa.hpp"
 #include "fp16/half.hpp"
 #include "map/distance_map.hpp"
 #include "sensor/beam_model.hpp"
@@ -86,26 +97,53 @@ struct UpdateWorkload {
   std::size_t beams = 0;
 };
 
+/// State of the Augmented-MCL likelihood monitor (Probabilistic Robotics
+/// §8.3), exposed for diagnostics and regression tests. Averages are of
+/// the per-beam-normalized observation likelihood, so they are comparable
+/// across beam counts and stay finite for arbitrarily many beams.
+struct InjectionMonitor {
+  double w_slow = 0.0;         ///< Long-term average likelihood.
+  double w_fast = 0.0;         ///< Short-term average likelihood.
+  double last_inject_p = 0.0;  ///< Injection fraction of the last resample.
+};
+
 template <typename Traits>
 class ParticleFilter {
  public:
   using Scalar = typename Traits::Scalar;
   using Map = typename Traits::Map;
   using ParticleT = Particle<Scalar>;
+  using ObservationModel = typename Traits::ObservationModel;
 
   /// The map must outlive the filter.
   ParticleFilter(const Map& map, const MclConfig& config, Executor& executor)
+      : ParticleFilter(map, config, executor,
+                       ObservationModel(
+                           map, BeamModelParams{
+                                    static_cast<float>(config.sigma_obs),
+                                    static_cast<float>(config.z_hit),
+                                    static_cast<float>(config.z_rand)})) {}
+
+  /// Variant taking a prebuilt observation model (e.g. a shared likelihood
+  /// LUT from a campaign's per-map resources). The model must reference
+  /// the same `map`.
+  ParticleFilter(const Map& map, const MclConfig& config, Executor& executor,
+                 ObservationModel observation_model)
       : map_(&map),
         config_(config),
         executor_(&executor),
-        observation_model_(
-            map, BeamModelParams{static_cast<float>(config.sigma_obs),
-                                 static_cast<float>(config.z_hit),
-                                 static_cast<float>(config.z_rand)}) {
+        observation_model_(std::move(observation_model)) {
     TOFMCL_EXPECTS(config.num_particles > 0, "need at least one particle");
     TOFMCL_EXPECTS(config.chunks > 0 && config.chunks <= kMaxChunks,
                    "chunk count must be in [1, 64]");
     TOFMCL_EXPECTS(config.sigma_obs > 0.0, "sigma_obs must be positive");
+    TOFMCL_EXPECTS(config.z_hit + config.z_rand > 0.0,
+                   "z_hit + z_rand must be positive");
+    // Folding the per-beam normalizer into the observation kernel keeps
+    // weights of well-matched particles near 1 regardless of beam count
+    // (see observation_update). Exactly 1.0 when z_hit + z_rand == 1.
+    per_beam_scale_ =
+        static_cast<float>(1.0 / (config_.z_hit + config_.z_rand));
     particles_.resize(config_.num_particles);
     back_buffer_.resize(config_.num_particles);
     chunk_sums_.resize(config_.chunks);
@@ -120,11 +158,18 @@ class ParticleFilter {
 
   const MclConfig& config() const { return config_; }
   const Map& map() const { return *map_; }
-  std::span<const ParticleT> particles() const { return particles_; }
+  /// AoS-style read view over the SoA storage (see particle_soa.hpp).
+  ParticleSpan<Scalar, true> particles() const {
+    return ParticleSpan<Scalar, true>(particles_);
+  }
   /// Advanced: direct particle access for custom initialization or
   /// injection schemes (e.g. kidnapped-robot recovery). The filter makes
   /// no assumption about weights beyond being non-negative and finite.
-  std::span<ParticleT> mutable_particles() { return particles_; }
+  ParticleSpan<Scalar, false> mutable_particles() {
+    return ParticleSpan<Scalar, false>(particles_);
+  }
+  /// Raw field arrays, for kernels and benches that want the SoA layout.
+  const ParticleSoA<Scalar>& soa() const { return particles_; }
   std::size_t size() const { return particles_.size(); }
 
   /// Global localization init: particles drawn uniformly over the support
@@ -140,10 +185,9 @@ class ParticleFilter {
           Rng& rng = rngs_[chunk];
           for (std::size_t i = begin; i < end; ++i) {
             const Vec2 center = support[rng.uniform_index(support.size())];
-            particles_[i] = make_particle(
-                center.x + rng.uniform(-jitter, jitter),
-                center.y + rng.uniform(-jitter, jitter),
-                rng.uniform(-kPi, kPi), 1.0);
+            store(particles_, i, center.x + rng.uniform(-jitter, jitter),
+                  center.y + rng.uniform(-jitter, jitter),
+                  rng.uniform(-kPi, kPi), 1.0);
           }
         });
     estimate_.valid = false;
@@ -164,10 +208,9 @@ class ParticleFilter {
         [&](std::size_t chunk, std::size_t begin, std::size_t end) {
           Rng& rng = rngs_[chunk];
           for (std::size_t i = begin; i < end; ++i) {
-            particles_[i] = make_particle(
-                rng.gaussian(mean.x(), sigma_xy),
-                rng.gaussian(mean.y(), sigma_xy),
-                wrap_pi(rng.gaussian(mean.yaw, sigma_yaw)), 1.0);
+            store(particles_, i, rng.gaussian(mean.x(), sigma_xy),
+                  rng.gaussian(mean.y(), sigma_xy),
+                  wrap_pi(rng.gaussian(mean.yaw, sigma_yaw)), 1.0);
           }
         });
     estimate_.valid = false;
@@ -182,39 +225,29 @@ class ParticleFilter {
   /// configured rate per distance traveled regardless of how often the
   /// motion model is sampled, and a hovering drone does not diffuse.
   void motion_update(const Pose2& delta) {
-    const auto dx0 = delta.x();
-    const auto dy0 = delta.y();
-    const auto dyaw0 = delta.yaw;
-    double noise_scale = 1.0;
-    if (config_.scale_noise_with_motion) {
-      const double gate_fraction =
-          delta.position.norm() / config_.gate_dxy +
-          std::abs(delta.yaw) / config_.gate_dtheta;
-      noise_scale = std::sqrt(std::min(gate_fraction, 4.0));
-    }
-    const double sxy = config_.sigma_odom_xy * noise_scale;
-    const double syaw = config_.sigma_odom_yaw * noise_scale;
+    const MotionParams mp = motion_params(delta);
     executor_->for_chunks(
         particles_.size(), config_.chunks,
         [&](std::size_t chunk, std::size_t begin, std::size_t end) {
           Rng& rng = rngs_[chunk];
           for (std::size_t i = begin; i < end; ++i) {
-            ParticleT& p = particles_[i];
-            const float dx = static_cast<float>(rng.gaussian(dx0, sxy));
-            const float dy = static_cast<float>(rng.gaussian(dy0, sxy));
-            const float dyaw = static_cast<float>(rng.gaussian(dyaw0, syaw));
-            const float yaw = static_cast<float>(p.yaw);
-            const float c = std::cos(yaw);
-            const float s = std::sin(yaw);
-            p.x = Scalar(static_cast<float>(p.x) + c * dx - s * dy);
-            p.y = Scalar(static_cast<float>(p.y) + s * dx + c * dy);
-            p.yaw = Scalar(wrap_pi_f(yaw + dyaw));
+            motion_step(i, mp, rng);
           }
         });
   }
 
   /// Phase 2 — observation update: multiply each particle's weight by the
-  /// beam end-point likelihood of every (valid) beam.
+  /// per-beam-normalized end-point likelihood of every (valid) beam.
+  ///
+  /// Each factor is scaled by 1/(z_hit + z_rand) — its maximum — before
+  /// multiplying, which is the log-space normalization
+  /// exp(Σ log f_b − B·log f_max) folded into the product one beam at a
+  /// time. A perfectly matched particle keeps weight ≈ 1 for ANY beam
+  /// count, where the unnormalized product (max f_max^B) underflows fp32
+  /// storage once B is large and f_max < 1 — e.g. 128 beams from two 8×8
+  /// sensors — silently zeroing every weight and with it the Augmented-MCL
+  /// recovery monitor. When z_hit + z_rand == 1 (the defaults) the scale
+  /// is exactly 1.0f and the arithmetic is unchanged bit for bit.
   void observation_update(std::span<const sensor::Beam> beams) {
     workload_.particles = particles_.size();
     workload_.beams = beams.size();
@@ -223,21 +256,29 @@ class ParticleFilter {
         particles_.size(), config_.chunks,
         [&](std::size_t, std::size_t begin, std::size_t end) {
           for (std::size_t i = begin; i < end; ++i) {
-            ParticleT& p = particles_[i];
-            const float x = static_cast<float>(p.x);
-            const float y = static_cast<float>(p.y);
-            const float yaw = static_cast<float>(p.yaw);
-            const float c = std::cos(yaw);
-            const float s = std::sin(yaw);
-            float w = static_cast<float>(p.weight);
-            for (const sensor::Beam& beam : beams) {
-              const float bx = beam.endpoint_body.x;
-              const float by = beam.endpoint_body.y;
-              const float ex = x + c * bx - s * by;
-              const float ey = y + s * bx + c * by;
-              w *= observation_model_.factor(ex, ey);
-            }
-            p.weight = Scalar(w);
+            observation_step(i, beams);
+          }
+        });
+  }
+
+  /// Phases 1+2 fused: one pass over the particle state per correction.
+  /// Bit-identical to motion_update(delta) followed by
+  /// observation_update(beams) — the observation consumes no randomness,
+  /// so fusing preserves each chunk's RNG stream, and every particle's
+  /// arithmetic is untouched; only the traversal order over (particle,
+  /// phase) changes.
+  void motion_observation_update(const Pose2& delta,
+                                 std::span<const sensor::Beam> beams) {
+    const MotionParams mp = motion_params(delta);
+    workload_.particles = particles_.size();
+    workload_.beams = beams.size();
+    executor_->for_chunks(
+        particles_.size(), config_.chunks,
+        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+          Rng& rng = rngs_[chunk];
+          for (std::size_t i = begin; i < end; ++i) {
+            motion_step(i, mp, rng);
+            if (!beams.empty()) observation_step(i, beams);
           }
         });
   }
@@ -250,6 +291,7 @@ class ParticleFilter {
     const std::size_t n = particles_.size();
     const std::size_t chunks =
         std::clamp<std::size_t>(config_.chunks, 1, n);
+    monitor_.last_inject_p = 0.0;
 
     // Step 1 (parallel): per-chunk weight sums — these are the partial
     // sums the paper stores during weight normalization. The squared sums
@@ -260,7 +302,7 @@ class ParticleFilter {
           double sum_sq = 0.0;
           for (std::size_t i = begin; i < end; ++i) {
             const double w = static_cast<double>(static_cast<float>(
-                particles_[i].weight));
+                particles_.weight[i]));
             sum += w;
             sum_sq += w * w;
           }
@@ -279,7 +321,8 @@ class ParticleFilter {
     if (!(total > 0.0) || !std::isfinite(total)) {
       // Degenerate weights (all zero/NaN): keep the particle set, reset
       // weights — the next observation re-weights from scratch.
-      for (ParticleT& p : particles_) p.weight = Scalar(1.0f);
+      std::fill(particles_.weight.begin(), particles_.weight.end(),
+                Scalar(1.0f));
       return;
     }
 
@@ -296,8 +339,8 @@ class ParticleFilter {
             n, chunks,
             [&](std::size_t, std::size_t begin, std::size_t end) {
               for (std::size_t i = begin; i < end; ++i) {
-                particles_[i].weight = Scalar(
-                    static_cast<float>(particles_[i].weight) * scale);
+                particles_.weight[i] = Scalar(
+                    static_cast<float>(particles_.weight[i]) * scale);
               }
             });
         return;
@@ -307,26 +350,29 @@ class ParticleFilter {
     // Augmented-MCL likelihood monitoring: compare the short- and
     // long-term averages of the per-particle likelihood (weights are 1
     // after each resample, so total/n is the mean observation
-    // likelihood). Normalizing by the per-beam maximum makes the value
-    // comparable across beam counts.
+    // likelihood). The observation kernel already normalized every factor
+    // by its per-beam maximum, so total/n is directly comparable across
+    // beam counts — no pow(per_beam_max, beams) divisor, whose underflow
+    // for large beam counts used to turn w_avg into inf/NaN and silently
+    // disable (or saturate) recovery injection.
     double inject_p = 0.0;
     if (config_.enable_injection && !support_.empty() &&
         workload_.beams > 0) {
-      const double per_beam_max = config_.z_hit + config_.z_rand;
-      const double w_avg =
-          total / static_cast<double>(n) /
-          std::pow(per_beam_max, static_cast<double>(workload_.beams));
-      if (w_slow_ <= 0.0) {
-        w_slow_ = w_avg;
-        w_fast_ = w_avg;
+      const double w_avg = total / static_cast<double>(n);
+      if (monitor_.w_slow <= 0.0) {
+        monitor_.w_slow = w_avg;
+        monitor_.w_fast = w_avg;
       } else {
-        w_slow_ += config_.injection_alpha_slow * (w_avg - w_slow_);
-        w_fast_ += config_.injection_alpha_fast * (w_avg - w_fast_);
+        monitor_.w_slow +=
+            config_.injection_alpha_slow * (w_avg - monitor_.w_slow);
+        monitor_.w_fast +=
+            config_.injection_alpha_fast * (w_avg - monitor_.w_fast);
       }
-      if (w_slow_ > 0.0) {
-        inject_p = std::clamp(1.0 - w_fast_ / w_slow_, 0.0,
+      if (monitor_.w_slow > 0.0) {
+        inject_p = std::clamp(1.0 - monitor_.w_fast / monitor_.w_slow, 0.0,
                               config_.injection_max_fraction);
       }
+      monitor_.last_inject_p = inject_p;
     }
 
     // One random number spins the wheel; arrows sit at u0 + i·step.
@@ -355,25 +401,24 @@ class ParticleFilter {
           std::size_t src = begin;
           double cum = chunk_prefix_[chunk] +
                        static_cast<double>(static_cast<float>(
-                           particles_[src].weight));
+                           particles_.weight[src]));
           for (; arrow < arrow_end; ++arrow) {
             const double u = u0 + static_cast<double>(arrow) * step;
             while (u >= cum && src + 1 < end) {
               ++src;
               cum += static_cast<double>(static_cast<float>(
-                  particles_[src].weight));
+                  particles_.weight[src]));
             }
-            ParticleT& out = back_buffer_[arrow];
             if (inject_p > 0.0 && rng.bernoulli(inject_p)) {
               const Vec2 center =
                   support_[rng.uniform_index(support_.size())];
-              out = make_particle(
-                  center.x + rng.uniform(-support_jitter_, support_jitter_),
-                  center.y + rng.uniform(-support_jitter_, support_jitter_),
-                  rng.uniform(-kPi, kPi), 1.0);
+              store(back_buffer_, arrow,
+                    center.x + rng.uniform(-support_jitter_, support_jitter_),
+                    center.y + rng.uniform(-support_jitter_, support_jitter_),
+                    rng.uniform(-kPi, kPi), 1.0);
             } else {
-              out = particles_[src];
-              out.weight = Scalar(1.0f);
+              back_buffer_.copy_from(particles_, arrow, src);
+              back_buffer_.weight[arrow] = Scalar(1.0f);
             }
           }
         });
@@ -394,12 +439,14 @@ class ParticleFilter {
         n, chunks, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
           Accum a;
           for (std::size_t i = begin; i < end; ++i) {
-            const ParticleT& p = particles_[i];
-            const double w = static_cast<double>(static_cast<float>(p.weight));
-            const double x = static_cast<double>(static_cast<float>(p.x));
-            const double y = static_cast<double>(static_cast<float>(p.y));
+            const double w = static_cast<double>(static_cast<float>(
+                particles_.weight[i]));
+            const double x = static_cast<double>(static_cast<float>(
+                particles_.x[i]));
+            const double y = static_cast<double>(static_cast<float>(
+                particles_.y[i]));
             const double yaw =
-                static_cast<double>(static_cast<float>(p.yaw));
+                static_cast<double>(static_cast<float>(particles_.yaw[i]));
             a.w += w;
             a.wx += w * x;
             a.wy += w * y;
@@ -436,10 +483,9 @@ class ParticleFilter {
     return est;
   }
 
-  /// One full update cycle in the paper's order.
+  /// One full update cycle in the paper's order (phases 1+2 fused).
   PoseEstimate update(const Pose2& delta, std::span<const sensor::Beam> beams) {
-    motion_update(delta);
-    observation_update(beams);
+    motion_observation_update(delta, beams);
     resample();
     return compute_pose();
   }
@@ -448,29 +494,89 @@ class ParticleFilter {
   const PoseEstimate& estimate() const { return estimate_; }
   /// Workload of the most recent observation update.
   const UpdateWorkload& workload() const { return workload_; }
+  /// Augmented-MCL monitor state (diagnostics / regression tests).
+  const InjectionMonitor& injection_monitor() const { return monitor_; }
 
  private:
   static constexpr std::size_t kMaxChunks = 64;
+
+  /// Per-update motion constants, hoisted out of the particle loop. All
+  /// kept in double: the Gaussian mean/σ feed Rng::gaussian in double
+  /// precision exactly as the phase-by-phase path always did.
+  struct MotionParams {
+    double dx0, dy0, dyaw0;
+    double sxy, syaw;
+  };
+
+  MotionParams motion_params(const Pose2& delta) const {
+    double noise_scale = 1.0;
+    if (config_.scale_noise_with_motion) {
+      const double gate_fraction =
+          delta.position.norm() / config_.gate_dxy +
+          std::abs(delta.yaw) / config_.gate_dtheta;
+      noise_scale = std::sqrt(std::min(gate_fraction, 4.0));
+    }
+    return MotionParams{delta.x(), delta.y(), delta.yaw,
+                        config_.sigma_odom_xy * noise_scale,
+                        config_.sigma_odom_yaw * noise_scale};
+  }
+
+  /// Motion kernel body for one particle (3 Gaussian draws from the
+  /// chunk's RNG, body-frame delta rotated into the world frame).
+  inline void motion_step(std::size_t i, const MotionParams& mp, Rng& rng) {
+    const float dx = static_cast<float>(rng.gaussian(mp.dx0, mp.sxy));
+    const float dy = static_cast<float>(rng.gaussian(mp.dy0, mp.sxy));
+    const float dyaw = static_cast<float>(rng.gaussian(mp.dyaw0, mp.syaw));
+    const float yaw = static_cast<float>(particles_.yaw[i]);
+    const float c = std::cos(yaw);
+    const float s = std::sin(yaw);
+    particles_.x[i] =
+        Scalar(static_cast<float>(particles_.x[i]) + c * dx - s * dy);
+    particles_.y[i] =
+        Scalar(static_cast<float>(particles_.y[i]) + s * dx + c * dy);
+    particles_.yaw[i] = Scalar(wrap_pi_f(yaw + dyaw));
+  }
+
+  /// Observation kernel body for one particle: transform each beam end
+  /// point by the particle pose and fold the normalized factor into the
+  /// weight. Consumes no randomness.
+  inline void observation_step(std::size_t i,
+                               std::span<const sensor::Beam> beams) {
+    const float x = static_cast<float>(particles_.x[i]);
+    const float y = static_cast<float>(particles_.y[i]);
+    const float yaw = static_cast<float>(particles_.yaw[i]);
+    const float c = std::cos(yaw);
+    const float s = std::sin(yaw);
+    float w = static_cast<float>(particles_.weight[i]);
+    for (const sensor::Beam& beam : beams) {
+      const float bx = beam.endpoint_body.x;
+      const float by = beam.endpoint_body.y;
+      const float ex = x + c * bx - s * by;
+      const float ey = y + s * bx + c * by;
+      w *= observation_model_.factor(ex, ey) * per_beam_scale_;
+    }
+    particles_.weight[i] = Scalar(w);
+  }
 
   static float wrap_pi_f(float angle) {
     return static_cast<float>(wrap_pi(static_cast<double>(angle)));
   }
 
-  static ParticleT make_particle(double x, double y, double yaw, double w) {
-    ParticleT p;
-    p.x = Scalar(static_cast<float>(x));
-    p.y = Scalar(static_cast<float>(y));
-    p.yaw = Scalar(static_cast<float>(yaw));
-    p.weight = Scalar(static_cast<float>(w));
-    return p;
+  static void store(ParticleSoA<Scalar>& soa, std::size_t i, double x,
+                    double y, double yaw, double w) {
+    soa.x[i] = Scalar(static_cast<float>(x));
+    soa.y[i] = Scalar(static_cast<float>(y));
+    soa.yaw[i] = Scalar(static_cast<float>(yaw));
+    soa.weight[i] = Scalar(static_cast<float>(w));
   }
 
   const Map* map_;
   MclConfig config_;
   Executor* executor_;
-  typename Traits::ObservationModel observation_model_;
-  std::vector<ParticleT> particles_;
-  std::vector<ParticleT> back_buffer_;
+  ObservationModel observation_model_;
+  float per_beam_scale_ = 1.0f;
+  ParticleSoA<Scalar> particles_;
+  ParticleSoA<Scalar> back_buffer_;
   std::vector<double> chunk_sums_;
   std::vector<double> chunk_sq_sums_;
   std::array<double, kMaxChunks> chunk_prefix_{};
@@ -480,8 +586,7 @@ class ParticleFilter {
   UpdateWorkload workload_;
   std::vector<Vec2> support_;
   double support_jitter_ = 0.0;
-  double w_slow_ = 0.0;
-  double w_fast_ = 0.0;
+  InjectionMonitor monitor_;
 };
 
 }  // namespace tofmcl::core

@@ -1,0 +1,386 @@
+#include "eval/campaign.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <set>
+#include <tuple>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+
+namespace tofmcl::eval {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+const char* to_string(CampaignWorld world) {
+  switch (world) {
+    case CampaignWorld::kSmallMaze:
+      return "small_maze";
+    case CampaignWorld::kLargeMaze:
+      return "large_maze";
+  }
+  return "unknown";
+}
+
+const char* to_string(InitSpec::Mode mode) {
+  switch (mode) {
+    case InitSpec::Mode::kGlobal:
+      return "global";
+    case InitSpec::Mode::kTracking:
+      return "tracking";
+    case InitSpec::Mode::kKidnapped:
+      return "kidnapped";
+  }
+  return "unknown";
+}
+
+std::uint64_t campaign_mix(std::uint64_t a, std::uint64_t b) {
+  // One SplitMix64 finalization of a golden-ratio combination: a pure
+  // function of (a, b) with good avalanche, so per-run seeds depend only
+  // on the matrix coordinates, never on scheduling.
+  SplitMix64 sm(a + 0x9E3779B97F4A7C15ULL * (b + 1));
+  return sm.next();
+}
+
+std::vector<RunSpec> expand_runs(const CampaignSpec& spec) {
+  TOFMCL_EXPECTS(!spec.worlds.empty(), "campaign needs at least one world");
+  TOFMCL_EXPECTS(!spec.inits.empty(), "campaign needs at least one init");
+  TOFMCL_EXPECTS(!spec.precisions.empty(),
+                 "campaign needs at least one precision");
+  TOFMCL_EXPECTS(!spec.sensing.empty(),
+                 "campaign needs at least one sensing spec");
+  TOFMCL_EXPECTS(spec.seeds_per_cell >= 1, "need at least one seed");
+  std::vector<std::size_t> particle_counts = spec.particle_counts;
+  if (particle_counts.empty()) {
+    particle_counts.push_back(spec.mcl.num_particles);
+  }
+
+  std::vector<RunSpec> runs;
+  runs.reserve(spec.worlds.size() * spec.inits.size() *
+               spec.precisions.size() * spec.sensing.size() *
+               spec.seeds_per_cell * particle_counts.size());
+  for (std::size_t wi = 0; wi < spec.worlds.size(); ++wi) {
+    for (std::size_t ii = 0; ii < spec.inits.size(); ++ii) {
+      for (std::size_t pi = 0; pi < spec.precisions.size(); ++pi) {
+        for (std::size_t si = 0; si < spec.sensing.size(); ++si) {
+          for (std::size_t ri = 0; ri < spec.seeds_per_cell; ++ri) {
+            const std::uint64_t data_seed =
+                campaign_mix(campaign_mix(spec.master_seed, wi), ri);
+            for (const std::size_t n : particle_counts) {
+              RunSpec run;
+              run.world_index = wi;
+              run.sensing_index = si;
+              run.seed_index = ri;
+              run.init = spec.inits[ii];
+              run.precision = spec.precisions[pi];
+              run.num_particles = n;
+              run.use_rear_sensor = spec.sensing[si].use_rear_sensor;
+              run.data_seed = data_seed;
+              run.mcl_seed = campaign_mix(
+                  campaign_mix(
+                      campaign_mix(campaign_mix(data_seed, ii),
+                                   static_cast<std::uint64_t>(
+                                       spec.precisions[pi])),
+                      si),
+                  n);
+              runs.push_back(run);
+            }
+          }
+        }
+      }
+    }
+  }
+  return runs;
+}
+
+bool Campaign::DatasetKey::operator<(const DatasetKey& other) const {
+  return std::tie(world_index, data_seed, zone_mode, rate_bits,
+                  interference_bits, kidnap_plan) <
+         std::tie(other.world_index, other.data_seed, other.zone_mode,
+                  other.rate_bits, other.interference_bits,
+                  other.kidnap_plan);
+}
+
+Campaign::DatasetKey Campaign::dataset_key(const RunSpec& run,
+                                           const SensingSpec& sensing) {
+  DatasetKey key;
+  key.world_index = run.world_index;
+  key.data_seed = run.data_seed;
+  key.zone_mode = static_cast<std::uint8_t>(sensing.zone_mode);
+  key.rate_bits = std::bit_cast<std::uint64_t>(sensing.tof_rate_hz);
+  key.interference_bits =
+      std::bit_cast<std::uint64_t>(sensing.p_interference);
+  if (run.init.mode == InitSpec::Mode::kKidnapped) {
+    key.kidnap_plan = run.init.kidnap_plan;
+  }
+  return key;
+}
+
+Campaign::Campaign(CampaignSpec spec)
+    : spec_(std::move(spec)), runs_(expand_runs(spec_)) {}
+
+void Campaign::set_runs(std::vector<RunSpec> runs) {
+  for (const RunSpec& run : runs) {
+    TOFMCL_EXPECTS(run.world_index < spec_.worlds.size(),
+                   "run references an unknown world index");
+    TOFMCL_EXPECTS(run.sensing_index < spec_.sensing.size(),
+                   "run references an unknown sensing index");
+  }
+  runs_ = std::move(runs);
+}
+
+sim::SequenceGeneratorConfig Campaign::generator_for(
+    const SensingSpec& s) const {
+  sim::SequenceGeneratorConfig gen = sim::default_generator_config();
+  gen.front_tof.mode = s.zone_mode;
+  gen.rear_tof.mode = s.zone_mode;
+  gen.tof_rate_hz = s.tof_rate_hz;
+  gen.front_tof.p_interference = s.p_interference;
+  gen.rear_tof.p_interference = s.p_interference;
+  return gen;
+}
+
+void Campaign::prepare_shared(const CampaignOptions& options) {
+  const auto plans = sim::standard_flight_plans();
+
+  // One pass over the run list: validate plan indices and group the
+  // precisions each world KIND needs (grids/EDTs/LUTs depend on the
+  // environment only, so all plans over one world share one build).
+  std::map<CampaignWorld, std::set<core::Precision>> needed;
+  for (const RunSpec& run : runs_) {
+    TOFMCL_EXPECTS(spec_.worlds[run.world_index].plan < plans.size(),
+                   "flight plan index out of range");
+    TOFMCL_EXPECTS(run.init.mode != InitSpec::Mode::kKidnapped ||
+                       run.init.kidnap_plan < plans.size(),
+                   "kidnap plan index out of range");
+    needed[spec_.worlds[run.world_index].world].insert(run.precision);
+  }
+  for (const auto& [kind, precision_set] : needed) {
+    const std::vector<core::Precision> precisions(precision_set.begin(),
+                                                  precision_set.end());
+    if (const auto it = worlds_.find(kind); it != worlds_.end()) {
+      // Already built (an earlier run() call); extend the map resources
+      // from the cached grid if a new precision needs a representation
+      // the previous build skipped.
+      const bool has_all =
+          std::all_of(precisions.begin(), precisions.end(),
+                      [&](core::Precision p) {
+                        return p == core::Precision::kFp32
+                                   ? it->second.maps->float_map.has_value()
+                                   : it->second.maps->quantized_map
+                                         .has_value();
+                      });
+      if (!has_all) {
+        it->second.maps =
+            core::build_map_resources(it->second.grid, spec_.mcl, precisions);
+      }
+      continue;
+    }
+    sim::EvaluationEnvironment env;
+    if (kind == CampaignWorld::kSmallMaze) {
+      env.world = sim::drone_maze();
+      env.maze_regions.push_back({{0.0, 0.0}, {4.0, 4.0}});
+      env.structured_area_m2 = sim::drone_maze_area();
+    } else {
+      env = sim::evaluation_environment();
+    }
+    map::OccupancyGrid grid = sim::rasterize_environment(
+        env, spec_.map_resolution, spec_.map_error_sigma);
+    auto maps = core::build_map_resources(grid, spec_.mcl, precisions);
+    worlds_.emplace(kind,
+                    World{std::move(env), std::move(grid), std::move(maps)});
+  }
+
+  // Datasets: one generation per unique (world, generation params, seed,
+  // kidnap chain); every init/precision/particle-count variation replays
+  // the same recorded flight. Generation is deterministic per key (its
+  // own Rng from data_seed), so it can fan out over the pool. Results
+  // land in a local buffer and are committed to the cache only after
+  // every generation succeeded — a throwing generation must not leave
+  // empty datasets behind for a later run() to trip over.
+  std::vector<std::pair<DatasetKey, const RunSpec*>> missing;
+  std::set<DatasetKey> pending;
+  for (const RunSpec& run : runs_) {
+    const DatasetKey key = dataset_key(run, spec_.sensing[run.sensing_index]);
+    if (datasets_.contains(key) || !pending.insert(key).second) continue;
+    missing.emplace_back(key, &run);
+  }
+  std::vector<Dataset> generated(missing.size());
+  const auto generate = [&](std::size_t i) {
+    const auto& [key, run] = missing[i];
+    const SensingSpec& sensing = spec_.sensing[run->sensing_index];
+    const sim::SequenceGeneratorConfig gen = generator_for(sensing);
+    const World& world =
+        worlds_.at(spec_.worlds[run->world_index].world);
+    Rng rng(run->data_seed);
+    Dataset& ds = generated[i];
+    ds.legs.push_back(sim::generate_sequence(
+        world.env.world, plans[spec_.worlds[run->world_index].plan], gen,
+        rng));
+    if (key.kidnap_plan) {
+      // The second leg starts elsewhere; its odometry stream is
+      // self-consistent but unrelated to leg 1's end pose — a teleport.
+      ds.legs.push_back(sim::generate_sequence(
+          world.env.world, plans[*key.kidnap_plan], gen, rng));
+    }
+  };
+  if (options.batched && missing.size() > 1) {
+    ThreadPool pool(options.threads);
+    for (std::size_t i = 0; i < missing.size(); ++i) {
+      pool.submit([&generate, i] { generate(i); });
+    }
+    pool.wait_idle();
+  } else {
+    for (std::size_t i = 0; i < missing.size(); ++i) generate(i);
+  }
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    datasets_.emplace(missing[i].first, std::move(generated[i]));
+  }
+
+  horizon_s_ = 0.0;
+  for (const auto& [key, ds] : datasets_) {
+    double total = 0.0;
+    for (const sim::Sequence& leg : ds.legs) total += leg.duration_s;
+    horizon_s_ = std::max(horizon_s_, total);
+  }
+}
+
+void replay_leg(core::Localizer& loc, const sim::Sequence& seq,
+                double t_offset, bool use_rear_sensor,
+                CampaignRunResult& out) {
+  std::size_t frame_idx = 0;
+  std::vector<sensor::TofFrame> pending;
+  for (const sim::StateSample& odom : seq.odometry) {
+    loc.on_odometry(odom.pose);
+    while (frame_idx < seq.frames.size() &&
+           seq.frames[frame_idx].timestamp_s <= odom.t) {
+      const double stamp = seq.frames[frame_idx].timestamp_s;
+      pending.clear();
+      while (frame_idx < seq.frames.size() &&
+             seq.frames[frame_idx].timestamp_s == stamp) {
+        const sensor::TofFrame& frame = seq.frames[frame_idx];
+        if (use_rear_sensor || frame.sensor_id == 0) {
+          pending.push_back(frame);
+        }
+        ++frame_idx;
+      }
+      if (loc.on_frames(pending) && loc.estimate().valid) {
+        out.particle_beam_ops +=
+            static_cast<std::uint64_t>(loc.workload().particles) *
+            static_cast<std::uint64_t>(loc.workload().beams);
+        const Pose2 truth = sim::interpolate_pose(seq.ground_truth, stamp);
+        const core::PoseEstimate& est = loc.estimate();
+        out.errors.push_back(
+            {t_offset + stamp,
+             (est.pose.position - truth.position).norm(),
+             angle_dist(est.pose.yaw, truth.yaw)});
+      }
+    }
+  }
+}
+
+CampaignRunResult Campaign::execute_run(const RunSpec& run,
+                                        core::Executor& executor) const {
+  const World& world = worlds_.at(spec_.worlds[run.world_index].world);
+  const SensingSpec& sensing = spec_.sensing[run.sensing_index];
+  const Dataset& dataset =
+      datasets_.at(dataset_key(run, sensing));
+  const sim::SequenceGeneratorConfig gen = generator_for(sensing);
+
+  core::LocalizerConfig lc;
+  lc.precision = run.precision;
+  lc.mcl = spec_.mcl;
+  lc.mcl.num_particles = run.num_particles;
+  lc.mcl.seed = run.mcl_seed;
+  lc.sensors = {gen.front_tof, gen.rear_tof};
+
+  core::Localizer loc(world.maps, lc, executor);
+  const sim::Sequence& leg1 = dataset.legs.front();
+  TOFMCL_EXPECTS(!leg1.odometry.empty(), "dataset leg has no odometry");
+  loc.on_odometry(leg1.odometry.front().pose);
+  if (run.init.mode == InitSpec::Mode::kTracking) {
+    loc.start_at(leg1.ground_truth.front().pose, run.init.sigma_xy,
+                 run.init.sigma_yaw);
+  } else {
+    loc.start_global();
+  }
+
+  CampaignRunResult out;
+  out.spec = run;
+  replay_leg(loc, leg1, 0.0, run.use_rear_sensor, out);
+  if (dataset.legs.size() > 1) {
+    out.kidnap_time_s = leg1.duration_s;
+    replay_leg(loc, dataset.legs[1], leg1.duration_s, run.use_rear_sensor,
+               out);
+  }
+  out.updates_run = loc.updates_run();
+  out.dropped_frames = loc.dropped_frames();
+  out.metrics = evaluate_run(out.errors);
+  if (!out.errors.empty()) {
+    out.final_pos_error_m = out.errors.back().pos_error;
+  }
+  return out;
+}
+
+CampaignResult Campaign::run(const CampaignOptions& options) {
+  const auto t_prepare = std::chrono::steady_clock::now();
+  prepare_shared(options);
+  const double prepare_s = seconds_since(t_prepare);
+
+  CampaignResult result;
+  result.runs.resize(runs_.size());
+  result.horizon_s = horizon_s_;
+  result.prepare_seconds = prepare_s;
+
+  const auto t_execute = std::chrono::steady_clock::now();
+  if (!options.batched) {
+    // Reference schedule: one run at a time; the filter's chunks may
+    // still fan out over a pool (the pre-campaign way to use the cores).
+    if (options.pooled_filter_chunks) {
+      ThreadPool pool(options.threads);
+      core::ThreadPoolExecutor executor(pool);
+      for (std::size_t i = 0; i < runs_.size(); ++i) {
+        result.runs[i] = execute_run(runs_[i], executor);
+      }
+    } else {
+      core::SerialExecutor executor;
+      for (std::size_t i = 0; i < runs_.size(); ++i) {
+        result.runs[i] = execute_run(runs_[i], executor);
+      }
+    }
+  } else {
+    // Batched: every run is a pool task writing its own result slot.
+    // With pooled_filter_chunks the run's chunk phases ALSO land on the
+    // same pool (nested fork-join; the pool's helping wait makes this
+    // deadlock-free).
+    ThreadPool pool(options.threads);
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+      if (options.pooled_filter_chunks) {
+        pool.submit([this, i, &result, &pool] {
+          core::ThreadPoolExecutor executor(pool);
+          result.runs[i] = execute_run(runs_[i], executor);
+        });
+      } else {
+        pool.submit([this, i, &result] {
+          core::SerialExecutor executor;
+          result.runs[i] = execute_run(runs_[i], executor);
+        });
+      }
+    }
+    pool.wait_idle();
+  }
+  result.execute_seconds = seconds_since(t_execute);
+  return result;
+}
+
+}  // namespace tofmcl::eval

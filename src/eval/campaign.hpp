@@ -1,0 +1,238 @@
+#pragma once
+/// \file campaign.hpp
+/// \brief Batched multi-run evaluation campaigns.
+///
+/// The paper's evaluation (Figs 6–8, the ablations, the scenario matrix)
+/// is a battery of INDEPENDENT localization runs over a spec matrix
+///
+///     map × init mode × precision × sensing degradation × seed
+///
+/// Running them one at a time leaves most host cores idle: a single
+/// filter's four phases parallelize, but Amdahl caps the win, while the
+/// campaign itself is embarrassingly parallel. The campaign engine makes
+/// the batch the first-class unit of work:
+///
+///  * the spec matrix is expanded into an explicit run list
+///    (`Campaign::runs()`), each run carrying its own deterministic
+///    data/filter seeds derived from the matrix coordinates — never from
+///    scheduling order;
+///  * expensive read-only state is built ONCE and shared: occupancy
+///    grids, float/quantized EDTs and the likelihood LUT per map
+///    (core::MapResources), and each simulated dataset per
+///    (map, sensing, seed) — reused by every init/precision/particle
+///    variation riding on it;
+///  * runs are scheduled on a ThreadPool as run-level tasks ALONGSIDE the
+///    per-filter chunking: each run may itself execute its filter chunks
+///    on the same pool (CampaignOptions::pooled_filter_chunks), which the
+///    pool's helping wait makes deadlock-free.
+///
+/// Determinism guarantee: for a fixed spec, the CampaignResult is
+/// bit-identical whatever the execution policy — serial run-at-a-time,
+/// batched over any thread count, with or without pooled filter chunks.
+/// Run results are written to slots indexed by run order; seeds are pure
+/// functions of the spec; executors only change wall-clock.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/localizer.hpp"
+#include "eval/metrics.hpp"
+#include "map/occupancy_grid.hpp"
+#include "sim/dataset.hpp"
+#include "sim/maze.hpp"
+#include "sim/sequence_generator.hpp"
+
+namespace tofmcl::eval {
+
+/// Which evaluation world a run flies in.
+enum class CampaignWorld : std::uint8_t {
+  kSmallMaze,  ///< 16 m² physical drone maze only.
+  kLargeMaze,  ///< 31.2 m² extended map (drone maze + artificial mazes).
+};
+const char* to_string(CampaignWorld world);
+
+/// One map-dimension entry: a world plus the flight plan flown in it.
+struct WorldSpec {
+  CampaignWorld world = CampaignWorld::kLargeMaze;
+  std::size_t plan = 0;  ///< Index into sim::standard_flight_plans().
+};
+
+/// One init-mode-dimension entry.
+struct InitSpec {
+  enum class Mode : std::uint8_t { kGlobal, kTracking, kKidnapped };
+  Mode mode = Mode::kGlobal;
+  /// Tracking-init cloud size.
+  double sigma_xy = 0.2;
+  double sigma_yaw = 0.2;
+  /// Second flight plan for kidnapped runs (teleport target); the filter
+  /// is NOT re-initialized between the legs — recovery must come from the
+  /// Augmented-MCL injection.
+  std::size_t kidnap_plan = 2;
+};
+const char* to_string(InitSpec::Mode mode);
+
+/// One sensing-degradation-dimension entry. The zone mode, frame rate and
+/// interference rate shape the generated dataset; use_rear_sensor is a
+/// replay-time property (the 1-ToF ablation), so two entries differing
+/// only in it share their datasets.
+struct SensingSpec {
+  sensor::ZoneMode zone_mode = sensor::ZoneMode::k8x8;
+  double tof_rate_hz = 15.0;
+  double p_interference = 0.01;
+  bool use_rear_sensor = true;
+};
+
+/// The campaign matrix. Every combination of the five dimensions (times
+/// every particle count) becomes one run.
+struct CampaignSpec {
+  std::vector<WorldSpec> worlds{{}};
+  std::vector<InitSpec> inits{{}};
+  std::vector<core::Precision> precisions{core::Precision::kFp32};
+  std::vector<SensingSpec> sensing{{}};
+  std::size_t seeds_per_cell = 1;
+  /// Particle counts swept per cell; empty means {mcl.num_particles}.
+  std::vector<std::size_t> particle_counts;
+  /// Base MCL parameters; num_particles and seed are overridden per run.
+  core::MclConfig mcl;
+  double map_resolution = 0.05;
+  /// Map-acquisition error (m) used when rasterizing the localization map.
+  double map_error_sigma = 0.01;
+  /// Master seed; all per-run seeds derive from it and the matrix
+  /// coordinates.
+  std::uint64_t master_seed = 2023;
+};
+
+/// One fully-resolved run. Produced by the matrix expansion, or built by
+/// hand for non-cross-product batteries (Campaign::set_runs) — the sweep
+/// behind Figs 6/7 does the latter since its variant list pairs precision
+/// and sensor count.
+struct RunSpec {
+  std::size_t world_index = 0;    ///< Into CampaignSpec::worlds.
+  std::size_t sensing_index = 0;  ///< Into CampaignSpec::sensing.
+  std::size_t seed_index = 0;     ///< 0 .. seeds_per_cell-1.
+  InitSpec init;
+  core::Precision precision = core::Precision::kFp32;
+  std::size_t num_particles = 4096;
+  bool use_rear_sensor = true;
+  /// Seed of the dataset this run replays. Runs with equal
+  /// (world_index, generation parameters, data_seed, kidnap chain) share
+  /// one generated dataset.
+  std::uint64_t data_seed = 0;
+  /// Seed of the run's filter RNG.
+  std::uint64_t mcl_seed = 0;
+};
+
+/// Outcome of one run.
+struct CampaignRunResult {
+  RunSpec spec;
+  RunMetrics metrics;
+  /// Error trace at every correction (frame timestamps; kidnapped runs
+  /// offset leg 2 by leg 1's duration so the trace is contiguous).
+  std::vector<ErrorSample> errors;
+  std::size_t updates_run = 0;
+  std::size_t dropped_frames = 0;
+  /// Σ over corrections of particles × beams — the observation-phase work.
+  std::uint64_t particle_beam_ops = 0;
+  /// Teleport instant of a kidnapped run (0 otherwise).
+  double kidnap_time_s = 0.0;
+  double final_pos_error_m = 0.0;
+};
+
+struct CampaignResult {
+  std::vector<CampaignRunResult> runs;  ///< In Campaign::runs() order.
+  /// Longest dataset duration (for convergence curves).
+  double horizon_s = 0.0;
+  /// Wall-clock split: shared-resource preparation vs run execution.
+  double prepare_seconds = 0.0;
+  double execute_seconds = 0.0;
+};
+
+/// How a campaign's runs are executed.
+struct CampaignOptions {
+  /// false: one run at a time on the calling thread (the reference
+  /// schedule). true: runs become ThreadPool tasks.
+  bool batched = true;
+  /// Pool size for batched execution (0 = hardware concurrency).
+  std::size_t threads = 0;
+  /// Run each filter's chunk phases on the shared pool too (nested
+  /// fork-join) instead of serially inside its run task. Worth it only
+  /// when runs are few and large; results are bit-identical either way.
+  bool pooled_filter_chunks = false;
+};
+
+/// A campaign: spec + expanded run list + cached shared resources.
+/// run() may be called repeatedly (e.g. once serial, once batched);
+/// shared resources are built on first use and reused.
+class Campaign {
+ public:
+  explicit Campaign(CampaignSpec spec);
+
+  const CampaignSpec& spec() const { return spec_; }
+  const std::vector<RunSpec>& runs() const { return runs_; }
+  /// Replaces the expanded run list with a custom battery. Index fields
+  /// must reference the spec's worlds/sensing tables; seeds are taken as
+  /// given (callers own their determinism story).
+  void set_runs(std::vector<RunSpec> runs);
+
+  CampaignResult run(const CampaignOptions& options = {});
+
+ private:
+  struct World {
+    sim::EvaluationEnvironment env;
+    map::OccupancyGrid grid;
+    std::shared_ptr<const core::MapResources> maps;
+  };
+  struct DatasetKey {
+    std::size_t world_index;
+    std::uint64_t data_seed;
+    std::uint8_t zone_mode;
+    std::uint64_t rate_bits;
+    std::uint64_t interference_bits;
+    std::optional<std::size_t> kidnap_plan;
+    bool operator<(const DatasetKey& other) const;
+  };
+  struct Dataset {
+    std::vector<sim::Sequence> legs;  ///< 1 leg, or 2 for kidnapped runs.
+  };
+
+  static DatasetKey dataset_key(const RunSpec& run,
+                                const SensingSpec& sensing);
+  sim::SequenceGeneratorConfig generator_for(const SensingSpec& s) const;
+  void prepare_shared(const CampaignOptions& options);
+  CampaignRunResult execute_run(const RunSpec& run,
+                                core::Executor& executor) const;
+
+  CampaignSpec spec_;
+  std::vector<RunSpec> runs_;
+  /// Keyed by world KIND, not WorldSpec index: the grid/EDTs/LUT depend
+  /// only on the environment (the flight plan matters to datasets, not
+  /// maps), so e.g. a six-plan sweep over the large maze builds one EDT
+  /// set, not six.
+  std::map<CampaignWorld, World> worlds_;
+  std::map<DatasetKey, Dataset> datasets_;
+  double horizon_s_ = 0.0;
+};
+
+/// Deterministic seed derivation used by the matrix expansion: a pure
+/// function of the coordinates, so scheduling can never perturb it.
+std::uint64_t campaign_mix(std::uint64_t a, std::uint64_t b);
+
+/// Expands the spec matrix into the canonical run list (worlds outermost,
+/// then inits, precisions, sensing, seeds, particle counts innermost).
+std::vector<RunSpec> expand_runs(const CampaignSpec& spec);
+
+/// Replays one recorded leg through an already-initialized localizer:
+/// frames are grouped by capture timestamp, rear frames dropped for 1-ToF
+/// runs, and an error sample recorded (timestamp offset by `t_offset`) at
+/// every correction that yields a valid estimate, with observation-phase
+/// work accumulated into `out.particle_beam_ops`. The single source of
+/// truth for replay semantics — both the campaign engine and
+/// replay_sequence() run through it.
+void replay_leg(core::Localizer& localizer, const sim::Sequence& seq,
+                double t_offset, bool use_rear_sensor,
+                CampaignRunResult& out);
+
+}  // namespace tofmcl::eval

@@ -1,11 +1,8 @@
 #include "eval/experiment.hpp"
 
-#include <atomic>
-#include <mutex>
-
 #include "common/error.hpp"
 #include "common/stats.hpp"
-#include "common/thread_pool.hpp"
+#include "eval/campaign.hpp"
 
 namespace tofmcl::eval {
 
@@ -47,116 +44,83 @@ std::vector<ErrorSample> replay_sequence(const sim::Sequence& sequence,
   core::Localizer localizer(grid, config, executor);
   localizer.on_odometry(sequence.odometry.front().pose);
   localizer.start_global();
-
-  std::vector<ErrorSample> errors;
-  std::size_t frame_idx = 0;
-  std::vector<sensor::TofFrame> pending;
-  for (const sim::StateSample& odom : sequence.odometry) {
-    localizer.on_odometry(odom.pose);
-    // Deliver all frames captured up to this odometry instant, grouped by
-    // capture timestamp (front + rear share one).
-    while (frame_idx < sequence.frames.size() &&
-           sequence.frames[frame_idx].timestamp_s <= odom.t) {
-      const double stamp = sequence.frames[frame_idx].timestamp_s;
-      pending.clear();
-      while (frame_idx < sequence.frames.size() &&
-             sequence.frames[frame_idx].timestamp_s == stamp) {
-        const sensor::TofFrame& frame = sequence.frames[frame_idx];
-        if (use_rear_sensor || frame.sensor_id == 0) {
-          pending.push_back(frame);
-        }
-        ++frame_idx;
-      }
-      if (localizer.on_frames(pending) && localizer.estimate().valid) {
-        const Pose2 truth = sim::interpolate_pose(sequence.ground_truth, stamp);
-        const core::PoseEstimate& est = localizer.estimate();
-        errors.push_back(
-            {stamp, (est.pose.position - truth.position).norm(),
-             angle_dist(est.pose.yaw, truth.yaw)});
-      }
-    }
-  }
-  return errors;
+  CampaignRunResult scratch;
+  replay_leg(localizer, sequence, 0.0, use_rear_sensor, scratch);
+  return std::move(scratch.errors);
 }
 
+// The sweep is a thin adapter over the campaign engine: the variant list
+// is not a cross product (fp32_1tof pairs the fp32 precision with the
+// rear sensor disabled), so it is expressed as an explicit run battery
+// via Campaign::set_runs, with the historical seed chain preserved so
+// sweep results are unchanged by the rewire. Maps/EDTs/LUTs and datasets
+// are built once by the campaign and shared across all variants and
+// particle counts.
 SweepResult run_accuracy_sweep(const SweepConfig& config) {
   TOFMCL_EXPECTS(config.sequences >= 1 && config.sequences <= 6,
                  "sweep supports 1..6 standard sequences");
   TOFMCL_EXPECTS(config.seeds_per_sequence >= 1, "need at least one seed");
 
-  // Shared environment and localization map.
-  const sim::EvaluationEnvironment env = sim::evaluation_environment();
-  const map::OccupancyGrid grid =
-      sim::rasterize_environment(env, 0.05, config.map_error_sigma);
+  CampaignSpec spec;
+  spec.worlds.clear();
+  for (std::size_t s = 0; s < config.sequences; ++s) {
+    spec.worlds.push_back({CampaignWorld::kLargeMaze, s});
+  }
+  spec.seeds_per_cell = config.seeds_per_sequence;
+  spec.mcl = config.mcl;
+  spec.map_error_sigma = config.map_error_sigma;
+  spec.master_seed = config.master_seed;
+  Campaign campaign(std::move(spec));
 
-  // Pre-generate all datasets (cheap relative to the replays).
-  const auto plans = sim::standard_flight_plans();
-  const auto generator_config = sim::default_generator_config();
-  struct Dataset {
-    std::size_t sequence;
-    std::uint64_t seed;
-    sim::Sequence data;
-  };
-  std::vector<Dataset> datasets;
-  double horizon = 0.0;
-  {
-    Rng seed_rng(config.master_seed);
-    for (std::size_t s = 0; s < config.sequences; ++s) {
-      for (std::size_t rep = 0; rep < config.seeds_per_sequence; ++rep) {
-        const std::uint64_t seed = seed_rng.next();
-        Rng rng(seed);
-        Dataset ds{s, seed,
-                   sim::generate_sequence(env.world, plans[s],
-                                          generator_config, rng)};
-        horizon = std::max(horizon, ds.data.duration_s);
-        datasets.push_back(std::move(ds));
+  // Explicit battery: dataset-major (sequence, repetition), then variant,
+  // then particle count — the legacy job order, with the legacy seeds.
+  std::vector<RunSpec> runs;
+  std::vector<Variant> run_variant;
+  Rng seed_rng(config.master_seed);
+  for (std::size_t s = 0; s < config.sequences; ++s) {
+    for (std::size_t rep = 0; rep < config.seeds_per_sequence; ++rep) {
+      const std::uint64_t seed = seed_rng.next();
+      for (const Variant variant : config.variants) {
+        for (const std::size_t n : config.particle_counts) {
+          RunSpec run;
+          run.world_index = s;
+          run.sensing_index = 0;
+          run.seed_index = rep;
+          run.precision = precision_of(variant);
+          run.num_particles = n;
+          run.use_rear_sensor = uses_rear_sensor(variant);
+          run.data_seed = seed;
+          // Filter seed derived from the data seed so repetitions differ
+          // in both data noise and filter randomness, yet stay
+          // reproducible.
+          run.mcl_seed = seed ^ 0x9E3779B97F4A7C15ULL ^
+                         (n * 2654435761ULL) ^
+                         static_cast<std::uint64_t>(variant);
+          runs.push_back(run);
+          run_variant.push_back(variant);
+        }
       }
     }
   }
+  campaign.set_runs(std::move(runs));
 
-  // Enumerate runs.
-  struct Job {
-    const Dataset* dataset;
-    Variant variant;
-    std::size_t particles;
-  };
-  std::vector<Job> jobs;
-  for (const Dataset& ds : datasets) {
-    for (const Variant variant : config.variants) {
-      for (const std::size_t n : config.particle_counts) {
-        jobs.push_back({&ds, variant, n});
-      }
-    }
-  }
+  CampaignOptions options;
+  options.batched = config.batched_runs;
+  options.threads = config.threads;
+  const CampaignResult campaign_result = campaign.run(options);
 
   SweepResult result;
-  result.horizon_s = horizon;
-  result.runs.resize(jobs.size());
-
-  ThreadPool pool(config.threads);
-  pool.parallel_for(jobs.size(), [&](std::size_t i) {
-    const Job& job = jobs[i];
-    core::LocalizerConfig loc;
-    loc.precision = precision_of(job.variant);
-    loc.mcl = config.mcl;
-    loc.mcl.num_particles = job.particles;
-    // Filter seed derived from the data seed so repetitions differ in both
-    // data noise and filter randomness, yet stay reproducible.
-    loc.mcl.seed = job.dataset->seed ^ 0x9E3779B97F4A7C15ULL ^
-                   (job.particles * 2654435761ULL) ^
-                   static_cast<std::uint64_t>(job.variant);
-    core::SerialExecutor executor;
-    const auto errors =
-        replay_sequence(job.dataset->data, grid, loc,
-                        uses_rear_sensor(job.variant), executor);
+  result.horizon_s = campaign_result.horizon_s;
+  result.runs.resize(campaign_result.runs.size());
+  for (std::size_t i = 0; i < campaign_result.runs.size(); ++i) {
+    const CampaignRunResult& run = campaign_result.runs[i];
     RunResult& out = result.runs[i];
-    out.variant = job.variant;
-    out.particles = job.particles;
-    out.sequence = job.dataset->sequence;
-    out.seed = job.dataset->seed;
-    out.metrics = evaluate_run(errors);
-  });
-  pool.wait_idle();
+    out.variant = run_variant[i];
+    out.particles = run.spec.num_particles;
+    out.sequence = run.spec.world_index;
+    out.seed = run.spec.data_seed;
+    out.metrics = run.metrics;
+  }
   return result;
 }
 

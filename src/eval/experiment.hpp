@@ -55,6 +55,9 @@ struct SweepConfig {
   double map_error_sigma = 0.01;
   /// Worker threads for running independent replays (0 = hardware).
   std::size_t threads = 0;
+  /// Run the battery as batched campaign tasks (default) or one run at a
+  /// time (reference schedule; results are bit-identical either way).
+  bool batched_runs = true;
   /// Master seed for the data-generation seeds.
   std::uint64_t master_seed = 2023;
 };
@@ -84,9 +87,10 @@ struct SweepResult {
   double horizon_s = 0.0;
 };
 
-/// Runs the full sweep. Sequences are generated once per (plan, seed) and
-/// shared by all variants and particle counts; replays are distributed
-/// over a thread pool. Deterministic for a fixed config.
+/// Runs the full sweep on the campaign engine (eval/campaign.hpp): maps,
+/// EDTs, likelihood LUTs and sequences are built once and shared by all
+/// variants and particle counts; runs are scheduled as batched campaign
+/// tasks. Deterministic for a fixed config regardless of scheduling.
 SweepResult run_accuracy_sweep(const SweepConfig& config);
 
 /// Aggregates sweep runs into per-(variant, N) cells, preserving the

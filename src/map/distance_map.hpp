@@ -93,9 +93,22 @@ class QuantizedDistanceMap {
                   static_cast<std::size_t>(cx)];
   }
 
+  /// Reconstruction (meters) of one code under the map's round-to-nearest
+  /// quantization rule: codes are bin CENTERS, so code k decodes to
+  /// exactly k·step. This is the single source of truth shared by
+  /// distance_at() and the likelihood LUT — evaluating the LUT at any
+  /// other point (e.g. a bin edge) would silently disagree with the
+  /// distances this map actually produces.
+  static float reconstruct(std::uint8_t code, float step) {
+    return static_cast<float>(code) * step;
+  }
+  float reconstruct(std::uint8_t code) const {
+    return reconstruct(code, step_);
+  }
+
   /// Dequantized distance (meters) at a world point.
   float distance_at(Vec2 world) const {
-    return static_cast<float>(code_at(world)) * step_;
+    return reconstruct(code_at(world));
   }
 
   const std::vector<std::uint8_t>& codes() const { return codes_; }

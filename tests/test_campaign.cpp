@@ -1,0 +1,211 @@
+// Tests for the batched campaign engine: matrix expansion, deterministic
+// seeding, shared-resource reuse, execution-policy bit-exactness (the
+// engine's core guarantee) and the sweep adapter's equivalence with a
+// hand-rolled legacy replay.
+
+#include "eval/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "eval/experiment.hpp"
+
+namespace tofmcl::eval {
+namespace {
+
+CampaignSpec small_spec() {
+  CampaignSpec spec;
+  spec.worlds = {{CampaignWorld::kSmallMaze, 1}};
+  spec.precisions = {core::Precision::kFp32Qm};
+  spec.mcl.num_particles = 512;
+  spec.master_seed = 99;
+  return spec;
+}
+
+void expect_bit_identical(const CampaignResult& a, const CampaignResult& b,
+                          const char* label) {
+  ASSERT_EQ(a.runs.size(), b.runs.size()) << label;
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    const CampaignRunResult& ra = a.runs[i];
+    const CampaignRunResult& rb = b.runs[i];
+    EXPECT_EQ(ra.updates_run, rb.updates_run) << label << " run " << i;
+    EXPECT_EQ(ra.particle_beam_ops, rb.particle_beam_ops)
+        << label << " run " << i;
+    ASSERT_EQ(ra.errors.size(), rb.errors.size()) << label << " run " << i;
+    for (std::size_t j = 0; j < ra.errors.size(); ++j) {
+      EXPECT_EQ(ra.errors[j].t, rb.errors[j].t) << label;
+      EXPECT_EQ(ra.errors[j].pos_error, rb.errors[j].pos_error) << label;
+      EXPECT_EQ(ra.errors[j].yaw_error, rb.errors[j].yaw_error) << label;
+    }
+    EXPECT_EQ(ra.metrics.converged, rb.metrics.converged) << label;
+    EXPECT_EQ(ra.metrics.ate_m, rb.metrics.ate_m) << label;
+    EXPECT_EQ(ra.final_pos_error_m, rb.final_pos_error_m) << label;
+  }
+}
+
+TEST(CampaignExpansion, CoversTheFullMatrixDeterministically) {
+  CampaignSpec spec;
+  spec.worlds = {{CampaignWorld::kSmallMaze, 0},
+                 {CampaignWorld::kLargeMaze, 3}};
+  spec.inits = {{}, {InitSpec::Mode::kTracking, 0.2, 0.2, 2}};
+  spec.precisions = {core::Precision::kFp32, core::Precision::kFp16Qm};
+  spec.sensing = {{}, {sensor::ZoneMode::k4x4, 60.0, 0.05, false}};
+  spec.seeds_per_cell = 3;
+  spec.particle_counts = {256, 1024};
+
+  const std::vector<RunSpec> runs = expand_runs(spec);
+  EXPECT_EQ(runs.size(), 2u * 2u * 2u * 2u * 3u * 2u);
+
+  // Seeds are pure functions of the coordinates: expansion is repeatable,
+  // distinct cells get distinct filter seeds, and runs sharing
+  // (world, seed index) share their data seed — that is what lets them
+  // share one generated dataset.
+  const std::vector<RunSpec> again = expand_runs(spec);
+  std::set<std::uint64_t> mcl_seeds;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].data_seed, again[i].data_seed);
+    EXPECT_EQ(runs[i].mcl_seed, again[i].mcl_seed);
+    mcl_seeds.insert(runs[i].mcl_seed);
+    for (std::size_t j = 0; j < i; ++j) {
+      if (runs[j].world_index == runs[i].world_index &&
+          runs[j].seed_index == runs[i].seed_index) {
+        EXPECT_EQ(runs[j].data_seed, runs[i].data_seed);
+      }
+    }
+  }
+  EXPECT_EQ(mcl_seeds.size(), runs.size());  // no filter-seed collisions
+
+  // use_rear_sensor rides the sensing dimension into the run spec.
+  for (const RunSpec& run : runs) {
+    EXPECT_EQ(run.use_rear_sensor,
+              spec.sensing[run.sensing_index].use_rear_sensor);
+  }
+}
+
+TEST(CampaignExpansion, RejectsEmptyDimensions) {
+  CampaignSpec spec = small_spec();
+  spec.worlds.clear();
+  EXPECT_THROW(expand_runs(spec), PreconditionError);
+  spec = small_spec();
+  spec.seeds_per_cell = 0;
+  EXPECT_THROW(expand_runs(spec), PreconditionError);
+  spec = small_spec();
+  spec.precisions.clear();
+  EXPECT_THROW(expand_runs(spec), PreconditionError);
+}
+
+TEST(Campaign, SetRunsValidatesIndices) {
+  Campaign campaign(small_spec());
+  RunSpec bad;
+  bad.world_index = 7;
+  EXPECT_THROW(campaign.set_runs({bad}), PreconditionError);
+  bad.world_index = 0;
+  bad.sensing_index = 3;
+  EXPECT_THROW(campaign.set_runs({bad}), PreconditionError);
+}
+
+// The engine's core guarantee: serial run-at-a-time, batched, and batched
+// with pooled filter chunks all produce the SAME bits.
+TEST(Campaign, ExecutionPolicyIsBitExact) {
+  CampaignSpec spec = small_spec();
+  spec.seeds_per_cell = 2;
+  spec.precisions = {core::Precision::kFp32Qm, core::Precision::kFp16Qm};
+  Campaign campaign(std::move(spec));
+  ASSERT_EQ(campaign.runs().size(), 4u);
+
+  CampaignOptions serial;
+  serial.batched = false;
+  const CampaignResult a = campaign.run(serial);
+
+  CampaignOptions batched;
+  batched.batched = true;
+  batched.threads = 3;
+  const CampaignResult b = campaign.run(batched);
+  expect_bit_identical(a, b, "serial-vs-batched");
+
+  CampaignOptions nested = batched;
+  nested.pooled_filter_chunks = true;
+  const CampaignResult c = campaign.run(nested);
+  expect_bit_identical(a, c, "serial-vs-nested");
+
+  // And the runs actually did something.
+  for (const CampaignRunResult& run : a.runs) {
+    EXPECT_GT(run.updates_run, 10u);
+    EXPECT_GT(run.errors.size(), 10u);
+    EXPECT_GT(run.particle_beam_ops, 0u);
+    EXPECT_EQ(run.dropped_frames, 0u);
+  }
+  EXPECT_GT(a.horizon_s, 5.0);
+}
+
+TEST(Campaign, TrackingInitConvergesAndKidnappedRecovers) {
+  CampaignSpec spec = small_spec();
+  spec.worlds = {{CampaignWorld::kSmallMaze, 0}};
+  spec.inits = {{InitSpec::Mode::kTracking, 0.2, 0.2, 2},
+                {InitSpec::Mode::kKidnapped, 0.2, 0.2, 2}};
+  spec.mcl.num_particles = 4096;
+  Campaign campaign(std::move(spec));
+  const CampaignResult result = campaign.run({});
+  ASSERT_EQ(result.runs.size(), 2u);
+
+  const CampaignRunResult& tracking = result.runs[0];
+  EXPECT_TRUE(tracking.metrics.converged);
+  EXPECT_EQ(tracking.kidnap_time_s, 0.0);
+
+  // The kidnapped run's trace spans both legs; convergence is judged on
+  // the post-teleport segment, scenario-matrix style.
+  const CampaignRunResult& kidnapped = result.runs[1];
+  EXPECT_GT(kidnapped.kidnap_time_s, 1.0);
+  std::vector<ErrorSample> post;
+  for (const ErrorSample& e : kidnapped.errors) {
+    if (e.t > kidnapped.kidnap_time_s) post.push_back(e);
+  }
+  ASSERT_GT(post.size(), 10u);
+  const RunMetrics post_metrics = evaluate_run(post);
+  EXPECT_TRUE(post_metrics.converged);
+}
+
+// The sweep adapter must reproduce the legacy pipeline exactly: same seed
+// chain, same datasets, same per-run replay. Rebuild one cell by hand
+// through the public replay_sequence API and compare metrics bitwise.
+TEST(SweepAdapter, MatchesLegacyReplayBitwise) {
+  SweepConfig cfg;
+  cfg.variants = {Variant::kFp32Qm};
+  cfg.particle_counts = {512};
+  cfg.sequences = 1;
+  cfg.seeds_per_sequence = 1;
+  cfg.threads = 2;
+  const SweepResult sweep = run_accuracy_sweep(cfg);
+  ASSERT_EQ(sweep.runs.size(), 1u);
+
+  // Legacy path, verbatim.
+  const sim::EvaluationEnvironment env = sim::evaluation_environment();
+  const map::OccupancyGrid grid =
+      sim::rasterize_environment(env, 0.05, cfg.map_error_sigma);
+  const auto plans = sim::standard_flight_plans();
+  Rng seed_rng(cfg.master_seed);
+  const std::uint64_t seed = seed_rng.next();
+  Rng data_rng(seed);
+  const sim::Sequence seq = sim::generate_sequence(
+      env.world, plans[0], sim::default_generator_config(), data_rng);
+  core::LocalizerConfig loc;
+  loc.precision = core::Precision::kFp32Qm;
+  loc.mcl = cfg.mcl;
+  loc.mcl.num_particles = 512;
+  loc.mcl.seed = seed ^ 0x9E3779B97F4A7C15ULL ^ (512 * 2654435761ULL) ^
+                 static_cast<std::uint64_t>(Variant::kFp32Qm);
+  core::SerialExecutor exec;
+  const auto errors = replay_sequence(seq, grid, loc, true, exec);
+  const RunMetrics legacy = evaluate_run(errors);
+
+  EXPECT_EQ(sweep.runs[0].seed, seed);
+  EXPECT_EQ(sweep.runs[0].metrics.converged, legacy.converged);
+  EXPECT_EQ(sweep.runs[0].metrics.success, legacy.success);
+  EXPECT_EQ(sweep.runs[0].metrics.ate_m, legacy.ate_m);
+  EXPECT_EQ(sweep.runs[0].metrics.convergence_time_s,
+            legacy.convergence_time_s);
+}
+
+}  // namespace
+}  // namespace tofmcl::eval

@@ -79,6 +79,34 @@ TEST(LikelihoodLut, MatchesDirectEvaluationAtCodePoints) {
   }
 }
 
+TEST(LikelihoodLut, EvaluatedExactlyAtMapReconstruction) {
+  // Bin-edge regression: the table must be evaluated at the value the
+  // quantized map actually decodes a code to (its round-to-nearest bin
+  // center, QuantizedDistanceMap::reconstruct) — BIT-exactly, not merely
+  // within tolerance. A table built at any other point (e.g. a bin edge
+  // of a misassumed floor quantizer) disagrees with distance_at() for
+  // every nonzero code.
+  const auto grid = center_obstacle_grid();
+  const map::QuantizedDistanceMap qmap(grid, 1.5);
+  const BeamModelParams params;
+  const LikelihoodLut lut(qmap.step(), params);
+  for (int code = 0; code <= 255; ++code) {
+    const auto c = static_cast<std::uint8_t>(code);
+    EXPECT_EQ(lut[c], beam_likelihood(qmap.reconstruct(c), params))
+        << "code=" << code;
+  }
+  // And through the model: the LUT path equals direct evaluation of the
+  // map's dequantized distance at arbitrary query points, bit for bit.
+  const LutObservationModel model(qmap, params);
+  for (float x = -0.2f; x < 1.2f; x += 0.17f) {
+    for (float y = -0.2f; y < 1.2f; y += 0.19f) {
+      EXPECT_EQ(model.factor(x, y),
+                beam_likelihood(qmap.distance_at({x, y}), params))
+          << "(" << x << ", " << y << ")";
+    }
+  }
+}
+
 TEST(LikelihoodLut, RejectsInvalidParameters) {
   const BeamModelParams params;
   EXPECT_THROW(LikelihoodLut(0.0f, params), PreconditionError);
@@ -129,11 +157,15 @@ TEST(LutObservationModel, AgreesWithDirectModelWithinQuantization) {
   const DirectObservationModel direct(dmap, params);
   const LutObservationModel lut(qmap, params);
 
-  // Worst-case likelihood slope: |dL/dd| ≤ z_hit/(σ√e) ⇒ bound the error
-  // by slope · step/2 with margin.
+  // Worst-case likelihood slope: |dL/dd| ≤ z_hit/(σ√e), and round-to-
+  // nearest quantization moves the distance by at most step/2, so the
+  // tight bound is slope · step/2 (plus 5 % float-rounding headroom) —
+  // half the historical bound, now that the LUT provably evaluates at the
+  // map's reconstruction values.
   const float step = qmap.step();
-  const float tol =
-      params.z_hit / (params.sigma_obs * std::sqrt(std::exp(1.0f))) * step;
+  const float tol = params.z_hit /
+                    (params.sigma_obs * std::sqrt(std::exp(1.0f))) * step *
+                    0.5f * 1.05f;
   for (float x = 0.0f; x < 1.0f; x += 0.11f) {
     for (float y = 0.0f; y < 1.0f; y += 0.13f) {
       EXPECT_NEAR(lut.factor(x, y), direct.factor(x, y), tol)

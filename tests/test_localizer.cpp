@@ -88,18 +88,57 @@ TEST(Localizer, GateBlocksUpdatesUntilMotion) {
   EXPECT_TRUE(loc.on_frames({&frame, 1}));
 }
 
-TEST(Localizer, RejectsUnknownSensorId) {
+// Malformed frames must not abort the flight loop (one corrupt packet
+// must not ground the drone): they are skipped and counted, while valid
+// frames in the same batch still drive the correction.
+TEST(Localizer, DropsMalformedFramesAndCountsThem) {
   const auto grid = maze_grid();
   SerialExecutor exec;
   Localizer loc(grid, base_config(), exec);
   loc.start_global();
   loc.on_odometry(Pose2{0.0, 0.0, 0.0});
   loc.on_odometry(Pose2{0.2, 0.0, 0.0});
-  sensor::TofFrame frame;
-  frame.sensor_id = 9;
-  frame.mode = sensor::ZoneMode::k8x8;
-  frame.zones.assign(64, {1.0f, sensor::ZoneStatus::kValid});
-  EXPECT_THROW(loc.on_frames({&frame, 1}), PreconditionError);
+  EXPECT_EQ(loc.dropped_frames(), 0u);
+
+  sensor::TofFrame unknown_sensor;
+  unknown_sensor.sensor_id = 9;  // not configured
+  unknown_sensor.mode = sensor::ZoneMode::k8x8;
+  unknown_sensor.zones.assign(64, {1.0f, sensor::ZoneStatus::kValid});
+
+  sensor::TofFrame wrong_mode = unknown_sensor;
+  wrong_mode.sensor_id = 0;  // configured, but as 8×8
+  wrong_mode.mode = sensor::ZoneMode::k4x4;
+  wrong_mode.zones.assign(16, {1.0f, sensor::ZoneStatus::kValid});
+
+  sensor::TofFrame short_payload = unknown_sensor;
+  short_payload.sensor_id = 0;
+  short_payload.zones.resize(40);  // truncated packet: 40 of 64 zones
+
+  sensor::TofFrame good;
+  good.sensor_id = 0;
+  good.mode = sensor::ZoneMode::k8x8;
+  good.zones.assign(64, {1.0f, sensor::ZoneStatus::kValid});
+
+  // A batch mixing malformed and valid frames: no throw, the bad ones are
+  // counted, the good one still produces a correction.
+  const std::array<sensor::TofFrame, 4> batch{unknown_sensor, wrong_mode,
+                                              short_payload, good};
+  EXPECT_TRUE(loc.on_frames(batch));
+  EXPECT_EQ(loc.dropped_frames(), 3u);
+  EXPECT_EQ(loc.updates_run(), 1u);
+
+  // A batch of ONLY malformed frames must not consume the correction
+  // gate: it returns false (motion still sampled), keeps counting, and
+  // the next valid frame still gets its correction even though the drone
+  // has not moved since the corrupt packet.
+  loc.on_odometry(Pose2{0.4, 0.0, 0.0});
+  const std::array<sensor::TofFrame, 1> bad_only{unknown_sensor};
+  EXPECT_FALSE(loc.on_frames(bad_only));
+  EXPECT_EQ(loc.dropped_frames(), 4u);
+  EXPECT_EQ(loc.updates_run(), 1u);
+  const std::array<sensor::TofFrame, 1> good_only{good};
+  EXPECT_TRUE(loc.on_frames(good_only));
+  EXPECT_EQ(loc.updates_run(), 2u);
 }
 
 // System-level test: run the full simulated pipeline and verify global

@@ -420,6 +420,122 @@ TEST(ParticleFilter, Fp16VariantStaysFiniteAndClose) {
   }
 }
 
+// The fused motion+observation kernel must be bit-identical to the
+// phase-by-phase path: the observation consumes no randomness, so fusing
+// only reorders the traversal over (particle, phase), never the
+// arithmetic or the per-chunk RNG streams.
+TEST(ParticleFilter, FusedKernelMatchesSeparatePhases) {
+  const auto grid = test_grid();
+  const map::DistanceMap dm(grid, 1.5);
+  const auto support = grid.free_cell_centers();
+  SerialExecutor exec;
+  const std::array<Beam, 3> beams{beam_at(0.0, 1.0), beam_at(0.5, 1.2),
+                                  beam_at(kPi, 1.7)};
+
+  ParticleFilter<Fp32Traits> separate(dm, small_config(777), exec);
+  ParticleFilter<Fp32Traits> fused(dm, small_config(777), exec);
+  separate.init_uniform(support, 0.025);
+  fused.init_uniform(support, 0.025);
+
+  for (int round = 0; round < 4; ++round) {
+    separate.motion_update(Pose2{0.1, 0.02, 0.05});
+    separate.observation_update(beams);
+    separate.resample();
+    fused.motion_observation_update(Pose2{0.1, 0.02, 0.05}, beams);
+    fused.resample();
+  }
+  const auto a = separate.particles();
+  const auto b = fused.particles();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(static_cast<float>(a[i].x), static_cast<float>(b[i].x)) << i;
+    EXPECT_EQ(static_cast<float>(a[i].y), static_cast<float>(b[i].y)) << i;
+    EXPECT_EQ(static_cast<float>(a[i].yaw), static_cast<float>(b[i].yaw))
+        << i;
+    EXPECT_EQ(static_cast<float>(a[i].weight),
+              static_cast<float>(b[i].weight))
+        << i;
+  }
+  const PoseEstimate ea = separate.compute_pose();
+  const PoseEstimate eb = fused.compute_pose();
+  EXPECT_EQ(ea.pose.x(), eb.pose.x());
+  EXPECT_EQ(ea.pose.y(), eb.pose.y());
+  EXPECT_EQ(ea.pose.yaw, eb.pose.yaw);
+}
+
+TEST(ParticleFilter, FusedKernelWithEmptyBeamsIsMotionOnly) {
+  const auto grid = test_grid();
+  const map::DistanceMap dm(grid, 1.5);
+  SerialExecutor exec;
+  ParticleFilter<Fp32Traits> motion_only(dm, small_config(128), exec);
+  ParticleFilter<Fp32Traits> fused(dm, small_config(128), exec);
+  motion_only.init_gaussian({1.0, 1.0, 0.0}, 0.1, 0.1);
+  fused.init_gaussian({1.0, 1.0, 0.0}, 0.1, 0.1);
+  motion_only.motion_update(Pose2{0.2, 0.0, 0.1});
+  fused.motion_observation_update(Pose2{0.2, 0.0, 0.1}, {});
+  const auto a = motion_only.particles();
+  const auto b = fused.particles();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(static_cast<float>(a[i].x), static_cast<float>(b[i].x)) << i;
+    EXPECT_EQ(static_cast<float>(a[i].weight),
+              static_cast<float>(b[i].weight))
+        << i;
+  }
+  EXPECT_EQ(fused.workload().beams, 0u);
+}
+
+// Regression for the Augmented-MCL monitor with large beam counts (8×8
+// zones × 2 sensors = 128 beams). The observation kernel normalizes each
+// factor by its per-beam maximum z_hit + z_rand, so a well-matched
+// particle keeps weight ≈ 1 for any beam count; the unnormalized product
+// used to underflow fp32 (max weight (z_hit+z_rand)^128 ≈ 1e-90 here),
+// zeroing every weight, and the monitor's pow(per_beam_max, beams)
+// normalizer could underflow/overflow into inf/NaN — either way recovery
+// injection was silently disabled.
+TEST(ParticleFilter, InjectionMonitorSurvives128Beams) {
+  const auto grid = test_grid();
+  const map::DistanceMap dm(grid, 1.5);
+  const auto support = grid.free_cell_centers();
+  SerialExecutor exec;
+  MclConfig cfg = small_config(256);
+  cfg.z_hit = 0.18;  // per-beam max 0.2: 0.2^128 underflows fp32 by far
+  cfg.z_rand = 0.02;
+  cfg.sigma_odom_xy = 0.0;
+  cfg.sigma_odom_yaw = 0.0;
+  ParticleFilter<Fp32Traits> pf(dm, cfg, exec);
+  pf.init_gaussian({1.0, 1.0, 0.0}, 0.0, 0.0);
+  pf.set_injection_support(support, 0.025);
+
+  // 128 beams perfectly consistent with the pose (wall at x=2, 1 m ahead).
+  std::vector<Beam> matched(128, beam_at(0.0, 1.0));
+  pf.observation_update(matched);
+  // The normalized product must survive fp32 storage: every factor is
+  // ≈ its maximum, so the weight stays near 1 instead of 0.2^128 → 0.
+  EXPECT_GT(static_cast<float>(pf.particles()[0].weight), 1e-3f);
+  pf.resample();
+  const InjectionMonitor& after_match = pf.injection_monitor();
+  EXPECT_TRUE(std::isfinite(after_match.w_slow));
+  EXPECT_TRUE(std::isfinite(after_match.w_fast));
+  EXPECT_GT(after_match.w_slow, 0.0);
+
+  // Now the observations disagree slightly everywhere (endpoints ~0.1 m
+  // short of the wall — mild enough that the normalized 128-beam product
+  // still fits in fp32): the short-term average must dive below the
+  // long-term one and trigger a positive injection fraction.
+  std::vector<Beam> mismatched(128, beam_at(0.0, 0.9));
+  double max_inject = 0.0;
+  for (int i = 0; i < 6; ++i) {
+    pf.observation_update(mismatched);
+    pf.resample();
+    const InjectionMonitor& m = pf.injection_monitor();
+    ASSERT_TRUE(std::isfinite(m.w_fast)) << "update " << i;
+    ASSERT_TRUE(std::isfinite(m.w_slow)) << "update " << i;
+    max_inject = std::max(max_inject, m.last_inject_p);
+  }
+  EXPECT_GT(max_inject, 0.0);
+  EXPECT_LE(max_inject, cfg.injection_max_fraction);
+}
+
 TEST(ParticleFilter, WorkloadReported) {
   const auto grid = test_grid();
   const map::DistanceMap dm(grid, 1.5);

@@ -117,5 +117,86 @@ TEST(ThreadPool, SizeReflectsConstruction) {
   EXPECT_EQ(pool.size(), 5u);
 }
 
+// Regression: a throwing chunk used to escape worker_loop → std::terminate,
+// and a surviving pool would have deadlocked wait_idle() because the
+// in_flight_ decrement was skipped. The first exception must now surface
+// on the calling thread, after all chunks completed.
+TEST(ThreadPool, ParallelChunksRethrowsFirstException) {
+  ThreadPool pool(3);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.parallel_chunks(100, 8,
+                           [&](std::size_t chunk, std::size_t, std::size_t) {
+                             if (chunk == 5) {
+                               throw std::runtime_error("chunk 5 failed");
+                             }
+                             completed.fetch_add(1);
+                           }),
+      std::runtime_error);
+  // Every non-throwing chunk still ran; nothing was abandoned mid-flight.
+  EXPECT_EQ(completed.load(), 7);
+  // The pool is still healthy: bookkeeping balanced, later work runs.
+  pool.wait_idle();
+  std::atomic<int> counter{0};
+  pool.parallel_for(50, [&counter](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ParallelChunksRethrowsCallerChunkException) {
+  // Chunk 0 runs on the calling thread; its exception must surface too,
+  // and only after the pool-side chunks finished (no dangling tasks).
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.parallel_chunks(40, 4,
+                           [&](std::size_t chunk, std::size_t, std::size_t) {
+                             if (chunk == 0) {
+                               throw std::runtime_error("caller chunk failed");
+                             }
+                             completed.fetch_add(1);
+                           }),
+      std::runtime_error);
+  EXPECT_EQ(completed.load(), 3);
+  pool.wait_idle();
+}
+
+TEST(ThreadPool, SubmitExceptionSurfacesAtWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([&ran] { ran.fetch_add(1); });
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  pool.submit([&ran] { ran.fetch_add(1); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 2);
+  // The error is consumed: the next wait_idle is clean.
+  pool.wait_idle();
+}
+
+// Nested fork-join: a pool task calling parallel_chunks on its own pool
+// must not deadlock even when run-level tasks occupy every worker — the
+// waiting thread helps drain the queue. This is the execution shape of a
+// batched campaign with pooled filter chunks.
+TEST(ThreadPool, NestedParallelChunksFromPoolTasks) {
+  ThreadPool pool(2);  // fewer workers than outer tasks, on purpose
+  constexpr std::size_t kOuter = 6;
+  constexpr std::size_t kInner = 64;
+  std::array<std::array<std::atomic<int>, kInner>, kOuter> touched{};
+  for (std::size_t o = 0; o < kOuter; ++o) {
+    pool.submit([&pool, &touched, o] {
+      pool.parallel_chunks(kInner, 8,
+                           [&touched, o](std::size_t, std::size_t begin,
+                                         std::size_t end) {
+                             for (std::size_t i = begin; i < end; ++i) {
+                               touched[o][i].fetch_add(1);
+                             }
+                           });
+    });
+  }
+  pool.wait_idle();
+  for (const auto& row : touched) {
+    for (const auto& cell : row) EXPECT_EQ(cell.load(), 1);
+  }
+}
+
 }  // namespace
 }  // namespace tofmcl
