@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 
 #include "eval/campaign.hpp"
 
@@ -32,6 +33,11 @@ struct Args {
   std::size_t threads = 8;
   std::size_t particles = 1024;
   bool pooled_chunks = false;
+  /// Generated-worlds battery (office + warehouse + loop corridor, with a
+  /// dynamic-obstacle sensing axis) instead of the maze matrix.
+  bool worldgen = false;
+  /// Dump a hexfloat per-run trace for cross-process determinism diffs.
+  const char* trace_path = nullptr;
 };
 
 Args parse(int argc, char** argv) {
@@ -54,7 +60,12 @@ Args parse(int argc, char** argv) {
           "  --threads N    pool size for batched mode (default 8)\n"
           "  --particles N  particles per run (default 1024)\n"
           "  --pooled       also time batched + pooled filter chunks\n"
-          "  --smoke        tiny sanity configuration (CI)\n");
+          "  --smoke        tiny sanity configuration (CI)\n"
+          "  --worldgen     generated office/warehouse/loop battery with\n"
+          "                 a dynamic-obstacle sensing axis\n"
+          "  --trace FILE   write a hexfloat per-run result trace (CI\n"
+          "                 diffs two invocations for cross-process\n"
+          "                 determinism)\n");
       std::exit(0);
     } else if (is("--runs")) {
       args.runs = static_cast<std::size_t>(std::atoi(value()));
@@ -68,6 +79,10 @@ Args parse(int argc, char** argv) {
       args.runs = 2;
       args.threads = 2;
       args.particles = 256;
+    } else if (is("--worldgen")) {
+      args.worldgen = true;
+    } else if (is("--trace")) {
+      args.trace_path = value();
     } else {
       std::fprintf(stderr, "unknown option: %s\n", argv[i]);
       std::exit(2);
@@ -124,15 +139,25 @@ void report(const char* label, const eval::CampaignResult& result,
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
 
-  // Matrix: small maze over four plans × two quantized precisions × two
-  // sensing modes; seeds_per_cell stretches the battery to --runs.
+  // Default matrix: small maze over four plans × two quantized precisions
+  // × two sensing modes; --worldgen swaps in the generated battery
+  // (office tour + warehouse tour + loop shuttle, static vs two crossing
+  // pedestrians). seeds_per_cell stretches the battery to --runs.
   eval::CampaignSpec spec;
-  spec.worlds = {{eval::CampaignWorld::kSmallMaze, 0},
-                 {eval::CampaignWorld::kSmallMaze, 1},
-                 {eval::CampaignWorld::kSmallMaze, 2},
-                 {eval::CampaignWorld::kSmallMaze, 4}};
-  spec.precisions = {core::Precision::kFp32Qm, core::Precision::kFp16Qm};
-  spec.sensing = {{}, {sensor::ZoneMode::k4x4, 60.0, 0.01, true}};
+  if (args.worldgen) {
+    spec.worlds = {{eval::CampaignWorld::kOffice, 0, 3},
+                   {eval::CampaignWorld::kWarehouse, 0, 2},
+                   {eval::CampaignWorld::kLoopCorridor, 2, 1}};
+    spec.precisions = {core::Precision::kFp32Qm};
+    spec.sensing = {{}, {sensor::ZoneMode::k8x8, 15.0, 0.01, true, 2, 1.2}};
+  } else {
+    spec.worlds = {{eval::CampaignWorld::kSmallMaze, 0},
+                   {eval::CampaignWorld::kSmallMaze, 1},
+                   {eval::CampaignWorld::kSmallMaze, 2},
+                   {eval::CampaignWorld::kSmallMaze, 4}};
+    spec.precisions = {core::Precision::kFp32Qm, core::Precision::kFp16Qm};
+    spec.sensing = {{}, {sensor::ZoneMode::k4x4, 60.0, 0.01, true}};
+  }
   spec.mcl.num_particles = args.particles;
   const std::size_t cell_runs =
       spec.worlds.size() * spec.precisions.size() * spec.sensing.size();
@@ -181,5 +206,27 @@ int main(int argc, char** argv) {
   std::printf("determinism: serial and batched results %s\n",
               ok ? "bit-identical" : "DIFFER (BUG)");
   if (!ok) return 1;
+
+  if (args.trace_path != nullptr) {
+    // Hexfloat per-run trace: two invocations of the same battery in
+    // different processes must produce byte-identical files (covers world
+    // generation, tour planning, obstacle scatter, dataset generation and
+    // the filter itself).
+    std::ofstream trace(args.trace_path);
+    if (!trace) {
+      std::fprintf(stderr, "cannot open trace file %s\n", args.trace_path);
+      return 1;
+    }
+    trace << std::hexfloat;
+    for (const auto& run : serial.runs) {
+      trace << run.spec.world_index << ' ' << run.spec.sensing_index << ' '
+            << run.spec.data_seed << ' ' << run.spec.mcl_seed << ' '
+            << run.updates_run << ' ' << run.particle_beam_ops << ' '
+            << run.metrics.ate_m << ' ' << run.final_pos_error_m << '\n';
+      for (const auto& e : run.errors) {
+        trace << e.t << ' ' << e.pos_error << ' ' << e.yaw_error << '\n';
+      }
+    }
+  }
   return 0;
 }

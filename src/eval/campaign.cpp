@@ -10,6 +10,8 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "sim/dynamic_obstacles.hpp"
+#include "sim/worldgen.hpp"
 
 namespace tofmcl::eval {
 
@@ -20,6 +22,39 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+/// Builds the environment + flight-plan table for one world identity.
+std::pair<sim::EvaluationEnvironment, std::vector<sim::FlightPlan>>
+build_world(CampaignWorld kind, std::uint64_t seed) {
+  switch (kind) {
+    case CampaignWorld::kSmallMaze: {
+      sim::EvaluationEnvironment env;
+      env.world = sim::drone_maze();
+      env.maze_regions.push_back({{0.0, 0.0}, {4.0, 4.0}});
+      env.structured_area_m2 = sim::drone_maze_area();
+      return {std::move(env), sim::standard_flight_plans()};
+    }
+    case CampaignWorld::kLargeMaze:
+      return {sim::evaluation_environment(seed),
+              sim::standard_flight_plans()};
+    case CampaignWorld::kOffice:
+    case CampaignWorld::kWarehouse:
+    case CampaignWorld::kLoopCorridor: {
+      sim::WorldGenConfig config;
+      config.seed = seed;
+      const sim::GeneratedWorldKind gen_kind =
+          kind == CampaignWorld::kOffice
+              ? sim::GeneratedWorldKind::kOffice
+              : (kind == CampaignWorld::kWarehouse
+                     ? sim::GeneratedWorldKind::kWarehouse
+                     : sim::GeneratedWorldKind::kLoopCorridor);
+      sim::GeneratedWorld world = sim::generate_world(gen_kind, config);
+      return {std::move(world.env), std::move(world.plans)};
+    }
+  }
+  TOFMCL_EXPECTS(false, "unknown campaign world kind");
+  return {};
+}
+
 }  // namespace
 
 const char* to_string(CampaignWorld world) {
@@ -28,6 +63,12 @@ const char* to_string(CampaignWorld world) {
       return "small_maze";
     case CampaignWorld::kLargeMaze:
       return "large_maze";
+    case CampaignWorld::kOffice:
+      return "office";
+    case CampaignWorld::kWarehouse:
+      return "warehouse";
+    case CampaignWorld::kLoopCorridor:
+      return "loop_corridor";
   }
   return "unknown";
 }
@@ -105,9 +146,11 @@ std::vector<RunSpec> expand_runs(const CampaignSpec& spec) {
 
 bool Campaign::DatasetKey::operator<(const DatasetKey& other) const {
   return std::tie(world_index, data_seed, zone_mode, rate_bits,
-                  interference_bits, kidnap_plan) <
+                  interference_bits, obstacle_count, obstacle_speed_bits,
+                  kidnap_plan) <
          std::tie(other.world_index, other.data_seed, other.zone_mode,
                   other.rate_bits, other.interference_bits,
+                  other.obstacle_count, other.obstacle_speed_bits,
                   other.kidnap_plan);
 }
 
@@ -120,6 +163,14 @@ Campaign::DatasetKey Campaign::dataset_key(const RunSpec& run,
   key.rate_bits = std::bit_cast<std::uint64_t>(sensing.tof_rate_hz);
   key.interference_bits =
       std::bit_cast<std::uint64_t>(sensing.p_interference);
+  key.obstacle_count = sensing.obstacle_count;
+  // A static world renders identically whatever the (unused) obstacle
+  // speed says — normalize it out so such specs share one dataset, like
+  // use_rear_sensor above.
+  key.obstacle_speed_bits =
+      sensing.obstacle_count == 0
+          ? 0
+          : std::bit_cast<std::uint64_t>(sensing.obstacle_speed_m_s);
   if (run.init.mode == InitSpec::Mode::kKidnapped) {
     key.kidnap_plan = run.init.kidnap_plan;
   }
@@ -151,24 +202,18 @@ sim::SequenceGeneratorConfig Campaign::generator_for(
 }
 
 void Campaign::prepare_shared(const CampaignOptions& options) {
-  const auto plans = sim::standard_flight_plans();
-
-  // One pass over the run list: validate plan indices and group the
-  // precisions each world KIND needs (grids/EDTs/LUTs depend on the
-  // environment only, so all plans over one world share one build).
-  std::map<CampaignWorld, std::set<core::Precision>> needed;
+  // One pass over the run list: group the precisions each world IDENTITY
+  // (kind, seed) needs — grids/EDTs/LUTs depend on the environment only,
+  // so all plans over one world share one build.
+  std::map<WorldKey, std::set<core::Precision>> needed;
   for (const RunSpec& run : runs_) {
-    TOFMCL_EXPECTS(spec_.worlds[run.world_index].plan < plans.size(),
-                   "flight plan index out of range");
-    TOFMCL_EXPECTS(run.init.mode != InitSpec::Mode::kKidnapped ||
-                       run.init.kidnap_plan < plans.size(),
-                   "kidnap plan index out of range");
-    needed[spec_.worlds[run.world_index].world].insert(run.precision);
+    const WorldSpec& ws = spec_.worlds[run.world_index];
+    needed[WorldKey{ws.world, ws.world_seed}].insert(run.precision);
   }
-  for (const auto& [kind, precision_set] : needed) {
+  for (const auto& [key, precision_set] : needed) {
     const std::vector<core::Precision> precisions(precision_set.begin(),
                                                   precision_set.end());
-    if (const auto it = worlds_.find(kind); it != worlds_.end()) {
+    if (const auto it = worlds_.find(key); it != worlds_.end()) {
       // Already built (an earlier run() call); extend the map resources
       // from the cached grid if a new precision needs a representation
       // the previous build skipped.
@@ -186,19 +231,23 @@ void Campaign::prepare_shared(const CampaignOptions& options) {
       }
       continue;
     }
-    sim::EvaluationEnvironment env;
-    if (kind == CampaignWorld::kSmallMaze) {
-      env.world = sim::drone_maze();
-      env.maze_regions.push_back({{0.0, 0.0}, {4.0, 4.0}});
-      env.structured_area_m2 = sim::drone_maze_area();
-    } else {
-      env = sim::evaluation_environment();
-    }
+    auto [env, plans] = build_world(key.kind, key.seed);
     map::OccupancyGrid grid = sim::rasterize_environment(
         env, spec_.map_resolution, spec_.map_error_sigma);
     auto maps = core::build_map_resources(grid, spec_.mcl, precisions);
-    worlds_.emplace(kind,
-                    World{std::move(env), std::move(grid), std::move(maps)});
+    worlds_.emplace(key, World{std::move(env), std::move(grid),
+                               std::move(maps), std::move(plans)});
+  }
+
+  // Plan indices can only be validated against each world's own table.
+  for (const RunSpec& run : runs_) {
+    const WorldSpec& ws = spec_.worlds[run.world_index];
+    const World& world = worlds_.at(WorldKey{ws.world, ws.world_seed});
+    TOFMCL_EXPECTS(ws.plan < world.plans.size(),
+                   "flight plan index out of range");
+    TOFMCL_EXPECTS(run.init.mode != InitSpec::Mode::kKidnapped ||
+                       run.init.kidnap_plan < world.plans.size(),
+                   "kidnap plan index out of range");
   }
 
   // Datasets: one generation per unique (world, generation params, seed,
@@ -219,19 +268,23 @@ void Campaign::prepare_shared(const CampaignOptions& options) {
   const auto generate = [&](std::size_t i) {
     const auto& [key, run] = missing[i];
     const SensingSpec& sensing = spec_.sensing[run->sensing_index];
-    const sim::SequenceGeneratorConfig gen = generator_for(sensing);
-    const World& world =
-        worlds_.at(spec_.worlds[run->world_index].world);
+    sim::SequenceGeneratorConfig gen = generator_for(sensing);
+    const WorldSpec& ws = spec_.worlds[run->world_index];
+    const World& world = worlds_.at(WorldKey{ws.world, ws.world_seed});
+    if (sensing.obstacle_count > 0) {
+      gen.obstacles = sim::scatter_obstacles_seeded(
+          world.plans, sensing.obstacle_count, sensing.obstacle_speed_m_s,
+          run->data_seed);
+    }
     Rng rng(run->data_seed);
     Dataset& ds = generated[i];
-    ds.legs.push_back(sim::generate_sequence(
-        world.env.world, plans[spec_.worlds[run->world_index].plan], gen,
-        rng));
+    ds.legs.push_back(sim::generate_sequence(world.env.world,
+                                             world.plans[ws.plan], gen, rng));
     if (key.kidnap_plan) {
       // The second leg starts elsewhere; its odometry stream is
       // self-consistent but unrelated to leg 1's end pose — a teleport.
       ds.legs.push_back(sim::generate_sequence(
-          world.env.world, plans[*key.kidnap_plan], gen, rng));
+          world.env.world, world.plans[*key.kidnap_plan], gen, rng));
     }
   };
   if (options.batched && missing.size() > 1) {
@@ -291,7 +344,8 @@ void replay_leg(core::Localizer& loc, const sim::Sequence& seq,
 
 CampaignRunResult Campaign::execute_run(const RunSpec& run,
                                         core::Executor& executor) const {
-  const World& world = worlds_.at(spec_.worlds[run.world_index].world);
+  const WorldSpec& ws = spec_.worlds[run.world_index];
+  const World& world = worlds_.at(WorldKey{ws.world, ws.world_seed});
   const SensingSpec& sensing = spec_.sensing[run.sensing_index];
   const Dataset& dataset =
       datasets_.at(dataset_key(run, sensing));

@@ -36,6 +36,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <tuple>
 #include <vector>
 
 #include "core/localizer.hpp"
@@ -49,15 +50,24 @@ namespace tofmcl::eval {
 
 /// Which evaluation world a run flies in.
 enum class CampaignWorld : std::uint8_t {
-  kSmallMaze,  ///< 16 m² physical drone maze only.
-  kLargeMaze,  ///< 31.2 m² extended map (drone maze + artificial mazes).
+  kSmallMaze,     ///< 16 m² physical drone maze only.
+  kLargeMaze,     ///< 31.2 m² extended map (drone maze + artificial mazes).
+  kOffice,        ///< Generated office floor plan (sim::generate_world).
+  kWarehouse,     ///< Generated cluttered warehouse hall.
+  kLoopCorridor,  ///< Generated ring corridor around a solid core.
 };
 const char* to_string(CampaignWorld world);
 
 /// One map-dimension entry: a world plus the flight plan flown in it.
+/// Maze worlds index sim::standard_flight_plans(); generated worlds index
+/// their own tour plans (0 tour, 1 reverse, 2 shuttle) and use
+/// `world_seed` as the procedural seed. The seed also selects the
+/// artificial-maze layout of kLargeMaze, whose historical default is
+/// 2023.
 struct WorldSpec {
   CampaignWorld world = CampaignWorld::kLargeMaze;
-  std::size_t plan = 0;  ///< Index into sim::standard_flight_plans().
+  std::size_t plan = 0;  ///< Index into the world's flight-plan table.
+  std::uint64_t world_seed = 2023;
 };
 
 /// One init-mode-dimension entry.
@@ -74,15 +84,20 @@ struct InitSpec {
 };
 const char* to_string(InitSpec::Mode mode);
 
-/// One sensing-degradation-dimension entry. The zone mode, frame rate and
-/// interference rate shape the generated dataset; use_rear_sensor is a
-/// replay-time property (the 1-ToF ablation), so two entries differing
-/// only in it share their datasets.
+/// One sensing-degradation-dimension entry. The zone mode, frame rate,
+/// interference rate and dynamic-obstacle load shape the generated
+/// dataset; use_rear_sensor is a replay-time property (the 1-ToF
+/// ablation), so two entries differing only in it share their datasets.
 struct SensingSpec {
   sensor::ZoneMode zone_mode = sensor::ZoneMode::k8x8;
   double tof_rate_hz = 15.0;
   double p_interference = 0.01;
   bool use_rear_sensor = true;
+  /// Dynamic-obstacle degradation: this many people-sized cylinders
+  /// patrol the flight corridors and are composited into every rendered
+  /// frame, while the localization map stays static. 0 = static world.
+  std::size_t obstacle_count = 0;
+  double obstacle_speed_m_s = 0.8;
 };
 
 /// The campaign matrix. Every combination of the five dimensions (times
@@ -184,6 +199,19 @@ class Campaign {
     sim::EvaluationEnvironment env;
     map::OccupancyGrid grid;
     std::shared_ptr<const core::MapResources> maps;
+    /// The flight-plan table WorldSpec::plan indexes: the six standard
+    /// maze flights, or a generated world's tour plans.
+    std::vector<sim::FlightPlan> plans;
+  };
+  /// Grids/EDTs/LUTs depend on the environment only, which is determined
+  /// by (kind, procedural seed) — the flight plan matters to datasets,
+  /// not maps.
+  struct WorldKey {
+    CampaignWorld kind;
+    std::uint64_t seed;
+    bool operator<(const WorldKey& other) const {
+      return std::tie(kind, seed) < std::tie(other.kind, other.seed);
+    }
   };
   struct DatasetKey {
     std::size_t world_index;
@@ -191,6 +219,8 @@ class Campaign {
     std::uint8_t zone_mode;
     std::uint64_t rate_bits;
     std::uint64_t interference_bits;
+    std::size_t obstacle_count;
+    std::uint64_t obstacle_speed_bits;
     std::optional<std::size_t> kidnap_plan;
     bool operator<(const DatasetKey& other) const;
   };
@@ -207,11 +237,9 @@ class Campaign {
 
   CampaignSpec spec_;
   std::vector<RunSpec> runs_;
-  /// Keyed by world KIND, not WorldSpec index: the grid/EDTs/LUT depend
-  /// only on the environment (the flight plan matters to datasets, not
-  /// maps), so e.g. a six-plan sweep over the large maze builds one EDT
-  /// set, not six.
-  std::map<CampaignWorld, World> worlds_;
+  /// Keyed by world identity, not WorldSpec index, so e.g. a six-plan
+  /// sweep over the large maze builds one EDT set, not six.
+  std::map<WorldKey, World> worlds_;
   std::map<DatasetKey, Dataset> datasets_;
   double horizon_s_ = 0.0;
 };

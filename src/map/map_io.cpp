@@ -1,6 +1,8 @@
 #include "map/map_io.hpp"
 
+#include <cctype>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -35,30 +37,100 @@ CellState from_glyph(char g) {
   }
 }
 
-}  // namespace
+/// Drops a trailing '\r' so grid files written on Windows (CRLF line
+/// endings) parse identically to LF files.
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
 
-void save_grid(const OccupancyGrid& grid, std::ostream& os) {
-  os << kMagic << " 1\n";
+void write_header(const OccupancyGrid& grid, std::ostream& os, int version) {
+  // max_digits10 significant digits guarantee that parsing the decimal
+  // text recovers the exact double (resolution/origin round-trip
+  // bit-exactly, which the world cache keys and EDT rebuilds rely on).
+  const auto precision = os.precision(
+      std::numeric_limits<double>::max_digits10);
+  os << kMagic << ' ' << version << '\n';
   os << grid.width() << ' ' << grid.height() << ' ' << grid.resolution()
      << ' ' << grid.origin().x << ' ' << grid.origin().y << '\n';
-  for (int y = 0; y < grid.height(); ++y) {
-    std::string row(static_cast<std::size_t>(grid.width()), '?');
-    for (int x = 0; x < grid.width(); ++x) {
-      row[static_cast<std::size_t>(x)] = to_glyph(grid.at({x, y}));
+  os.precision(precision);
+}
+
+void expand_rle_row(const std::string& line, int y, OccupancyGrid& grid) {
+  int x = 0;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    long count = 1;
+    if (std::isdigit(static_cast<unsigned char>(line[i]))) {
+      count = 0;
+      while (i < line.size() &&
+             std::isdigit(static_cast<unsigned char>(line[i]))) {
+        count = count * 10 + (line[i] - '0');
+        if (count > grid.width()) {
+          throw IoError("grid row " + std::to_string(y) +
+                        " run exceeds width");
+        }
+        ++i;
+      }
+      if (count == 0) {
+        throw IoError("grid row " + std::to_string(y) + " has a zero run");
+      }
+      if (i == line.size()) {
+        throw IoError("grid row " + std::to_string(y) +
+                      " ends mid-run (count without glyph)");
+      }
     }
-    os << row << '\n';
+    const CellState state = from_glyph(line[i]);
+    ++i;
+    if (x + count > grid.width()) {
+      throw IoError("grid row " + std::to_string(y) + " has wrong width");
+    }
+    for (long k = 0; k < count; ++k, ++x) grid.set({x, y}, state);
+  }
+  if (x != grid.width()) {
+    throw IoError("grid row " + std::to_string(y) + " has wrong width");
+  }
+}
+
+}  // namespace
+
+void save_grid(const OccupancyGrid& grid, std::ostream& os,
+               GridFormat format) {
+  const int version = format == GridFormat::kV1 ? 1 : 2;
+  write_header(grid, os, version);
+  for (int y = 0; y < grid.height(); ++y) {
+    if (format == GridFormat::kV1) {
+      std::string row(static_cast<std::size_t>(grid.width()), '?');
+      for (int x = 0; x < grid.width(); ++x) {
+        row[static_cast<std::size_t>(x)] = to_glyph(grid.at({x, y}));
+      }
+      os << row << '\n';
+    } else {
+      int x = 0;
+      while (x < grid.width()) {
+        const CellState state = grid.at({x, y});
+        int run = 1;
+        while (x + run < grid.width() && grid.at({x + run, y}) == state) {
+          ++run;
+        }
+        if (run > 1) os << run;
+        os << to_glyph(state);
+        x += run;
+      }
+      os << '\n';
+    }
   }
   if (!os) throw IoError("failed writing grid");
 }
 
-void save_grid(const OccupancyGrid& grid, const std::filesystem::path& path) {
+void save_grid(const OccupancyGrid& grid, const std::filesystem::path& path,
+               GridFormat format) {
   if (path.has_parent_path()) {
     std::error_code ec;
     std::filesystem::create_directories(path.parent_path(), ec);
   }
   std::ofstream out(path);
   if (!out) throw IoError("cannot open map file for writing: " + path.string());
-  save_grid(grid, out);
+  save_grid(grid, out, format);
 }
 
 OccupancyGrid load_grid(std::istream& is) {
@@ -66,7 +138,7 @@ OccupancyGrid load_grid(std::istream& is) {
   int version = 0;
   is >> magic >> version;
   if (!is || magic != kMagic) throw IoError("not a tofmcl-grid file");
-  if (version != 1) {
+  if (version != 1 && version != 2) {
     throw IoError("unsupported grid version: " + std::to_string(version));
   }
 
@@ -84,11 +156,16 @@ OccupancyGrid load_grid(std::istream& is) {
   std::getline(is, row);  // consume end of header line
   for (int y = 0; y < height; ++y) {
     if (!std::getline(is, row)) throw IoError("truncated grid body");
-    if (row.size() != static_cast<std::size_t>(width)) {
-      throw IoError("grid row " + std::to_string(y) + " has wrong width");
-    }
-    for (int x = 0; x < width; ++x) {
-      grid.set({x, y}, from_glyph(row[static_cast<std::size_t>(x)]));
+    strip_cr(row);
+    if (version == 1) {
+      if (row.size() != static_cast<std::size_t>(width)) {
+        throw IoError("grid row " + std::to_string(y) + " has wrong width");
+      }
+      for (int x = 0; x < width; ++x) {
+        grid.set({x, y}, from_glyph(row[static_cast<std::size_t>(x)]));
+      }
+    } else {
+      expand_rle_row(row, y, grid);
     }
   }
   return grid;

@@ -2,14 +2,25 @@
 /// \file map_io.hpp
 /// \brief Plain-text serialization of occupancy grids.
 ///
-/// Format (line oriented, '#' is a cell glyph, not a comment):
+/// Two on-disk versions share the magic and header layout:
 ///
-///     tofmcl-grid 1
+///     tofmcl-grid <version>
 ///     <width> <height> <resolution> <origin_x> <origin_y>
-///     <height rows of width glyphs, row 0 first: '.'=free '#'=occupied '?'=unknown>
 ///
-/// The glyph matrix is stored bottom row first so files match the in-memory
-/// row order (row 0 = smallest y).
+/// Header numbers are written with max_digits10 significant digits so a
+/// save→load round trip reproduces every double bit-exactly.
+///
+/// Version 1 body: `<height>` rows of `<width>` glyphs, row 0 (smallest y)
+/// first: '.'=free '#'=occupied '?'=unknown. '#' is a cell glyph, not a
+/// comment.
+///
+/// Version 2 body: the same rows, each run-length encoded as
+/// `<count><glyph>` tokens (a bare glyph means count 1), e.g. `118.3#97.`.
+/// Generated worlds are dominated by long free/unknown runs, so v2 files
+/// are typically 20-50× smaller and proportionally faster to read.
+///
+/// load_grid() auto-detects the version and accepts both; lines may end in
+/// LF or CRLF.
 
 #include <filesystem>
 #include <iosfwd>
@@ -18,11 +29,19 @@
 
 namespace tofmcl::map {
 
-/// Writes the grid; throws IoError on stream failure.
-void save_grid(const OccupancyGrid& grid, std::ostream& os);
-void save_grid(const OccupancyGrid& grid, const std::filesystem::path& path);
+/// On-disk format version selector for save_grid().
+enum class GridFormat {
+  kV1,  ///< One glyph per cell (human-diffable, large).
+  kV2,  ///< Run-length encoded rows (default; compact for big worlds).
+};
 
-/// Reads a grid; throws IoError on malformed input.
+/// Writes the grid; throws IoError on stream failure.
+void save_grid(const OccupancyGrid& grid, std::ostream& os,
+               GridFormat format = GridFormat::kV2);
+void save_grid(const OccupancyGrid& grid, const std::filesystem::path& path,
+               GridFormat format = GridFormat::kV2);
+
+/// Reads a grid (either version); throws IoError on malformed input.
 OccupancyGrid load_grid(std::istream& is);
 OccupancyGrid load_grid(const std::filesystem::path& path);
 

@@ -47,9 +47,30 @@ std::optional<GridRayHit> raycast_grid(const map::OccupancyGrid& grid,
       t = t_max_x;
       t_max_x += t_delta_x;
       cell.x += step_x;
-    } else {
+    } else if (t_max_y < t_max_x) {
       t = t_max_y;
       t_max_y += t_delta_y;
+      cell.y += step_y;
+    } else {
+      // Exact tie: the ray passes through a cell corner. Stepping a single
+      // axis here would let a diagonal ray slip between the two occupied
+      // cells flanking the corner (corner tunneling), so both flanking
+      // cells are checked at the corner distance — either being solid
+      // blocks the ray — and then both axes advance into the diagonal
+      // cell.
+      t = t_max_y;
+      if (t > max_range) return std::nullopt;
+      const map::CellIndex y_side{cell.x, cell.y + step_y};
+      if (grid.in_bounds(y_side) && grid.is_occupied(y_side)) {
+        return GridRayHit{t, y_side};
+      }
+      const map::CellIndex x_side{cell.x + step_x, cell.y};
+      if (grid.in_bounds(x_side) && grid.is_occupied(x_side)) {
+        return GridRayHit{t, x_side};
+      }
+      t_max_x += t_delta_x;
+      t_max_y += t_delta_y;
+      cell.x += step_x;
       cell.y += step_y;
     }
     if (t > max_range) return std::nullopt;

@@ -1,5 +1,6 @@
 #include "sensor/tof_sensor.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace tofmcl::sensor {
@@ -20,6 +21,38 @@ double zone_elevation(const TofSensorConfig& config, int row) {
   return -config.fov_rad / 2.0 + (row + 0.5) * zone_height;
 }
 
+std::optional<CylinderHit> raycast_cylinders(
+    std::span<const CylinderObstacle> obstacles, Vec2 origin, double angle,
+    double max_range) {
+  TOFMCL_EXPECTS(max_range >= 0.0, "max_range must be non-negative");
+  const Vec2 dir{std::cos(angle), std::sin(angle)};
+  std::optional<CylinderHit> best;
+  for (std::size_t i = 0; i < obstacles.size(); ++i) {
+    const CylinderObstacle& o = obstacles[i];
+    // |origin + t·dir − center|² = r²  ⇒  t² − 2bt + c = 0 with unit dir.
+    const Vec2 to_center = o.center - origin;
+    const double b = dir.dot(to_center);
+    const double c = to_center.squared_norm() - o.radius_m * o.radius_m;
+    const double disc = b * b - c;
+    if (disc < 0.0) continue;
+    const double sqrt_disc = std::sqrt(disc);
+    double t = b - sqrt_disc;  // near intersection
+    if (t < 0.0) {
+      if (b + sqrt_disc < 0.0) continue;  // cylinder fully behind the ray
+      t = 0.0;                            // origin inside the cylinder
+    }
+    if (t > max_range) continue;
+    if (best && best->distance <= t) continue;
+    // Surface normal at the hit; |dot(dir, n)| is the sine of the angle
+    // between the ray and the local surface tangent.
+    const Vec2 normal = (origin + dir * t - o.center).normalized();
+    const double sin_inc =
+        t > 0.0 ? std::min(1.0, std::abs(dir.dot(normal))) : 1.0;
+    best = CylinderHit{t, sin_inc, i};
+  }
+  return best;
+}
+
 MultizoneToF::MultizoneToF(TofSensorConfig config) : config_(config) {
   TOFMCL_EXPECTS(config_.fov_rad > 0.0 && config_.fov_rad < kPi,
                  "FoV must be in (0, pi)");
@@ -35,16 +68,24 @@ MultizoneToF::MultizoneToF(TofSensorConfig config) : config_(config) {
 TofFrame MultizoneToF::measure(const map::World& world,
                                const Pose2& drone_pose, double timestamp_s,
                                Rng& rng) const {
-  return measure_impl(world, drone_pose, timestamp_s, &rng);
+  return measure_impl(world, {}, drone_pose, timestamp_s, &rng);
+}
+
+TofFrame MultizoneToF::measure(const map::World& world,
+                               std::span<const CylinderObstacle> obstacles,
+                               const Pose2& drone_pose, double timestamp_s,
+                               Rng& rng) const {
+  return measure_impl(world, obstacles, drone_pose, timestamp_s, &rng);
 }
 
 TofFrame MultizoneToF::measure_ideal(const map::World& world,
                                      const Pose2& drone_pose,
                                      double timestamp_s) const {
-  return measure_impl(world, drone_pose, timestamp_s, nullptr);
+  return measure_impl(world, {}, drone_pose, timestamp_s, nullptr);
 }
 
 TofFrame MultizoneToF::measure_impl(const map::World& world,
+                                    std::span<const CylinderObstacle> obstacles,
                                     const Pose2& drone_pose,
                                     double timestamp_s, Rng* rng) const {
   const int side = zones_per_side(config_.mode);
@@ -56,38 +97,65 @@ TofFrame MultizoneToF::measure_impl(const map::World& world,
 
   const Pose2 sensor_pose = drone_pose.compose(config_.mount);
 
+  // One column can see up to two surfaces in depth order: a cylinder and
+  // the wall behind it. A row whose elevated beam over/undershoots the
+  // near surface continues to the far one (a low cart occludes low rows
+  // but not the wall return of high rows).
+  struct Surface {
+    double distance = 0.0;
+    double height = 0.0;
+    double grazing = kPi / 2.0;
+  };
+
   for (int col = 0; col < side; ++col) {
     const double azimuth = zone_azimuth(config_, col);
     const double world_angle = sensor_pose.yaw + azimuth;
-    const auto hit = world.raycast(sensor_pose.position, world_angle,
-                                   config_.max_range_m);
+    const auto wall_hit = world.raycast(sensor_pose.position, world_angle,
+                                        config_.max_range_m);
+    const auto cyl_hit = raycast_cylinders(
+        obstacles, sensor_pose.position, world_angle, config_.max_range_m);
 
-    // Grazing angle between the beam and the wall surface (π/2 =
-    // perpendicular incidence). Shallow incidence scatters the return.
-    double grazing = kPi / 2.0;
-    if (hit) {
-      const map::Segment& s = world.segments()[hit->segment];
+    Surface surfaces[2];
+    int surface_count = 0;
+    if (cyl_hit) {
+      surfaces[surface_count++] = {cyl_hit->distance,
+                                   obstacles[cyl_hit->index].height_m,
+                                   std::asin(cyl_hit->sin_incidence)};
+    }
+    if (wall_hit) {
+      const map::Segment& s = world.segments()[wall_hit->segment];
       const Vec2 wall_dir = (s.b - s.a).normalized();
       const Vec2 ray_dir{std::cos(world_angle), std::sin(world_angle)};
-      grazing = std::acos(std::min(1.0, std::abs(ray_dir.dot(wall_dir))));
+      surfaces[surface_count++] = {
+          wall_hit->distance, config_.wall_height_m,
+          std::acos(std::min(1.0, std::abs(ray_dir.dot(wall_dir))))};
+    }
+    if (surface_count == 2 && surfaces[1].distance < surfaces[0].distance) {
+      std::swap(surfaces[0], surfaces[1]);
     }
 
     for (int row = 0; row < side; ++row) {
       ZoneMeasurement& zone =
           frame.zones[static_cast<std::size_t>(row * side + col)];
-      if (!hit) {
-        zone.status = ZoneStatus::kOutOfRange;
-        continue;
-      }
       const double elevation = zone_elevation(config_, row);
-      // Beam height where it meets the wall; over- or under-shooting the
-      // wall panel ranges out (the beam continues into open space).
-      const double height_at_wall =
-          config_.flight_height_m + hit->distance * std::tan(elevation);
-      if (height_at_wall < 0.0 || height_at_wall > config_.wall_height_m) {
+      // Nearest surface whose panel the elevated beam actually meets;
+      // over- or under-shooting a panel continues into open space.
+      const Surface* hit = nullptr;
+      for (int i = 0; i < surface_count; ++i) {
+        const double height_at_surface =
+            config_.flight_height_m +
+            surfaces[i].distance * std::tan(elevation);
+        if (height_at_surface >= 0.0 &&
+            height_at_surface <= surfaces[i].height) {
+          hit = &surfaces[i];
+          break;
+        }
+      }
+      if (hit == nullptr) {
         zone.status = ZoneStatus::kOutOfRange;
         continue;
       }
+      const double grazing = hit->grazing;
       double slant = hit->distance / std::cos(elevation);
       if (slant > config_.max_range_m) {
         zone.status = ZoneStatus::kOutOfRange;

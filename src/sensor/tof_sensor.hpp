@@ -11,6 +11,8 @@
 /// physical sensor.
 
 #include <cstdint>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "common/angles.hpp"
@@ -97,6 +99,31 @@ struct TofSensorConfig {
   double wall_height_m = 1.0;
 };
 
+/// A vertical cylinder composited into the rendered scene: the cross
+/// section of a dynamic obstacle (a person, a rolling cart) at one
+/// instant. Cylinders exist only on the SENSING side of the simulation —
+/// the localizer's map never contains them, which is exactly the
+/// unmodeled-obstacle stressor dynamic-environment MCL work evaluates.
+struct CylinderObstacle {
+  Vec2 center{};
+  double radius_m = 0.25;
+  double height_m = 1.8;
+};
+
+/// Nearest intersection of the 2D ray (origin, angle) with any cylinder
+/// cross section within max_range; nullopt when none is hit. An origin
+/// inside a cylinder reports distance 0. `sin_incidence` is |sin| of the
+/// angle between the ray and the surface tangent at the hit (1 = head-on,
+/// 0 = grazing), matching the wall grazing convention of the beam model.
+struct CylinderHit {
+  double distance = 0.0;
+  double sin_incidence = 1.0;
+  std::size_t index = 0;  ///< Which cylinder was hit.
+};
+std::optional<CylinderHit> raycast_cylinders(
+    std::span<const CylinderObstacle> obstacles, Vec2 origin, double angle,
+    double max_range);
+
 /// Azimuth of a zone column in the sensor frame (radians). Columns sweep
 /// from +fov/2 (col 0, left) to -fov/2 (last col, right), each beam at the
 /// center of its zone.
@@ -123,13 +150,25 @@ class MultizoneToF {
   TofFrame measure(const map::World& world, const Pose2& drone_pose,
                    double timestamp_s, Rng& rng) const;
 
+  /// Frame against the static world PLUS a set of cylinder obstacles (the
+  /// dynamic scene at this instant): each beam sees whichever surface is
+  /// nearer. With an empty obstacle span this consumes exactly the same
+  /// rng draws as the static overload, so static datasets stay
+  /// bit-identical.
+  TofFrame measure(const map::World& world,
+                   std::span<const CylinderObstacle> obstacles,
+                   const Pose2& drone_pose, double timestamp_s,
+                   Rng& rng) const;
+
   /// Noise-free variant used by tests and the observation-model ablation.
   TofFrame measure_ideal(const map::World& world, const Pose2& drone_pose,
                          double timestamp_s) const;
 
  private:
-  TofFrame measure_impl(const map::World& world, const Pose2& drone_pose,
-                        double timestamp_s, Rng* rng) const;
+  TofFrame measure_impl(const map::World& world,
+                        std::span<const CylinderObstacle> obstacles,
+                        const Pose2& drone_pose, double timestamp_s,
+                        Rng* rng) const;
 
   TofSensorConfig config_;
 };

@@ -1,0 +1,111 @@
+#include "sim/dynamic_obstacles.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sim/sequence_generator.hpp"
+
+namespace tofmcl::sim {
+
+namespace {
+
+double track_length(const std::vector<Vec2>& track) {
+  double length = 0.0;
+  for (std::size_t i = 0; i + 1 < track.size(); ++i) {
+    length += (track[i + 1] - track[i]).norm();
+  }
+  return length;
+}
+
+/// Point at arc length `s` ∈ [0, length] along the polyline.
+Vec2 point_at_arc_length(const std::vector<Vec2>& track, double s) {
+  for (std::size_t i = 0; i + 1 < track.size(); ++i) {
+    const double seg = (track[i + 1] - track[i]).norm();
+    if (s <= seg) {
+      return seg > 0.0 ? track[i] + (track[i + 1] - track[i]) * (s / seg)
+                       : track[i];
+    }
+    s -= seg;
+  }
+  return track.back();
+}
+
+}  // namespace
+
+Vec2 obstacle_position(const DynamicObstacle& obstacle, double t) {
+  if (obstacle.track.empty()) return {};
+  const double length = track_length(obstacle.track);
+  if (obstacle.track.size() < 2 || length <= 0.0 ||
+      obstacle.speed_m_s <= 0.0) {
+    return obstacle.track.front();
+  }
+  // Ping-pong: fold distance traveled into [0, 2·length), reflect the
+  // second half. fmod keeps this a pure function of t.
+  double s = std::fmod((t + obstacle.phase_s) * obstacle.speed_m_s,
+                       2.0 * length);
+  if (s < 0.0) s += 2.0 * length;
+  if (s > length) s = 2.0 * length - s;
+  return point_at_arc_length(obstacle.track, s);
+}
+
+std::vector<sensor::CylinderObstacle> obstacle_circles(
+    const std::vector<DynamicObstacle>& obstacles, double t) {
+  std::vector<sensor::CylinderObstacle> circles;
+  circles.reserve(obstacles.size());
+  for (const DynamicObstacle& o : obstacles) {
+    circles.push_back({obstacle_position(o, t), o.radius_m, o.height_m});
+  }
+  return circles;
+}
+
+std::vector<DynamicObstacle> scatter_obstacles(
+    const std::vector<FlightPlan>& plans, std::size_t count,
+    double speed_m_s, Rng& rng) {
+  TOFMCL_EXPECTS(!plans.empty(), "need at least one flight plan to scatter");
+  std::vector<DynamicObstacle> obstacles;
+  obstacles.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const FlightPlan& plan =
+        plans[static_cast<std::size_t>(rng.uniform_index(plans.size()))];
+    // A crossing point somewhere along the flight route and the local
+    // flight direction there.
+    Vec2 at = plan.start.position;
+    Vec2 dir{1.0, 0.0};
+    if (!plan.path.empty()) {
+      std::vector<Vec2> route{plan.start.position};
+      for (const Waypoint& wp : plan.path) route.push_back(wp.position);
+      const std::size_t seg = rng.uniform_index(route.size() - 1);
+      const Vec2 a = route[seg];
+      const Vec2 b = route[seg + 1];
+      at = a + (b - a) * rng.uniform(0.2, 0.8);
+      if ((b - a).norm() > 1e-9) dir = (b - a).normalized();
+    }
+    // Shuttle across the route, roughly perpendicular to the flight
+    // direction (±30° of skew), through the crossing point.
+    const double skew = rng.uniform(-0.5, 0.5);
+    const Vec2 across =
+        Vec2{-dir.y, dir.x}.rotated(skew) *
+        (rng.bernoulli(0.5) ? 1.0 : -1.0);
+    const double half = rng.uniform(0.5, 1.0);
+    DynamicObstacle o;
+    o.track = {at - across * half, at + across * half};
+    o.speed_m_s = speed_m_s;
+    o.phase_s = rng.uniform(0.0, 4.0 * half / std::max(speed_m_s, 1e-6));
+    obstacles.push_back(std::move(o));
+  }
+  return obstacles;
+}
+
+std::vector<DynamicObstacle> scatter_obstacles_seeded(
+    const std::vector<FlightPlan>& plans, std::size_t count,
+    double speed_m_s, std::uint64_t data_seed) {
+  // One SplitMix64 finalization of a golden-ratio combination (the same
+  // mix the campaign engine uses for all derived seeds), over a stream
+  // tag that keeps obstacle draws off the flight/noise stream.
+  const std::uint64_t tag = 0xD15EA5E0ULL + count;
+  Rng rng(SplitMix64(data_seed + 0x9E3779B97F4A7C15ULL * (tag + 1)).next());
+  return scatter_obstacles(plans, count, speed_m_s, rng);
+}
+
+}  // namespace tofmcl::sim

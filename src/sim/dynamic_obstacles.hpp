@@ -1,0 +1,67 @@
+#pragma once
+/// \file dynamic_obstacles.hpp
+/// \brief Moving entities composited into the rendered ToF beams.
+///
+/// The classic MCL robustness stressor: people-sized cylinders walk
+/// waypoint tracks through the flight space while the LOCALIZER'S MAP
+/// STAYS STATIC, so every beam that lands on an obstacle is an unmodeled
+/// short return the observation model must absorb (depth-based
+/// dynamic-obstacle work, e.g. Müller et al., arXiv:2208.12624, stresses
+/// exactly this regime). An obstacle's position is a pure function of
+/// time — no integration state — so dataset generation stays bit-exactly
+/// reproducible whatever the execution schedule.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/rng.hpp"
+#include "sensor/tof_sensor.hpp"
+
+namespace tofmcl::sim {
+
+struct FlightPlan;  // sim/sequence_generator.hpp (which includes this file)
+
+/// One moving entity: a vertical cylinder shuttling along a polyline
+/// track at constant speed, reversing at the ends (ping-pong), with a
+/// start-time offset so co-located obstacles desynchronize.
+struct DynamicObstacle {
+  std::vector<Vec2> track;  ///< ≥ 2 points; piecewise-linear path.
+  double speed_m_s = 0.8;   ///< Walking pace.
+  double radius_m = 0.25;   ///< Person-sized cross section.
+  double height_m = 1.8;    ///< Taller than the flight height: blocks beams.
+  double phase_s = 0.0;     ///< Time offset along the shuttle cycle.
+};
+
+/// Position at time `t`: arc-length parameterized ping-pong traversal of
+/// the track. Pure function of (obstacle, t). Degenerate tracks (fewer
+/// than 2 points or zero length) pin the obstacle to its first point.
+Vec2 obstacle_position(const DynamicObstacle& obstacle, double t);
+
+/// Cross sections of all obstacles at time `t`, ready for compositing
+/// into sensor::MultizoneToF::measure.
+std::vector<sensor::CylinderObstacle> obstacle_circles(
+    const std::vector<DynamicObstacle>& obstacles, double t);
+
+/// Deterministically scatters `count` obstacles over the corridors of a
+/// world: each obstacle shuttles on a short track CROSSING a random point
+/// of a random flight plan's route, roughly perpendicular to the local
+/// flight direction — the person-walks-through-the-corridor stressor.
+/// Crossing tracks occlude the sensors transiently (seconds) rather than
+/// pacing the drone down a corridor, which is what makes the degradation
+/// survivable at all. Randomized phase desynchronizes the crossings. All
+/// draws come from `rng`.
+std::vector<DynamicObstacle> scatter_obstacles(
+    const std::vector<FlightPlan>& plans, std::size_t count,
+    double speed_m_s, Rng& rng);
+
+/// The canonical seeded scatter: derives the obstacle rng from a dataset
+/// seed and the obstacle count on a dedicated stream (so the flight/noise
+/// stream of the static variant is untouched). Campaigns, the scenario
+/// matrix and the examples all go through this one recipe — the tracks
+/// for a given (data_seed, count, speed) are identical everywhere.
+std::vector<DynamicObstacle> scatter_obstacles_seeded(
+    const std::vector<FlightPlan>& plans, std::size_t count,
+    double speed_m_s, std::uint64_t data_seed);
+
+}  // namespace tofmcl::sim

@@ -156,12 +156,20 @@ map::OccupancyGrid rasterize_environment(const EvaluationEnvironment& env,
     map::rasterize_segment(grid, s, kWallThickness);
   }
 
-  // Mark the interiors of the structured regions as Free (leaving walls).
+  // Mark the interiors of the structured regions as Free (leaving walls
+  // Occupied and solid-region interiors Unknown — see
+  // EvaluationEnvironment::solid_regions).
   for (int y = 0; y < grid.height(); ++y) {
     for (int x = 0; x < grid.width(); ++x) {
       const map::CellIndex c{x, y};
       if (grid.at(c) != map::CellState::kUnknown) continue;
       const Vec2 center = grid.cell_center(c);
+      const bool solid =
+          std::any_of(env.solid_regions.begin(), env.solid_regions.end(),
+                      [&](const Aabb& region) {
+                        return region.contains(center);
+                      });
+      if (solid) continue;
       for (const Aabb& region : env.maze_regions) {
         if (region.contains(center)) {
           grid.set(c, map::CellState::kFree);

@@ -42,6 +42,14 @@ struct EvaluationEnvironment {
   /// Bounding boxes of each structured maze area; index 0 is the real
   /// drone maze where all flights happen.
   std::vector<Aabb> maze_regions;
+  /// Boxes whose interior is solid matter (warehouse shelving, a loop
+  /// corridor's inner block). Their outline segments rasterize to
+  /// Occupied walls like any other; the interior is left Unknown instead
+  /// of being marked Free, so no phantom free-space island forms inside —
+  /// and no all-zero-EDT blob either, which would otherwise score as a
+  /// perfect match for every beam and act as a particle sink. Empty for
+  /// the mazes.
+  std::vector<Aabb> solid_regions;
   /// Sum of maze region areas (≈ 31.2 m²).
   double structured_area_m2 = 0.0;
 };

@@ -143,8 +143,12 @@ Sequence generate_sequence(const map::World& world, const FlightPlan& plan,
       next_odom_t += odom_period;
     }
     if (t + 1e-9 >= next_tof_t) {
-      seq.frames.push_back(front.measure(world, drone.pose(), t, rng));
-      seq.frames.push_back(rear.measure(world, drone.pose(), t, rng));
+      const std::vector<sensor::CylinderObstacle> circles =
+          obstacle_circles(config.obstacles, t);
+      seq.frames.push_back(front.measure(world, circles, drone.pose(), t,
+                                         rng));
+      seq.frames.push_back(rear.measure(world, circles, drone.pose(), t,
+                                        rng));
       next_tof_t += tof_period;
     }
   }

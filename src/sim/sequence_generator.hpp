@@ -19,6 +19,7 @@
 #include "sim/controller.hpp"
 #include "sim/dataset.hpp"
 #include "sim/drone.hpp"
+#include "sim/dynamic_obstacles.hpp"
 
 namespace tofmcl::sim {
 
@@ -34,6 +35,10 @@ struct SequenceGeneratorConfig {
   estimation::EkfConfig ekf;
   sensor::TofSensorConfig front_tof;  ///< Forward-facing sensor.
   sensor::TofSensorConfig rear_tof;   ///< Backward-facing sensor.
+  /// Moving entities composited into every rendered ToF frame (the
+  /// localization map never sees them). Empty = static world, and the
+  /// generated data is bit-identical to the pre-obstacle pipeline.
+  std::vector<DynamicObstacle> obstacles;
 };
 
 /// Config with the paper's deck layout: front sensor at +2 cm yaw 0,

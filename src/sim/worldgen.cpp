@@ -1,0 +1,379 @@
+#include "sim/worldgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "map/distance_map.hpp"
+#include "plan/astar.hpp"
+
+namespace tofmcl::sim {
+
+namespace {
+
+constexpr double kPillarSide = 0.15;
+constexpr double kPlanResolution = 0.05;
+
+/// Planner settings for tour construction: clearance floor well above the
+/// rasterized wall inflation plus the controller's corner-cutting
+/// tolerance, so flown paths never clip a wall.
+plan::PlannerConfig tour_planner() {
+  plan::PlannerConfig pc;
+  pc.min_clearance_m = 0.2;
+  pc.comfort_clearance_m = 0.45;
+  return pc;
+}
+
+void validate(const WorldGenConfig& c) {
+  TOFMCL_EXPECTS(c.width_m >= 4.0 && c.height_m >= 4.0,
+                 "generated worlds must be at least 4 m x 4 m");
+  TOFMCL_EXPECTS(c.doorway_m >= c.drone_diameter_m + 0.4,
+                 "doorways must pass the drone with control margin");
+  TOFMCL_EXPECTS(c.min_room_m >= c.doorway_m + 0.3,
+                 "rooms must be wide enough to hold a doorway");
+  TOFMCL_EXPECTS(c.max_room_m > c.min_room_m, "max room must exceed min");
+  TOFMCL_EXPECTS(c.corridor_m >= 0.8 && c.loop_corridor_m >= 0.8,
+                 "corridors must be flyable");
+  TOFMCL_EXPECTS(c.clutter_min_m > 0.0 && c.clutter_max_m >= c.clutter_min_m,
+                 "clutter size range is inverted");
+}
+
+/// Splits [0, span] into segments of width ∈ [min_w, ~max_w]; returns the
+/// interior cut positions (strictly inside the span).
+std::vector<double> split_span(double span, double min_w, double max_w,
+                               Rng& rng) {
+  std::vector<double> cuts;
+  double x = 0.0;
+  while (span - x > max_w) {
+    double w = rng.uniform(min_w, max_w);
+    if (span - (x + w) < min_w) break;  // remainder becomes the last room
+    x += w;
+    cuts.push_back(x);
+  }
+  return cuts;
+}
+
+/// A square feature pillar mounted on a wall, like the boxes in the
+/// paper's physical maze: gives straight walls a range fingerprint inside
+/// the EDT truncation radius.
+void add_pillar(map::World& world, Vec2 corner) {
+  world.add_rectangle({corner, corner + Vec2{kPillarSide, kPillarSide}});
+}
+
+/// A horizontal wall along y over [x0, x1] with door gaps cut out.
+/// `gaps` holds (start, end) pairs, assumed sorted and disjoint.
+void add_wall_with_gaps(map::World& world, double y, double x0, double x1,
+                        const std::vector<std::pair<double, double>>& gaps) {
+  double x = x0;
+  for (const auto& [g0, g1] : gaps) {
+    if (g0 - x > 1e-9) world.add_segment({x, y}, {g0, y});
+    x = g1;
+  }
+  if (x1 - x > 1e-9) world.add_segment({x, y}, {x1, y});
+}
+
+void build_office(const WorldGenConfig& c, Rng& rng,
+                  EvaluationEnvironment& env, std::vector<Vec2>& pois) {
+  const double w = c.width_m;
+  const double h = c.height_m;
+  const double y_lo = h / 2.0 - c.corridor_m / 2.0;
+  const double y_hi = h / 2.0 + c.corridor_m / 2.0;
+  TOFMCL_EXPECTS(y_lo >= c.min_room_m * 0.6,
+                 "office too low for rooms on both corridor sides");
+  env.world.add_rectangle({{0.0, 0.0}, {w, h}});
+
+  // One band of rooms on each side of the corridor. Each band: vertical
+  // partition walls at the cuts, a corridor-facing wall with one doorway
+  // per room, and a feature pillar on the exterior wall of every room.
+  const auto build_band = [&](double band_lo, double band_hi, bool top) {
+    const std::vector<double> cuts =
+        split_span(w, c.min_room_m, c.max_room_m, rng);
+    for (const double cut : cuts) {
+      env.world.add_segment({cut, band_lo}, {cut, band_hi});
+    }
+    std::vector<double> edges{0.0};
+    edges.insert(edges.end(), cuts.begin(), cuts.end());
+    edges.push_back(w);
+    const double wall_y = top ? band_lo : band_hi;
+    std::vector<std::pair<double, double>> gaps;
+    for (std::size_t i = 0; i + 1 < edges.size(); ++i) {
+      const double r0 = edges[i];
+      const double r1 = edges[i + 1];
+      const double g0 =
+          rng.uniform(r0 + kPillarSide, r1 - kPillarSide - c.doorway_m);
+      gaps.emplace_back(g0, g0 + c.doorway_m);
+      // Pillar against the exterior wall, away from the partition walls.
+      const double px = rng.uniform(r0 + 0.2, r1 - 0.2 - kPillarSide);
+      add_pillar(env.world,
+                 {px, top ? h - kPillarSide : 0.0});
+      pois.push_back({(r0 + r1) / 2.0, (band_lo + band_hi) / 2.0});
+    }
+    add_wall_with_gaps(env.world, wall_y, 0.0, w, gaps);
+  };
+  build_band(y_hi, h, true);
+  build_band(0.0, y_lo, false);
+
+  // A pillar on one corridor end wall disambiguates the corridor's two
+  // directions even before a doorway comes into view.
+  const double py = rng.uniform(y_lo + 0.1, y_hi - 0.1 - kPillarSide);
+  add_pillar(env.world, {0.0, py});
+
+  pois.push_back({0.7, h / 2.0});
+  pois.push_back({w - 0.7, h / 2.0});
+}
+
+double point_box_distance(Vec2 p, const Aabb& box) {
+  const double dx =
+      std::max({box.min.x - p.x, 0.0, p.x - box.max.x});
+  const double dy =
+      std::max({box.min.y - p.y, 0.0, p.y - box.max.y});
+  return std::hypot(dx, dy);
+}
+
+void build_warehouse(const WorldGenConfig& c, Rng& rng,
+                     EvaluationEnvironment& env, std::vector<Vec2>& pois) {
+  const double w = c.width_m;
+  const double h = c.height_m;
+  env.world.add_rectangle({{0.0, 0.0}, {w, h}});
+
+  // Shelving/pallet boxes dropped by rejection sampling: every box keeps
+  // an aisle of at least aisle_m to every other box and to the exterior
+  // walls, so the hall stays fully connected.
+  std::vector<Aabb> boxes;
+  for (std::size_t i = 0; i < c.clutter_count; ++i) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const double bw = rng.uniform(c.clutter_min_m, c.clutter_max_m);
+      const double bh = rng.uniform(c.clutter_min_m, c.clutter_max_m);
+      const double x0 = rng.uniform(c.aisle_m, w - c.aisle_m - bw);
+      const double y0 = rng.uniform(c.aisle_m, h - c.aisle_m - bh);
+      const Aabb box{{x0, y0}, {x0 + bw, y0 + bh}};
+      const bool clear = std::none_of(
+          boxes.begin(), boxes.end(), [&](const Aabb& other) {
+            return box.min.x - c.aisle_m < other.max.x &&
+                   box.max.x + c.aisle_m > other.min.x &&
+                   box.min.y - c.aisle_m < other.max.y &&
+                   box.max.y + c.aisle_m > other.min.y;
+          });
+      if (!clear) continue;
+      env.world.add_rectangle(box);
+      env.solid_regions.push_back(box);
+      boxes.push_back(box);
+      break;
+    }
+  }
+
+  // Landmark points between the clutter: well clear of every box and
+  // wall, mutually separated so tours actually traverse the hall.
+  for (int attempt = 0; attempt < 400 && pois.size() < 6; ++attempt) {
+    const Vec2 p{rng.uniform(0.7, w - 0.7), rng.uniform(0.7, h - 0.7)};
+    const bool clear_of_boxes = std::all_of(
+        boxes.begin(), boxes.end(),
+        [&](const Aabb& b) { return point_box_distance(p, b) >= 0.5; });
+    const bool separated = std::all_of(
+        pois.begin(), pois.end(),
+        [&](Vec2 q) { return (p - q).norm() >= 1.5; });
+    if (clear_of_boxes && separated) pois.push_back(p);
+  }
+  TOFMCL_EXPECTS(pois.size() >= 3,
+                 "warehouse generation left too few traversable landmarks");
+}
+
+void build_loop(const WorldGenConfig& c, Rng& rng,
+                EvaluationEnvironment& env, std::vector<Vec2>& pois) {
+  const double w = c.width_m;
+  const double h = c.height_m;
+  const double ring = c.loop_corridor_m;
+  TOFMCL_EXPECTS(w > 3.0 * ring && h > 3.0 * ring,
+                 "loop corridor leaves no solid core");
+  env.world.add_rectangle({{0.0, 0.0}, {w, h}});
+  const Aabb core{{ring, ring}, {w - ring, h - ring}};
+  env.world.add_rectangle(core);
+  env.solid_regions.push_back(core);
+
+  // A bare ring is 180°-symmetric AND featureless along its straights
+  // (the end walls sit beyond the ToF range on long sides), so both the
+  // flip hypothesis and longitudinal drift must be broken by geometry:
+  //  * bays — large storage alcoves bulging from the core into the ring —
+  //    vary the corridor width over meter-scale spans (strong, always
+  //    in-range longitudinal features), and
+  //  * pillars at seeded random spots fingerprint the remaining walls.
+  // One bay per side, placed asymmetrically.
+  const double bay_depth =
+      std::min(0.3, ring - c.doorway_m - 0.1);  // keep the ring flyable
+  for (int side = 0; side < 4; ++side) {
+    const bool horizontal = side == 0 || side == 1;
+    const double side_len = (horizontal ? w : h) - 2.0 * (ring + 0.8);
+    if (side_len < 1.2 || bay_depth < 0.15) continue;
+    const double len = rng.uniform(1.0, std::min(2.0, side_len));
+    const double pos = ring + 0.8 + rng.uniform(0.0, side_len - len);
+    Aabb bay;
+    switch (side) {
+      case 0: bay = {{pos, core.min.y - bay_depth},
+                     {pos + len, core.min.y}}; break;
+      case 1: bay = {{pos, core.max.y},
+                     {pos + len, core.max.y + bay_depth}}; break;
+      case 2: bay = {{core.min.x - bay_depth, pos},
+                     {core.min.x, pos + len}}; break;
+      default: bay = {{core.max.x, pos},
+                      {core.max.x + bay_depth, pos + len}}; break;
+    }
+    env.world.add_rectangle(bay);
+    env.solid_regions.push_back(bay);
+  }
+  for (std::size_t i = 0; i < c.loop_pillars; ++i) {
+    const int side = static_cast<int>(rng.uniform_index(4));
+    const bool horizontal = side == 0 || side == 1;
+    const double span = (horizontal ? w : h) - 2.0 * (ring + 0.6);
+    const double pos = ring + 0.6 + rng.uniform(0.0, span - kPillarSide);
+    Vec2 corner;
+    switch (side) {
+      case 0: corner = {pos, 0.0}; break;
+      case 1: corner = {pos, h - kPillarSide}; break;
+      case 2: corner = {0.0, pos}; break;
+      default: corner = {w - kPillarSide, pos}; break;
+    }
+    add_pillar(env.world, corner);
+  }
+
+  const double mid = ring / 2.0;
+  pois.push_back({mid, mid});
+  pois.push_back({w - mid, mid});
+  pois.push_back({w - mid, h - mid});
+  pois.push_back({mid, h - mid});
+}
+
+/// Orders the points as a nearest-neighbor tour starting from index 0.
+std::vector<Vec2> tour_order(const std::vector<Vec2>& pois) {
+  std::vector<Vec2> remaining(pois.begin() + 1, pois.end());
+  std::vector<Vec2> tour{pois.front()};
+  while (!remaining.empty()) {
+    const Vec2 cur = tour.back();
+    const auto next = std::min_element(
+        remaining.begin(), remaining.end(), [&](Vec2 a, Vec2 b) {
+          return (a - cur).squared_norm() < (b - cur).squared_norm();
+        });
+    tour.push_back(*next);
+    remaining.erase(next);
+  }
+  return tour;
+}
+
+FlightPlan plan_from_waypoints(std::string name,
+                               const std::vector<Vec2>& points,
+                               double speed) {
+  TOFMCL_EXPECTS(points.size() >= 2, "flight plan needs at least two points");
+  FlightPlan plan;
+  plan.name = std::move(name);
+  const Vec2 first_leg = points[1] - points[0];
+  plan.start = {points[0], std::atan2(first_leg.y, first_leg.x)};
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    plan.path.push_back({points[i], speed});
+  }
+  // Tighter waypoint tolerance than the hand-tuned maze plans: generated
+  // corridors were planned with 0.2 m clearance, so corner cutting must
+  // stay inside that margin.
+  plan.controller.waypoint_tolerance_m = 0.1;
+  return plan;
+}
+
+/// Plans the tour route through the rasterized world and converts it into
+/// the standard three flight plans. Throws when any landmark is
+/// unreachable — the structural invariant of every generated world.
+std::vector<FlightPlan> make_plans(const GeneratedWorld& world,
+                                   const std::vector<Vec2>& pois) {
+  const map::OccupancyGrid grid =
+      rasterize_environment(world.env, kPlanResolution, 0.0);
+  const map::DistanceMap distance(grid, 1.0);
+  const plan::PlannerConfig pc = tour_planner();
+
+  const std::vector<Vec2> tour = tour_order(pois);
+  std::vector<Vec2> route{tour.front()};
+  for (std::size_t i = 0; i + 1 < tour.size(); ++i) {
+    const auto leg = plan::plan_path(grid, distance, tour[i], tour[i + 1], pc);
+    TOFMCL_EXPECTS(leg.has_value(),
+                   "generated world has an unreachable landmark");
+    // Skip the leg's first waypoint: it coincides with the previous leg's
+    // last one.
+    route.insert(route.end(), leg->waypoints.begin() + 1,
+                 leg->waypoints.end());
+  }
+
+  const std::string base =
+      std::string(to_string(world.kind)) + "_s" +
+      std::to_string(world.config.seed);
+  std::vector<FlightPlan> plans;
+  plans.push_back(plan_from_waypoints(base + "_tour", route, 0.35));
+  std::vector<Vec2> reversed(route.rbegin(), route.rend());
+  plans.push_back(plan_from_waypoints(base + "_reverse", reversed, 0.35));
+
+  // Shuttle: out and back between the tour start and the farthest
+  // landmark, following the already-planned tour route up to it.
+  std::size_t far_idx = 1;
+  double far_d = 0.0;
+  for (std::size_t i = 1; i < tour.size(); ++i) {
+    const double d = (tour[i] - tour.front()).norm();
+    if (d > far_d) {
+      far_d = d;
+      far_idx = i;
+    }
+  }
+  const auto leg =
+      plan::plan_path(grid, distance, tour.front(), tour[far_idx], pc);
+  TOFMCL_EXPECTS(leg.has_value(),
+                 "generated world has an unreachable landmark");
+  std::vector<Vec2> shuttle = leg->waypoints;
+  shuttle.insert(shuttle.end(), leg->waypoints.rbegin() + 1,
+                 leg->waypoints.rend());
+  plans.push_back(plan_from_waypoints(base + "_shuttle", shuttle, 0.4));
+  return plans;
+}
+
+}  // namespace
+
+const char* to_string(GeneratedWorldKind kind) {
+  switch (kind) {
+    case GeneratedWorldKind::kOffice:
+      return "office";
+    case GeneratedWorldKind::kWarehouse:
+      return "warehouse";
+    case GeneratedWorldKind::kLoopCorridor:
+      return "loop_corridor";
+  }
+  return "unknown";
+}
+
+GeneratedWorld generate_world(GeneratedWorldKind kind,
+                              const WorldGenConfig& config) {
+  validate(config);
+  GeneratedWorld world;
+  world.kind = kind;
+  world.config = config;
+
+  // Decorrelate the kinds: the same seed must not produce eerily similar
+  // geometry across generators.
+  Rng rng(SplitMix64(config.seed ^
+                     0x9E3779B97F4A7C15ULL *
+                         (static_cast<std::uint64_t>(kind) + 1))
+              .next());
+
+  switch (kind) {
+    case GeneratedWorldKind::kOffice:
+      build_office(config, rng, world.env, world.points_of_interest);
+      break;
+    case GeneratedWorldKind::kWarehouse:
+      build_warehouse(config, rng, world.env, world.points_of_interest);
+      break;
+    case GeneratedWorldKind::kLoopCorridor:
+      build_loop(config, rng, world.env, world.points_of_interest);
+      break;
+  }
+  world.env.maze_regions.push_back(
+      {{0.0, 0.0}, {config.width_m, config.height_m}});
+  world.env.structured_area_m2 = config.width_m * config.height_m;
+  world.plans = make_plans(world, world.points_of_interest);
+  return world;
+}
+
+}  // namespace tofmcl::sim

@@ -1,0 +1,93 @@
+#pragma once
+/// \file worldgen.hpp
+/// \brief Seeded procedural generation of evaluation worlds.
+///
+/// The source paper evaluates in one structured maze arena (Section IV-A);
+/// follow-up floor-plan localization (Zimmerman et al., arXiv:2310.12536)
+/// and depth-based avoidance (Müller et al., arXiv:2208.12624) move to
+/// realistic buildings and dynamic scenes. This module opens that axis: a
+/// deterministic generator family turning a (kind, seed) pair into a full
+/// EvaluationEnvironment plus flyable tour plans, so campaigns sweep an
+/// unbounded set of worlds instead of the two fixed mazes.
+///
+/// Kinds:
+///   * Office       — central corridor with rooms off both sides, one
+///                    doorway per room, wall-mounted feature pillars.
+///   * Warehouse    — open hall with solid shelving/pallet clutter
+///                    separated by guaranteed-width aisles.
+///   * LoopCorridor — ring corridor around a solid core, symmetry broken
+///                    by randomly placed pillars.
+///
+/// Every generated world is validated structurally at build time: all
+/// points of interest must be mutually reachable via plan::plan_path on
+/// the rasterized grid, which is also how the tour flight plans are
+/// produced (A* + line-of-sight simplification → waypoints).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/rng.hpp"
+#include "sim/maze.hpp"
+#include "sim/sequence_generator.hpp"
+
+namespace tofmcl::sim {
+
+/// Which procedural family a world comes from.
+enum class GeneratedWorldKind : std::uint8_t {
+  kOffice,
+  kWarehouse,
+  kLoopCorridor,
+};
+const char* to_string(GeneratedWorldKind kind);
+
+/// All generator knobs. Defaults produce a 9 m × 6 m building — rooms and
+/// aisles sized so walls stay inside the ToF ranging distance (4 m) and
+/// mostly inside the EDT truncation radius (1.5 m), like the paper's
+/// corridors.
+struct WorldGenConfig {
+  std::uint64_t seed = 1;
+  double width_m = 9.0;   ///< Exterior width.
+  double height_m = 6.0;  ///< Exterior height.
+  /// Doorway gap width; must comfortably pass the drone (Crazyflie
+  /// diameter ≈ 0.1 m plus control margin).
+  double doorway_m = 0.7;
+  double drone_diameter_m = 0.1;
+
+  // --- office ---
+  double corridor_m = 1.4;  ///< Central corridor width.
+  double min_room_m = 1.8;  ///< Minimum room width along the corridor.
+  double max_room_m = 3.2;  ///< Target maximum room width.
+
+  // --- warehouse ---
+  std::size_t clutter_count = 12;   ///< Shelving/pallet boxes to attempt.
+  double clutter_min_m = 0.35;      ///< Box edge range.
+  double clutter_max_m = 0.9;
+  double aisle_m = 0.8;             ///< Guaranteed gap between boxes/walls.
+
+  // --- loop corridor ---
+  double loop_corridor_m = 1.2;  ///< Ring width around the solid core.
+  std::size_t loop_pillars = 5;  ///< Symmetry-breaking wall pillars.
+};
+
+/// A generated world: the environment, its landmark points (room centers,
+/// aisle nodes, ring corners — all guaranteed traversable) and ≥ 3 tour
+/// flight plans planned through it (0: forward tour, 1: reverse tour,
+/// 2: shuttle between the two farthest points).
+struct GeneratedWorld {
+  GeneratedWorldKind kind = GeneratedWorldKind::kOffice;
+  WorldGenConfig config;
+  EvaluationEnvironment env;
+  std::vector<Vec2> points_of_interest;
+  std::vector<FlightPlan> plans;
+};
+
+/// Generates a world. Deterministic: equal (kind, config) produce
+/// bit-identical worlds, whatever process or thread runs the generator.
+/// Throws PreconditionError when the config is unbuildable (e.g. rooms
+/// that cannot fit) — never returns a world whose points of interest are
+/// not mutually reachable.
+GeneratedWorld generate_world(GeneratedWorldKind kind,
+                              const WorldGenConfig& config = {});
+
+}  // namespace tofmcl::sim

@@ -86,6 +86,162 @@ TEST(GridRaycast, RejectsNegativeRange) {
   EXPECT_THROW(raycast_grid(g, {0.5, 0.5}, 0.0, -1.0), PreconditionError);
 }
 
+// Corner tunneling regression: a diagonal ray whose boundary crossings
+// tie exactly (t_max_x == t_max_y) passes through a cell corner. The DDA
+// used to take only the y-step there, so the x-side flanking cell was
+// never checked and the ray could slip past obstacles touching that
+// corner.
+//
+// Constructing an exact floating-point tie takes care: sin(π/4) and
+// cos(π/4) differ in their last bit on common libms, so the origin is
+// placed at (corner − K·dir) for exact binary fractions K — K·cos and
+// K·sin are exact products, the subtractions are exact by Sterbenz, and
+// for some K both divisions round to the same double. The helper searches
+// a small K set and asserts one ties, reproducing the raycaster's own
+// arithmetic.
+double find_exact_tie(double corner, const Vec2& dir, Vec2& origin_out) {
+  for (const double k : {0.75, 0.6875, 0.5, 0.625, 0.8125, 0.5625, 0.4375,
+                         0.375, 0.25}) {
+    const Vec2 origin{corner - k * dir.x, corner - k * dir.y};
+    const double t_max_x = (corner - origin.x) / dir.x;
+    const double t_max_y = (corner - origin.y) / dir.y;
+    if (t_max_x == t_max_y) {
+      origin_out = origin;
+      return t_max_x;
+    }
+  }
+  return -1.0;
+}
+
+TEST(GridRaycast, CornerTieChecksBothFlankingCells) {
+  const double angle = kPi / 4.0;
+  const Vec2 dir{std::cos(angle), std::sin(angle)};
+  // Grid: 1 m cells, corner of interest at (1, 1).
+  Vec2 origin_pt;
+  const double tie_t = find_exact_tie(1.0, dir, origin_pt);
+  ASSERT_GT(tie_t, 0.0) << "no exact tie constructible on this platform";
+  ASSERT_LT(tie_t, 1.0);  // origin stays inside cell (0, 0)
+
+  // Only the x-side cell (1, 0) occupied: the old code tunneled past it.
+  {
+    OccupancyGrid g(4, 4, 1.0, {0.0, 0.0}, CellState::kFree);
+    g.set({1, 0}, CellState::kOccupied);
+    const auto hit = raycast_grid(g, origin_pt, angle, 10.0);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->distance, tie_t);
+    EXPECT_EQ(hit->cell, (map::CellIndex{1, 0}));
+  }
+  // Only the y-side cell (0, 1) occupied.
+  {
+    OccupancyGrid g(4, 4, 1.0, {0.0, 0.0}, CellState::kFree);
+    g.set({0, 1}, CellState::kOccupied);
+    const auto hit = raycast_grid(g, origin_pt, angle, 10.0);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->distance, tie_t);
+    EXPECT_EQ(hit->cell, (map::CellIndex{0, 1}));
+  }
+  // Both flanking cells occupied — the classic corner barrier. The
+  // diagonal cell behind it must be unreachable.
+  {
+    OccupancyGrid g(4, 4, 1.0, {0.0, 0.0}, CellState::kFree);
+    g.set({1, 0}, CellState::kOccupied);
+    g.set({0, 1}, CellState::kOccupied);
+    const auto hit = raycast_grid(g, origin_pt, angle, 10.0);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->distance, tie_t);
+  }
+  // Nothing at the corner: the ray continues into the diagonal cell and
+  // beyond.
+  {
+    OccupancyGrid g(4, 4, 1.0, {0.0, 0.0}, CellState::kFree);
+    g.set({2, 2}, CellState::kOccupied);
+    const auto hit = raycast_grid(g, origin_pt, angle, 10.0);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->cell, (map::CellIndex{2, 2}));
+  }
+  // A tie landing exactly on the far grid boundary exits cleanly: shift
+  // the grid so the same corner (1, 1) — same tie arithmetic — is the
+  // grid's top-right extremity and the origin sits in the last cell.
+  {
+    OccupancyGrid g(2, 2, 1.0, {-1.0, -1.0}, CellState::kFree);
+    EXPECT_FALSE(raycast_grid(g, origin_pt, angle, 10.0).has_value());
+  }
+}
+
+// Property check against dense sampling: on random grids and random rays,
+// the DDA must never report a hit later than the first sampled entry into
+// occupied space (tunneling), must never pass through occupied space the
+// sampler sees, and every reported hit must lie on the reported cell.
+TEST(GridRaycast, BruteForceSamplingCrossCheck) {
+  Rng rng(7);
+  const double res = 0.1;
+  const double max_range = 4.0;
+  int hits = 0;
+  int misses = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    OccupancyGrid g(24, 24, res, {0.0, 0.0}, CellState::kFree);
+    for (int y = 0; y < g.height(); ++y) {
+      for (int x = 0; x < g.width(); ++x) {
+        if (rng.uniform() < 0.15) g.set({x, y}, CellState::kOccupied);
+      }
+    }
+    for (int ray = 0; ray < 40; ++ray) {
+      const Vec2 origin{rng.uniform(0.05, 2.35), rng.uniform(0.05, 2.35)};
+      if (g.is_occupied(g.world_to_cell(origin))) continue;
+      const double angle = rng.uniform(-kPi, kPi);
+      const Vec2 dir{std::cos(angle), std::sin(angle)};
+      const auto hit = raycast_grid(g, origin, angle, max_range);
+
+      // Dense sampling: first sample inside an occupied in-bounds cell.
+      const double ds = res / 64.0;
+      double brute = -1.0;
+      for (double t = ds; t <= max_range; t += ds) {
+        const map::CellIndex c = g.world_to_cell(origin + dir * t);
+        if (!g.in_bounds(c)) break;
+        if (g.is_occupied(c)) {
+          brute = t;
+          break;
+        }
+      }
+
+      if (brute >= 0.0) {
+        // The sampler found occupied space: the DDA must hit, and no
+        // later than the sampled entry (no tunneling).
+        ASSERT_TRUE(hit.has_value())
+            << "tunneled: origin=(" << origin.x << "," << origin.y
+            << ") angle=" << angle << " brute=" << brute;
+        EXPECT_LE(hit->distance, brute + 1e-9);
+        ++hits;
+      }
+      if (hit) {
+        // Every reported hit is consistent: the hit cell is occupied and
+        // the hit point lies on its boundary (within float slop), and no
+        // sample strictly before the hit is inside occupied space.
+        EXPECT_TRUE(g.is_occupied(hit->cell));
+        const Vec2 p = origin + dir * hit->distance;
+        const Vec2 lo = g.cell_center(hit->cell) - Vec2{res / 2, res / 2};
+        EXPECT_GE(p.x, lo.x - 1e-9);
+        EXPECT_LE(p.x, lo.x + res + 1e-9);
+        EXPECT_GE(p.y, lo.y - 1e-9);
+        EXPECT_LE(p.y, lo.y + res + 1e-9);
+        for (double t = ds; t < hit->distance - 1e-9; t += ds) {
+          const map::CellIndex c = g.world_to_cell(origin + dir * t);
+          if (!g.in_bounds(c)) break;
+          ASSERT_FALSE(g.is_occupied(c))
+              << "late hit: origin=(" << origin.x << "," << origin.y
+              << ") angle=" << angle << " t=" << t << " hit="
+              << hit->distance;
+        }
+      } else {
+        ++misses;
+      }
+    }
+  }
+  // The random grids are dense enough that both outcomes occur often.
+  EXPECT_GT(hits, 1000);
+  EXPECT_GT(misses, 100);
+}
+
 TEST(GridRaycast, AgreesWithAnalyticWorldOnRasterizedMap) {
   // Property: distances through the rasterized map match the analytic
   // world up to the rasterized wall inflation. A painted wall is up to

@@ -33,6 +33,85 @@ TEST(MapIo, StreamRoundTrip) {
   EXPECT_EQ(loaded, g);
 }
 
+TEST(MapIo, V1StreamRoundTrip) {
+  const OccupancyGrid g = random_grid(3);
+  std::stringstream ss;
+  save_grid(g, ss, GridFormat::kV1);
+  EXPECT_NE(ss.str().find("tofmcl-grid 1"), std::string::npos);
+  const OccupancyGrid loaded = load_grid(ss);
+  EXPECT_EQ(loaded, g);
+}
+
+// The v1 header used to be written with default ostream precision (6 sig
+// figs), so resolutions/origins with more digits did not round-trip.
+// max_digits10 makes save→load exact for arbitrary doubles, in both
+// formats.
+TEST(MapIo, HeaderDoublesRoundTripBitExactly) {
+  const double resolution = 0.1 + 1e-13;
+  const Vec2 origin{-3.141592653589793, 1.0 / 3.0};
+  for (const GridFormat format : {GridFormat::kV1, GridFormat::kV2}) {
+    OccupancyGrid g(4, 3, resolution, origin, CellState::kFree);
+    g.set({1, 2}, CellState::kOccupied);
+    std::stringstream ss;
+    save_grid(g, ss, format);
+    const OccupancyGrid loaded = load_grid(ss);
+    EXPECT_EQ(loaded.resolution(), resolution);
+    EXPECT_EQ(loaded.origin().x, origin.x);
+    EXPECT_EQ(loaded.origin().y, origin.y);
+    EXPECT_EQ(loaded, g);
+  }
+}
+
+// Windows line endings must parse identically: getline leaves the '\r',
+// which used to fail the row-width check.
+TEST(MapIo, AcceptsCrlfLineEndings) {
+  for (const GridFormat format : {GridFormat::kV1, GridFormat::kV2}) {
+    const OccupancyGrid g = random_grid(4);
+    std::stringstream ss;
+    save_grid(g, ss, format);
+    std::string text = ss.str();
+    std::string crlf;
+    for (const char c : text) {
+      if (c == '\n') crlf += '\r';
+      crlf += c;
+    }
+    std::stringstream in(crlf);
+    const OccupancyGrid loaded = load_grid(in);
+    EXPECT_EQ(loaded, g);
+  }
+}
+
+TEST(MapIo, V2IsRunLengthEncoded) {
+  OccupancyGrid g(100, 2, 0.05, {}, CellState::kFree);
+  g.set({50, 0}, CellState::kOccupied);
+  std::stringstream v2;
+  save_grid(g, v2, GridFormat::kV2);
+  std::stringstream v1;
+  save_grid(g, v1, GridFormat::kV1);
+  EXPECT_LT(v2.str().size(), v1.str().size() / 4);
+  EXPECT_NE(v2.str().find("50.#49.\n100.\n"), std::string::npos);
+  const OccupancyGrid loaded = load_grid(v2);
+  EXPECT_EQ(loaded, g);
+}
+
+TEST(MapIo, V2RejectsMalformedRuns) {
+  // Run overflows the row.
+  std::stringstream a("tofmcl-grid 2\n3 1 0.05 0 0\n4.\n");
+  EXPECT_THROW(load_grid(a), IoError);
+  // Row too short.
+  std::stringstream b("tofmcl-grid 2\n3 1 0.05 0 0\n2.\n");
+  EXPECT_THROW(load_grid(b), IoError);
+  // Count without glyph.
+  std::stringstream c("tofmcl-grid 2\n3 1 0.05 0 0\n3\n");
+  EXPECT_THROW(load_grid(c), IoError);
+  // Zero-length run.
+  std::stringstream d("tofmcl-grid 2\n3 1 0.05 0 0\n0.3.\n");
+  EXPECT_THROW(load_grid(d), IoError);
+  // Bad glyph inside a run.
+  std::stringstream e("tofmcl-grid 2\n3 1 0.05 0 0\n3x\n");
+  EXPECT_THROW(load_grid(e), IoError);
+}
+
 TEST(MapIo, FileRoundTrip) {
   const auto path = std::filesystem::temp_directory_path() /
                     "tofmcl_test_maps" / "grid.txt";

@@ -8,8 +8,10 @@
 //
 // Matrix dimensions covered:
 //   * environment: small maze (16 m²) vs large ambiguous map (31.2 m²)
+//     vs procedurally generated worlds (office / warehouse / loop)
 //   * initialization: global, pose tracking, kidnapped re-localization
-//   * sensing: full 8×8 zones vs reduced 4×4 zones, degraded noise
+//   * sensing: full 8×8 zones vs reduced 4×4 zones, degraded noise,
+//     dynamic crossing obstacles (unmodeled by the map)
 //   * execution: SerialExecutor vs ThreadPoolExecutor (bit-exact)
 
 #include <gtest/gtest.h>
@@ -24,24 +26,39 @@
 #include "core/localizer.hpp"
 #include "eval/experiment.hpp"
 #include "eval/metrics.hpp"
+#include "sim/dynamic_obstacles.hpp"
 #include "sim/maze.hpp"
 #include "sim/sequence_generator.hpp"
+#include "sim/worldgen.hpp"
 
 namespace tofmcl {
 namespace {
 
-enum class Environment { kSmallMaze, kLargeMaze };
+enum class Environment {
+  kSmallMaze,
+  kLargeMaze,
+  kOffice,
+  kWarehouse,
+  kLoopCorridor,
+};
 enum class Init { kGlobal, kTracking, kKidnapped };
 
 struct Scenario {
   std::string name;
   Environment environment = Environment::kSmallMaze;
   Init init = Init::kGlobal;
-  std::size_t plan = 1;          ///< standard_flight_plans() index.
+  /// Procedural seed: selects the generated world's layout, and the
+  /// artificial-maze layout of the large maze (historical default 2023).
+  std::uint64_t world_seed = 2023;
+  std::size_t plan = 1;          ///< Index into the world's plan table.
   std::size_t kidnap_plan = 2;   ///< Second leg for kidnapped runs.
   sensor::ZoneMode zone_mode = sensor::ZoneMode::k8x8;
   double tof_rate_hz = 15.0;
   double p_interference = 0.01;  ///< Degraded-sensing knob.
+  /// Dynamic-obstacle degradation: crossing people-sized cylinders
+  /// composited into the rendered frames; the map stays static.
+  std::size_t obstacle_count = 0;
+  double obstacle_speed = 1.2;
   std::size_t particles = 4096;
   std::uint64_t data_seed = 21;  ///< Drives sequence generation noise.
   std::uint64_t mcl_seed = 7;    ///< Drives the filter.
@@ -94,18 +111,90 @@ std::vector<Scenario> scenario_matrix() {
     s.ate_bound_m = 0.5;
     m.push_back(s);
   }
+  // Generated-world scenarios (worldgen + dynamic-obstacle subsystem).
+  {
+    Scenario s;
+    s.name = "office_floorplan_global";
+    s.environment = Environment::kOffice;
+    s.world_seed = 3;
+    s.plan = 0;  // full room tour
+    s.particles = 8192;
+    s.ate_bound_m = 0.5;
+    m.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "loop_corridor_global";
+    s.environment = Environment::kLoopCorridor;
+    s.world_seed = 1;
+    s.plan = 0;  // ring tour
+    s.particles = 8192;
+    s.ate_bound_m = 0.5;
+    m.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "warehouse_dynamic_crossing";
+    s.environment = Environment::kWarehouse;
+    s.init = Init::kTracking;
+    s.world_seed = 2;
+    s.plan = 0;  // aisle tour
+    s.obstacle_count = 1;
+    s.obstacle_speed = 1.2;
+    s.ate_bound_m = 0.5;
+    m.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "loop_dynamic_crossing";
+    s.environment = Environment::kLoopCorridor;
+    s.init = Init::kTracking;
+    s.world_seed = 2;
+    s.plan = 2;  // shuttle
+    s.obstacle_count = 2;
+    s.obstacle_speed = 1.2;
+    s.particles = 8192;
+    s.ate_bound_m = 0.5;
+    m.push_back(s);
+  }
   return m;
 }
 
-sim::EvaluationEnvironment make_environment(const Scenario& s) {
-  if (s.environment == Environment::kLargeMaze) {
-    return sim::evaluation_environment();
-  }
+/// Environment plus the flight-plan table flown in it (the standard six
+/// maze flights, or a generated world's tours).
+struct ScenarioWorld {
   sim::EvaluationEnvironment env;
-  env.world = sim::drone_maze();
-  env.maze_regions.push_back({{0.0, 0.0}, {4.0, 4.0}});
-  env.structured_area_m2 = sim::drone_maze_area();
-  return env;
+  std::vector<sim::FlightPlan> plans;
+};
+
+ScenarioWorld make_world(const Scenario& s) {
+  switch (s.environment) {
+    case Environment::kLargeMaze:
+      return {sim::evaluation_environment(s.world_seed),
+              sim::standard_flight_plans()};
+    case Environment::kOffice:
+    case Environment::kWarehouse:
+    case Environment::kLoopCorridor: {
+      sim::WorldGenConfig config;
+      config.seed = s.world_seed;
+      const sim::GeneratedWorldKind kind =
+          s.environment == Environment::kOffice
+              ? sim::GeneratedWorldKind::kOffice
+              : (s.environment == Environment::kWarehouse
+                     ? sim::GeneratedWorldKind::kWarehouse
+                     : sim::GeneratedWorldKind::kLoopCorridor);
+      sim::GeneratedWorld world = sim::generate_world(kind, config);
+      return {std::move(world.env), std::move(world.plans)};
+    }
+    case Environment::kSmallMaze:
+      break;
+  }
+  ScenarioWorld world;
+  world.env.world = sim::drone_maze();
+  world.env.maze_regions.push_back({{0.0, 0.0}, {4.0, 4.0}});
+  world.env.structured_area_m2 = sim::drone_maze_area();
+  world.plans = sim::standard_flight_plans();
+  return world;
 }
 
 sim::SequenceGeneratorConfig make_generator(const Scenario& s) {
@@ -167,10 +256,15 @@ struct ScenarioResult {
 /// Runs one scenario end to end on the given executor. Fully deterministic
 /// for a fixed scenario: every RNG is seeded from the scenario fields.
 ScenarioResult run_scenario(const Scenario& s, core::Executor& executor) {
-  const sim::EvaluationEnvironment env = make_environment(s);
+  const ScenarioWorld world = make_world(s);
+  const sim::EvaluationEnvironment& env = world.env;
   const map::OccupancyGrid grid = sim::rasterize_environment(env, 0.05, 0.01);
-  const auto plans = sim::standard_flight_plans();
-  const sim::SequenceGeneratorConfig gen = make_generator(s);
+  const auto& plans = world.plans;
+  sim::SequenceGeneratorConfig gen = make_generator(s);
+  if (s.obstacle_count > 0) {
+    gen.obstacles = sim::scatter_obstacles_seeded(
+        plans, s.obstacle_count, s.obstacle_speed, s.data_seed);
+  }
 
   Rng data_rng(s.data_seed);
   const sim::Sequence leg1 =

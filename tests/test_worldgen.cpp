@@ -1,0 +1,211 @@
+// Tests for the procedural world generators: determinism (same seed →
+// byte-identical world, also across processes via the hexfloat trace),
+// structural invariants (landmarks mutually reachable with drone-sized
+// clearance, flyable tour plans) and config validation.
+
+#include "sim/worldgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "map/distance_map.hpp"
+#include "map/map_io.hpp"
+#include "plan/astar.hpp"
+#include "sim/sequence_generator.hpp"
+
+namespace tofmcl::sim {
+namespace {
+
+const GeneratedWorldKind kKinds[] = {GeneratedWorldKind::kOffice,
+                                     GeneratedWorldKind::kWarehouse,
+                                     GeneratedWorldKind::kLoopCorridor};
+
+void expect_identical_worlds(const GeneratedWorld& a,
+                             const GeneratedWorld& b) {
+  ASSERT_EQ(a.env.world.segments().size(), b.env.world.segments().size());
+  for (std::size_t i = 0; i < a.env.world.segments().size(); ++i) {
+    EXPECT_EQ(a.env.world.segments()[i].a, b.env.world.segments()[i].a);
+    EXPECT_EQ(a.env.world.segments()[i].b, b.env.world.segments()[i].b);
+  }
+  ASSERT_EQ(a.points_of_interest.size(), b.points_of_interest.size());
+  for (std::size_t i = 0; i < a.points_of_interest.size(); ++i) {
+    EXPECT_EQ(a.points_of_interest[i], b.points_of_interest[i]);
+  }
+  ASSERT_EQ(a.plans.size(), b.plans.size());
+  for (std::size_t i = 0; i < a.plans.size(); ++i) {
+    EXPECT_EQ(a.plans[i].name, b.plans[i].name);
+    EXPECT_EQ(a.plans[i].start, b.plans[i].start);
+    ASSERT_EQ(a.plans[i].path.size(), b.plans[i].path.size());
+    for (std::size_t j = 0; j < a.plans[i].path.size(); ++j) {
+      EXPECT_EQ(a.plans[i].path[j].position, b.plans[i].path[j].position);
+    }
+  }
+}
+
+TEST(WorldGen, SameSeedIsBitIdentical) {
+  for (const GeneratedWorldKind kind : kKinds) {
+    WorldGenConfig config;
+    config.seed = 11;
+    const GeneratedWorld a = generate_world(kind, config);
+    const GeneratedWorld b = generate_world(kind, config);
+    expect_identical_worlds(a, b);
+    // The rasterized grid (the artifact campaigns localize against) is
+    // byte-identical too.
+    const map::OccupancyGrid ga = rasterize_environment(a.env, 0.05, 0.01);
+    const map::OccupancyGrid gb = rasterize_environment(b.env, 0.05, 0.01);
+    EXPECT_EQ(ga, gb);
+  }
+}
+
+TEST(WorldGen, DifferentSeedsDiffer) {
+  for (const GeneratedWorldKind kind : kKinds) {
+    WorldGenConfig a_cfg;
+    a_cfg.seed = 1;
+    WorldGenConfig b_cfg;
+    b_cfg.seed = 2;
+    const GeneratedWorld a = generate_world(kind, a_cfg);
+    const GeneratedWorld b = generate_world(kind, b_cfg);
+    const map::OccupancyGrid ga = rasterize_environment(a.env, 0.05, 0.0, 0);
+    const map::OccupancyGrid gb = rasterize_environment(b.env, 0.05, 0.0, 0);
+    EXPECT_NE(map::to_ascii(ga), map::to_ascii(gb)) << to_string(kind);
+  }
+}
+
+TEST(WorldGen, KindsAreDecorrelated) {
+  WorldGenConfig config;
+  config.seed = 9;
+  const GeneratedWorld office =
+      generate_world(GeneratedWorldKind::kOffice, config);
+  const GeneratedWorld warehouse =
+      generate_world(GeneratedWorldKind::kWarehouse, config);
+  EXPECT_NE(office.env.world.segments().size(),
+            warehouse.env.world.segments().size());
+}
+
+// Every landmark must be reachable from every other with clearance well
+// above the drone radius — this is what "doorways pass the drone" means
+// operationally: a doorway narrower than 2×min_clearance would break the
+// route through it.
+TEST(WorldGen, LandmarksMutuallyReachableWithDroneClearance) {
+  for (const GeneratedWorldKind kind : kKinds) {
+    for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+      WorldGenConfig config;
+      config.seed = seed;
+      const GeneratedWorld world = generate_world(kind, config);
+      ASSERT_GE(world.points_of_interest.size(), 3u) << to_string(kind);
+      const map::OccupancyGrid grid =
+          rasterize_environment(world.env, 0.05, 0.0, 0);
+      const map::DistanceMap distance(grid, 1.0);
+      plan::PlannerConfig pc;
+      pc.min_clearance_m = 0.2;  // ≥ drone diameter (0.1 m) each side
+      const Vec2 hub = world.points_of_interest.front();
+      for (std::size_t i = 1; i < world.points_of_interest.size(); ++i) {
+        EXPECT_TRUE(plan::plan_path(grid, distance, hub,
+                                    world.points_of_interest[i], pc)
+                        .has_value())
+            << to_string(kind) << " seed " << seed << " landmark " << i;
+      }
+    }
+  }
+}
+
+TEST(WorldGen, TourPlansAreFlyable) {
+  for (const GeneratedWorldKind kind : kKinds) {
+    WorldGenConfig config;
+    config.seed = 4;
+    const GeneratedWorld world = generate_world(kind, config);
+    ASSERT_GE(world.plans.size(), 3u);
+    const map::OccupancyGrid grid =
+        rasterize_environment(world.env, 0.05, 0.0, 0);
+    const map::DistanceMap distance(grid, 1.0);
+    for (const FlightPlan& plan : world.plans) {
+      ASSERT_GE(plan.path.size(), 2u) << plan.name;
+      EXPECT_GE(distance.distance_at(plan.start.position), 0.15f)
+          << plan.name;
+      for (const Waypoint& wp : plan.path) {
+        EXPECT_GE(distance.distance_at(wp.position), 0.15f) << plan.name;
+      }
+    }
+    // The first tour actually flies collision-free within the generator's
+    // timeout.
+    Rng rng(5);
+    const Sequence seq = generate_sequence(
+        world.env.world, world.plans[0], default_generator_config(), rng);
+    EXPECT_GT(seq.duration_s, 10.0) << to_string(kind);
+    EXPECT_LT(seq.duration_s, 175.0) << to_string(kind);
+    EXPECT_GT(seq.min_clearance_m, 0.03) << to_string(kind);
+    EXPECT_GT(seq.frames.size(), 200u) << to_string(kind);
+  }
+}
+
+// Generated worlds are exactly what the v2 grid format exists for: large,
+// run-heavy maps. Round-trip must be bit-exact, and the v2 file
+// meaningfully smaller than v1.
+TEST(WorldGen, GeneratedWorldsRoundTripThroughMapIoV2) {
+  for (const GeneratedWorldKind kind : kKinds) {
+    WorldGenConfig config;
+    config.seed = 6;
+    const GeneratedWorld world = generate_world(kind, config);
+    const map::OccupancyGrid grid =
+        rasterize_environment(world.env, 0.05, 0.01);
+    std::stringstream v2;
+    map::save_grid(grid, v2, map::GridFormat::kV2);
+    std::stringstream v1;
+    map::save_grid(grid, v1, map::GridFormat::kV1);
+    EXPECT_LT(v2.str().size(), v1.str().size() / 4) << to_string(kind);
+    const map::OccupancyGrid loaded = map::load_grid(v2);
+    EXPECT_EQ(loaded, grid) << to_string(kind);
+  }
+}
+
+TEST(WorldGen, RejectsUnbuildableConfigs) {
+  WorldGenConfig config;
+  config.doorway_m = 0.2;  // cannot pass the drone with margin
+  EXPECT_THROW(generate_world(GeneratedWorldKind::kOffice, config),
+               PreconditionError);
+  config = {};
+  config.width_m = 2.0;
+  EXPECT_THROW(generate_world(GeneratedWorldKind::kWarehouse, config),
+               PreconditionError);
+  config = {};
+  config.loop_corridor_m = 2.5;  // no solid core left in 6 m height
+  EXPECT_THROW(generate_world(GeneratedWorldKind::kLoopCorridor, config),
+               PreconditionError);
+}
+
+// Cross-process determinism: dump every generated coordinate as hexfloats
+// when TOFMCL_WORLDGEN_TRACE is set; CI runs this twice and byte-compares
+// the files (same pattern as the scenario-matrix trace).
+TEST(WorldGenDeterminism, HexfloatTrace) {
+  const char* path = std::getenv("TOFMCL_WORLDGEN_TRACE");
+  if (path == nullptr) GTEST_SKIP() << "TOFMCL_WORLDGEN_TRACE not set";
+  std::ofstream out(path);
+  ASSERT_TRUE(out.is_open()) << path;
+  out << std::hexfloat;
+  for (const GeneratedWorldKind kind : kKinds) {
+    WorldGenConfig config;
+    config.seed = 12;
+    const GeneratedWorld world = generate_world(kind, config);
+    out << to_string(kind) << '\n';
+    for (const map::Segment& s : world.env.world.segments()) {
+      out << s.a.x << ' ' << s.a.y << ' ' << s.b.x << ' ' << s.b.y << '\n';
+    }
+    for (const FlightPlan& plan : world.plans) {
+      out << plan.name << ' ' << plan.start.position.x << ' '
+          << plan.start.position.y << ' ' << plan.start.yaw << '\n';
+      for (const Waypoint& wp : plan.path) {
+        out << wp.position.x << ' ' << wp.position.y << '\n';
+      }
+    }
+    const map::OccupancyGrid grid =
+        rasterize_environment(world.env, 0.05, 0.01);
+    map::save_grid(grid, out, map::GridFormat::kV2);
+  }
+}
+
+}  // namespace
+}  // namespace tofmcl::sim
