@@ -36,6 +36,10 @@ struct Args {
   /// Generated-worlds battery (office + warehouse + loop corridor, with a
   /// dynamic-obstacle sensing axis) instead of the maze matrix.
   bool worldgen = false;
+  /// Heavy-crowd battery: warehouse tour with five crossing pedestrians
+  /// and an observation-model axis (seed two-term likelihood vs
+  /// short-return mixture + novelty gating).
+  bool crowd = false;
   /// Dump a hexfloat per-run trace for cross-process determinism diffs.
   const char* trace_path = nullptr;
 };
@@ -63,6 +67,9 @@ Args parse(int argc, char** argv) {
           "  --smoke        tiny sanity configuration (CI)\n"
           "  --worldgen     generated office/warehouse/loop battery with\n"
           "                 a dynamic-obstacle sensing axis\n"
+          "  --crowd        heavy-crowd warehouse battery with an\n"
+          "                 observation-model axis (baseline vs\n"
+          "                 mixture + novelty gating)\n"
           "  --trace FILE   write a hexfloat per-run result trace (CI\n"
           "                 diffs two invocations for cross-process\n"
           "                 determinism)\n");
@@ -81,6 +88,8 @@ Args parse(int argc, char** argv) {
       args.particles = 256;
     } else if (is("--worldgen")) {
       args.worldgen = true;
+    } else if (is("--crowd")) {
+      args.crowd = true;
     } else if (is("--trace")) {
       args.trace_path = value();
     } else {
@@ -144,7 +153,18 @@ int main(int argc, char** argv) {
   // (office tour + warehouse tour + loop shuttle, static vs two crossing
   // pedestrians). seeds_per_cell stretches the battery to --runs.
   eval::CampaignSpec spec;
-  if (args.worldgen) {
+  if (args.crowd) {
+    // One warehouse aisle tour under a five-pedestrian crossing crowd,
+    // replayed through both observation models (paired: the axis shares
+    // data/filter seeds). CI diffs two hexfloat traces of this battery
+    // for cross-process determinism of the heavy-crowd cell.
+    spec.worlds = {{eval::CampaignWorld::kWarehouse, 0, 2}};
+    spec.inits = {{eval::InitSpec::Mode::kTracking, 0.2, 0.2, 2}};
+    spec.precisions = {core::Precision::kFp32Qm};
+    spec.sensing = {{sensor::ZoneMode::k8x8, 15.0, 0.01, true, 5, 1.0}};
+    spec.observation = {{}, {0.5, 1.0, true, 0.5, 0.85}};
+    spec.master_seed = 23;
+  } else if (args.worldgen) {
     spec.worlds = {{eval::CampaignWorld::kOffice, 0, 3},
                    {eval::CampaignWorld::kWarehouse, 0, 2},
                    {eval::CampaignWorld::kLoopCorridor, 2, 1}};
@@ -160,7 +180,8 @@ int main(int argc, char** argv) {
   }
   spec.mcl.num_particles = args.particles;
   const std::size_t cell_runs =
-      spec.worlds.size() * spec.precisions.size() * spec.sensing.size();
+      spec.worlds.size() * spec.precisions.size() * spec.sensing.size() *
+      (spec.observation.empty() ? 1 : spec.observation.size());
   spec.seeds_per_cell = (args.runs + cell_runs - 1) / cell_runs;
   eval::Campaign campaign(std::move(spec));
 
@@ -220,6 +241,7 @@ int main(int argc, char** argv) {
     trace << std::hexfloat;
     for (const auto& run : serial.runs) {
       trace << run.spec.world_index << ' ' << run.spec.sensing_index << ' '
+            << run.spec.observation_index << ' '
             << run.spec.data_seed << ' ' << run.spec.mcl_seed << ' '
             << run.updates_run << ' ' << run.particle_beam_ops << ' '
             << run.metrics.ate_m << ' ' << run.final_pos_error_m << '\n';

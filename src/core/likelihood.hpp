@@ -14,6 +14,20 @@
 /// beams are outliers. Without it a single bad beam can annihilate the
 /// true mode.
 ///
+/// The full mixture adds the classic SHORT-RETURN outlier component of the
+/// beam model (Probabilistic Robotics §6.3; the regime stressed by
+/// depth-based dynamic-obstacle work, Müller et al., arXiv:2208.12624):
+///
+///   p(z|x, m) ∝ z_hit · exp(−EDT(ẑ)²/2σ²) + z_rand + z_short · exp(−λ·z)
+///
+/// where z is the MEASURED range. Un-mapped occluders (people, carts)
+/// produce returns in front of the expected surface, and they are more
+/// probable the closer they are — an exponential decay over the measured
+/// range. Because the component depends on the measurement only, it is a
+/// per-beam constant across particles: one add outside the per-particle
+/// table/exp path, so the LUT below keeps covering the map-distance part
+/// unchanged. With z_short = 0 the mixture is bit-identical to Eq. 1.
+///
 /// Two evaluation paths exist, matching the paper's map representations:
 ///  * direct: float distance → expf (fp32 map)
 ///  * LUT: 8-bit quantized distance code → 256-entry table (quantized map).
@@ -24,6 +38,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "core/mcl_config.hpp"
 #include "map/distance_map.hpp"
 
 namespace tofmcl::core {
@@ -33,14 +48,48 @@ struct BeamModelParams {
   float sigma_obs = 0.1f;  ///< Gaussian width (meters).
   float z_hit = 0.9f;      ///< Weight of the Gaussian hit component.
   float z_rand = 0.1f;     ///< Uniform floor for unexplained returns.
+  /// Weight of the short-return outlier component (un-mapped occluders in
+  /// front of the expected surface). 0 disables it — bit-identical to the
+  /// two-term model of Eq. 1.
+  float z_short = 0.0f;
+  /// Decay rate (1/m) of the short component over the measured range.
+  float lambda_short = 1.0f;
 };
 
-/// Likelihood factor for a metric distance-to-obstacle (meters).
+/// The beam-model slice of an MclConfig — the ONE conversion every filter,
+/// localizer and LUT build goes through, so a new mixture field cannot be
+/// plumbed into some sites and silently defaulted in others.
+inline BeamModelParams beam_model_params(const MclConfig& mcl) {
+  return BeamModelParams{static_cast<float>(mcl.sigma_obs),
+                         static_cast<float>(mcl.z_hit),
+                         static_cast<float>(mcl.z_rand),
+                         static_cast<float>(mcl.z_short),
+                         static_cast<float>(mcl.lambda_short)};
+}
+
+/// Map-distance part of the mixture: the per-particle factor for a metric
+/// distance-to-obstacle (meters) at the transformed beam end point.
 inline float beam_likelihood(float distance, const BeamModelParams& params) {
   const float inv_two_sigma_sq =
       1.0f / (2.0f * params.sigma_obs * params.sigma_obs);
   return params.z_hit * std::exp(-distance * distance * inv_two_sigma_sq) +
          params.z_rand;
+}
+
+/// Short-return component: z_short · exp(−λ·z) of the MEASURED range z.
+/// Constant across particles for one beam — it raises the floor of short
+/// returns (likely occluders) without touching the map-distance part.
+inline float short_return_floor(float range, const BeamModelParams& params) {
+  if (params.z_short <= 0.0f) return 0.0f;
+  return params.z_short * std::exp(-params.lambda_short * range);
+}
+
+/// The full three-component mixture for one (map distance, measured range)
+/// pair. Equals beam_likelihood(distance) bit for bit when z_short == 0.
+inline float beam_mixture_likelihood(float distance, float range,
+                                     const BeamModelParams& params) {
+  return beam_likelihood(distance, params) +
+         short_return_floor(range, params);
 }
 
 /// Precomputed per-code likelihoods for a quantized distance map.
@@ -51,12 +100,21 @@ inline float beam_likelihood(float distance, const BeamModelParams& params) {
 /// distance the map actually reports for that code, bit for bit. The
 /// quantization rule lives in ONE place; the table cannot drift to a bin
 /// edge if the map's rounding ever changes.
+///
+/// The table covers the MAP-DISTANCE part of the mixture only (hit + rand)
+/// — the short-return component depends on the measured range, not the map
+/// code, and is added per beam outside the table. One LikelihoodLut
+/// therefore serves every z_short/lambda_short setting that shares its
+/// (sigma_obs, z_hit, z_rand).
 class LikelihoodLut {
  public:
   /// `step` is the meters-per-code of the quantized map.
   LikelihoodLut(float step, const BeamModelParams& params) {
     TOFMCL_EXPECTS(step > 0.0f, "quantization step must be positive");
     TOFMCL_EXPECTS(params.sigma_obs > 0.0f, "sigma_obs must be positive");
+    TOFMCL_EXPECTS(params.z_short >= 0.0f, "z_short must be non-negative");
+    TOFMCL_EXPECTS(params.lambda_short > 0.0f,
+                   "lambda_short must be positive");
     for (std::size_t code = 0; code < table_.size(); ++code) {
       const float d = map::QuantizedDistanceMap::reconstruct(
           static_cast<std::uint8_t>(code), step);

@@ -30,12 +30,11 @@ std::vector<sensor::TofSensorConfig> default_sensors() {
   return {front, rear};
 }
 
-BeamModelParams beam_params(const MclConfig& mcl) {
-  return BeamModelParams{static_cast<float>(mcl.sigma_obs),
-                         static_cast<float>(mcl.z_hit),
-                         static_cast<float>(mcl.z_rand)};
-}
-
+/// LUT-reuse test: the table covers the map-distance part of the mixture
+/// only (hit + rand), so z_short / lambda_short are deliberately NOT
+/// compared — one shared table serves every short-return setting riding on
+/// the same (sigma_obs, z_hit, z_rand), e.g. a campaign's observation-
+/// model robustness axis.
 bool params_equal(const BeamModelParams& a, const BeamModelParams& b) {
   return a.sigma_obs == b.sigma_obs && a.z_hit == b.z_hit &&
          a.z_rand == b.z_rand;
@@ -61,7 +60,7 @@ std::shared_ptr<const MapResources> build_map_resources(
   if (need_float) res->float_map.emplace(grid, mcl.rmax);
   if (need_quantized) {
     res->quantized_map.emplace(grid, mcl.rmax);
-    res->lut_params = beam_params(mcl);
+    res->lut_params = beam_model_params(mcl);
     res->lut.emplace(res->quantized_map->step(), res->lut_params);
   }
   return res;
@@ -78,7 +77,7 @@ Variant make_qm_filter(const MapResources& maps, const LocalizerConfig& config,
   TOFMCL_EXPECTS(maps.quantized_map.has_value(),
                  "shared map resources lack the quantized EDT");
   if (maps.lut.has_value() &&
-      params_equal(maps.lut_params, beam_params(config.mcl))) {
+      params_equal(maps.lut_params, beam_model_params(config.mcl))) {
     return Variant(std::in_place_type<ParticleFilter<Traits>>,
                    *maps.quantized_map, config.mcl, executor,
                    LutObservationModel(*maps.quantized_map, *maps.lut));
@@ -253,6 +252,14 @@ const PoseEstimate& Localizer::estimate() const {
 const UpdateWorkload& Localizer::workload() const {
   return std::visit(
       [](const auto& pf) -> const UpdateWorkload& { return pf.workload(); },
+      filter_);
+}
+
+const InjectionMonitor& Localizer::injection_monitor() const {
+  return std::visit(
+      [](const auto& pf) -> const InjectionMonitor& {
+        return pf.injection_monitor();
+      },
       filter_);
 }
 

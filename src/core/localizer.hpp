@@ -115,8 +115,12 @@ class Localizer {
   std::size_t updates_run() const { return updates_run_; }
   /// Frames rejected by on_frames() since construction.
   std::size_t dropped_frames() const { return dropped_frames_; }
-  /// Workload of the most recent correction (particles × beams).
+  /// Workload of the most recent correction (particles × beams, plus the
+  /// novelty-gated beam count).
   const UpdateWorkload& workload() const;
+  /// Augmented-MCL monitor state of the active filter (diagnostics and
+  /// injection-storm regression tests).
+  const InjectionMonitor& injection_monitor() const;
 
   /// Map memory of the active representation, bytes (Fig 9 accounting).
   std::size_t map_bytes() const;

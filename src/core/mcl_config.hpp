@@ -46,10 +46,56 @@ struct MclConfig {
   double sigma_obs = 0.1;
 
   /// Mixture weights of the beam end-point model (paper reference [20]):
-  /// likelihood = z_hit·exp(−d²/2σ²) + z_rand. The floor absorbs
-  /// unexplained beams (interference, map error, dynamics).
+  /// likelihood = z_hit·exp(−d²/2σ²) + z_rand + z_short·exp(−λ·z). The
+  /// z_rand floor absorbs unexplained beams (interference, map error,
+  /// dynamics).
   double z_hit = 0.9;
   double z_rand = 0.1;
+
+  /// Weight of the short-return outlier component: un-mapped occluders
+  /// (people, carts) return in front of the expected surface, more likely
+  /// the closer they are — an exponential decay over the MEASURED range z.
+  /// The default 0 reproduces the two-term paper model bit for bit. Enable
+  /// (≈ 0.3–0.6) for dynamic-obstacle regimes: a short return's mismatch
+  /// penalty is softened instead of being paid at the flat z_rand floor.
+  double z_short = 0.0;
+  /// Decay rate λ (1/m) of the short component.
+  double lambda_short = 1.0;
+
+  /// Per-beam novelty gating (floor-plan localization under dynamics,
+  /// Zimmerman et al., arXiv:2310.12536): once the filter tracks
+  /// confidently, beams whose measured range is SHORTER than any mapped
+  /// surface along the beam from the estimated pose (by more than the
+  /// margin) are un-mapped occluders; they are excluded from the weight
+  /// product and therefore from the Augmented-MCL likelihood monitor, so
+  /// a standing crowd or a pedestrian pacing the drone cannot trigger an
+  /// injection storm. Gating arms only while the estimate is valid and
+  /// concentrated — a global-localization cloud has no trustworthy
+  /// expected ranges to gate against.
+  bool enable_novelty_gating = false;
+  /// A beam is gated when no mapped surface lies within measured range +
+  /// margin along the ray. The margin absorbs estimate error, sensor noise
+  /// and map error.
+  double novelty_margin_m = 0.5;
+  /// Fail-safe against total-occlusion deadlock: an update whose EVERY
+  /// beam gates carries no evidence, so the monitor cannot dive and the
+  /// (possibly stale) estimate stays concentrated — which would keep the
+  /// gate armed forever, masking a kidnapping toward NEARER surfaces
+  /// (every beam shorter than the stale expectation). After this many
+  /// consecutive fully-gated corrections the gate stands down for the
+  /// update, letting the raw evidence reach the weights and the monitor:
+  /// a transient total occlusion costs a few floored corrections, a real
+  /// teleport collapses w_fast and triggers recovery injection.
+  std::size_t novelty_max_blind_updates = 5;
+  /// Arming criterion: yaw_concentration of the estimate must reach this.
+  /// The yaw resultant length is deliberately used instead of
+  /// position_stddev: recovery injection keeps a few percent of uniform
+  /// redraws in the cloud at all times, which inflates the position
+  /// variance far above any useful threshold (a 5 % uniform tail over a
+  /// 9 m map adds ≈ 0.6 m of stddev) while shaving only that few percent
+  /// off the resultant — concentration separates "tracking with a
+  /// recovery tail" from "dispersed" where stddev cannot.
+  double novelty_min_concentration = 0.85;
 
   /// EDT truncation radius (must match the distance map's rmax).
   double rmax = 1.5;

@@ -95,6 +95,12 @@ struct PoseEstimate {
 struct UpdateWorkload {
   std::size_t particles = 0;
   std::size_t beams = 0;
+  /// Beams the novelty gate excluded from the weight product (and with it
+  /// the Augmented-MCL monitor) this update. Always 0 with gating off.
+  std::size_t gated_beams = 0;
+  /// Whether the novelty gate was armed for this update (estimate valid
+  /// and tight enough) — diagnostics for tuning the arming criterion.
+  bool novelty_armed = false;
 };
 
 /// State of the Augmented-MCL likelihood monitor (Probabilistic Robotics
@@ -118,11 +124,7 @@ class ParticleFilter {
   /// The map must outlive the filter.
   ParticleFilter(const Map& map, const MclConfig& config, Executor& executor)
       : ParticleFilter(map, config, executor,
-                       ObservationModel(
-                           map, BeamModelParams{
-                                    static_cast<float>(config.sigma_obs),
-                                    static_cast<float>(config.z_hit),
-                                    static_cast<float>(config.z_rand)})) {}
+                       ObservationModel(map, beam_model_params(config))) {}
 
   /// Variant taking a prebuilt observation model (e.g. a shared likelihood
   /// LUT from a campaign's per-map resources). The model must reference
@@ -139,11 +141,17 @@ class ParticleFilter {
     TOFMCL_EXPECTS(config.sigma_obs > 0.0, "sigma_obs must be positive");
     TOFMCL_EXPECTS(config.z_hit + config.z_rand > 0.0,
                    "z_hit + z_rand must be positive");
+    TOFMCL_EXPECTS(config.z_short >= 0.0, "z_short must be non-negative");
+    TOFMCL_EXPECTS(config.lambda_short > 0.0,
+                   "lambda_short must be positive");
+    TOFMCL_EXPECTS(config.novelty_margin_m > 0.0,
+                   "novelty_margin_m must be positive");
     // Folding the per-beam normalizer into the observation kernel keeps
     // weights of well-matched particles near 1 regardless of beam count
     // (see observation_update). Exactly 1.0 when z_hit + z_rand == 1.
     per_beam_scale_ =
         static_cast<float>(1.0 / (config_.z_hit + config_.z_rand));
+    mixture_params_ = beam_model_params(config_);
     particles_.resize(config_.num_particles);
     back_buffer_.resize(config_.num_particles);
     chunk_sums_.resize(config_.chunks);
@@ -239,46 +247,69 @@ class ParticleFilter {
   /// Phase 2 — observation update: multiply each particle's weight by the
   /// per-beam-normalized end-point likelihood of every (valid) beam.
   ///
-  /// Each factor is scaled by 1/(z_hit + z_rand) — its maximum — before
-  /// multiplying, which is the log-space normalization
-  /// exp(Σ log f_b − B·log f_max) folded into the product one beam at a
+  /// Each factor is scaled by 1/(z_hit + z_rand + short_b) — its maximum —
+  /// before multiplying, which is the log-space normalization
+  /// exp(Σ log f_b − Σ log f_max,b) folded into the product one beam at a
   /// time. A perfectly matched particle keeps weight ≈ 1 for ANY beam
-  /// count, where the unnormalized product (max f_max^B) underflows fp32
+  /// count, where the unnormalized product (max Π f_max,b) underflows fp32
   /// storage once B is large and f_max < 1 — e.g. 128 beams from two 8×8
   /// sensors — silently zeroing every weight and with it the Augmented-MCL
   /// recovery monitor. When z_hit + z_rand == 1 (the defaults) the scale
   /// is exactly 1.0f and the arithmetic is unchanged bit for bit.
+  ///
+  /// With the short-return component or novelty gating enabled, per-beam
+  /// state (short floor, normalizer, gate verdict) is computed ONCE here —
+  /// a pure function of the beams, the previous pose estimate and the map
+  /// — then applied uniformly across particles; gated beams are skipped
+  /// entirely. With z_short == 0 and gating off this path is the exact
+  /// pre-mixture kernel, bit for bit.
   void observation_update(std::span<const sensor::Beam> beams) {
     workload_.particles = particles_.size();
     workload_.beams = beams.size();
+    workload_.gated_beams = 0;
+    workload_.novelty_armed = false;
     if (beams.empty()) return;
+    const bool mixture = prepare_beams(beams);
     executor_->for_chunks(
         particles_.size(), config_.chunks,
         [&](std::size_t, std::size_t begin, std::size_t end) {
           for (std::size_t i = begin; i < end; ++i) {
-            observation_step(i, beams);
+            if (mixture) {
+              observation_step_mixture(i, beams);
+            } else {
+              observation_step(i, beams);
+            }
           }
         });
   }
 
   /// Phases 1+2 fused: one pass over the particle state per correction.
   /// Bit-identical to motion_update(delta) followed by
-  /// observation_update(beams) — the observation consumes no randomness,
-  /// so fusing preserves each chunk's RNG stream, and every particle's
-  /// arithmetic is untouched; only the traversal order over (particle,
-  /// phase) changes.
+  /// observation_update(beams) — the observation consumes no randomness
+  /// and the per-beam mixture/gating state is computed before the sweep
+  /// from the SAME inputs (previous estimate, map, beams), so fusing
+  /// preserves each chunk's RNG stream, and every particle's arithmetic is
+  /// untouched; only the traversal order over (particle, phase) changes.
   void motion_observation_update(const Pose2& delta,
                                  std::span<const sensor::Beam> beams) {
     const MotionParams mp = motion_params(delta);
     workload_.particles = particles_.size();
     workload_.beams = beams.size();
+    workload_.gated_beams = 0;
+    workload_.novelty_armed = false;
+    const bool mixture = beams.empty() ? false : prepare_beams(beams);
     executor_->for_chunks(
         particles_.size(), config_.chunks,
         [&](std::size_t chunk, std::size_t begin, std::size_t end) {
           Rng& rng = rngs_[chunk];
           for (std::size_t i = begin; i < end; ++i) {
             motion_step(i, mp, rng);
-            if (!beams.empty()) observation_step(i, beams);
+            if (beams.empty()) continue;
+            if (mixture) {
+              observation_step_mixture(i, beams);
+            } else {
+              observation_step(i, beams);
+            }
           }
         });
   }
@@ -355,9 +386,12 @@ class ParticleFilter {
     // beam counts — no pow(per_beam_max, beams) divisor, whose underflow
     // for large beam counts used to turn w_avg into inf/NaN and silently
     // disable (or saturate) recovery injection.
+    // Gated beams contribute nothing to the weights, so an update whose
+    // every beam was gated carries no observation information — the
+    // monitor must not mistake it for evidence (in either direction).
     double inject_p = 0.0;
     if (config_.enable_injection && !support_.empty() &&
-        workload_.beams > 0) {
+        workload_.beams > workload_.gated_beams) {
       const double w_avg = total / static_cast<double>(n);
       if (monitor_.w_slow <= 0.0) {
         monitor_.w_slow = w_avg;
@@ -537,6 +571,102 @@ class ParticleFilter {
     particles_.yaw[i] = Scalar(wrap_pi_f(yaw + dyaw));
   }
 
+  /// Per-beam state of the mixture/gating path, computed once per update.
+  struct BeamAux {
+    float floor = 0.0f;  ///< Short-return floor added to every factor.
+    float scale = 1.0f;  ///< 1 / (z_hit + z_rand + floor).
+    bool gated = false;  ///< Excluded from the weight product.
+  };
+
+  /// Computes the per-beam mixture state and novelty-gate verdicts.
+  /// Returns true when the extended kernel must run; false selects the
+  /// exact legacy kernel (z_short == 0 and gating disabled — the per-beam
+  /// state is then the constant per_beam_scale_, so skipping it keeps the
+  /// default configuration bit-identical to the pre-mixture model).
+  ///
+  /// Pure function of (beams, config, previous estimate, map): both the
+  /// phased and the fused sweep call it before touching any particle, so
+  /// they classify identically and stay bit-identical to each other.
+  bool prepare_beams(std::span<const sensor::Beam> beams) {
+    // Concentration, not position_stddev: the recovery tail of injected
+    // uniform particles inflates the position variance by construction
+    // (see MclConfig::novelty_min_concentration).
+    const bool want_gate =
+        config_.enable_novelty_gating && estimate_.valid &&
+        estimate_.yaw_concentration >= config_.novelty_min_concentration;
+    workload_.novelty_armed = want_gate;
+    if (!want_gate) blind_streak_ = 0;
+    if (config_.z_short <= 0.0 && !want_gate) return false;
+
+    // Blind-streak fail-safe (MclConfig::novelty_max_blind_updates): too
+    // many consecutive fully-gated corrections means the gate is starving
+    // the filter of evidence — stand down for this update so a kidnapping
+    // toward nearer surfaces cannot hide behind its own gating.
+    const bool stand_down =
+        want_gate && blind_streak_ >= config_.novelty_max_blind_updates;
+
+    beam_aux_.resize(beams.size());
+    const double est_yaw = estimate_.pose.yaw;
+    const double gc = std::cos(est_yaw);
+    const double gs = std::sin(est_yaw);
+    for (std::size_t b = 0; b < beams.size(); ++b) {
+      const sensor::Beam& beam = beams[b];
+      BeamAux aux;
+      aux.floor = short_return_floor(beam.range_m, mixture_params_);
+      aux.scale = static_cast<float>(
+          1.0 / (config_.z_hit + config_.z_rand +
+                 static_cast<double>(aux.floor)));
+      if (want_gate && !stand_down) {
+        // Ray from the sensor position under the ESTIMATED pose along the
+        // beam direction. The body-frame origin is recovered from the
+        // precomputed end point (it already includes the mount offset).
+        const double ca = std::cos(beam.azimuth_body);
+        const double sa = std::sin(beam.azimuth_body);
+        const double range = static_cast<double>(beam.range_m);
+        const double ox_b = static_cast<double>(beam.endpoint_body.x) -
+                            range * ca;
+        const double oy_b = static_cast<double>(beam.endpoint_body.y) -
+                            range * sa;
+        const Vec2 origin{
+            estimate_.pose.x() + gc * ox_b - gs * oy_b,
+            estimate_.pose.y() + gs * ox_b + gc * oy_b};
+        const Vec2 dir{gc * ca - gs * sa, gs * ca + gc * sa};
+        if (!map_surface_within(origin, dir,
+                                range + config_.novelty_margin_m)) {
+          // The map expects free space well past the measured range: the
+          // return bounced off something the map does not know.
+          aux.gated = true;
+          ++workload_.gated_beams;
+        }
+      }
+      beam_aux_[b] = aux;
+    }
+    if (want_gate && !beams.empty() &&
+        workload_.gated_beams == beams.size()) {
+      ++blind_streak_;
+    } else {
+      blind_streak_ = 0;
+    }
+    return true;
+  }
+
+  /// Sphere-traces the truncated EDT from `origin` along unit `dir`:
+  /// true iff a mapped surface (distance ≤ one cell) lies within `limit`
+  /// meters. The truncation at rmax only caps the step length, never the
+  /// verdict. O(limit / resolution) worst case, run once per beam per
+  /// correction — not in the per-particle hot path.
+  bool map_surface_within(Vec2 origin, Vec2 dir, double limit) const {
+    const double eps = map_->resolution();
+    double t = 0.0;
+    while (t <= limit) {
+      const float d = map_->distance_at(
+          {origin.x + t * dir.x, origin.y + t * dir.y});
+      if (static_cast<double>(d) <= eps) return true;
+      t += std::max(static_cast<double>(d), eps);
+    }
+    return false;
+  }
+
   /// Observation kernel body for one particle: transform each beam end
   /// point by the particle pose and fold the normalized factor into the
   /// weight. Consumes no randomness.
@@ -558,6 +688,30 @@ class ParticleFilter {
     particles_.weight[i] = Scalar(w);
   }
 
+  /// Mixture/gating variant: the map-distance factor gains the beam's
+  /// short-return floor, the normalizer is per beam, and gated beams are
+  /// skipped. Identical memory traffic otherwise — still one pass, still
+  /// no randomness.
+  inline void observation_step_mixture(std::size_t i,
+                                       std::span<const sensor::Beam> beams) {
+    const float x = static_cast<float>(particles_.x[i]);
+    const float y = static_cast<float>(particles_.y[i]);
+    const float yaw = static_cast<float>(particles_.yaw[i]);
+    const float c = std::cos(yaw);
+    const float s = std::sin(yaw);
+    float w = static_cast<float>(particles_.weight[i]);
+    for (std::size_t b = 0; b < beams.size(); ++b) {
+      const BeamAux& aux = beam_aux_[b];
+      if (aux.gated) continue;
+      const float bx = beams[b].endpoint_body.x;
+      const float by = beams[b].endpoint_body.y;
+      const float ex = x + c * bx - s * by;
+      const float ey = y + s * bx + c * by;
+      w *= (observation_model_.factor(ex, ey) + aux.floor) * aux.scale;
+    }
+    particles_.weight[i] = Scalar(w);
+  }
+
   static float wrap_pi_f(float angle) {
     return static_cast<float>(wrap_pi(static_cast<double>(angle)));
   }
@@ -575,6 +729,11 @@ class ParticleFilter {
   Executor* executor_;
   ObservationModel observation_model_;
   float per_beam_scale_ = 1.0f;
+  BeamModelParams mixture_params_{};
+  /// Scratch: per-beam mixture/gating state of the current update.
+  std::vector<BeamAux> beam_aux_;
+  /// Consecutive corrections in which the gate excluded EVERY beam.
+  std::size_t blind_streak_ = 0;
   ParticleSoA<Scalar> particles_;
   ParticleSoA<Scalar> back_buffer_;
   std::vector<double> chunk_sums_;

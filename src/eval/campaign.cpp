@@ -24,9 +24,10 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 
 /// Builds the environment + flight-plan table for one world identity.
 std::pair<sim::EvaluationEnvironment, std::vector<sim::FlightPlan>>
-build_world(CampaignWorld kind, std::uint64_t seed) {
+build_world(CampaignWorld kind, std::uint64_t seed, std::size_t laps) {
   switch (kind) {
     case CampaignWorld::kSmallMaze: {
+      TOFMCL_EXPECTS(laps == 1, "maze worlds have no patrol plans");
       sim::EvaluationEnvironment env;
       env.world = sim::drone_maze();
       env.maze_regions.push_back({{0.0, 0.0}, {4.0, 4.0}});
@@ -34,6 +35,7 @@ build_world(CampaignWorld kind, std::uint64_t seed) {
       return {std::move(env), sim::standard_flight_plans()};
     }
     case CampaignWorld::kLargeMaze:
+      TOFMCL_EXPECTS(laps == 1, "maze worlds have no patrol plans");
       return {sim::evaluation_environment(seed),
               sim::standard_flight_plans()};
     case CampaignWorld::kOffice:
@@ -41,6 +43,7 @@ build_world(CampaignWorld kind, std::uint64_t seed) {
     case CampaignWorld::kLoopCorridor: {
       sim::WorldGenConfig config;
       config.seed = seed;
+      config.tour_laps = laps;
       const sim::GeneratedWorldKind gen_kind =
           kind == CampaignWorld::kOffice
               ? sim::GeneratedWorldKind::kOffice
@@ -105,36 +108,47 @@ std::vector<RunSpec> expand_runs(const CampaignSpec& spec) {
   if (particle_counts.empty()) {
     particle_counts.push_back(spec.mcl.num_particles);
   }
+  // An empty observation axis expands as one pass with observation_index
+  // 0; execute_run then leaves the mcl mixture settings untouched.
+  const std::size_t observation_entries =
+      spec.observation.empty() ? 1 : spec.observation.size();
 
   std::vector<RunSpec> runs;
   runs.reserve(spec.worlds.size() * spec.inits.size() *
                spec.precisions.size() * spec.sensing.size() *
-               spec.seeds_per_cell * particle_counts.size());
+               observation_entries * spec.seeds_per_cell *
+               particle_counts.size());
   for (std::size_t wi = 0; wi < spec.worlds.size(); ++wi) {
     for (std::size_t ii = 0; ii < spec.inits.size(); ++ii) {
       for (std::size_t pi = 0; pi < spec.precisions.size(); ++pi) {
         for (std::size_t si = 0; si < spec.sensing.size(); ++si) {
-          for (std::size_t ri = 0; ri < spec.seeds_per_cell; ++ri) {
-            const std::uint64_t data_seed =
-                campaign_mix(campaign_mix(spec.master_seed, wi), ri);
-            for (const std::size_t n : particle_counts) {
-              RunSpec run;
-              run.world_index = wi;
-              run.sensing_index = si;
-              run.seed_index = ri;
-              run.init = spec.inits[ii];
-              run.precision = spec.precisions[pi];
-              run.num_particles = n;
-              run.use_rear_sensor = spec.sensing[si].use_rear_sensor;
-              run.data_seed = data_seed;
-              run.mcl_seed = campaign_mix(
-                  campaign_mix(
-                      campaign_mix(campaign_mix(data_seed, ii),
-                                   static_cast<std::uint64_t>(
-                                       spec.precisions[pi])),
-                      si),
-                  n);
-              runs.push_back(run);
+          for (std::size_t oi = 0; oi < observation_entries; ++oi) {
+            for (std::size_t ri = 0; ri < spec.seeds_per_cell; ++ri) {
+              // Seeds are a pure function of the PRE-AXIS coordinates:
+              // observation entries deliberately share data and filter
+              // seeds so the axis compares mechanisms, not RNG draws.
+              const std::uint64_t data_seed =
+                  campaign_mix(campaign_mix(spec.master_seed, wi), ri);
+              for (const std::size_t n : particle_counts) {
+                RunSpec run;
+                run.world_index = wi;
+                run.sensing_index = si;
+                run.observation_index = oi;
+                run.seed_index = ri;
+                run.init = spec.inits[ii];
+                run.precision = spec.precisions[pi];
+                run.num_particles = n;
+                run.use_rear_sensor = spec.sensing[si].use_rear_sensor;
+                run.data_seed = data_seed;
+                run.mcl_seed = campaign_mix(
+                    campaign_mix(
+                        campaign_mix(campaign_mix(data_seed, ii),
+                                     static_cast<std::uint64_t>(
+                                         spec.precisions[pi])),
+                        si),
+                    n);
+                runs.push_back(run);
+              }
             }
           }
         }
@@ -186,6 +200,10 @@ void Campaign::set_runs(std::vector<RunSpec> runs) {
                    "run references an unknown world index");
     TOFMCL_EXPECTS(run.sensing_index < spec_.sensing.size(),
                    "run references an unknown sensing index");
+    TOFMCL_EXPECTS(
+        run.observation_index == 0 ||
+            run.observation_index < spec_.observation.size(),
+        "run references an unknown observation index");
   }
   runs_ = std::move(runs);
 }
@@ -208,7 +226,8 @@ void Campaign::prepare_shared(const CampaignOptions& options) {
   std::map<WorldKey, std::set<core::Precision>> needed;
   for (const RunSpec& run : runs_) {
     const WorldSpec& ws = spec_.worlds[run.world_index];
-    needed[WorldKey{ws.world, ws.world_seed}].insert(run.precision);
+    TOFMCL_EXPECTS(ws.timeout_s > 0.0, "world timeout must be positive");
+    needed[WorldKey{ws.world, ws.world_seed, ws.tour_laps}].insert(run.precision);
   }
   for (const auto& [key, precision_set] : needed) {
     const std::vector<core::Precision> precisions(precision_set.begin(),
@@ -231,7 +250,7 @@ void Campaign::prepare_shared(const CampaignOptions& options) {
       }
       continue;
     }
-    auto [env, plans] = build_world(key.kind, key.seed);
+    auto [env, plans] = build_world(key.kind, key.seed, key.laps);
     map::OccupancyGrid grid = sim::rasterize_environment(
         env, spec_.map_resolution, spec_.map_error_sigma);
     auto maps = core::build_map_resources(grid, spec_.mcl, precisions);
@@ -242,7 +261,7 @@ void Campaign::prepare_shared(const CampaignOptions& options) {
   // Plan indices can only be validated against each world's own table.
   for (const RunSpec& run : runs_) {
     const WorldSpec& ws = spec_.worlds[run.world_index];
-    const World& world = worlds_.at(WorldKey{ws.world, ws.world_seed});
+    const World& world = worlds_.at(WorldKey{ws.world, ws.world_seed, ws.tour_laps});
     TOFMCL_EXPECTS(ws.plan < world.plans.size(),
                    "flight plan index out of range");
     TOFMCL_EXPECTS(run.init.mode != InitSpec::Mode::kKidnapped ||
@@ -270,7 +289,10 @@ void Campaign::prepare_shared(const CampaignOptions& options) {
     const SensingSpec& sensing = spec_.sensing[run->sensing_index];
     sim::SequenceGeneratorConfig gen = generator_for(sensing);
     const WorldSpec& ws = spec_.worlds[run->world_index];
-    const World& world = worlds_.at(WorldKey{ws.world, ws.world_seed});
+    // Patrol missions outlive the generator's historical 180 s abort cap;
+    // the world carries its own flight budget.
+    gen.timeout_s = ws.timeout_s;
+    const World& world = worlds_.at(WorldKey{ws.world, ws.world_seed, ws.tour_laps});
     if (sensing.obstacle_count > 0) {
       gen.obstacles = sim::scatter_obstacles_seeded(
           world.plans, sensing.obstacle_count, sensing.obstacle_speed_m_s,
@@ -345,7 +367,7 @@ void replay_leg(core::Localizer& loc, const sim::Sequence& seq,
 CampaignRunResult Campaign::execute_run(const RunSpec& run,
                                         core::Executor& executor) const {
   const WorldSpec& ws = spec_.worlds[run.world_index];
-  const World& world = worlds_.at(WorldKey{ws.world, ws.world_seed});
+  const World& world = worlds_.at(WorldKey{ws.world, ws.world_seed, ws.tour_laps});
   const SensingSpec& sensing = spec_.sensing[run.sensing_index];
   const Dataset& dataset =
       datasets_.at(dataset_key(run, sensing));
@@ -356,6 +378,17 @@ CampaignRunResult Campaign::execute_run(const RunSpec& run,
   lc.mcl = spec_.mcl;
   lc.mcl.num_particles = run.num_particles;
   lc.mcl.seed = run.mcl_seed;
+  // The observation-model axis is a replay-time property: it reconfigures
+  // the filter, never the dataset. An empty axis leaves the spec's mcl
+  // mixture/gating settings untouched.
+  if (!spec_.observation.empty()) {
+    const ObservationSpec& obs = spec_.observation[run.observation_index];
+    lc.mcl.z_short = obs.z_short;
+    lc.mcl.lambda_short = obs.lambda_short;
+    lc.mcl.enable_novelty_gating = obs.novelty_gating;
+    lc.mcl.novelty_margin_m = obs.novelty_margin_m;
+    lc.mcl.novelty_min_concentration = obs.novelty_min_concentration;
+  }
   lc.sensors = {gen.front_tof, gen.rear_tof};
 
   core::Localizer loc(world.maps, lc, executor);

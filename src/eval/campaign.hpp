@@ -68,6 +68,14 @@ struct WorldSpec {
   CampaignWorld world = CampaignWorld::kLargeMaze;
   std::size_t plan = 0;  ///< Index into the world's flight-plan table.
   std::uint64_t world_seed = 2023;
+  /// Dataset-generation abort limit for flights in this world. The default
+  /// matches the generator's historical 180 s cap; raise it together with
+  /// tour_laps for patrol missions that fly longer than that.
+  double timeout_s = 180.0;
+  /// Generated worlds only: plan 0 becomes an out-and-back patrol of this
+  /// many laps over the tour route (WorldGenConfig::tour_laps). 1 = the
+  /// classic single tour; maze worlds require 1.
+  std::size_t tour_laps = 1;
 };
 
 /// One init-mode-dimension entry.
@@ -100,13 +108,29 @@ struct SensingSpec {
   double obstacle_speed_m_s = 0.8;
 };
 
-/// The campaign matrix. Every combination of the five dimensions (times
-/// every particle count) becomes one run.
+/// One observation-model-dimension entry: the beam-mixture parameters and
+/// novelty gating applied at REPLAY time (datasets are untouched, so every
+/// entry rides on the same generated flights — paired A/B comparisons of
+/// the robustness mechanisms against identical data and filter seeds).
+struct ObservationSpec {
+  double z_short = 0.0;       ///< Short-return mixture weight.
+  double lambda_short = 1.0;  ///< Short-return decay rate (1/m).
+  bool novelty_gating = false;
+  double novelty_margin_m = 0.5;
+  double novelty_min_concentration = 0.85;
+};
+
+/// The campaign matrix. Every combination of the dimensions (times every
+/// particle count) becomes one run.
 struct CampaignSpec {
   std::vector<WorldSpec> worlds{{}};
   std::vector<InitSpec> inits{{}};
   std::vector<core::Precision> precisions{core::Precision::kFp32};
   std::vector<SensingSpec> sensing{{}};
+  /// Observation-model robustness axis. EMPTY (the default) means "no
+  /// axis": runs use `mcl`'s own mixture/gating settings untouched, and
+  /// the expanded run list is identical to the pre-axis engine.
+  std::vector<ObservationSpec> observation;
   std::size_t seeds_per_cell = 1;
   /// Particle counts swept per cell; empty means {mcl.num_particles}.
   std::vector<std::size_t> particle_counts;
@@ -127,6 +151,11 @@ struct CampaignSpec {
 struct RunSpec {
   std::size_t world_index = 0;    ///< Into CampaignSpec::worlds.
   std::size_t sensing_index = 0;  ///< Into CampaignSpec::sensing.
+  /// Into CampaignSpec::observation; 0 with an empty axis (mcl settings
+  /// apply verbatim). Deliberately NOT mixed into the seed derivation:
+  /// entries differing only here replay identical data with identical
+  /// filter RNG — the paired-comparison design of the robustness axis.
+  std::size_t observation_index = 0;
   std::size_t seed_index = 0;     ///< 0 .. seeds_per_cell-1.
   InitSpec init;
   core::Precision precision = core::Precision::kFp32;
@@ -209,8 +238,15 @@ class Campaign {
   struct WorldKey {
     CampaignWorld kind;
     std::uint64_t seed;
+    /// Patrol laps change the plan table (not the geometry), so they are
+    /// part of the world identity. A spec mixing laps variants of one
+    /// world therefore rebuilds its grid/EDT/LUT — accepted: the
+    /// tour-vs-patrol battery is rare, and keying maps and plan tables
+    /// separately is not worth the second cache.
+    std::size_t laps;
     bool operator<(const WorldKey& other) const {
-      return std::tie(kind, seed) < std::tie(other.kind, other.seed);
+      return std::tie(kind, seed, laps) <
+             std::tie(other.kind, other.seed, other.laps);
     }
   };
   struct DatasetKey {
@@ -249,7 +285,9 @@ class Campaign {
 std::uint64_t campaign_mix(std::uint64_t a, std::uint64_t b);
 
 /// Expands the spec matrix into the canonical run list (worlds outermost,
-/// then inits, precisions, sensing, seeds, particle counts innermost).
+/// then inits, precisions, sensing, observation entries, seeds, particle
+/// counts innermost). With an empty observation axis the list — including
+/// every derived seed — is identical to the pre-axis engine's.
 std::vector<RunSpec> expand_runs(const CampaignSpec& spec);
 
 /// Replays one recorded leg through an already-initialized localizer:

@@ -97,6 +97,21 @@ std::vector<DynamicObstacle> scatter_obstacles(
   return obstacles;
 }
 
+DynamicObstacle pace_obstacle(const FlightPlan& plan, double lead_m,
+                              double speed_m_s) {
+  TOFMCL_EXPECTS(lead_m >= 0.0, "pacing lead must be non-negative");
+  TOFMCL_EXPECTS(speed_m_s > 0.0, "pacing speed must be positive");
+  DynamicObstacle o;
+  o.track.push_back(plan.start.position);
+  for (const Waypoint& wp : plan.path) o.track.push_back(wp.position);
+  o.speed_m_s = speed_m_s;
+  // phase_s · speed = initial arc length: clamp the requested lead to the
+  // track so a short route still yields a valid in-track start.
+  const double length = track_length(o.track);
+  o.phase_s = std::min(lead_m, length) / speed_m_s;
+  return o;
+}
+
 std::vector<DynamicObstacle> scatter_obstacles_seeded(
     const std::vector<FlightPlan>& plans, std::size_t count,
     double speed_m_s, std::uint64_t data_seed) {

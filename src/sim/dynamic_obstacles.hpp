@@ -64,4 +64,15 @@ std::vector<DynamicObstacle> scatter_obstacles_seeded(
     const std::vector<FlightPlan>& plans, std::size_t count,
     double speed_m_s, std::uint64_t data_seed);
 
+/// The corridor-pacing stressor: one pedestrian walking the FLIGHT ROUTE
+/// itself. Its track is the plan's waypoint polyline and its phase puts it
+/// `lead_m` of arc length ahead of the start at t = 0, so with a speed
+/// near the drone's cruise it holds station in front of the forward sensor
+/// for long stretches (and marches back THROUGH the drone at each
+/// ping-pong reversal) — the sustained-occlusion regime that transient
+/// crossing tracks never produce. Deterministic: a pure function of the
+/// plan, no RNG stream is consumed.
+DynamicObstacle pace_obstacle(const FlightPlan& plan, double lead_m,
+                              double speed_m_s);
+
 }  // namespace tofmcl::sim

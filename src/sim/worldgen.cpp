@@ -38,6 +38,7 @@ void validate(const WorldGenConfig& c) {
                  "corridors must be flyable");
   TOFMCL_EXPECTS(c.clutter_min_m > 0.0 && c.clutter_max_m >= c.clutter_min_m,
                  "clutter size range is inverted");
+  TOFMCL_EXPECTS(c.tour_laps >= 1, "a tour needs at least one lap");
 }
 
 /// Splits [0, span] into segments of width ∈ [min_w, ~max_w]; returns the
@@ -304,8 +305,22 @@ std::vector<FlightPlan> make_plans(const GeneratedWorld& world,
       std::string(to_string(world.kind)) + "_s" +
       std::to_string(world.config.seed);
   std::vector<FlightPlan> plans;
-  plans.push_back(plan_from_waypoints(base + "_tour", route, 0.35));
   std::vector<Vec2> reversed(route.rbegin(), route.rend());
+  if (world.config.tour_laps > 1) {
+    // Patrol: retrace the planned route out-and-back so every lap starts
+    // where the previous one ended — no extra planning, and the path stays
+    // inside the validated clearance corridor for any lap count.
+    std::vector<Vec2> patrol = route;
+    for (std::size_t lap = 1; lap < world.config.tour_laps; ++lap) {
+      const std::vector<Vec2>& leg = (lap % 2 == 1) ? reversed : route;
+      patrol.insert(patrol.end(), leg.begin() + 1, leg.end());
+    }
+    plans.push_back(plan_from_waypoints(
+        base + "_patrol_x" + std::to_string(world.config.tour_laps), patrol,
+        0.35));
+  } else {
+    plans.push_back(plan_from_waypoints(base + "_tour", route, 0.35));
+  }
   plans.push_back(plan_from_waypoints(base + "_reverse", reversed, 0.35));
 
   // Shuttle: out and back between the tour start and the farthest

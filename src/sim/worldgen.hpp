@@ -68,6 +68,14 @@ struct WorldGenConfig {
   // --- loop corridor ---
   double loop_corridor_m = 1.2;  ///< Ring width around the solid core.
   std::size_t loop_pillars = 5;  ///< Symmetry-breaking wall pillars.
+
+  /// Patrol length of the primary tour plan (plan 0): laps > 1 turns it
+  /// into an out-and-back patrol that retraces the tour route — forward,
+  /// back, forward, … — so missions can outlast the single-tour duration
+  /// (pair with a raised sequence timeout; the generator's historical cap
+  /// is 180 s). 1 reproduces the classic single tour bit for bit; the
+  /// reverse and shuttle plans are never affected.
+  std::size_t tour_laps = 1;
 };
 
 /// A generated world: the environment, its landmark points (room centers,

@@ -211,6 +211,115 @@ TEST(Campaign, GeneratedWorldsMatrixIsBitExact) {
   EXPECT_NE(a.runs[0].metrics.ate_m, a.runs[1].metrics.ate_m);
 }
 
+// The observation-model robustness axis must be a pure ADDITION: a
+// campaign whose axis holds the default entry (seed model) plus a mixture
+// entry produces — in its baseline rows — exactly the bits of the same
+// campaign with no axis at all. Seeds are shared across the axis by
+// design (paired comparison), so this also pins the expansion order.
+TEST(Campaign, ObservationAxisBaselineRowsMatchNoAxisBitwise) {
+  CampaignSpec no_axis = small_spec();
+  no_axis.seeds_per_cell = 2;
+  Campaign reference(no_axis);
+  const CampaignResult ref = reference.run({});
+
+  CampaignSpec with_axis = small_spec();
+  with_axis.seeds_per_cell = 2;
+  with_axis.observation = {
+      {},  // entry 0: the seed model (z_short = 0, gating off)
+      {0.5, 1.0, true, 0.5, 0.85}};
+  Campaign campaign(with_axis);
+  const CampaignResult both = campaign.run({});
+  ASSERT_EQ(both.runs.size(), 2 * ref.runs.size());
+
+  // Expansion: observation entries are adjacent blocks inside each
+  // (world, init, precision, sensing) cell, seeds innermost.
+  std::vector<const CampaignRunResult*> baseline_rows;
+  std::vector<const CampaignRunResult*> mixture_rows;
+  for (const CampaignRunResult& run : both.runs) {
+    (run.spec.observation_index == 0 ? baseline_rows : mixture_rows)
+        .push_back(&run);
+  }
+  ASSERT_EQ(baseline_rows.size(), ref.runs.size());
+  ASSERT_EQ(mixture_rows.size(), ref.runs.size());
+  for (std::size_t i = 0; i < ref.runs.size(); ++i) {
+    const CampaignRunResult& a = ref.runs[i];
+    const CampaignRunResult& b = *baseline_rows[i];
+    EXPECT_EQ(a.spec.data_seed, b.spec.data_seed) << i;
+    EXPECT_EQ(a.spec.mcl_seed, b.spec.mcl_seed) << i;
+    EXPECT_EQ(a.updates_run, b.updates_run) << i;
+    ASSERT_EQ(a.errors.size(), b.errors.size()) << i;
+    for (std::size_t j = 0; j < a.errors.size(); ++j) {
+      EXPECT_EQ(a.errors[j].t, b.errors[j].t) << i;
+      EXPECT_EQ(a.errors[j].pos_error, b.errors[j].pos_error) << i;
+      EXPECT_EQ(a.errors[j].yaw_error, b.errors[j].yaw_error) << i;
+    }
+    EXPECT_EQ(a.metrics.ate_m, b.metrics.ate_m) << i;
+    EXPECT_EQ(a.final_pos_error_m, b.final_pos_error_m) << i;
+    // The paired mixture row replays the SAME dataset with the same
+    // filter seed — different model, so (generically) different bits.
+    EXPECT_EQ(mixture_rows[i]->spec.data_seed, a.spec.data_seed) << i;
+    EXPECT_EQ(mixture_rows[i]->spec.mcl_seed, a.spec.mcl_seed) << i;
+  }
+}
+
+// Heavy-crowd campaign cell (5 crossing pedestrians, mixture + gating
+// axis): the engine's bit-exactness guarantee must hold through the new
+// observation code path on every execution policy. The same battery backs
+// the cross-process determinism diff in CI (bench_campaign_throughput
+// --smoke --crowd --trace).
+TEST(Campaign, HeavyCrowdCellIsBitExactAcrossPolicies) {
+  CampaignSpec spec;
+  spec.worlds = {{CampaignWorld::kWarehouse, 0, 2}};
+  spec.inits = {{InitSpec::Mode::kTracking, 0.2, 0.2, 2}};
+  spec.precisions = {core::Precision::kFp32Qm};
+  spec.sensing = {{sensor::ZoneMode::k8x8, 15.0, 0.01, true, 5, 1.0}};
+  spec.observation = {{}, {0.5, 1.0, true, 0.5, 0.85}};
+  spec.mcl.num_particles = 1024;
+  spec.master_seed = 23;
+  Campaign campaign(std::move(spec));
+  ASSERT_EQ(campaign.runs().size(), 2u);
+
+  CampaignOptions serial;
+  serial.batched = false;
+  const CampaignResult a = campaign.run(serial);
+
+  CampaignOptions batched;
+  batched.batched = true;
+  batched.threads = 4;
+  const CampaignResult b = campaign.run(batched);
+  expect_bit_identical(a, b, "heavy-crowd serial-vs-batched");
+
+  CampaignOptions nested = batched;
+  nested.pooled_filter_chunks = true;
+  const CampaignResult c = campaign.run(nested);
+  expect_bit_identical(a, c, "heavy-crowd serial-vs-nested");
+
+  for (const CampaignRunResult& run : a.runs) {
+    EXPECT_GT(run.updates_run, 10u);
+    EXPECT_GT(run.errors.size(), 10u);
+  }
+  // Both rows replay one shared dataset; the models genuinely diverge.
+  EXPECT_NE(a.runs[0].metrics.ate_m, a.runs[1].metrics.ate_m);
+}
+
+// WorldSpec's timeout/tour_laps knobs flow through shared-resource
+// preparation: a patrol world generates a dataset past the historical
+// 180 s cap.
+TEST(Campaign, PatrolWorldOutlivesThe180sCap) {
+  CampaignSpec spec;
+  spec.worlds = {{CampaignWorld::kOffice, 0, 3, 600.0, 2}};
+  spec.inits = {{InitSpec::Mode::kTracking, 0.2, 0.2, 2}};
+  spec.precisions = {core::Precision::kFp32Qm};
+  spec.mcl.num_particles = 256;
+  spec.master_seed = 5;
+  Campaign campaign(std::move(spec));
+  const CampaignResult result = campaign.run({});
+  ASSERT_EQ(result.runs.size(), 1u);
+  EXPECT_GT(result.horizon_s, 180.0);
+  EXPECT_GT(result.runs[0].errors.size(), 100u);
+  EXPECT_GT(result.runs[0].errors.back().t, 180.0);
+}
+
 // The sweep adapter must reproduce the legacy pipeline exactly: same seed
 // chain, same datasets, same per-run replay. Rebuild one cell by hand
 // through the public replay_sequence API and compare metrics bitwise.

@@ -9,6 +9,7 @@
 
 #include <cmath>
 
+#include "common/rng.hpp"
 #include "map/distance_map.hpp"
 #include "map/occupancy_grid.hpp"
 
@@ -113,6 +114,124 @@ TEST(LikelihoodLut, RejectsInvalidParameters) {
   BeamModelParams bad;
   bad.sigma_obs = 0.0f;
   EXPECT_THROW(LikelihoodLut(0.01f, bad), PreconditionError);
+}
+
+// ---- Short-return mixture properties -------------------------------------
+
+/// Randomized mixture configurations for the property tests below. The
+/// draws cover the regimes the campaigns sweep: sharp-to-flat sigma,
+/// arbitrary (z_hit, z_rand, z_short) weights, decay rates around 1/m.
+BeamModelParams random_params(Rng& rng) {
+  BeamModelParams p;
+  p.sigma_obs = static_cast<float>(rng.uniform(0.05, 0.5));
+  p.z_hit = static_cast<float>(rng.uniform(0.1, 1.0));
+  p.z_rand = static_cast<float>(rng.uniform(0.01, 0.5));
+  p.z_short = static_cast<float>(rng.uniform(0.0, 0.8));
+  p.lambda_short = static_cast<float>(rng.uniform(0.3, 3.0));
+  return p;
+}
+
+TEST(BeamMixture, NormalizationBound) {
+  // The mixture is bounded by its weights: every factor lies in
+  // (0, z_hit + z_rand + z_short], with the supremum attained at
+  // (distance = 0, range = 0). This is the bound the per-beam normalizer
+  // in the observation kernel divides by.
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto p = random_params(rng);
+    const float bound = p.z_hit + p.z_rand + p.z_short;
+    for (int i = 0; i < 16; ++i) {
+      const float d = static_cast<float>(rng.uniform(0.0, 2.0));
+      const float z = static_cast<float>(rng.uniform(0.0, 4.0));
+      const float f = beam_mixture_likelihood(d, z, p);
+      EXPECT_GT(f, 0.0f) << "d=" << d << " z=" << z;
+      EXPECT_LE(f, bound * (1.0f + 1e-6f)) << "d=" << d << " z=" << z;
+    }
+    EXPECT_FLOAT_EQ(beam_mixture_likelihood(0.0f, 0.0f, p), bound);
+  }
+}
+
+TEST(BeamMixture, ShortComponentDecaysMonotonically) {
+  // The short-return floor must decay strictly monotonically over the
+  // measured range while representable, and never go negative: a closer
+  // return is always the more plausible occluder.
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    BeamModelParams p = random_params(rng);
+    p.z_short = static_cast<float>(rng.uniform(0.05, 0.8));
+    float prev = short_return_floor(0.0f, p);
+    EXPECT_FLOAT_EQ(prev, p.z_short);
+    for (float z = 0.1f; z <= 4.0f; z += 0.1f) {
+      const float cur = short_return_floor(z, p);
+      EXPECT_GE(cur, 0.0f) << "z=" << z;
+      EXPECT_LE(cur, prev) << "z=" << z;
+      if (prev > 1e-30f) EXPECT_LT(cur, prev) << "z=" << z;
+      prev = cur;
+    }
+  }
+}
+
+TEST(BeamMixture, ZeroShortWeightIsBitIdenticalToSeedModel) {
+  // With z_short = 0 the mixture must reproduce the two-term model of
+  // Eq. 1 EXACTLY — bit for bit, not within tolerance — whatever the
+  // other parameters and the measured range. This is the property that
+  // lets every pre-mixture golden bound stand.
+  Rng rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    BeamModelParams p = random_params(rng);
+    p.z_short = 0.0f;
+    for (int i = 0; i < 16; ++i) {
+      const float d = static_cast<float>(rng.uniform(0.0, 2.0));
+      const float z = static_cast<float>(rng.uniform(0.0, 4.0));
+      EXPECT_EQ(beam_mixture_likelihood(d, z, p),
+                beam_likelihood(d, p))
+          << "d=" << d << " z=" << z;
+    }
+  }
+}
+
+TEST(BeamMixture, LutAgreesWithDirectAcrossRandomConfigs) {
+  // The LUT tables the map-distance part of the mixture; adding the
+  // measured-range floor outside the table must agree with direct
+  // evaluation within the likelihood change across one quantization step
+  // (slope bound · step/2, as in the fixed-config test above), for
+  // RANDOMIZED (z_hit, z_short, z_rand, sigma, lambda) configurations.
+  const auto grid = center_obstacle_grid();
+  const map::DistanceMap dmap(grid, 1.5);
+  const map::QuantizedDistanceMap qmap(grid, 1.5);
+  Rng rng(31337);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto p = random_params(rng);
+    const DirectObservationModel direct(dmap, p);
+    const LutObservationModel lut(qmap, p);
+    const float step = qmap.step();
+    const float tol = p.z_hit / (p.sigma_obs * std::sqrt(std::exp(1.0f))) *
+                      step * 0.5f * 1.05f;
+    for (int i = 0; i < 32; ++i) {
+      const float x = static_cast<float>(rng.uniform(0.0, 1.0));
+      const float y = static_cast<float>(rng.uniform(0.0, 1.0));
+      const float z = static_cast<float>(rng.uniform(0.0, 4.0));
+      const float floor = short_return_floor(z, p);
+      EXPECT_NEAR(lut.factor(x, y) + floor, direct.factor(x, y) + floor,
+                  tol)
+          << "(" << x << ", " << y << ") z=" << z;
+      // And the composed mixture evaluated through the quantized map
+      // equals the direct formula at the map's reconstructed distance,
+      // bit for bit — the floor addition cannot disturb LUT exactness.
+      EXPECT_EQ(lut.factor(x, y) + floor,
+                beam_mixture_likelihood(qmap.distance_at({x, y}), z, p))
+          << "(" << x << ", " << y << ") z=" << z;
+    }
+  }
+}
+
+TEST(BeamMixture, RejectsInvalidShortParameters) {
+  BeamModelParams bad;
+  bad.z_short = -0.1f;
+  EXPECT_THROW(LikelihoodLut(0.01f, bad), PreconditionError);
+  BeamModelParams bad_lambda;
+  bad_lambda.lambda_short = 0.0f;
+  EXPECT_THROW(LikelihoodLut(0.01f, bad_lambda), PreconditionError);
 }
 
 TEST(DirectObservationModel, MonotoneInDistanceMapError) {

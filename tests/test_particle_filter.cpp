@@ -536,6 +536,214 @@ TEST(ParticleFilter, InjectionMonitorSurvives128Beams) {
   EXPECT_LE(max_inject, cfg.injection_max_fraction);
 }
 
+// The fused kernel must stay bit-identical to the phased path with the
+// short-return mixture AND novelty gating enabled: the per-beam state
+// (floor, normalizer, gate verdict) is computed before the particle sweep
+// from the same inputs in both paths, so only traversal order differs.
+TEST(ParticleFilter, MixtureFusedKernelMatchesSeparatePhases) {
+  const auto grid = test_grid();
+  const map::DistanceMap dm(grid, 1.5);
+  SerialExecutor exec;
+  MclConfig cfg = small_config(777);
+  cfg.z_short = 0.4;
+  cfg.lambda_short = 1.3;
+  cfg.enable_novelty_gating = true;
+
+  ParticleFilter<Fp32Traits> separate(dm, cfg, exec);
+  ParticleFilter<Fp32Traits> fused(dm, cfg, exec);
+  separate.init_gaussian({1.0, 1.0, 0.0}, 0.1, 0.05);
+  fused.init_gaussian({1.0, 1.0, 0.0}, 0.1, 0.05);
+
+  // Mixed evidence: a matched wall return, a short occluder return (to be
+  // gated once the estimate concentrates) and a mild mismatch.
+  const std::array<Beam, 3> beams{beam_at(0.0, 1.0), beam_at(0.0, 0.3),
+                                  beam_at(kPi, 0.9)};
+  for (int round = 0; round < 4; ++round) {
+    separate.motion_update(Pose2{0.05, 0.01, 0.02});
+    separate.observation_update(beams);
+    separate.resample();
+    separate.compute_pose();
+    fused.motion_observation_update(Pose2{0.05, 0.01, 0.02}, beams);
+    fused.resample();
+    fused.compute_pose();
+    EXPECT_EQ(separate.workload().gated_beams, fused.workload().gated_beams)
+        << "round " << round;
+  }
+  const auto a = separate.particles();
+  const auto b = fused.particles();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(static_cast<float>(a[i].x), static_cast<float>(b[i].x)) << i;
+    EXPECT_EQ(static_cast<float>(a[i].y), static_cast<float>(b[i].y)) << i;
+    EXPECT_EQ(static_cast<float>(a[i].yaw), static_cast<float>(b[i].yaw))
+        << i;
+    EXPECT_EQ(static_cast<float>(a[i].weight),
+              static_cast<float>(b[i].weight))
+        << i;
+  }
+  EXPECT_EQ(separate.estimate().pose.x(), fused.estimate().pose.x());
+  EXPECT_EQ(separate.estimate().pose.y(), fused.estimate().pose.y());
+  EXPECT_EQ(separate.estimate().pose.yaw, fused.estimate().pose.yaw);
+  // The scenario actually exercised the gate (otherwise this test proves
+  // nothing about the mixture path).
+  EXPECT_GT(fused.workload().gated_beams, 0u);
+}
+
+// Novelty gating vs the injection monitor, the storm half: a tracked
+// filter under SUSTAINED occlusion (a standing crowd / pacing walker in
+// front of the forward sensor) must gate the short returns and keep
+// w_fast/w_slow stable — no injection at all — where the ungated seed
+// model's monitor dives and triggers recovery injection against a
+// perfectly healthy estimate.
+TEST(ParticleFilter, GatedOcclusionKeepsInjectionMonitorStable) {
+  const auto grid = test_grid();
+  const map::DistanceMap dm(grid, 1.5);
+  const auto support = grid.free_cell_centers();
+  SerialExecutor exec;
+  MclConfig cfg = small_config(256);
+  cfg.sigma_odom_xy = 0.0;
+  cfg.sigma_odom_yaw = 0.0;
+  cfg.enable_novelty_gating = true;
+
+  MclConfig seed_cfg = cfg;
+  seed_cfg.enable_novelty_gating = false;
+
+  ParticleFilter<Fp32Traits> gated(dm, cfg, exec);
+  ParticleFilter<Fp32Traits> ungated(dm, seed_cfg, exec);
+  for (auto* pf : {&gated, &ungated}) {
+    pf->init_gaussian({1.0, 1.0, 0.0}, 0.0, 0.0);
+    pf->set_injection_support(support, 0.025);
+  }
+
+  // Warm-up with matched evidence (wall at x=2 one meter ahead, wall at
+  // x=0 one meter behind) until the monitor has state and the estimate is
+  // concentrated enough to arm the gate.
+  const std::vector<Beam> matched{beam_at(0.0, 1.0), beam_at(kPi, 1.0)};
+  for (int i = 0; i < 4; ++i) {
+    for (auto* pf : {&gated, &ungated}) {
+      pf->observation_update(matched);
+      pf->resample();
+      pf->compute_pose();
+    }
+  }
+  const double w_slow_before = gated.injection_monitor().w_slow;
+  ASSERT_GT(w_slow_before, 0.0);
+
+  // Sustained occlusion: the forward return collapses to 0.3 m (person in
+  // front of the mapped wall at 1.0 m) while the rear stays matched.
+  const std::vector<Beam> occluded{beam_at(0.0, 0.3), beam_at(kPi, 1.0)};
+  double ungated_max_inject = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    gated.observation_update(occluded);
+    EXPECT_TRUE(gated.workload().novelty_armed) << "update " << i;
+    EXPECT_EQ(gated.workload().gated_beams, 1u) << "update " << i;
+    gated.resample();
+    EXPECT_EQ(gated.injection_monitor().last_inject_p, 0.0)
+        << "update " << i;
+    gated.compute_pose();
+
+    ungated.observation_update(occluded);
+    EXPECT_EQ(ungated.workload().gated_beams, 0u);
+    ungated.resample();
+    ungated_max_inject =
+        std::max(ungated_max_inject, ungated.injection_monitor().last_inject_p);
+    ungated.compute_pose();
+  }
+  // The gated monitor barely moved (only matched evidence reached it)…
+  const InjectionMonitor& m = gated.injection_monitor();
+  EXPECT_GT(m.w_fast, 0.9 * m.w_slow);
+  EXPECT_NEAR(m.w_slow, w_slow_before, 0.1 * w_slow_before);
+  // …while the seed model read the occlusion as "filter lost" and
+  // injected (the storm this PR's gating exists to prevent).
+  EXPECT_GT(ungated_max_inject, 0.0);
+}
+
+// The recovery half: gating must NEVER mask a genuine kidnapping. A
+// teleported drone's returns are LONGER than the mapped expectation (or
+// mismatched within the margin), which the gate deliberately lets
+// through, so the monitor still dives and injection still fires.
+TEST(ParticleFilter, GenuineKidnappingStillTriggersInjection) {
+  const auto grid = test_grid();
+  const map::DistanceMap dm(grid, 1.5);
+  const auto support = grid.free_cell_centers();
+  SerialExecutor exec;
+  MclConfig cfg = small_config(256);
+  cfg.sigma_odom_xy = 0.0;
+  cfg.sigma_odom_yaw = 0.0;
+  cfg.enable_novelty_gating = true;
+  ParticleFilter<Fp32Traits> pf(dm, cfg, exec);
+  pf.init_gaussian({1.0, 1.0, 0.0}, 0.0, 0.0);
+  pf.set_injection_support(support, 0.025);
+
+  const std::vector<Beam> matched{beam_at(0.0, 1.0), beam_at(kPi, 1.0)};
+  for (int i = 0; i < 4; ++i) {
+    pf.observation_update(matched);
+    pf.resample();
+    pf.compute_pose();
+  }
+
+  // Teleport: the real drone now sees the forward wall 2.5 m away where
+  // the (stale) estimate expects it at 1.0 m. A mapped surface lies well
+  // inside range + margin, so the beam is NOT gated — and must not be.
+  const std::vector<Beam> teleported{beam_at(0.0, 2.5), beam_at(kPi, 2.5)};
+  double max_inject = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    pf.observation_update(teleported);
+    EXPECT_EQ(pf.workload().gated_beams, 0u) << "update " << i;
+    pf.resample();
+    max_inject = std::max(max_inject, pf.injection_monitor().last_inject_p);
+    pf.compute_pose();
+  }
+  EXPECT_GT(max_inject, 0.0);
+  EXPECT_LE(max_inject, cfg.injection_max_fraction);
+}
+
+// The deadlock case of the previous test: a kidnapping toward NEARER
+// surfaces makes every beam read shorter than the stale expectation, so
+// the gate would exclude ALL of them — no evidence reaches the monitor,
+// the estimate stays concentrated, and the gate would stay armed forever.
+// The blind-streak fail-safe (novelty_max_blind_updates) must stand the
+// gate down after a bounded number of fully-gated corrections so the raw
+// mismatch reaches the weights and injection still fires.
+TEST(ParticleFilter, FullyGatedKidnappingStillTriggersInjection) {
+  const auto grid = test_grid();
+  const map::DistanceMap dm(grid, 1.5);
+  const auto support = grid.free_cell_centers();
+  SerialExecutor exec;
+  MclConfig cfg = small_config(256);
+  cfg.sigma_odom_xy = 0.0;
+  cfg.sigma_odom_yaw = 0.0;
+  cfg.enable_novelty_gating = true;
+  ParticleFilter<Fp32Traits> pf(dm, cfg, exec);
+  pf.init_gaussian({1.0, 1.0, 0.0}, 0.0, 0.0);
+  pf.set_injection_support(support, 0.025);
+
+  const std::vector<Beam> matched{beam_at(0.0, 1.0), beam_at(kPi, 1.0)};
+  for (int i = 0; i < 4; ++i) {
+    pf.observation_update(matched);
+    pf.resample();
+    pf.compute_pose();
+  }
+
+  // Teleport into a tight corner: BOTH returns collapse to 0.3 m where
+  // the stale estimate expects walls at 1.0 m — every beam gates.
+  const std::vector<Beam> near_walls{beam_at(0.0, 0.3), beam_at(kPi, 0.3)};
+  std::size_t fully_gated = 0;
+  double max_inject = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    pf.observation_update(near_walls);
+    if (pf.workload().gated_beams == near_walls.size()) ++fully_gated;
+    pf.resample();
+    max_inject = std::max(max_inject, pf.injection_monitor().last_inject_p);
+    pf.compute_pose();
+  }
+  // The gate blinded the filter only for the configured streak, then
+  // stood down and let the evidence through — injection fired.
+  EXPECT_GT(fully_gated, 0u);
+  EXPECT_LT(fully_gated, 20u);
+  EXPECT_GT(max_inject, 0.0);
+}
+
 TEST(ParticleFilter, WorkloadReported) {
   const auto grid = test_grid();
   const map::DistanceMap dm(grid, 1.5);

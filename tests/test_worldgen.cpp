@@ -162,6 +162,60 @@ TEST(WorldGen, GeneratedWorldsRoundTripThroughMapIoV2) {
   }
 }
 
+// The 180 s cap regression: worldgen tours used to be limited to whatever
+// fit the sequence generator's default abort limit. With tour_laps > 1
+// the primary plan becomes an out-and-back patrol, and together with a
+// raised timeout a > 180 s mission generates completely — and
+// deterministically, including through the dataset save/load round trip.
+TEST(WorldGen, PatrolTourOutlivesThe180sCap) {
+  WorldGenConfig config;
+  config.seed = 3;
+  config.tour_laps = 2;
+  const GeneratedWorld world =
+      generate_world(GeneratedWorldKind::kOffice, config);
+  EXPECT_NE(world.plans[0].name.find("_patrol_x2"), std::string::npos);
+
+  // Single-lap plans are untouched by the knob: same world, laps = 1.
+  WorldGenConfig single = config;
+  single.tour_laps = 1;
+  const GeneratedWorld base =
+      generate_world(GeneratedWorldKind::kOffice, single);
+  EXPECT_GT(world.plans[0].path.size(), base.plans[0].path.size());
+  ASSERT_EQ(world.plans.size(), base.plans.size());
+  EXPECT_EQ(world.plans[1].name, base.plans[1].name);
+  ASSERT_EQ(world.plans[2].path.size(), base.plans[2].path.size());
+
+  SequenceGeneratorConfig gen = default_generator_config();
+  gen.timeout_s = 600.0;
+  Rng rng(42);
+  const Sequence seq =
+      generate_sequence(world.env.world, world.plans[0], gen, rng);
+  EXPECT_GT(seq.duration_s, 180.0);
+  ASSERT_FALSE(seq.odometry.empty());
+
+  // Determinism: regeneration is bit-identical…
+  Rng rng2(42);
+  const Sequence again =
+      generate_sequence(world.env.world, world.plans[0], gen, rng2);
+  EXPECT_EQ(seq.duration_s, again.duration_s);
+  ASSERT_EQ(seq.odometry.size(), again.odometry.size());
+  ASSERT_EQ(seq.frames.size(), again.frames.size());
+  EXPECT_EQ(seq.odometry.back().pose, again.odometry.back().pose);
+
+  // …and the > 180 s dataset round-trips through sequence IO exactly
+  // (17-significant-digit text format).
+  std::stringstream io;
+  save_sequence(seq, io);
+  const Sequence loaded = load_sequence(io);
+  EXPECT_EQ(loaded.duration_s, seq.duration_s);
+  ASSERT_EQ(loaded.odometry.size(), seq.odometry.size());
+  ASSERT_EQ(loaded.ground_truth.size(), seq.ground_truth.size());
+  ASSERT_EQ(loaded.frames.size(), seq.frames.size());
+  EXPECT_EQ(loaded.odometry.back().t, seq.odometry.back().t);
+  EXPECT_EQ(loaded.odometry.back().pose, seq.odometry.back().pose);
+  EXPECT_EQ(loaded.ground_truth.back().pose, seq.ground_truth.back().pose);
+}
+
 TEST(WorldGen, RejectsUnbuildableConfigs) {
   WorldGenConfig config;
   config.doorway_m = 0.2;  // cannot pass the drone with margin

@@ -1,0 +1,155 @@
+// Diagnostic harness (not installed): heavy-crowd observation-model
+// sweeps. Replays one generated-world scenario — N crossing pedestrians
+// plus an optional corridor-pacing walker — across a block of data seeds,
+// once with the baseline two-term likelihood and once with the
+// short-return mixture + novelty gating, printing per-seed convergence,
+// ATE and injection activity side by side. This is the tool that tuned
+// the heavy-crowd scenario family and the statistical bounds in
+// tests/test_scenario_matrix.cpp.
+//
+// Usage: debug_crowd [kind] [world_seed] [plan] [crossers] [pace] [seeds]
+//                    [particles] [z_short] [lambda] [margin]
+//   kind: 0 office, 1 warehouse, 2 loop corridor
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/localizer.hpp"
+#include "eval/campaign.hpp"
+#include "eval/metrics.hpp"
+#include "sim/dynamic_obstacles.hpp"
+#include "sim/sequence_generator.hpp"
+#include "sim/worldgen.hpp"
+
+using namespace tofmcl;
+
+namespace {
+
+struct ModelResult {
+  eval::RunMetrics metrics;
+  double final_err = 0.0;
+  double max_inject = 0.0;
+  std::size_t inject_events = 0;
+  std::size_t gated_total = 0;
+  std::size_t updates = 0;
+  std::size_t armed = 0;
+  double stddev_sum = 0.0;
+};
+
+ModelResult replay(const map::OccupancyGrid& grid, const sim::Sequence& seq,
+                   const sim::SequenceGeneratorConfig& gen,
+                   std::uint64_t mcl_seed, std::size_t particles,
+                   double z_short, double lambda_short, bool gating,
+                   double margin) {
+  core::SerialExecutor exec;
+  core::LocalizerConfig lc;
+  lc.mcl.num_particles = particles;
+  lc.mcl.seed = mcl_seed;
+  lc.mcl.z_short = z_short;
+  lc.mcl.lambda_short = lambda_short;
+  lc.mcl.enable_novelty_gating = gating;
+  lc.mcl.novelty_margin_m = margin;
+  lc.sensors = {gen.front_tof, gen.rear_tof};
+  core::Localizer loc(grid, lc, exec);
+  loc.on_odometry(seq.odometry.front().pose);
+  loc.start_at(seq.ground_truth.front().pose, 0.2, 0.2);
+
+  ModelResult out;
+  std::vector<eval::ErrorSample> trace;
+  std::size_t frame_idx = 0;
+  std::vector<sensor::TofFrame> group;
+  for (const sim::StateSample& odom : seq.odometry) {
+    loc.on_odometry(odom.pose);
+    while (frame_idx < seq.frames.size() &&
+           seq.frames[frame_idx].timestamp_s <= odom.t) {
+      const double stamp = seq.frames[frame_idx].timestamp_s;
+      group.clear();
+      while (frame_idx < seq.frames.size() &&
+             seq.frames[frame_idx].timestamp_s == stamp) {
+        group.push_back(seq.frames[frame_idx]);
+        ++frame_idx;
+      }
+      if (!loc.on_frames(group) || !loc.estimate().valid) continue;
+      const Pose2 truth = sim::interpolate_pose(seq.ground_truth, stamp);
+      const double pos_err =
+          (loc.estimate().pose.position - truth.position).norm();
+      trace.push_back({stamp, pos_err, 0.0});
+      out.final_err = pos_err;
+      out.gated_total += loc.workload().gated_beams;
+      if (loc.workload().novelty_armed) ++out.armed;
+      out.stddev_sum += loc.estimate().position_stddev;
+      const double p = loc.injection_monitor().last_inject_p;
+      if (p > 0.0) ++out.inject_events;
+      if (p > out.max_inject) out.max_inject = p;
+      ++out.updates;
+    }
+  }
+  out.metrics = eval::evaluate_run(trace);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int kind_i = argc > 1 ? std::atoi(argv[1]) : 1;
+  const std::uint64_t world_seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2;
+  const std::size_t plan = argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 0;
+  const std::size_t crossers =
+      argc > 4 ? static_cast<std::size_t>(std::atoi(argv[4])) : 5;
+  const bool pace = argc > 5 && std::atoi(argv[5]) != 0;
+  const std::size_t n_seeds =
+      argc > 6 ? static_cast<std::size_t>(std::atoi(argv[6])) : 5;
+  const std::size_t particles =
+      argc > 7 ? static_cast<std::size_t>(std::atoi(argv[7])) : 4096;
+  const double z_short = argc > 8 ? std::atof(argv[8]) : 0.5;
+  const double lambda_short = argc > 9 ? std::atof(argv[9]) : 1.0;
+  const double margin = argc > 10 ? std::atof(argv[10]) : 0.5;
+
+  sim::WorldGenConfig wc;
+  wc.seed = world_seed;
+  const auto kind = static_cast<sim::GeneratedWorldKind>(kind_i);
+  sim::GeneratedWorld world = sim::generate_world(kind, wc);
+  const map::OccupancyGrid grid =
+      sim::rasterize_environment(world.env, 0.05, 0.01);
+  std::printf("world %s seed=%llu plan=%s crossers=%zu pace=%d\n",
+              sim::to_string(kind),
+              static_cast<unsigned long long>(world_seed),
+              world.plans[plan].name.c_str(), crossers, pace ? 1 : 0);
+
+  for (std::size_t s = 0; s < n_seeds; ++s) {
+    const std::uint64_t data_seed = 100 + s;
+    sim::SequenceGeneratorConfig gen = sim::default_generator_config();
+    if (crossers > 0) {
+      gen.obstacles = sim::scatter_obstacles_seeded(world.plans, crossers,
+                                                    1.0, data_seed);
+    }
+    if (pace) {
+      gen.obstacles.push_back(sim::pace_obstacle(world.plans[plan], 1.2,
+                                                 0.35));
+    }
+    Rng rng(data_seed);
+    const sim::Sequence seq =
+        sim::generate_sequence(world.env.world, world.plans[plan], gen, rng);
+
+    const ModelResult base = replay(grid, seq, gen, 7 + s, particles, 0.0,
+                                    lambda_short, false, margin);
+    const ModelResult mix = replay(grid, seq, gen, 7 + s, particles,
+                                   z_short, lambda_short, true, margin);
+    std::printf(
+        "seed %llu dur=%5.1fs | base: conv=%d ok=%d ate=%.3f max=%.3f "
+        "fin=%.3f inj=%zu/%.3f | mix: conv=%d ok=%d ate=%.3f max=%.3f "
+        "fin=%.3f inj=%zu/%.3f gated=%zu armed=%zu/%zu sd=%.2f\n",
+        static_cast<unsigned long long>(data_seed), seq.duration_s,
+        base.metrics.converged ? 1 : 0, base.metrics.success ? 1 : 0,
+        base.metrics.ate_m, base.metrics.max_error_after_convergence_m,
+        base.final_err, base.inject_events, base.max_inject,
+        mix.metrics.converged ? 1 : 0, mix.metrics.success ? 1 : 0,
+        mix.metrics.ate_m, mix.metrics.max_error_after_convergence_m,
+        mix.final_err, mix.inject_events, mix.max_inject, mix.gated_total,
+        mix.armed, mix.updates,
+        mix.stddev_sum / static_cast<double>(std::max<std::size_t>(
+                             mix.updates, 1)));
+  }
+  return 0;
+}
