@@ -40,6 +40,10 @@ struct Args {
   /// and an observation-model axis (seed two-term likelihood vs
   /// short-return mixture + novelty gating).
   bool crowd = false;
+  /// Stale-map battery: one warehouse at pristine/light/heavy staleness
+  /// (the drone flies the mutated hall, the localizer keeps the pristine
+  /// map) crossed with the observation-model axis.
+  bool stale = false;
   /// Dump a hexfloat per-run trace for cross-process determinism diffs.
   const char* trace_path = nullptr;
 };
@@ -70,6 +74,9 @@ Args parse(int argc, char** argv) {
           "  --crowd        heavy-crowd warehouse battery with an\n"
           "                 observation-model axis (baseline vs\n"
           "                 mixture + novelty gating)\n"
+          "  --stale        stale-map warehouse battery: pristine vs\n"
+          "                 light vs heavy map mutation x the\n"
+          "                 observation-model axis (forces >= 6 runs)\n"
           "  --trace FILE   write a hexfloat per-run result trace (CI\n"
           "                 diffs two invocations for cross-process\n"
           "                 determinism)\n");
@@ -90,6 +97,8 @@ Args parse(int argc, char** argv) {
       args.worldgen = true;
     } else if (is("--crowd")) {
       args.crowd = true;
+    } else if (is("--stale")) {
+      args.stale = true;
     } else if (is("--trace")) {
       args.trace_path = value();
     } else {
@@ -100,6 +109,11 @@ Args parse(int argc, char** argv) {
   if (args.runs == 0 || args.threads == 0 || args.particles == 0) {
     std::fprintf(stderr, "runs/threads/particles must be positive\n");
     std::exit(2);
+  }
+  if (args.stale && args.runs < 6) {
+    // The battery is 3 staleness levels x 2 observation models; anything
+    // smaller would silently drop the stale cells (--smoke included).
+    args.runs = 6;
   }
   return args;
 }
@@ -153,7 +167,21 @@ int main(int argc, char** argv) {
   // (office tour + warehouse tour + loop shuttle, static vs two crossing
   // pedestrians). seeds_per_cell stretches the battery to --runs.
   eval::CampaignSpec spec;
-  if (args.crowd) {
+  if (args.stale) {
+    // One warehouse flown at three staleness levels — the localizer's map
+    // stays pristine while the hall gets rearranged — with the paired
+    // observation-model axis on top. CI diffs two hexfloat traces of this
+    // battery, covering mutate_world itself cross-process.
+    spec.worlds = {{eval::CampaignWorld::kWarehouse, 0, 2},
+                   {eval::CampaignWorld::kWarehouse, 0, 2, 180.0, 1,
+                    sim::MutationLevel::kLight, 500},
+                   {eval::CampaignWorld::kWarehouse, 0, 2, 180.0, 1,
+                    sim::MutationLevel::kHeavy, 500}};
+    spec.inits = {{eval::InitSpec::Mode::kTracking, 0.2, 0.2, 2}};
+    spec.precisions = {core::Precision::kFp32Qm};
+    spec.observation = {{}, {0.5, 1.0, true, 0.5, 0.85}};
+    spec.master_seed = 29;
+  } else if (args.crowd) {
     // One warehouse aisle tour under a five-pedestrian crossing crowd,
     // replayed through both observation models (paired: the axis shares
     // data/filter seeds). CI diffs two hexfloat traces of this battery

@@ -191,6 +191,15 @@ Campaign::DatasetKey Campaign::dataset_key(const RunSpec& run,
   return key;
 }
 
+Campaign::WorldKey Campaign::world_key(const WorldSpec& ws) {
+  // A pristine world is one identity whatever its (unused) mutation seed
+  // says — normalize it out so kNone specs share their build.
+  const bool stale = ws.mutation_level != sim::MutationLevel::kNone;
+  return WorldKey{ws.world, ws.world_seed, ws.tour_laps,
+                  static_cast<std::uint8_t>(ws.mutation_level),
+                  stale ? ws.mutation_seed : 0};
+}
+
 Campaign::Campaign(CampaignSpec spec)
     : spec_(std::move(spec)), runs_(expand_runs(spec_)) {}
 
@@ -227,7 +236,7 @@ void Campaign::prepare_shared(const CampaignOptions& options) {
   for (const RunSpec& run : runs_) {
     const WorldSpec& ws = spec_.worlds[run.world_index];
     TOFMCL_EXPECTS(ws.timeout_s > 0.0, "world timeout must be positive");
-    needed[WorldKey{ws.world, ws.world_seed, ws.tour_laps}].insert(run.precision);
+    needed[world_key(ws)].insert(run.precision);
   }
   for (const auto& [key, precision_set] : needed) {
     const std::vector<core::Precision> precisions(precision_set.begin(),
@@ -251,17 +260,28 @@ void Campaign::prepare_shared(const CampaignOptions& options) {
       continue;
     }
     auto [env, plans] = build_world(key.kind, key.seed, key.laps);
+    // The localization map is ALWAYS rasterized from the pristine
+    // environment; staleness mutates only what the drone flies through
+    // and senses below.
     map::OccupancyGrid grid = sim::rasterize_environment(
         env, spec_.map_resolution, spec_.map_error_sigma);
     auto maps = core::build_map_resources(grid, spec_.mcl, precisions);
-    worlds_.emplace(key, World{std::move(env), std::move(grid),
-                               std::move(maps), std::move(plans)});
+    World world{std::move(env), std::move(grid), std::move(maps),
+                std::move(plans), std::nullopt};
+    if (key.mutation_level !=
+        static_cast<std::uint8_t>(sim::MutationLevel::kNone)) {
+      sim::MutationConfig mc;
+      mc.level = static_cast<sim::MutationLevel>(key.mutation_level);
+      world.stale_env =
+          sim::mutate_world(world.env, world.plans, mc, key.mutation_seed);
+    }
+    worlds_.emplace(key, std::move(world));
   }
 
   // Plan indices can only be validated against each world's own table.
   for (const RunSpec& run : runs_) {
     const WorldSpec& ws = spec_.worlds[run.world_index];
-    const World& world = worlds_.at(WorldKey{ws.world, ws.world_seed, ws.tour_laps});
+    const World& world = worlds_.at(world_key(ws));
     TOFMCL_EXPECTS(ws.plan < world.plans.size(),
                    "flight plan index out of range");
     TOFMCL_EXPECTS(run.init.mode != InitSpec::Mode::kKidnapped ||
@@ -292,7 +312,7 @@ void Campaign::prepare_shared(const CampaignOptions& options) {
     // Patrol missions outlive the generator's historical 180 s abort cap;
     // the world carries its own flight budget.
     gen.timeout_s = ws.timeout_s;
-    const World& world = worlds_.at(WorldKey{ws.world, ws.world_seed, ws.tour_laps});
+    const World& world = worlds_.at(world_key(ws));
     if (sensing.obstacle_count > 0) {
       gen.obstacles = sim::scatter_obstacles_seeded(
           world.plans, sensing.obstacle_count, sensing.obstacle_speed_m_s,
@@ -300,13 +320,15 @@ void Campaign::prepare_shared(const CampaignOptions& options) {
     }
     Rng rng(run->data_seed);
     Dataset& ds = generated[i];
-    ds.legs.push_back(sim::generate_sequence(world.env.world,
+    // Stale-map runs fly and sense the mutated world; the localizer's map
+    // (world.grid / world.maps, above) stays pristine.
+    ds.legs.push_back(sim::generate_sequence(world.flight_world(),
                                              world.plans[ws.plan], gen, rng));
     if (key.kidnap_plan) {
       // The second leg starts elsewhere; its odometry stream is
       // self-consistent but unrelated to leg 1's end pose — a teleport.
       ds.legs.push_back(sim::generate_sequence(
-          world.env.world, world.plans[*key.kidnap_plan], gen, rng));
+          world.flight_world(), world.plans[*key.kidnap_plan], gen, rng));
     }
   };
   if (options.batched && missing.size() > 1) {
@@ -367,7 +389,7 @@ void replay_leg(core::Localizer& loc, const sim::Sequence& seq,
 CampaignRunResult Campaign::execute_run(const RunSpec& run,
                                         core::Executor& executor) const {
   const WorldSpec& ws = spec_.worlds[run.world_index];
-  const World& world = worlds_.at(WorldKey{ws.world, ws.world_seed, ws.tour_laps});
+  const World& world = worlds_.at(world_key(ws));
   const SensingSpec& sensing = spec_.sensing[run.sensing_index];
   const Dataset& dataset =
       datasets_.at(dataset_key(run, sensing));

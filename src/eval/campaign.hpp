@@ -45,6 +45,7 @@
 #include "sim/dataset.hpp"
 #include "sim/maze.hpp"
 #include "sim/sequence_generator.hpp"
+#include "sim/worldgen.hpp"
 
 namespace tofmcl::eval {
 
@@ -76,6 +77,15 @@ struct WorldSpec {
   /// many laps over the tour route (WorldGenConfig::tour_laps). 1 = the
   /// classic single tour; maze worlds require 1.
   std::size_t tour_laps = 1;
+  /// Staleness axis (lifelong localization): with a level other than
+  /// kNone, the drone flies and senses a seeded MUTATION of the world
+  /// (sim::mutate_world — moved shelving, closed doors, scattered static
+  /// clutter) while the localizer keeps the PRISTINE map. kNone leaves
+  /// the whole pipeline bit-identical to a spec without the axis.
+  /// Composes with every world kind and with the sensing axis's dynamic
+  /// obstacles.
+  sim::MutationLevel mutation_level = sim::MutationLevel::kNone;
+  std::uint64_t mutation_seed = 0;
 };
 
 /// One init-mode-dimension entry.
@@ -225,12 +235,20 @@ class Campaign {
 
  private:
   struct World {
-    sim::EvaluationEnvironment env;
+    sim::EvaluationEnvironment env;  ///< Pristine: the localizer's map.
     map::OccupancyGrid grid;
     std::shared_ptr<const core::MapResources> maps;
     /// The flight-plan table WorldSpec::plan indexes: the six standard
     /// maze flights, or a generated world's tour plans.
     std::vector<sim::FlightPlan> plans;
+    /// Stale-map worlds only: the mutated environment the drone actually
+    /// flies and senses. Empty at mutation level kNone, so the pristine
+    /// path stays bit-identical to the pre-axis engine.
+    std::optional<sim::EvaluationEnvironment> stale_env;
+    /// The segment world datasets are generated against.
+    const map::World& flight_world() const {
+      return stale_env ? stale_env->world : env.world;
+    }
   };
   /// Grids/EDTs/LUTs depend on the environment only, which is determined
   /// by (kind, procedural seed) — the flight plan matters to datasets,
@@ -244,9 +262,17 @@ class Campaign {
     /// tour-vs-patrol battery is rare, and keying maps and plan tables
     /// separately is not worth the second cache.
     std::size_t laps;
+    /// Staleness identity: two specs differing only in mutation share
+    /// NOTHING here (the pristine grid/EDT/LUT rebuild is accepted — a
+    /// split pristine/stale cache is not worth the collision surface;
+    /// datasets are keyed by world INDEX, so they can never leak across
+    /// mutation variants either).
+    std::uint8_t mutation_level;
+    std::uint64_t mutation_seed;
     bool operator<(const WorldKey& other) const {
-      return std::tie(kind, seed, laps) <
-             std::tie(other.kind, other.seed, other.laps);
+      return std::tie(kind, seed, laps, mutation_level, mutation_seed) <
+             std::tie(other.kind, other.seed, other.laps,
+                      other.mutation_level, other.mutation_seed);
     }
   };
   struct DatasetKey {
@@ -266,6 +292,7 @@ class Campaign {
 
   static DatasetKey dataset_key(const RunSpec& run,
                                 const SensingSpec& sensing);
+  static WorldKey world_key(const WorldSpec& ws);
   sim::SequenceGeneratorConfig generator_for(const SensingSpec& s) const;
   void prepare_shared(const CampaignOptions& options);
   CampaignRunResult execute_run(const RunSpec& run,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <string>
 #include <utility>
 
@@ -357,6 +358,387 @@ const char* to_string(GeneratedWorldKind kind) {
       return "loop_corridor";
   }
   return "unknown";
+}
+
+const char* to_string(MutationLevel level) {
+  switch (level) {
+    case MutationLevel::kNone:
+      return "none";
+    case MutationLevel::kLight:
+      return "light";
+    case MutationLevel::kHeavy:
+      return "heavy";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Level presets: a count left at 0 in the config takes these. kLight is
+/// "someone tidied up over the weekend"; kHeavy is "the floor got
+/// rearranged since the map was recorded".
+std::size_t preset(std::size_t configured, MutationLevel level,
+                   std::size_t light, std::size_t heavy) {
+  if (configured > 0) return configured;
+  return level == MutationLevel::kHeavy ? heavy : light;
+}
+
+/// Distance from point p to the segment a–b.
+double point_segment_distance(Vec2 p, Vec2 a, Vec2 b) {
+  const Vec2 ab = b - a;
+  const double len2 = ab.squared_norm();
+  if (len2 <= 0.0) return (p - a).norm();
+  const double t = std::clamp((p - a).dot(ab) / len2, 0.0, 1.0);
+  return (p - (a + ab * t)).norm();
+}
+
+/// Distance between two segments (0 when they intersect).
+double segment_segment_distance(Vec2 a, Vec2 b, Vec2 c, Vec2 d) {
+  const Vec2 ab = b - a;
+  const Vec2 cd = d - c;
+  const double d1 = ab.cross(c - a);
+  const double d2 = ab.cross(d - a);
+  const double d3 = cd.cross(a - c);
+  const double d4 = cd.cross(b - c);
+  if (((d1 > 0.0) != (d2 > 0.0)) && ((d3 > 0.0) != (d4 > 0.0))) return 0.0;
+  return std::min(
+      std::min(point_segment_distance(a, c, d),
+               point_segment_distance(b, c, d)),
+      std::min(point_segment_distance(c, a, b),
+               point_segment_distance(d, a, b)));
+}
+
+/// Distance from segment a–b to an axis-aligned box (0 when intersecting
+/// or inside).
+double segment_box_distance(Vec2 a, Vec2 b, const Aabb& box) {
+  if (box.contains(a) || box.contains(b)) return 0.0;
+  const Vec2 corners[4] = {box.min,
+                           {box.max.x, box.min.y},
+                           box.max,
+                           {box.min.x, box.max.y}};
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < 4; ++i) {
+    best = std::min(best, segment_segment_distance(a, b, corners[i],
+                                                   corners[(i + 1) % 4]));
+  }
+  return best;
+}
+
+/// Every flight-route polyline (start pose + waypoints), ready for
+/// clearance checks against candidate mutations.
+std::vector<std::vector<Vec2>> route_polylines(
+    const std::vector<FlightPlan>& plans) {
+  std::vector<std::vector<Vec2>> routes;
+  routes.reserve(plans.size());
+  for (const FlightPlan& plan : plans) {
+    std::vector<Vec2> route{plan.start.position};
+    for (const Waypoint& wp : plan.path) route.push_back(wp.position);
+    routes.push_back(std::move(route));
+  }
+  return routes;
+}
+
+double routes_to_box_distance(const std::vector<std::vector<Vec2>>& routes,
+                              const Aabb& box) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& route : routes) {
+    for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+      best = std::min(best,
+                      segment_box_distance(route[i], route[i + 1], box));
+    }
+  }
+  return best;
+}
+
+double routes_to_segment_distance(
+    const std::vector<std::vector<Vec2>>& routes, Vec2 a, Vec2 b) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& route : routes) {
+    for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+      best = std::min(best,
+                      segment_segment_distance(route[i], route[i + 1], a, b));
+    }
+  }
+  return best;
+}
+
+bool nearly_equal(Vec2 a, Vec2 b) {
+  return std::abs(a.x - b.x) < 1e-9 && std::abs(a.y - b.y) < 1e-9;
+}
+
+/// Removes the four outline segments of `box` from the world (they were
+/// added by add_rectangle with these exact corners). Returns false — and
+/// leaves the world untouched — when not all four edges are present.
+bool remove_box_outline(map::World& world, const Aabb& box) {
+  const Vec2 bl = box.min;
+  const Vec2 br{box.max.x, box.min.y};
+  const Vec2 tr = box.max;
+  const Vec2 tl{box.min.x, box.max.y};
+  const std::pair<Vec2, Vec2> edges[4] = {
+      {bl, br}, {br, tr}, {tr, tl}, {tl, bl}};
+  std::vector<map::Segment> kept;
+  kept.reserve(world.segments().size());
+  bool found[4] = {false, false, false, false};
+  for (const map::Segment& s : world.segments()) {
+    bool is_edge = false;
+    for (int i = 0; i < 4; ++i) {
+      if (found[i]) continue;
+      const auto& [ea, eb] = edges[i];
+      if ((nearly_equal(s.a, ea) && nearly_equal(s.b, eb)) ||
+          (nearly_equal(s.a, eb) && nearly_equal(s.b, ea))) {
+        found[i] = true;
+        is_edge = true;
+        break;
+      }
+    }
+    if (!is_edge) kept.push_back(s);
+  }
+  if (!(found[0] && found[1] && found[2] && found[3])) return false;
+  world = map::World(std::move(kept));
+  return true;
+}
+
+/// True when `box`, inflated by `margin`, is clear of every world segment,
+/// every solid region, every route polyline (by route_clearance) and lies
+/// inside one maze region away from its border.
+bool box_placement_clear(const EvaluationEnvironment& env,
+                         const std::vector<std::vector<Vec2>>& routes,
+                         const Aabb& box, double margin,
+                         double route_clearance) {
+  const Aabb inflated{{box.min.x - margin, box.min.y - margin},
+                      {box.max.x + margin, box.max.y + margin}};
+  const bool inside_region = std::any_of(
+      env.maze_regions.begin(), env.maze_regions.end(),
+      [&](const Aabb& region) {
+        return inflated.min.x > region.min.x &&
+               inflated.min.y > region.min.y &&
+               inflated.max.x < region.max.x && inflated.max.y < region.max.y;
+      });
+  if (!inside_region) return false;
+  for (const Aabb& solid : env.solid_regions) {
+    if (inflated.min.x < solid.max.x && inflated.max.x > solid.min.x &&
+        inflated.min.y < solid.max.y && inflated.max.y > solid.min.y) {
+      return false;
+    }
+  }
+  for (const map::Segment& s : env.world.segments()) {
+    if (segment_box_distance(s.a, s.b, inflated) <= 0.0) return false;
+  }
+  return routes_to_box_distance(routes, box) >= route_clearance;
+}
+
+/// A doorway: a gap between two collinear axis-aligned wall segments.
+struct Doorway {
+  Vec2 a;  ///< Gap start (end of one wall).
+  Vec2 b;  ///< Gap end (start of the next wall).
+};
+
+/// Detects doorway-sized gaps between collinear wall runs along one axis.
+/// `horizontal` selects segments with equal y (gaps along x) vs equal x.
+void detect_doorways(const map::World& world, bool horizontal,
+                     std::vector<Doorway>& out) {
+  struct Run {
+    double line;  ///< Shared coordinate (y for horizontal walls).
+    double lo, hi;
+  };
+  std::vector<Run> runs;
+  for (const map::Segment& s : world.segments()) {
+    if (horizontal && std::abs(s.a.y - s.b.y) < 1e-9) {
+      runs.push_back({s.a.y, std::min(s.a.x, s.b.x), std::max(s.a.x, s.b.x)});
+    } else if (!horizontal && std::abs(s.a.x - s.b.x) < 1e-9) {
+      runs.push_back({s.a.x, std::min(s.a.y, s.b.y), std::max(s.a.y, s.b.y)});
+    }
+  }
+  std::sort(runs.begin(), runs.end(), [](const Run& a, const Run& b) {
+    return std::tie(a.line, a.lo) < std::tie(b.line, b.lo);
+  });
+  for (std::size_t i = 0; i + 1 < runs.size(); ++i) {
+    const Run& cur = runs[i];
+    const Run& next = runs[i + 1];
+    if (std::abs(cur.line - next.line) > 1e-9) continue;
+    const double gap = next.lo - cur.hi;
+    if (gap < 0.4 || gap > 1.2) continue;
+    if (horizontal) {
+      out.push_back({{cur.hi, cur.line}, {next.lo, cur.line}});
+    } else {
+      out.push_back({{cur.line, cur.hi}, {cur.line, next.lo}});
+    }
+  }
+}
+
+/// Drone-corridor floor a narrowed doorway must keep: diameter plus the
+/// controller's waypoint tolerance on both sides.
+constexpr double kMinNarrowedGap = 0.55;
+
+/// Validation planner: traversability floor well below every clearance the
+/// operators keep, so a passing mutation can never strand the tour.
+plan::PlannerConfig validation_planner() {
+  plan::PlannerConfig pc;
+  pc.min_clearance_m = 0.08;
+  pc.comfort_clearance_m = 0.2;
+  return pc;
+}
+
+}  // namespace
+
+EvaluationEnvironment mutate_world(const EvaluationEnvironment& env,
+                                   const std::vector<FlightPlan>& plans,
+                                   const MutationConfig& config,
+                                   std::uint64_t seed,
+                                   MutationSummary* summary) {
+  MutationSummary local;
+  MutationSummary& out = summary != nullptr ? *summary : local;
+  out = {};
+  if (config.level == MutationLevel::kNone) return env;
+  TOFMCL_EXPECTS(!env.maze_regions.empty(),
+                 "mutation needs at least one structured region to work in");
+  TOFMCL_EXPECTS(config.route_clearance_m >= 0.15,
+                 "route clearance below the flyable floor");
+  TOFMCL_EXPECTS(config.clutter_min_m > 0.0 &&
+                     config.clutter_max_m >= config.clutter_min_m,
+                 "clutter size range is inverted");
+
+  const std::size_t n_clutter =
+      preset(config.clutter_add, config.level, 3, 8);
+  const std::size_t n_moved = preset(config.boxes_moved, config.level, 1, 3);
+  const std::size_t n_removed =
+      preset(config.boxes_removed, config.level, 0, 2);
+  const std::size_t n_doors = preset(config.doors_closed, config.level, 1, 3);
+
+  EvaluationEnvironment mutated = env;
+  const std::vector<std::vector<Vec2>> routes = route_polylines(plans);
+  // Decorrelate from the worldgen stream: mutation seed 1 must not replay
+  // generator seed 1's draws.
+  Rng rng(SplitMix64(seed ^ 0xA5A5F00DD00DF005ULL).next());
+
+  // 1. Remove solid boxes (vanished shelving; a removed loop bay widens
+  //    the ring). Large blobs — the loop core — are structural, not
+  //    furniture: never touch boxes above the furniture-area ceiling.
+  const auto movable = [&](const Aabb& box) { return box.area() <= 2.0; };
+  for (std::size_t i = 0; i < n_removed; ++i) {
+    std::vector<std::size_t> candidates;
+    for (std::size_t j = 0; j < mutated.solid_regions.size(); ++j) {
+      if (movable(mutated.solid_regions[j])) candidates.push_back(j);
+    }
+    if (candidates.empty()) break;
+    const std::size_t pick = candidates[rng.uniform_index(candidates.size())];
+    const Aabb box = mutated.solid_regions[pick];
+    if (!remove_box_outline(mutated.world, box)) continue;
+    mutated.solid_regions.erase(mutated.solid_regions.begin() +
+                                static_cast<std::ptrdiff_t>(pick));
+    ++out.boxes_removed;
+  }
+
+  // 2. Move solid boxes: remove, then rejection-sample a nearby placement
+  //    keeping the aisle margin and route clearance. An unplaceable box is
+  //    restored where it stood.
+  for (std::size_t i = 0; i < n_moved; ++i) {
+    std::vector<std::size_t> candidates;
+    for (std::size_t j = 0; j < mutated.solid_regions.size(); ++j) {
+      if (movable(mutated.solid_regions[j])) candidates.push_back(j);
+    }
+    if (candidates.empty()) break;
+    const std::size_t pick = candidates[rng.uniform_index(candidates.size())];
+    const Aabb box = mutated.solid_regions[pick];
+    if (!remove_box_outline(mutated.world, box)) continue;
+    mutated.solid_regions.erase(mutated.solid_regions.begin() +
+                                static_cast<std::ptrdiff_t>(pick));
+    bool placed = false;
+    for (int attempt = 0; attempt < 64 && !placed; ++attempt) {
+      const Vec2 shift{rng.uniform(-1.5, 1.5), rng.uniform(-1.5, 1.5)};
+      const Aabb moved{box.min + shift, box.max + shift};
+      if (!box_placement_clear(mutated, routes, moved, 0.25,
+                               config.route_clearance_m)) {
+        continue;
+      }
+      mutated.world.add_rectangle(moved);
+      mutated.solid_regions.push_back(moved);
+      placed = true;
+    }
+    if (placed) {
+      ++out.boxes_moved;
+    } else {
+      mutated.world.add_rectangle(box);
+      mutated.solid_regions.push_back(box);
+    }
+  }
+
+  // 3. Close or narrow doorways. A gap the routes never thread can be
+  //    walled off entirely; a gap on the route is narrowed symmetrically,
+  //    never below the drone-corridor floor.
+  if (n_doors > 0) {
+    std::vector<Doorway> doors;
+    detect_doorways(mutated.world, true, doors);
+    detect_doorways(mutated.world, false, doors);
+    std::size_t applied = 0;
+    for (std::size_t i = 0; i < doors.size() && applied < n_doors; ++i) {
+      // Deterministic random order: swap a remaining candidate forward.
+      const std::size_t pick =
+          i + rng.uniform_index(doors.size() - i);
+      std::swap(doors[i], doors[pick]);
+      const Doorway& door = doors[i];
+      if (routes_to_segment_distance(routes, door.a, door.b) >=
+          config.route_clearance_m) {
+        mutated.world.add_segment(door.a, door.b);
+        ++out.doors_closed;
+        ++applied;
+        continue;
+      }
+      const double gap = (door.b - door.a).norm();
+      const double shrink = std::min(0.15, (gap - kMinNarrowedGap) / 2.0);
+      if (shrink < 0.05) continue;
+      const Vec2 dir = (door.b - door.a).normalized();
+      mutated.world.add_segment(door.a, door.a + dir * shrink);
+      mutated.world.add_segment(door.b - dir * shrink, door.b);
+      ++out.doors_narrowed;
+      ++applied;
+    }
+  }
+
+  // 4. Scatter people/cart-sized static clutter into free space, clear of
+  //    the routes. Each box is a solid region: outline Occupied, interior
+  //    Unknown — the loop-corridor lesson applies to mutations too.
+  for (std::size_t i = 0; i < n_clutter; ++i) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const std::size_t region_idx =
+          rng.uniform_index(mutated.maze_regions.size());
+      const Aabb& region = mutated.maze_regions[region_idx];
+      const double bw = rng.uniform(config.clutter_min_m, config.clutter_max_m);
+      const double bh = rng.uniform(config.clutter_min_m, config.clutter_max_m);
+      if (region.width() < bw + 0.6 || region.height() < bh + 0.6) continue;
+      const double x0 =
+          rng.uniform(region.min.x + 0.2, region.max.x - 0.2 - bw);
+      const double y0 =
+          rng.uniform(region.min.y + 0.2, region.max.y - 0.2 - bh);
+      const Aabb box{{x0, y0}, {x0 + bw, y0 + bh}};
+      if (!box_placement_clear(mutated, routes, box, 0.2,
+                               config.route_clearance_m)) {
+        continue;
+      }
+      mutated.world.add_rectangle(box);
+      mutated.solid_regions.push_back(box);
+      ++out.clutter_added;
+      break;
+    }
+  }
+
+  // Re-validate: every plan's waypoint chain must still be A*-traversable
+  // in the mutated world — the tour-reachability invariant, checked on the
+  // same rasterized substrate campaigns fly through.
+  const map::OccupancyGrid grid =
+      rasterize_environment(mutated, kPlanResolution, 0.0);
+  const map::DistanceMap distance(grid, 1.0);
+  const plan::PlannerConfig pc = validation_planner();
+  for (const FlightPlan& plan : plans) {
+    Vec2 prev = plan.start.position;
+    for (const Waypoint& wp : plan.path) {
+      TOFMCL_EXPECTS(
+          plan::plan_path(grid, distance, prev, wp.position, pc).has_value(),
+          "map mutation severed a flight route");
+      prev = wp.position;
+    }
+  }
+  return mutated;
 }
 
 GeneratedWorld generate_world(GeneratedWorldKind kind,

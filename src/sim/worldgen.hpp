@@ -98,4 +98,63 @@ struct GeneratedWorld {
 GeneratedWorld generate_world(GeneratedWorldKind kind,
                               const WorldGenConfig& config = {});
 
+// ---- Stale-map mutation operators ----------------------------------------
+//
+// Lifelong localization flies against maps that have gone stale: furniture
+// moved, doors closed, clutter accumulated since the floor plan was
+// recorded (the regime the floor-plan follow-up, Zimmerman et al.,
+// arXiv:2310.12536, targets). mutate_world() turns any evaluation
+// environment into a seeded "what the building looks like TODAY" variant;
+// campaigns fly and sense the mutated world while the localizer keeps the
+// pristine map.
+
+/// How aggressively mutate_world rearranges a world. kNone applies no
+/// operator and returns the input environment bit-identically.
+enum class MutationLevel : std::uint8_t { kNone, kLight, kHeavy };
+const char* to_string(MutationLevel level);
+
+/// Operator intensities. Counts left at 0 take the level's preset
+/// (kLight: a few changes; kHeavy: a rearranged building); kNone forces
+/// every count to 0 whatever is set.
+struct MutationConfig {
+  MutationLevel level = MutationLevel::kLight;
+  /// Clearance every added or moved wall keeps to the flight routes, so
+  /// the recorded tours stay flyable through the mutated world (m).
+  double route_clearance_m = 0.4;
+  std::size_t clutter_add = 0;    ///< People/cart-sized static boxes dropped.
+  std::size_t boxes_moved = 0;    ///< Solid boxes (shelving, bays) relocated.
+  std::size_t boxes_removed = 0;  ///< Solid boxes deleted (bays widen).
+  std::size_t doors_closed = 0;   ///< Doorway gaps walled off or narrowed.
+  double clutter_min_m = 0.3;     ///< Added-box edge range.
+  double clutter_max_m = 0.6;
+};
+
+/// What a mutate_world call actually applied (operators are rejection
+/// sampled, so intensities are ceilings, not guarantees).
+struct MutationSummary {
+  std::size_t clutter_added = 0;
+  std::size_t boxes_moved = 0;
+  std::size_t boxes_removed = 0;
+  std::size_t doors_closed = 0;    ///< Gaps fully walled off (off-route).
+  std::size_t doors_narrowed = 0;  ///< On-route gaps shrunk, still flyable.
+};
+
+/// Returns a mutated copy of `env`: shelving moved or removed, doorways
+/// closed or narrowed, static clutter scattered — each operator seeded
+/// from `seed` and deterministic across processes. Invariants, enforced
+/// per operator and re-validated by A* over every plan's waypoint chain:
+///   * solid-box interiors stay Unknown (added clutter joins
+///     `solid_regions`; removed boxes leave cleanly — outline segments and
+///     region entry go together);
+///   * every route in `plans` remains flyable (mutations keep
+///     `route_clearance_m` from the polylines; door narrowing keeps the
+///     gap above the drone's corridor minimum).
+/// Throws PreconditionError if a mutated world fails the A* re-validation
+/// (cannot happen for clearances ≥ the planner's traversability floor).
+EvaluationEnvironment mutate_world(const EvaluationEnvironment& env,
+                                   const std::vector<FlightPlan>& plans,
+                                   const MutationConfig& config,
+                                   std::uint64_t seed,
+                                   MutationSummary* summary = nullptr);
+
 }  // namespace tofmcl::sim

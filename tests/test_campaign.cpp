@@ -302,6 +302,113 @@ TEST(Campaign, HeavyCrowdCellIsBitExactAcrossPolicies) {
   EXPECT_NE(a.runs[0].metrics.ate_m, a.runs[1].metrics.ate_m);
 }
 
+// The staleness axis must be a pure ADDITION. (a) A WorldSpec at
+// mutation level kNone — whatever its (unused) mutation seed says — is
+// bit-identical to a spec that predates the axis. (b) A mutated world
+// actually changes the flown data: same matrix coordinates, same
+// data/filter seeds, different bits.
+TEST(Campaign, StaleLevelZeroIsBitIdenticalAndMutationChangesData) {
+  CampaignSpec pre_axis;
+  pre_axis.worlds = {{CampaignWorld::kWarehouse, 0, 2}};
+  pre_axis.inits = {{InitSpec::Mode::kTracking, 0.2, 0.2, 2}};
+  pre_axis.precisions = {core::Precision::kFp32Qm};
+  pre_axis.mcl.num_particles = 512;
+  pre_axis.master_seed = 31;
+  Campaign reference(pre_axis);
+  const CampaignResult ref = reference.run({});
+  ASSERT_EQ(ref.runs.size(), 1u);
+
+  CampaignSpec level0 = pre_axis;
+  level0.worlds = {{CampaignWorld::kWarehouse, 0, 2, 180.0, 1,
+                    sim::MutationLevel::kNone, 99}};
+  Campaign pristine(level0);
+  const CampaignResult a = pristine.run({});
+  expect_bit_identical(ref, a, "level0-vs-pre-axis");
+
+  CampaignSpec stale = pre_axis;
+  stale.worlds = {{CampaignWorld::kWarehouse, 0, 2, 180.0, 1,
+                   sim::MutationLevel::kHeavy, 500}};
+  Campaign mutated(stale);
+  const CampaignResult b = mutated.run({});
+  ASSERT_EQ(b.runs.size(), 1u);
+  // Identical seed derivation (mutation is not a matrix coordinate)…
+  EXPECT_EQ(b.runs[0].spec.data_seed, ref.runs[0].spec.data_seed);
+  EXPECT_EQ(b.runs[0].spec.mcl_seed, ref.runs[0].spec.mcl_seed);
+  // …but the drone flew a different building.
+  EXPECT_NE(b.runs[0].metrics.ate_m, ref.runs[0].metrics.ate_m);
+}
+
+// Cache-collision safety: two worlds differing ONLY in the staleness
+// coordinates (same kind, world seed, laps) must not share a cached
+// world. Runs are pinned to identical data/filter seeds via set_runs, so
+// any result difference can come only from the mutation — if the world
+// cache keyed on (kind, seed, laps) alone, both runs would replay the
+// same dataset and produce identical bits.
+TEST(Campaign, StaleWorldCacheKeysOnMutationCoordinates) {
+  CampaignSpec spec;
+  spec.worlds = {{CampaignWorld::kWarehouse, 0, 2, 180.0, 1,
+                  sim::MutationLevel::kHeavy, 500},
+                 {CampaignWorld::kWarehouse, 0, 2, 180.0, 1,
+                  sim::MutationLevel::kHeavy, 501}};
+  spec.inits = {{InitSpec::Mode::kTracking, 0.2, 0.2, 2}};
+  spec.precisions = {core::Precision::kFp32Qm};
+  spec.mcl.num_particles = 512;
+  spec.master_seed = 31;
+  Campaign campaign(spec);
+  std::vector<RunSpec> runs = campaign.runs();
+  ASSERT_EQ(runs.size(), 2u);
+  runs[1].data_seed = runs[0].data_seed;
+  runs[1].mcl_seed = runs[0].mcl_seed;
+  campaign.set_runs(std::move(runs));
+  const CampaignResult result = campaign.run({});
+  ASSERT_EQ(result.runs.size(), 2u);
+  ASSERT_FALSE(result.runs[0].errors.empty());
+  ASSERT_FALSE(result.runs[1].errors.empty());
+  EXPECT_NE(result.runs[0].errors.back().pos_error,
+            result.runs[1].errors.back().pos_error);
+}
+
+// The engine's bit-exactness guarantee holds through the staleness axis
+// on every execution policy (world mutation happens serially in
+// prepare_shared; the STALE DATASET generation fans out on the pool when
+// batched, which is what this exercises alongside the replays).
+TEST(Campaign, StaleCampaignIsBitExactAcrossPolicies) {
+  CampaignSpec spec;
+  spec.worlds = {{CampaignWorld::kWarehouse, 0, 2},
+                 {CampaignWorld::kWarehouse, 0, 2, 180.0, 1,
+                  sim::MutationLevel::kLight, 500},
+                 {CampaignWorld::kWarehouse, 0, 2, 180.0, 1,
+                  sim::MutationLevel::kHeavy, 500}};
+  spec.inits = {{InitSpec::Mode::kTracking, 0.2, 0.2, 2}};
+  spec.precisions = {core::Precision::kFp32Qm};
+  spec.observation = {{}, {0.5, 1.0, true, 0.5, 0.85}};
+  spec.mcl.num_particles = 512;
+  spec.master_seed = 29;
+  Campaign campaign(std::move(spec));
+  ASSERT_EQ(campaign.runs().size(), 6u);  // 3 staleness × 2 models
+
+  CampaignOptions serial;
+  serial.batched = false;
+  const CampaignResult a = campaign.run(serial);
+
+  CampaignOptions batched;
+  batched.batched = true;
+  batched.threads = 4;
+  const CampaignResult b = campaign.run(batched);
+  expect_bit_identical(a, b, "stale serial-vs-batched");
+
+  CampaignOptions nested = batched;
+  nested.pooled_filter_chunks = true;
+  const CampaignResult c = campaign.run(nested);
+  expect_bit_identical(a, c, "stale serial-vs-nested");
+
+  for (const CampaignRunResult& run : a.runs) {
+    EXPECT_GT(run.updates_run, 10u);
+    EXPECT_GT(run.errors.size(), 10u);
+    EXPECT_EQ(run.dropped_frames, 0u);
+  }
+}
+
 // WorldSpec's timeout/tour_laps knobs flow through shared-resource
 // preparation: a patrol world generates a dataset past the historical
 // 180 s cap.

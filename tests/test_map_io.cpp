@@ -8,6 +8,8 @@
 #include <sstream>
 
 #include "common/rng.hpp"
+#include "sim/maze.hpp"
+#include "sim/worldgen.hpp"
 
 namespace tofmcl::map {
 namespace {
@@ -110,6 +112,30 @@ TEST(MapIo, V2RejectsMalformedRuns) {
   // Bad glyph inside a run.
   std::stringstream e("tofmcl-grid 2\n3 1 0.05 0 0\n3x\n");
   EXPECT_THROW(load_grid(e), IoError);
+}
+
+// Mutated worlds are the v2 stress case the format has not seen before:
+// scattered people-sized clutter breaks the long free-space runs of a
+// pristine generated world into many short RLE tokens. The round trip
+// must stay bit-exact and the encoding worthwhile.
+TEST(MapIo, MutatedWorldRoundTripsThroughV2) {
+  sim::WorldGenConfig config;
+  config.seed = 6;
+  const sim::GeneratedWorld world =
+      sim::generate_world(sim::GeneratedWorldKind::kWarehouse, config);
+  sim::MutationConfig mutation;
+  mutation.level = sim::MutationLevel::kHeavy;
+  const sim::EvaluationEnvironment stale =
+      sim::mutate_world(world.env, world.plans, mutation, 3);
+  const OccupancyGrid grid = sim::rasterize_environment(stale, 0.05, 0.01);
+
+  std::stringstream v2;
+  save_grid(grid, v2, GridFormat::kV2);
+  std::stringstream v1;
+  save_grid(grid, v1, GridFormat::kV1);
+  EXPECT_LT(v2.str().size(), v1.str().size() / 4);
+  const OccupancyGrid loaded = load_grid(v2);
+  EXPECT_EQ(loaded, grid);
 }
 
 TEST(MapIo, FileRoundTrip) {

@@ -1,15 +1,21 @@
-// Diagnostic harness (not installed): heavy-crowd observation-model
-// sweeps. Replays one generated-world scenario — N crossing pedestrians
-// plus an optional corridor-pacing walker — across a block of data seeds,
-// once with the baseline two-term likelihood and once with the
-// short-return mixture + novelty gating, printing per-seed convergence,
-// ATE and injection activity side by side. This is the tool that tuned
-// the heavy-crowd scenario family and the statistical bounds in
+// Diagnostic harness (not installed): heavy-crowd and stale-map
+// observation-model sweeps. Replays one generated-world scenario — N
+// crossing pedestrians plus an optional corridor-pacing walker, optionally
+// flying through a seeded MUTATION of the world while localizing against
+// the pristine map — across a block of data seeds, once with the baseline
+// two-term likelihood and once with the short-return mixture + novelty
+// gating, printing per-seed convergence, ATE and injection activity side
+// by side. This is the tool that tuned the heavy-crowd scenario family,
+// the StaleMapStats staleness gates and their statistical bounds in
 // tests/test_scenario_matrix.cpp.
 //
 // Usage: debug_crowd [kind] [world_seed] [plan] [crossers] [pace] [seeds]
 //                    [particles] [z_short] [lambda] [margin]
+//                    [stale_level] [mutation_seed0]
 //   kind: 0 office, 1 warehouse, 2 loop corridor
+//   stale_level: 0 pristine (default), 1 light, 2 heavy — seed s of the
+//     sweep mutates the world with mutation_seed0 + s, so gate thresholds
+//     marginalize over staleness draws the same way StaleMapStats does
 
 #include <cstdio>
 #include <cstdlib>
@@ -105,6 +111,9 @@ int main(int argc, char** argv) {
   const double z_short = argc > 8 ? std::atof(argv[8]) : 0.5;
   const double lambda_short = argc > 9 ? std::atof(argv[9]) : 1.0;
   const double margin = argc > 10 ? std::atof(argv[10]) : 0.5;
+  const int stale_level = argc > 11 ? std::atoi(argv[11]) : 0;
+  const std::uint64_t mutation_seed0 =
+      argc > 12 ? std::strtoull(argv[12], nullptr, 10) : 500;
 
   sim::WorldGenConfig wc;
   wc.seed = world_seed;
@@ -112,10 +121,11 @@ int main(int argc, char** argv) {
   sim::GeneratedWorld world = sim::generate_world(kind, wc);
   const map::OccupancyGrid grid =
       sim::rasterize_environment(world.env, 0.05, 0.01);
-  std::printf("world %s seed=%llu plan=%s crossers=%zu pace=%d\n",
+  std::printf("world %s seed=%llu plan=%s crossers=%zu pace=%d stale=%s\n",
               sim::to_string(kind),
               static_cast<unsigned long long>(world_seed),
-              world.plans[plan].name.c_str(), crossers, pace ? 1 : 0);
+              world.plans[plan].name.c_str(), crossers, pace ? 1 : 0,
+              sim::to_string(static_cast<sim::MutationLevel>(stale_level)));
 
   for (std::size_t s = 0; s < n_seeds; ++s) {
     const std::uint64_t data_seed = 100 + s;
@@ -128,9 +138,27 @@ int main(int argc, char** argv) {
       gen.obstacles.push_back(sim::pace_obstacle(world.plans[plan], 1.2,
                                                  0.35));
     }
+    // Stale sweep: fly/sense a per-seed mutation of the world; `grid`
+    // (the localization map) stays pristine.
+    const map::World* flight_world = &world.env.world;
+    sim::EvaluationEnvironment stale_env;
+    if (stale_level > 0) {
+      sim::MutationConfig mc;
+      mc.level = static_cast<sim::MutationLevel>(stale_level);
+      sim::MutationSummary ms;
+      stale_env = sim::mutate_world(world.env, world.plans, mc,
+                                    mutation_seed0 + s, &ms);
+      flight_world = &stale_env.world;
+      std::printf(
+          "  mutation seed %llu: +%zu clutter, %zu moved, %zu removed, "
+          "%zu closed, %zu narrowed\n",
+          static_cast<unsigned long long>(mutation_seed0 + s),
+          ms.clutter_added, ms.boxes_moved, ms.boxes_removed,
+          ms.doors_closed, ms.doors_narrowed);
+    }
     Rng rng(data_seed);
     const sim::Sequence seq =
-        sim::generate_sequence(world.env.world, world.plans[plan], gen, rng);
+        sim::generate_sequence(*flight_world, world.plans[plan], gen, rng);
 
     const ModelResult base = replay(grid, seq, gen, 7 + s, particles, 0.0,
                                     lambda_short, false, margin);
