@@ -1,0 +1,350 @@
+// Serving-latency bench: localization-as-a-service at four-digit session
+// counts (the ROADMAP's "heavy traffic" north star, measured end to end).
+//
+// Generates campaign datasets (office + warehouse + loop corridor by
+// default; the small maze in --smoke mode), exports them as replay
+// sources, then opens N serve::SessionManager sessions sharing ONE
+// immutable MapResources per world. Every session replays its source's
+// frame stream through the bounded admission-controlled queue; the pump
+// multiplexes all sessions over the thread pool with one task per busy
+// session. Reported: p50/p99/p999 per-correction latency (per map and
+// global), corrections/s, processed/dropped inputs — optionally written
+// as BENCH_serving.json (the checked-in serving baseline artifact).
+//
+// --overload pushes each session's whole stream before a single pump, so
+// drop-oldest admission control actually fires; the default paced mode
+// pushes in windows smaller than the queue so nothing is lost.
+//
+// --trace dumps a hexfloat per-session correction trace; CI runs the
+// bench twice and diffs the files, extending the cross-process
+// determinism gates to the serving layer.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "eval/campaign.hpp"
+#include "serve/session_manager.hpp"
+
+using namespace tofmcl;
+
+namespace {
+
+struct Args {
+  std::size_t sessions = 1024;
+  std::size_t threads = 4;
+  std::size_t particles = 128;
+  std::size_t ticks = 40;        ///< Frame-batch inputs per session.
+  std::size_t queue = 8;         ///< Session queue capacity.
+  bool smoke = false;
+  bool overload = false;
+  const char* json_path = nullptr;
+  const char* trace_path = nullptr;
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const auto is = [&](const char* flag) {
+      return std::strcmp(argv[i], flag) == 0;
+    };
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value after %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (is("--help") || is("-h")) {
+      std::printf(
+          "bench_serving_latency — multi-session serving latency/throughput\n"
+          "  --sessions N   concurrent sessions (default 1024)\n"
+          "  --threads N    serving pool size (default 4)\n"
+          "  --particles N  particles per session (default 128)\n"
+          "  --ticks N      frame-batch inputs per session (default 40)\n"
+          "  --queue N      per-session queue capacity (default 8)\n"
+          "  --overload     push whole streams before pumping (forces\n"
+          "                 drop-oldest admission control to fire)\n"
+          "  --smoke        small-maze CI configuration (256 sessions)\n"
+          "  --json FILE    write the report as JSON (BENCH_serving.json)\n"
+          "  --trace FILE   hexfloat per-session correction trace (CI\n"
+          "                 diffs two invocations cross-process)\n");
+      std::exit(0);
+    } else if (is("--sessions")) {
+      args.sessions = static_cast<std::size_t>(std::atoi(value()));
+    } else if (is("--threads")) {
+      args.threads = static_cast<std::size_t>(std::atoi(value()));
+    } else if (is("--particles")) {
+      args.particles = static_cast<std::size_t>(std::atoi(value()));
+    } else if (is("--ticks")) {
+      args.ticks = static_cast<std::size_t>(std::atoi(value()));
+    } else if (is("--queue")) {
+      args.queue = static_cast<std::size_t>(std::atoi(value()));
+    } else if (is("--overload")) {
+      args.overload = true;
+    } else if (is("--smoke")) {
+      args.smoke = true;
+      args.sessions = 256;
+      args.threads = 2;
+      args.particles = 128;
+      args.ticks = 20;
+    } else if (is("--json")) {
+      args.json_path = value();
+    } else if (is("--trace")) {
+      args.trace_path = value();
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  if (args.sessions == 0 || args.threads == 0 || args.particles == 0 ||
+      args.ticks == 0 || args.queue == 0) {
+    std::fprintf(stderr, "all sizes must be positive\n");
+    std::exit(2);
+  }
+  return args;
+}
+
+/// One source's input stream: a SessionInput per frame-batch instant
+/// (frames grouped by capture timestamp, odometry = the last sample at or
+/// before the batch — equivalent to feeding every sample, since the
+/// filter integrates odometry as a relative delta at correction time).
+std::vector<serve::SessionInput> build_stream(const sim::Sequence& seq,
+                                              std::size_t max_ticks) {
+  std::vector<serve::SessionInput> stream;
+  std::size_t frame_idx = 0;
+  for (const sim::StateSample& odom : seq.odometry) {
+    while (frame_idx < seq.frames.size() &&
+           seq.frames[frame_idx].timestamp_s <= odom.t) {
+      const double stamp = seq.frames[frame_idx].timestamp_s;
+      serve::SessionInput input;
+      input.t = stamp;
+      input.odometry = odom.pose;
+      while (frame_idx < seq.frames.size() &&
+             seq.frames[frame_idx].timestamp_s == stamp) {
+        input.frames.push_back(seq.frames[frame_idx]);
+        ++frame_idx;
+      }
+      stream.push_back(std::move(input));
+      if (stream.size() >= max_ticks) return stream;
+    }
+  }
+  return stream;
+}
+
+void print_latency(const char* label, const serve::LatencySummary& s) {
+  std::printf("%-14s n=%-8zu p50=%8.1f us  p99=%8.1f us  p999=%8.1f us  "
+              "mean=%8.1f us  max=%8.1f us\n",
+              label, s.count, s.p50 * 1e6, s.p99 * 1e6, s.p999 * 1e6,
+              s.mean * 1e6, s.max * 1e6);
+}
+
+void json_latency(std::ofstream& os, const serve::LatencySummary& s) {
+  os << "{\"count\": " << s.count << ", \"p50\": " << s.p50 * 1e6
+     << ", \"p99\": " << s.p99 * 1e6 << ", \"p999\": " << s.p999 * 1e6
+     << ", \"mean\": " << s.mean * 1e6 << ", \"max\": " << s.max * 1e6
+     << "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+
+  // Campaign battery whose datasets become the replay sources. Three
+  // generated worlds in full mode (one map shared by a third of the
+  // sessions each); the fast small maze in smoke mode. Two data seeds per
+  // world so sessions on one map still replay distinct flights.
+  eval::CampaignSpec spec;
+  if (args.smoke) {
+    spec.worlds = {{eval::CampaignWorld::kSmallMaze, 0},
+                   {eval::CampaignWorld::kSmallMaze, 2}};
+  } else {
+    spec.worlds = {{eval::CampaignWorld::kOffice, 0, 3},
+                   {eval::CampaignWorld::kWarehouse, 0, 2},
+                   {eval::CampaignWorld::kLoopCorridor, 2, 1}};
+  }
+  spec.inits = {{eval::InitSpec::Mode::kTracking, 0.2, 0.2, 2}};
+  spec.precisions = {core::Precision::kFp32Qm};
+  spec.seeds_per_cell = 2;
+  spec.mcl.num_particles = args.particles;
+  spec.master_seed = 31;
+  eval::Campaign campaign(std::move(spec));
+
+  std::fprintf(stderr, "preparing replay sources (worlds + datasets)...\n");
+  eval::CampaignOptions prep;
+  prep.threads = args.threads;
+  const std::vector<eval::ReplaySource> sources =
+      campaign.export_replay_sources(prep);
+  if (sources.empty()) {
+    std::fprintf(stderr, "no replay sources\n");
+    return 1;
+  }
+
+  // Per-source shared input streams (sessions copy per push).
+  std::vector<std::vector<serve::SessionInput>> streams;
+  streams.reserve(sources.size());
+  std::size_t min_ticks = args.ticks;
+  for (const eval::ReplaySource& src : sources) {
+    streams.push_back(build_stream(src.legs.front(), args.ticks));
+    min_ticks = std::min(min_ticks, streams.back().size());
+  }
+  if (min_ticks == 0) {
+    std::fprintf(stderr, "a replay source produced no frame batches\n");
+    return 1;
+  }
+
+  serve::SessionManager mgr({args.threads});
+  for (const eval::ReplaySource& src : sources) {
+    // Sources on one world share a map key (and the same resources
+    // pointer); define each key once.
+    try {
+      mgr.define_map(src.map_key, src.maps);
+    } catch (const PreconditionError&) {
+      // Key already defined by an earlier source on the same world.
+    }
+  }
+
+  std::fprintf(stderr, "opening %zu sessions over %zu sources...\n",
+               args.sessions, sources.size());
+  for (std::size_t id = 0; id < args.sessions; ++id) {
+    const eval::ReplaySource& src = sources[id % sources.size()];
+    serve::SessionOptions opts;
+    opts.config.precision = core::Precision::kFp32Qm;
+    opts.config.mcl = campaign.spec().mcl;
+    opts.config.mcl.seed = eval::campaign_mix(campaign.spec().master_seed,
+                                              0x5e55u + id);
+    opts.config.sensors = {src.front_tof, src.rear_tof};
+    opts.queue_capacity = args.queue;
+    opts.start = serve::StartPose{src.start_pose, 0.2, 0.2};
+    mgr.open_session(src.map_key, opts);
+  }
+
+  // Serve loop. Paced mode pushes windows smaller than the queue and
+  // pumps between windows (steady state, nothing dropped); overload mode
+  // pushes each session's whole stream first, so only the last `queue`
+  // inputs survive and the drop counters show the shed load.
+  const std::size_t window =
+      args.overload ? min_ticks : std::max<std::size_t>(1, args.queue / 2);
+  std::size_t saturated = 0;
+  std::size_t drop_signals = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t base = 0; base < min_ticks; base += window) {
+    const std::size_t end = std::min(min_ticks, base + window);
+    for (std::size_t id = 0; id < args.sessions; ++id) {
+      const auto& stream = streams[id % sources.size()];
+      for (std::size_t t = base; t < end; ++t) {
+        switch (mgr.push(id, stream[t])) {
+          case serve::Admission::kAccepted:
+            break;
+          case serve::Admission::kSaturated:
+            ++saturated;
+            break;
+          case serve::Admission::kDroppedOldest:
+            ++drop_signals;
+            break;
+        }
+      }
+    }
+    mgr.pump();
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const serve::ServeReport rep = mgr.report();
+  std::printf("\n=== Serving latency — %zu sessions, %zu threads, "
+              "%zu particles, %zu ticks%s ===\n\n",
+              args.sessions, args.threads, args.particles, min_ticks,
+              args.overload ? ", overload" : "");
+  std::printf("wall %.2f s  (pump %.2f s)   corrections %zu   "
+              "%.0f corrections/s\n",
+              wall_s, rep.pump_seconds, rep.corrections,
+              rep.corrections_per_second);
+  std::printf("inputs: processed %zu, dropped %zu "
+              "(backpressure signals: %zu saturated, %zu drop)\n\n",
+              rep.processed_inputs, rep.dropped_inputs, saturated,
+              drop_signals);
+  print_latency("global", rep.latency);
+  for (const serve::MapReport& m : rep.per_map) {
+    print_latency(m.map.c_str(), m.latency);
+  }
+
+  if (rep.corrections == 0) {
+    std::fprintf(stderr, "\nno corrections ran — bench is vacuous\n");
+    return 1;
+  }
+  if (!args.overload && rep.dropped_inputs != 0) {
+    std::fprintf(stderr,
+                 "\npaced mode dropped %zu inputs (queue misconfigured?)\n",
+                 rep.dropped_inputs);
+    return 1;
+  }
+
+  if (args.json_path != nullptr) {
+    std::ofstream js(args.json_path);
+    if (!js) {
+      std::fprintf(stderr, "cannot open %s\n", args.json_path);
+      return 1;
+    }
+    js << "{\n"
+       << "  \"bench\": \"serving_latency\",\n"
+       << "  \"mode\": \"" << (args.smoke ? "smoke" : "full")
+       << (args.overload ? "+overload" : "") << "\",\n"
+       << "  \"sessions\": " << args.sessions << ",\n"
+       << "  \"threads\": " << args.threads << ",\n"
+       << "  \"particles\": " << args.particles << ",\n"
+       << "  \"ticks\": " << min_ticks << ",\n"
+       << "  \"queue_capacity\": " << args.queue << ",\n"
+       << "  \"maps\": " << rep.per_map.size() << ",\n"
+       << "  \"wall_seconds\": " << wall_s << ",\n"
+       << "  \"pump_seconds\": " << rep.pump_seconds << ",\n"
+       << "  \"corrections\": " << rep.corrections << ",\n"
+       << "  \"corrections_per_second\": " << rep.corrections_per_second
+       << ",\n"
+       << "  \"processed_inputs\": " << rep.processed_inputs << ",\n"
+       << "  \"dropped_inputs\": " << rep.dropped_inputs << ",\n"
+       << "  \"latency_us\": ";
+    json_latency(js, rep.latency);
+    js << ",\n  \"per_map\": [\n";
+    for (std::size_t i = 0; i < rep.per_map.size(); ++i) {
+      const serve::MapReport& m = rep.per_map[i];
+      js << "    {\"map\": \"" << m.map << "\", \"sessions\": " << m.sessions
+         << ", \"corrections\": " << m.corrections
+         << ", \"dropped_inputs\": " << m.dropped_inputs
+         << ", \"latency_us\": ";
+      json_latency(js, m.latency);
+      js << "}" << (i + 1 < rep.per_map.size() ? "," : "") << "\n";
+    }
+    js << "  ]\n}\n";
+  }
+
+  if (args.trace_path != nullptr) {
+    // Hexfloat per-session correction trace: two invocations with the
+    // same arguments must produce byte-identical files (covers dataset
+    // generation, the shared-map build, admission control and the pooled
+    // pump's per-session serialization).
+    std::ofstream trace(args.trace_path);
+    if (!trace) {
+      std::fprintf(stderr, "cannot open trace file %s\n", args.trace_path);
+      return 1;
+    }
+    trace << std::hexfloat;
+    for (std::size_t id = 0; id < args.sessions; ++id) {
+      const serve::Session& s = mgr.session(id);
+      trace << id << ' ' << s.map_key() << ' ' << s.corrections() << ' '
+            << s.dropped_inputs() << '\n';
+      for (const serve::CorrectionRecord& r : s.trace()) {
+        trace << r.t << ' ' << r.pose.position.x << ' ' << r.pose.position.y
+              << ' ' << r.pose.yaw << '\n';
+      }
+    }
+  }
+  return 0;
+}

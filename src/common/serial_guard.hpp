@@ -1,0 +1,57 @@
+#pragma once
+/// \file serial_guard.hpp
+/// \brief Asserted "externally serialized" concurrency contract.
+///
+/// Several mutable objects in this codebase — most importantly
+/// core::Localizer with its dropped-frames accounting and injection-
+/// monitor state — are single-threaded BY CONTRACT: the owner (the
+/// serving layer's SessionManager, a campaign run task, an application
+/// flight loop) serializes every call, but successive calls may land on
+/// DIFFERENT threads (a session hops pool workers between pumps). A plain
+/// mutex would silently turn caller bugs into blocking; what we want is
+/// to make a violated contract loud.
+///
+/// SerialGuard does two things at a cost of one uncontended atomic
+/// exchange per guarded call:
+///
+///  * detects concurrent entry and throws PreconditionError — the bug is
+///    reported at the exact call that raced instead of corrupting
+///    counters silently;
+///  * establishes a happens-before edge between consecutive serialized
+///    sections (release store on exit, acquire exchange on entry), so the
+///    cross-thread call pattern is genuinely data-race-free for the
+///    guarded state even if the caller's own hand-off were weaker than a
+///    full synchronization — ThreadSanitizer agrees, not just the
+///    contract comment (tests/test_serve.cpp runs the hopping pattern
+///    under TSan in CI).
+
+#include <atomic>
+
+#include "common/error.hpp"
+
+namespace tofmcl {
+
+class SerialGuard {
+ public:
+  /// RAII section marker. Construct at the top of every guarded method.
+  class Scope {
+   public:
+    explicit Scope(SerialGuard& guard) : guard_(guard) {
+      TOFMCL_EXPECTS(
+          !guard_.busy_.exchange(true, std::memory_order_acquire),
+          "concurrent call to an externally-serialized object: the owner "
+          "(serving layer / flight loop) must serialize all calls");
+    }
+    ~Scope() { guard_.busy_.store(false, std::memory_order_release); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    SerialGuard& guard_;
+  };
+
+ private:
+  std::atomic<bool> busy_{false};
+};
+
+}  // namespace tofmcl

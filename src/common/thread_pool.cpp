@@ -9,6 +9,16 @@
 
 namespace tofmcl {
 
+namespace {
+
+/// Pools whose GENERAL tasks are executing on this thread's stack, one
+/// entry per nesting level (helping waits can stack several). Lets
+/// wait_idle exclude the caller's own in-flight tasks without any
+/// per-pool thread registry.
+thread_local std::vector<const void*> t_executing_pools;
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -28,23 +38,63 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::enqueue(std::function<void()> task, bool chunk_task) {
+std::size_t ThreadPool::own_stack_depth() const {
+  return static_cast<std::size_t>(std::count(
+      t_executing_pools.begin(), t_executing_pools.end(), this));
+}
+
+void ThreadPool::enqueue_general(std::function<void()> task,
+                                 TaskGroup* group) {
   {
     std::lock_guard lock(mutex_);
-    (chunk_task ? chunk_queue_ : queue_).push(std::move(task));
-    ++in_flight_;
+    queue_.push_back(Task{std::move(task), group});
+    ++general_in_flight_;
+    if (group != nullptr) {
+      ++group->pending_;
+      ++group->queued_;
+    }
   }
   cv_task_.notify_one();
+  // Helping waiters sleep on cv_idle_ and must wake to steal new work —
+  // with every worker blocked inside a nested wait, they are the only
+  // threads left that can run this task.
+  cv_idle_.notify_all();
+}
+
+void ThreadPool::enqueue_chunk(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    chunk_queue_.push(std::move(task));
+  }
+  cv_task_.notify_one();
+  cv_idle_.notify_all();
 }
 
 void ThreadPool::submit(std::function<void()> task) {
   TOFMCL_EXPECTS(static_cast<bool>(task), "cannot submit empty task");
-  enqueue(std::move(task), /*chunk_task=*/false);
+  enqueue_general(std::move(task), nullptr);
+}
+
+void ThreadPool::submit(std::function<void()> task, TaskGroup& group) {
+  TOFMCL_EXPECTS(static_cast<bool>(task), "cannot submit empty task");
+  enqueue_general(std::move(task), &group);
 }
 
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
-  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  // Tasks executing on THIS stack can never complete while we block here;
+  // waiting for them would deadlock (the pre-serving bug: a stolen task
+  // calling wait_idle hung on its own in-flight slot). Everyone else's
+  // tasks either run elsewhere or sit in a queue where we can help.
+  const std::size_t own = own_stack_depth();
+  while (general_in_flight_ != own) {
+    if (!run_one(lock, /*chunk_only=*/false)) {
+      cv_idle_.wait(lock, [&] {
+        return general_in_flight_ == own || !queue_.empty() ||
+               !chunk_queue_.empty();
+      });
+    }
+  }
   if (first_error_) {
     std::exception_ptr error = std::exchange(first_error_, nullptr);
     lock.unlock();
@@ -52,29 +102,85 @@ void ThreadPool::wait_idle() {
   }
 }
 
+void ThreadPool::wait(TaskGroup& group) {
+  std::unique_lock lock(mutex_);
+  while (group.pending_ != 0) {
+    if (!run_one_of_group(lock, group)) {
+      cv_idle_.wait(lock, [&] {
+        return group.pending_ == 0 || group.queued_ != 0 ||
+               !chunk_queue_.empty();
+      });
+    }
+  }
+  if (group.first_error_) {
+    std::exception_ptr error = std::exchange(group.first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::execute_general(std::unique_lock<std::mutex>& lock,
+                                 Task task) {
+  lock.unlock();
+  t_executing_pools.push_back(this);
+  std::exception_ptr error;
+  try {
+    task.fn();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  t_executing_pools.pop_back();
+  lock.lock();
+  --general_in_flight_;
+  if (task.group != nullptr) {
+    --task.group->pending_;
+    if (error && !task.group->first_error_) task.group->first_error_ = error;
+  } else if (error && !first_error_) {
+    first_error_ = error;
+  }
+  cv_idle_.notify_all();
+}
+
 bool ThreadPool::run_one(std::unique_lock<std::mutex>& lock,
                          bool chunk_only) {
-  std::queue<std::function<void()>>* queue = nullptr;
   if (!chunk_queue_.empty()) {
-    queue = &chunk_queue_;
-  } else if (!chunk_only && !queue_.empty()) {
-    queue = &queue_;
-  } else {
-    return false;
-  }
-  std::function<void()> task = std::move(queue->front());
-  queue->pop();
-  lock.unlock();
-  try {
-    task();
-  } catch (...) {
-    lock.lock();
-    if (!first_error_) first_error_ = std::current_exception();
+    std::function<void()> task = std::move(chunk_queue_.front());
+    chunk_queue_.pop();
     lock.unlock();
+    // Chunk closures capture failures into their own call state; this
+    // catch is defense in depth only.
+    try {
+      task();
+    } catch (...) {
+      lock.lock();
+      if (!first_error_) first_error_ = std::current_exception();
+      return true;
+    }
+    lock.lock();
+    return true;
   }
-  lock.lock();
-  --in_flight_;
-  if (in_flight_ == 0) cv_idle_.notify_all();
+  if (chunk_only || queue_.empty()) return false;
+  Task task = std::move(queue_.front());
+  queue_.pop_front();
+  if (task.group != nullptr) --task.group->queued_;
+  execute_general(lock, std::move(task));
+  return true;
+}
+
+bool ThreadPool::run_one_of_group(std::unique_lock<std::mutex>& lock,
+                                  TaskGroup& group) {
+  // Chunk tasks first, like run_one: they are fine-grained and bounded,
+  // and a stalled chunk barrier would stall this group's tasks too.
+  if (!chunk_queue_.empty()) return run_one(lock, /*chunk_only=*/true);
+  if (group.queued_ == 0) return false;
+  const auto it =
+      std::find_if(queue_.begin(), queue_.end(),
+                   [&group](const Task& t) { return t.group == &group; });
+  TOFMCL_ENSURES(it != queue_.end(), "group queued count out of sync");
+  Task task = std::move(*it);
+  queue_.erase(it);
+  --group.queued_;
+  execute_general(lock, std::move(task));
   return true;
 }
 
@@ -114,27 +220,24 @@ void ThreadPool::parallel_chunks(
   state->remaining.store(chunks - 1, std::memory_order_relaxed);
 
   for (std::size_t c = 1; c < chunks; ++c) {
-    enqueue(
-        [this, state, &fn, c, count, chunks] {
-          try {
-            fn(c, chunk_begin(count, chunks, c),
-               chunk_begin(count, chunks, c + 1));
-          } catch (...) {
-            std::lock_guard lock(mutex_);
-            if (!state->error) state->error = std::current_exception();
-          }
-          // Decrement under the pool mutex: the waiter below re-checks
-          // `remaining` under the same mutex before sleeping, so the
-          // final notify can never be lost.
-          bool last = false;
-          {
-            std::lock_guard lock(mutex_);
-            last =
-                state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1;
-          }
-          if (last) cv_task_.notify_all();
-        },
-        /*chunk_task=*/true);
+    enqueue_chunk([this, state, &fn, c, count, chunks] {
+      try {
+        fn(c, chunk_begin(count, chunks, c),
+           chunk_begin(count, chunks, c + 1));
+      } catch (...) {
+        std::lock_guard lock(mutex_);
+        if (!state->error) state->error = std::current_exception();
+      }
+      // Decrement under the pool mutex: the waiter below re-checks
+      // `remaining` under the same mutex before sleeping, so the
+      // final notify can never be lost.
+      bool last = false;
+      {
+        std::lock_guard lock(mutex_);
+        last = state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1;
+      }
+      if (last) cv_task_.notify_all();
+    });
   }
 
   // The calling thread runs chunk 0 ...

@@ -1,20 +1,21 @@
 #pragma once
 /// \file thread_pool.hpp
-/// \brief Small fixed-size thread pool with a blocking parallel_for.
+/// \brief Small fixed-size thread pool with blocking fork-join primitives.
 ///
 /// Used by the evaluation harness to spread independent localization runs
-/// across host cores, and by the ThreadPoolExecutor to emulate the GAP9
-/// cluster's fork-join execution style on the host.
+/// across host cores, by the ThreadPoolExecutor to emulate the GAP9
+/// cluster's fork-join execution style on the host, and by the serving
+/// layer (src/serve) to multiplex live localizer sessions.
 ///
-/// Two properties matter for the campaign engine built on top:
+/// Three properties matter for the engines built on top:
 ///
 ///  * Exceptions do not kill the process. A throwing task is captured and
 ///    rethrown on the thread that observes completion: `parallel_chunks`
-///    rethrows the first failure of its own chunks before returning, and
+///    rethrows the first failure of its own chunks before returning,
+///    `wait(TaskGroup&)` rethrows the first failure of the group, and
 ///    `wait_idle` rethrows the first failure of plainly `submit`ted tasks.
-///    The worker keeps running and `in_flight_` stays balanced either way
-///    (previously a throw escaped `worker_loop` → std::terminate, and a
-///    hypothetical survivor would have deadlocked `wait_idle`).
+///    The worker keeps running and the in-flight accounting stays balanced
+///    either way.
 ///
 ///  * `parallel_chunks` may be called from INSIDE a pool task (nested
 ///    fork-join). Chunk tasks live in a dedicated queue; while waiting
@@ -23,9 +24,22 @@
 ///    share one pool without deadlock, and a fine-grained chunk barrier
 ///    can never stall behind — or recurse into — a stolen long-running
 ///    general task.
+///
+///  * Waits are category-separated so nested waiting cannot self-deadlock.
+///    General tasks and chunk tasks are accounted independently:
+///    `wait_idle` tracks GENERAL tasks only and excludes tasks executing
+///    on the caller's own stack, so a stolen task (or a chunk of a
+///    `parallel_chunks` call) that itself blocks on `wait_idle()` no
+///    longer hangs forever waiting for its own in-flight slot to clear —
+///    the serving-workload shape that used to deadlock (see
+///    test_thread_pool.cpp WaitIdleInsideChunkTaskDoesNotDeadlock).
+///    For batch-scoped waits, `TaskGroup` is the safe primitive: the
+///    waiter helps drain the queues, so a pool task may submit subtasks
+///    and wait for just those even when every worker is busy.
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -37,6 +51,25 @@ namespace tofmcl {
 
 class ThreadPool {
  public:
+  /// A batch of submitted tasks that can be waited on as a unit. Unlike
+  /// `wait_idle`, waiting on a group is safe from INSIDE a pool task: the
+  /// waiter helps execute queued work while the group drains, so one busy
+  /// pool cannot deadlock on its own nested waits (and one slow session
+  /// batch cannot starve an unrelated waiter — it only ever occupies its
+  /// own tasks' workers). A group may be reused after wait() returns.
+  class TaskGroup {
+   public:
+    TaskGroup() = default;
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+
+   private:
+    friend class ThreadPool;
+    std::size_t pending_ = 0;          ///< Queued + executing. Pool mutex.
+    std::size_t queued_ = 0;           ///< Still in the queue. Pool mutex.
+    std::exception_ptr first_error_;   ///< Guarded by the pool mutex.
+  };
+
   /// Creates `num_threads` workers; 0 selects hardware_concurrency (min 1).
   explicit ThreadPool(std::size_t num_threads = 0);
   ~ThreadPool();
@@ -51,8 +84,31 @@ class ThreadPool {
   /// the worker thread survives and later tasks still run.
   void submit(std::function<void()> task);
 
-  /// Block until every submitted task has finished. Rethrows the first
-  /// exception captured from a submitted task since the last wait_idle().
+  /// Enqueue a task tracked by `group`; its completion is observed by
+  /// wait(group), and a throw is captured into the group (rethrown by the
+  /// next wait on it), not into the pool-wide error slot. The group must
+  /// outlive the task.
+  void submit(std::function<void()> task, TaskGroup& group);
+
+  /// Block until every task submitted to `group` has finished. The waiter
+  /// helps, but its helping is BOUNDED to the group's own tasks (plus
+  /// chunk tasks, whose lifetime their parallel_chunks caller owns): it
+  /// never steals an unrelated long-running general task, so a group wait
+  /// can neither stall behind another group's slow session nor deadlock
+  /// on a stolen task that depends on the waiter. Safe to call from
+  /// inside a pool task. Rethrows the first exception captured from the
+  /// group's tasks.
+  void wait(TaskGroup& group);
+
+  /// Block until every GENERAL submitted task has finished — except tasks
+  /// currently executing on the calling thread's own stack, so a pool
+  /// task calling wait_idle() waits for everyone else instead of
+  /// deadlocking on itself. The waiter helps drain the queues. Chunk
+  /// tasks are NOT tracked here; their completion is awaited by their own
+  /// parallel_chunks caller. Rethrows the first exception captured from a
+  /// plainly submitted task since the last wait_idle(). Two tasks that
+  /// wait_idle() on each other still deadlock — use TaskGroup for
+  /// batch-scoped waits.
   void wait_idle();
 
   /// Run fn(i) for i in [0, count), partitioned into contiguous chunks and
@@ -64,31 +120,55 @@ class ThreadPool {
   /// Run fn(chunk_index, begin, end) over `chunks` contiguous ranges of
   /// [0, count), matching the static particle partitioning the paper uses
   /// on the GAP9 cluster. Blocks until done; while blocked, the calling
-  /// thread executes other queued tasks (safe to call from inside a pool
-  /// task). Rethrows the first exception thrown by any chunk, after all
-  /// chunks have completed.
+  /// thread executes other queued chunk tasks (safe to call from inside a
+  /// pool task). Rethrows the first exception thrown by any chunk, after
+  /// all chunks have completed.
   void parallel_chunks(
       std::size_t count, std::size_t chunks,
       const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
 
  private:
+  /// A general-queue entry; chunk tasks carry their completion state in
+  /// their closure instead.
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group = nullptr;  ///< Null for plain submit().
+  };
+
   void worker_loop();
-  void enqueue(std::function<void()> task, bool chunk_task);
+  void enqueue_general(std::function<void()> task, TaskGroup* group);
+  void enqueue_chunk(std::function<void()> task);
   /// Pops and runs one queued task — chunk tasks first; general tasks
   /// only when `chunk_only` is false. `lock` must hold mutex_ on entry
   /// and holds it again on return. Returns false if nothing was eligible.
   bool run_one(std::unique_lock<std::mutex>& lock, bool chunk_only);
+  /// Bounded-helping variant for wait(group): runs one chunk task or one
+  /// queued task BELONGING TO `group` (found by scan; the group's tasks
+  /// cluster at the front in the serving pump pattern). Never touches
+  /// unrelated general tasks.
+  bool run_one_of_group(std::unique_lock<std::mutex>& lock, TaskGroup& group);
+  /// Executes `task` outside the lock with general-task bookkeeping
+  /// (own-stack marker, error routing, completion notify).
+  void execute_general(std::unique_lock<std::mutex>& lock, Task task);
+  /// General tasks currently executing on THIS thread's stack for THIS
+  /// pool (nested helping can stack several).
+  std::size_t own_stack_depth() const;
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;        ///< General tasks.
+  std::deque<Task> queue_;                         ///< General tasks.
   std::queue<std::function<void()>> chunk_queue_;  ///< parallel_chunks work.
   std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
-  std::size_t in_flight_ = 0;
+  /// In-flight GENERAL tasks (queued or executing). Chunk tasks are
+  /// deliberately excluded: their lifetime is owned by the
+  /// parallel_chunks call that spawned them, so wait_idle can never
+  /// deadlock on a chunk that is itself waiting.
+  std::size_t general_in_flight_ = 0;
   bool stop_ = false;
-  /// First exception thrown by a plain submit() task (parallel_chunks
-  /// failures are tracked per call, not here). Guarded by mutex_.
+  /// First exception thrown by a plain submit() task (group and
+  /// parallel_chunks failures are tracked per group / per call, not
+  /// here). Guarded by mutex_.
   std::exception_ptr first_error_;
 };
 

@@ -1,6 +1,7 @@
 #include "core/localizer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <utility>
 
@@ -127,6 +128,7 @@ Localizer::Localizer(std::shared_ptr<const MapResources> maps,
 }
 
 void Localizer::start_global() {
+  SerialGuard::Scope serial(serial_guard_);
   std::visit(
       [&](auto& pf) {
         pf.init_uniform(maps_->free_cells, maps_->cell_jitter);
@@ -139,6 +141,7 @@ void Localizer::start_global() {
 
 void Localizer::start_at(const Pose2& pose, double sigma_xy,
                          double sigma_yaw) {
+  SerialGuard::Scope serial(serial_guard_);
   std::visit(
       [&](auto& pf) {
         pf.init_gaussian(pose, sigma_xy, sigma_yaw);
@@ -153,6 +156,7 @@ void Localizer::start_at(const Pose2& pose, double sigma_xy,
 }
 
 void Localizer::on_odometry(const Pose2& odometry_pose) {
+  SerialGuard::Scope serial(serial_guard_);
   current_odom_ = odometry_pose;
   if (!last_motion_odom_) last_motion_odom_ = odometry_pose;
   if (!gate_odom_) gate_odom_ = odometry_pose;
@@ -164,7 +168,9 @@ bool Localizer::gate_passed(const Pose2& delta) const {
 }
 
 bool Localizer::on_frames(std::span<const sensor::TofFrame> frames) {
+  SerialGuard::Scope serial(serial_guard_);
   if (!current_odom_ || !last_motion_odom_) return false;
+  const auto t0 = std::chrono::steady_clock::now();
 
   std::size_t usable = 0;
   std::vector<sensor::Beam> beams;
@@ -201,12 +207,26 @@ bool Localizer::on_frames(std::span<const sensor::TofFrame> frames) {
     step_motion_only();
     return false;
   }
-  return step_filter(beams);
+  const bool corrected = step_filter(beams);
+  if (corrected) record_correction_time(t0);
+  return corrected;
 }
 
 bool Localizer::on_beams(std::span<const sensor::Beam> beams) {
+  SerialGuard::Scope serial(serial_guard_);
   if (!current_odom_ || !last_motion_odom_) return false;
-  return step_filter(beams);
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool corrected = step_filter(beams);
+  if (corrected) record_correction_time(t0);
+  return corrected;
+}
+
+void Localizer::record_correction_time(
+    std::chrono::steady_clock::time_point t0) {
+  last_correction_s_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  total_correction_s_ += last_correction_s_;
 }
 
 void Localizer::step_motion_only() {

@@ -20,13 +20,24 @@
 ///
 ///     auto maps = core::build_map_resources(grid, cfg.mcl, precisions);
 ///     core::Localizer a(maps, cfg_run_a, exec), b(maps, cfg_run_b, exec);
+///
+/// Concurrency contract: a Localizer is single-threaded BY CONTRACT — the
+/// owner serializes every mutating call (on_odometry / on_frames /
+/// on_beams / start_*), though successive calls may land on different
+/// threads (the serving layer's sessions hop pool workers between pumps).
+/// The contract is ASSERTED: concurrent entry throws PreconditionError
+/// via SerialGuard instead of silently racing the dropped-frames counter
+/// or the injection-monitor state, and the guard's acquire/release pair
+/// makes the serialized cross-thread pattern data-race-free.
 
+#include <chrono>
 #include <memory>
 #include <optional>
 #include <span>
 #include <variant>
 #include <vector>
 
+#include "common/serial_guard.hpp"
 #include "core/particle_filter.hpp"
 #include "map/occupancy_grid.hpp"
 #include "sensor/beam_model.hpp"
@@ -115,6 +126,16 @@ class Localizer {
   std::size_t updates_run() const { return updates_run_; }
   /// Frames rejected by on_frames() since construction.
   std::size_t dropped_frames() const { return dropped_frames_; }
+  /// Wall-clock seconds of the most recent correction (the full
+  /// on_frames/on_beams pass that ran it: beam extraction + fused
+  /// motion+observation + resample + pose). 0 before the first
+  /// correction. The serving layer samples this after every correction
+  /// to build its per-session latency distribution.
+  double last_correction_seconds() const { return last_correction_s_; }
+  /// Σ last_correction_seconds over all corrections (service-time
+  /// accounting: corrections/s = updates_run / total_correction_seconds
+  /// of busy time).
+  double total_correction_seconds() const { return total_correction_s_; }
   /// Workload of the most recent correction (particles × beams, plus the
   /// novelty-gated beam count).
   const UpdateWorkload& workload() const;
@@ -139,6 +160,9 @@ class Localizer {
                                    Executor& executor);
 
   bool gate_passed(const Pose2& delta) const;
+  /// Correction-timing hook: stamps last/total correction wall time from
+  /// the t0 taken at the top of the on_frames/on_beams call that ran it.
+  void record_correction_time(std::chrono::steady_clock::time_point t0);
   /// Motion phase only, without touching the correction gate (used when a
   /// frame batch carried no usable frames).
   void step_motion_only();
@@ -157,6 +181,10 @@ class Localizer {
   std::optional<Pose2> gate_odom_;         ///< Odometry at last correction.
   std::size_t updates_run_ = 0;
   std::size_t dropped_frames_ = 0;
+  double last_correction_s_ = 0.0;
+  double total_correction_s_ = 0.0;
+  /// Asserts the single-threaded-by-contract usage (see file comment).
+  SerialGuard serial_guard_;
 };
 
 }  // namespace tofmcl::core

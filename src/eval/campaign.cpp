@@ -441,6 +441,37 @@ CampaignRunResult Campaign::execute_run(const RunSpec& run,
   return out;
 }
 
+std::vector<ReplaySource> Campaign::export_replay_sources(
+    const CampaignOptions& options) {
+  prepare_shared(options);
+  std::vector<ReplaySource> out;
+  std::set<DatasetKey> seen;
+  for (const RunSpec& run : runs_) {
+    const SensingSpec& sensing = spec_.sensing[run.sensing_index];
+    const DatasetKey key = dataset_key(run, sensing);
+    if (!seen.insert(key).second) continue;
+    const WorldSpec& ws = spec_.worlds[run.world_index];
+    const World& world = worlds_.at(world_key(ws));
+    const Dataset& dataset = datasets_.at(key);
+    const sim::SequenceGeneratorConfig gen = generator_for(sensing);
+    ReplaySource src;
+    src.map_key =
+        std::string(to_string(ws.world)) + "/" + std::to_string(run.world_index);
+    src.name = src.map_key + "/seed" + std::to_string(run.data_seed);
+    src.world_index = run.world_index;
+    src.maps = world.maps;
+    src.front_tof = gen.front_tof;
+    src.rear_tof = gen.rear_tof;
+    src.legs = dataset.legs;
+    const sim::Sequence& leg1 = dataset.legs.front();
+    TOFMCL_EXPECTS(!leg1.ground_truth.empty(),
+                   "dataset leg has no ground truth");
+    src.start_pose = leg1.ground_truth.front().pose;
+    out.push_back(std::move(src));
+  }
+  return out;
+}
+
 CampaignResult Campaign::run(const CampaignOptions& options) {
   const auto t_prepare = std::chrono::steady_clock::now();
   prepare_shared(options);

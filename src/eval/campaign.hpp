@@ -217,6 +217,27 @@ struct CampaignOptions {
   bool pooled_filter_chunks = false;
 };
 
+/// One replayable flight bundle exported for the serving layer and its
+/// benches: the map's shared resources (pointer-identical across sources
+/// on the same world build), the sensor deck the frames were rendered
+/// with, the recorded legs and the leg-1 start pose. Produced by
+/// Campaign::export_replay_sources, deduplicated by dataset in run order.
+struct ReplaySource {
+  /// Serving map key: sources sharing it share `maps` (and a serving
+  /// layer should open their sessions on one map definition).
+  std::string map_key;
+  /// Unique dataset name (map key + data seed).
+  std::string name;
+  std::size_t world_index = 0;
+  std::shared_ptr<const core::MapResources> maps;
+  /// The deck the frames were rendered with — sessions must replay with
+  /// the same sensor configuration.
+  sensor::TofSensorConfig front_tof;
+  sensor::TofSensorConfig rear_tof;
+  std::vector<sim::Sequence> legs;  ///< 1 leg, or 2 for kidnap datasets.
+  Pose2 start_pose{};  ///< Leg-1 ground truth at t=0 (tracking init).
+};
+
 /// A campaign: spec + expanded run list + cached shared resources.
 /// run() may be called repeatedly (e.g. once serial, once batched);
 /// shared resources are built on first use and reused.
@@ -232,6 +253,14 @@ class Campaign {
   void set_runs(std::vector<RunSpec> runs);
 
   CampaignResult run(const CampaignOptions& options = {});
+
+  /// Builds the campaign's shared resources (worlds, maps, datasets) and
+  /// exports every unique dataset as a ReplaySource — the serving layer's
+  /// input format. Sequences are copied so the sources outlive the
+  /// campaign; MapResources are shared by pointer. Order follows the run
+  /// list (first run referencing a dataset wins).
+  std::vector<ReplaySource> export_replay_sources(
+      const CampaignOptions& options = {});
 
  private:
   struct World {

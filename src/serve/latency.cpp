@@ -1,0 +1,28 @@
+#include "serve/latency.hpp"
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+
+namespace tofmcl::serve {
+
+void LatencyRecorder::merge(const LatencyRecorder& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+}
+
+LatencySummary LatencyRecorder::summarize() const {
+  LatencySummary s;
+  s.count = samples_.size();
+  if (samples_.empty()) return s;
+  s.p50 = percentile(samples_, 0.50);
+  s.p99 = percentile(samples_, 0.99);
+  s.p999 = percentile(samples_, 0.999);
+  double sum = 0.0;
+  for (const double v : samples_) sum += v;
+  s.mean = sum / static_cast<double>(samples_.size());
+  s.max = *std::max_element(samples_.begin(), samples_.end());
+  return s;
+}
+
+}  // namespace tofmcl::serve

@@ -1,0 +1,41 @@
+#pragma once
+/// \file latency.hpp
+/// \brief Per-correction latency accounting for the serving layer.
+///
+/// Each session records the wall-clock duration of every correction into
+/// its own recorder (no cross-session contention on the hot path); the
+/// SessionManager merges recorders per map and globally when a report is
+/// requested. Percentiles are computed exactly from the raw samples —
+/// bench runs are bounded (ticks × sessions), so the sample vectors stay
+/// small enough that a lossy sketch is not worth its determinism caveats.
+
+#include <cstddef>
+#include <vector>
+
+namespace tofmcl::serve {
+
+/// Order statistics of a merged latency sample set, seconds.
+struct LatencySummary {
+  std::size_t count = 0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+class LatencyRecorder {
+ public:
+  void record(double seconds) { samples_.push_back(seconds); }
+  void merge(const LatencyRecorder& other);
+  std::size_t count() const { return samples_.size(); }
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// p50/p99/p999/mean/max of everything recorded so far.
+  LatencySummary summarize() const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace tofmcl::serve

@@ -1,0 +1,47 @@
+#include "serve/map_catalog.hpp"
+
+#include <utility>
+
+namespace tofmcl::serve {
+
+MapCatalog::Resources MapCatalog::get_or_build(const std::string& key,
+                                               const Builder& build) {
+  std::promise<Resources> promise;
+  std::shared_future<Resources> future;
+  bool winner = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = built_.find(key);
+    if (it != built_.end()) {
+      future = it->second;
+    } else {
+      future = promise.get_future().share();
+      built_.emplace(key, future);
+      winner = true;
+    }
+  }
+  if (!winner) return future.get();
+
+  // Build outside the lock so different maps construct concurrently.
+  try {
+    promise.set_value(build());
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      // Forget the failed attempt so the next request retries. Only erase
+      // our own future: a retry may already have replaced the entry.
+      const auto it = built_.find(key);
+      if (it != built_.end()) built_.erase(it);
+    }
+    future.get();  // Rethrows for this caller too.
+  }
+  return future.get();
+}
+
+std::size_t MapCatalog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return built_.size();
+}
+
+}  // namespace tofmcl::serve

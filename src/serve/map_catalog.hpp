@@ -1,0 +1,53 @@
+#pragma once
+/// \file map_catalog.hpp
+/// \brief Keyed once-map of shared per-map localization resources.
+///
+/// Building core::MapResources (EDT + quantized EDT + likelihood LUT) is
+/// the expensive per-map step — hundreds of milliseconds for a large
+/// world. When two sessions request the same map concurrently, exactly
+/// one build must run and both must receive the SAME immutable object
+/// (pointer identity matters: the whole point of MapResources is that N
+/// sessions share one copy). The naive check-then-build under a mutex
+/// either serializes unrelated builds behind one global lock or, when the
+/// lock is dropped around the build, races into duplicate construction.
+///
+/// MapCatalog resolves this with a keyed once-map: the map holds a
+/// shared_future per key, the winner of the insert runs the builder
+/// OUTSIDE the lock (concurrent builds of DIFFERENT maps proceed in
+/// parallel), and everyone else blocks on the future. A failed build
+/// erases its entry so a later request can retry instead of caching the
+/// exception forever; callers already waiting on the failed future get
+/// the exception rethrown.
+
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/localizer.hpp"
+
+namespace tofmcl::serve {
+
+class MapCatalog {
+ public:
+  using Resources = std::shared_ptr<const core::MapResources>;
+  using Builder = std::function<Resources()>;
+
+  /// Returns the resources for `key`, invoking `build` exactly once per
+  /// key across all concurrent callers (the winner builds, the rest wait
+  /// on its future). Rethrows the builder's exception to every caller of
+  /// the failed attempt, then forgets the entry so the next request
+  /// retries.
+  Resources get_or_build(const std::string& key, const Builder& build);
+
+  /// Number of successfully built (or in-flight) entries.
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_future<Resources>> built_;
+};
+
+}  // namespace tofmcl::serve

@@ -1,0 +1,65 @@
+#include "serve/session.hpp"
+
+#include <utility>
+
+namespace tofmcl::serve {
+
+Session::Session(std::size_t id, std::string map_key,
+                 std::shared_ptr<const core::MapResources> maps,
+                 const SessionOptions& opts)
+    : id_(id),
+      map_key_(std::move(map_key)),
+      localizer_(std::move(maps), opts.config, executor_),
+      capacity_(opts.queue_capacity) {
+  TOFMCL_EXPECTS(capacity_ >= 1, "session queue capacity must be >= 1");
+  if (opts.start) {
+    localizer_.start_at(opts.start->pose, opts.start->sigma_xy,
+                        opts.start->sigma_yaw);
+  } else {
+    localizer_.start_global();
+  }
+}
+
+Admission Session::push(SessionInput input) {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  if (queue_.size() >= capacity_) {
+    queue_.pop_front();
+    ++dropped_inputs_;
+    queue_.push_back(std::move(input));
+    return Admission::kDroppedOldest;
+  }
+  queue_.push_back(std::move(input));
+  return queue_.size() * 2 >= capacity_ ? Admission::kSaturated
+                                        : Admission::kAccepted;
+}
+
+bool Session::has_pending() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return !queue_.empty();
+}
+
+std::size_t Session::process_pending() {
+  // Take the whole backlog in one swap so producers are blocked for a
+  // pointer exchange, not for the filter work.
+  std::deque<SessionInput> batch;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    batch.swap(queue_);
+  }
+  std::size_t corrected_now = 0;
+  for (SessionInput& input : batch) {
+    localizer_.on_odometry(input.odometry);
+    if (!input.frames.empty()) {
+      if (localizer_.on_frames(input.frames)) {
+        ++corrected_now;
+        latency_.record(localizer_.last_correction_seconds());
+        trace_.push_back({input.t, localizer_.estimate().pose});
+      }
+    }
+    ++processed_inputs_;
+  }
+  corrections_ += corrected_now;
+  return corrected_now;
+}
+
+}  // namespace tofmcl::serve

@@ -1,0 +1,126 @@
+#pragma once
+/// \file session.hpp
+/// \brief One live localization session: a Localizer behind a bounded
+/// admission-controlled frame queue.
+///
+/// The serving split: producers (radio links, replay threads) call
+/// `push()` from any thread — it only touches the queue under its own
+/// mutex. The SessionManager's pump calls `process_pending()` with
+/// exactly one invocation in flight per session (the pool's TaskGroup
+/// guarantees it), which drains the queue into the Localizer. The
+/// Localizer itself stays single-threaded-by-contract; the session IS
+/// the serialization the contract demands, and the Localizer's
+/// SerialGuard asserts it.
+///
+/// Admission control is drop-oldest: a full queue evicts its oldest
+/// input to admit the new one (a live localizer wants the freshest
+/// sensor data — re-localizing from recent frames beats replaying stale
+/// ones), counts the eviction, and reports backpressure to the caller:
+/// `kSaturated` when the queue crosses half capacity ("slow down"),
+/// `kDroppedOldest` when data was actually lost ("you are too slow").
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "core/localizer.hpp"
+#include "serve/latency.hpp"
+
+namespace tofmcl::serve {
+
+/// One timestamped input tick: the odometry estimate plus the ToF frames
+/// captured at that instant (frames may be empty for odometry-only ticks).
+struct SessionInput {
+  double t = 0.0;
+  Pose2 odometry{};
+  std::vector<sensor::TofFrame> frames;
+};
+
+/// Backpressure signal returned by push().
+enum class Admission {
+  kAccepted,       ///< Queued with room to spare.
+  kSaturated,      ///< Queued, but the queue is at least half full.
+  kDroppedOldest,  ///< Queued by evicting the oldest pending input.
+};
+
+/// One correction's output, in arrival order (the determinism trace).
+struct CorrectionRecord {
+  double t = 0.0;
+  Pose2 pose{};
+};
+
+/// Initial pose hypothesis; absent means global localization.
+struct StartPose {
+  Pose2 pose{};
+  double sigma_xy = 0.1;
+  double sigma_yaw = 0.05;
+};
+
+struct SessionOptions {
+  core::LocalizerConfig config;
+  std::size_t queue_capacity = 8;
+  std::optional<StartPose> start;
+};
+
+class Session {
+ public:
+  /// Starts the localizer (tracking from `opts.start`, else global).
+  Session(std::size_t id, std::string map_key,
+          std::shared_ptr<const core::MapResources> maps,
+          const SessionOptions& opts);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  std::size_t id() const { return id_; }
+  const std::string& map_key() const { return map_key_; }
+
+  /// Thread-safe enqueue with drop-oldest admission control.
+  Admission push(SessionInput input);
+
+  /// True when inputs are queued. Racy by nature (a producer may push
+  /// right after); the pump uses it only to skip idle sessions.
+  bool has_pending() const;
+
+  /// Drains the queue through the localizer. NOT thread-safe with itself
+  /// — the SessionManager runs at most one invocation per session at a
+  /// time (concurrent pushes are fine). Returns corrections run.
+  std::size_t process_pending();
+
+  // --- accounting (read between pumps; the pump thread writes them) ---
+  std::size_t corrections() const { return corrections_; }
+  std::size_t processed_inputs() const { return processed_inputs_; }
+  std::size_t dropped_inputs() const {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    return dropped_inputs_;
+  }
+  const LatencyRecorder& latency() const { return latency_; }
+  const std::vector<CorrectionRecord>& trace() const { return trace_; }
+  const core::Localizer& localizer() const { return localizer_; }
+
+ private:
+  std::size_t id_;
+  std::string map_key_;
+  /// Per-filter chunk execution stays serial: the serving layer extracts
+  /// parallelism ACROSS sessions, not within one.
+  core::SerialExecutor executor_;
+  core::Localizer localizer_;
+  std::size_t capacity_;
+
+  mutable std::mutex queue_mutex_;
+  std::deque<SessionInput> queue_;
+  std::size_t dropped_inputs_ = 0;  ///< Guarded by queue_mutex_.
+
+  // Written only by process_pending (externally serialized).
+  std::size_t corrections_ = 0;
+  std::size_t processed_inputs_ = 0;
+  LatencyRecorder latency_;
+  std::vector<CorrectionRecord> trace_;
+};
+
+}  // namespace tofmcl::serve

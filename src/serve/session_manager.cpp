@@ -1,0 +1,154 @@
+#include "serve/session_manager.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <utility>
+
+namespace tofmcl::serve {
+
+SessionManager::SessionManager(ServeOptions opts) : opts_(opts) {
+  if (opts_.threads > 0) pool_ = std::make_unique<ThreadPool>(opts_.threads);
+}
+
+void SessionManager::define_map(const std::string& key,
+                                map::OccupancyGrid grid,
+                                const core::MclConfig& mcl,
+                                std::vector<core::Precision> precisions) {
+  TOFMCL_EXPECTS(!precisions.empty(),
+                 "a map definition needs at least one precision");
+  std::lock_guard<std::mutex> lock(mutex_);
+  TOFMCL_EXPECTS(definitions_.find(key) == definitions_.end(),
+                 "map key already defined");
+  definitions_.emplace(key, MapDefinition{std::move(grid), mcl,
+                                          std::move(precisions), nullptr});
+}
+
+void SessionManager::define_map(const std::string& key,
+                                MapCatalog::Resources maps) {
+  TOFMCL_EXPECTS(maps != nullptr, "prebuilt map resources must be non-null");
+  std::lock_guard<std::mutex> lock(mutex_);
+  TOFMCL_EXPECTS(definitions_.find(key) == definitions_.end(),
+                 "map key already defined");
+  definitions_.emplace(
+      key, MapDefinition{std::nullopt, {}, {}, std::move(maps)});
+}
+
+std::size_t SessionManager::open_session(const std::string& map_key,
+                                         const SessionOptions& opts) {
+  const MapDefinition* def = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = definitions_.find(map_key);
+    TOFMCL_EXPECTS(it != definitions_.end(), "unknown map key");
+    // Definitions are insert-only, so the pointer stays valid outside
+    // the lock while the (possibly slow) resource build runs.
+    def = &it->second;
+  }
+  auto maps = catalog_.get_or_build(map_key, [def] {
+    if (def->prebuilt) return def->prebuilt;
+    return core::build_map_resources(
+        *def->grid, def->mcl,
+        std::span<const core::Precision>(def->precisions));
+  });
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t id = sessions_.size();
+  sessions_.push_back(
+      std::make_unique<Session>(id, map_key, std::move(maps), opts));
+  return id;
+}
+
+Admission SessionManager::push(std::size_t session_id, SessionInput input) {
+  Session* session = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TOFMCL_EXPECTS(session_id < sessions_.size(), "unknown session id");
+    session = sessions_[session_id].get();
+  }
+  return session->push(std::move(input));
+}
+
+std::vector<Session*> SessionManager::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Session*> out;
+  out.reserve(sessions_.size());
+  for (const auto& s : sessions_) out.push_back(s.get());
+  return out;
+}
+
+std::size_t SessionManager::pump() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<Session*> sessions = snapshot();
+  std::size_t corrected = 0;
+  if (!pool_) {
+    for (Session* s : sessions) {
+      if (s->has_pending()) corrected += s->process_pending();
+    }
+  } else {
+    ThreadPool::TaskGroup group;
+    std::atomic<std::size_t> total{0};
+    for (Session* s : sessions) {
+      if (!s->has_pending()) continue;
+      // One task per busy session: the group wait below is the only
+      // serialization a session needs — at most one process_pending per
+      // session is ever in flight.
+      pool_->submit([s, &total] { total += s->process_pending(); }, group);
+    }
+    pool_->wait(group);
+    corrected = total.load();
+  }
+  pump_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return corrected;
+}
+
+std::size_t SessionManager::num_sessions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+const Session& SessionManager::session(std::size_t session_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TOFMCL_EXPECTS(session_id < sessions_.size(), "unknown session id");
+  return *sessions_[session_id];
+}
+
+ServeReport SessionManager::report() const {
+  const std::vector<Session*> sessions = snapshot();
+  ServeReport rep;
+  rep.sessions = sessions.size();
+  rep.pump_seconds = pump_seconds_;
+
+  std::map<std::string, MapReport> by_map;
+  LatencyRecorder global;
+  for (const Session* s : sessions) {
+    MapReport& m = by_map[s->map_key()];
+    m.map = s->map_key();
+    ++m.sessions;
+    m.corrections += s->corrections();
+    m.processed_inputs += s->processed_inputs();
+    m.dropped_inputs += s->dropped_inputs();
+    rep.corrections += s->corrections();
+    rep.processed_inputs += s->processed_inputs();
+    rep.dropped_inputs += s->dropped_inputs();
+    global.merge(s->latency());
+  }
+  rep.latency = global.summarize();
+  if (rep.pump_seconds > 0.0) {
+    rep.corrections_per_second =
+        static_cast<double>(rep.corrections) / rep.pump_seconds;
+  }
+  // Second pass for per-map percentiles (merge latencies per key).
+  for (auto& [key, m] : by_map) {
+    LatencyRecorder merged;
+    for (const Session* s : sessions) {
+      if (s->map_key() == key) merged.merge(s->latency());
+    }
+    m.latency = merged.summarize();
+    rep.per_map.push_back(std::move(m));
+  }
+  return rep;
+}
+
+}  // namespace tofmcl::serve

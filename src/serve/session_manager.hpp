@@ -1,0 +1,134 @@
+#pragma once
+/// \file session_manager.hpp
+/// \brief Localization-as-a-service: N live sessions over one thread pool.
+///
+/// The SessionManager is the serving layer's front door:
+///
+///   serve::SessionManager mgr({.threads = 8});
+///   mgr.define_map("office", grid, mcl, {Precision::kFp32Qm});
+///   const auto id = mgr.open_session("office", opts);
+///   mgr.push(id, {t, odom, frames});   // any thread, backpressure out
+///   mgr.pump();                        // drains every session's backlog
+///   const auto report = mgr.report();  // p50/p99/p999, corrections/s
+///
+/// Maps are defined once and built lazily through the MapCatalog on the
+/// first session that needs them — concurrent opens of the same map get
+/// the SAME immutable core::MapResources (one EDT/LUT in memory however
+/// many thousand sessions share the map). Each pump submits at most one
+/// task per session with pending work into a ThreadPool::TaskGroup, so a
+/// session's inputs are processed strictly in arrival order by exactly
+/// one thread at a time — the serialization the Localizer's contract
+/// demands — while distinct sessions run concurrently.
+///
+/// Determinism: a session's correction trace depends only on its own
+/// input order (per-session RNG, SerialExecutor chunking), never on
+/// scheduling, so serial and pooled pumps produce bit-identical traces
+/// (tests/test_serve.cpp gates on this).
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "map/occupancy_grid.hpp"
+#include "serve/map_catalog.hpp"
+#include "serve/session.hpp"
+
+namespace tofmcl::serve {
+
+struct ServeOptions {
+  /// Worker threads for the pooled pump; 0 pumps serially on the caller.
+  std::size_t threads = 0;
+};
+
+/// Per-map slice of a ServeReport.
+struct MapReport {
+  std::string map;
+  std::size_t sessions = 0;
+  std::size_t corrections = 0;
+  std::size_t processed_inputs = 0;
+  std::size_t dropped_inputs = 0;
+  LatencySummary latency;  ///< Per-correction wall latency, seconds.
+};
+
+struct ServeReport {
+  std::size_t sessions = 0;
+  std::size_t corrections = 0;
+  std::size_t processed_inputs = 0;
+  std::size_t dropped_inputs = 0;
+  LatencySummary latency;
+  /// Cumulative wall time spent inside pump() calls.
+  double pump_seconds = 0.0;
+  /// corrections / pump_seconds — the serving throughput figure.
+  double corrections_per_second = 0.0;
+  std::vector<MapReport> per_map;  ///< Sorted by map key.
+};
+
+class SessionManager {
+ public:
+  explicit SessionManager(ServeOptions opts);
+
+  /// Registers a map under `key`. The expensive resources (EDT, LUT) are
+  /// NOT built here — the first open_session on the key builds them, once,
+  /// however many sessions race for it. `mcl` supplies rmax and the
+  /// beam-model parameters baked into the shared LUT; `precisions` selects
+  /// which distance representations to build.
+  void define_map(const std::string& key, map::OccupancyGrid grid,
+                  const core::MclConfig& mcl,
+                  std::vector<core::Precision> precisions);
+
+  /// Registers already-built resources under `key` (e.g. exported from an
+  /// eval::Campaign, which did the expensive build once). Sessions on the
+  /// key share exactly this object.
+  void define_map(const std::string& key, MapCatalog::Resources maps);
+
+  /// Opens a session on a defined map and returns its id. Thread-safe;
+  /// concurrent opens of one map share a single resource build.
+  std::size_t open_session(const std::string& map_key,
+                           const SessionOptions& opts);
+
+  /// Enqueue an input tick for a session. Thread-safe; returns the
+  /// admission/backpressure signal.
+  Admission push(std::size_t session_id, SessionInput input);
+
+  /// Processes every session's backlog — serially in session-id order
+  /// when threads == 0, else one pool task per busy session. Not
+  /// reentrant; one pump at a time. Returns corrections run.
+  std::size_t pump();
+
+  std::size_t num_sessions() const;
+  double pump_seconds() const { return pump_seconds_; }
+  /// Read-only session access (tests, trace dumps). Call between pumps.
+  const Session& session(std::size_t session_id) const;
+
+  /// Aggregates per-map and global latency/throughput. Call between
+  /// pumps (the pump thread writes the stats this reads).
+  ServeReport report() const;
+
+ private:
+  struct MapDefinition {
+    /// Grid-based definition (built lazily, once, via the catalog)...
+    std::optional<map::OccupancyGrid> grid;
+    core::MclConfig mcl;
+    std::vector<core::Precision> precisions;
+    /// ...or prebuilt resources handed in directly (non-null wins).
+    MapCatalog::Resources prebuilt;
+  };
+
+  std::vector<Session*> snapshot() const;
+
+  ServeOptions opts_;
+  std::unique_ptr<ThreadPool> pool_;  ///< Null when threads == 0.
+  MapCatalog catalog_;
+
+  mutable std::mutex mutex_;  ///< Guards definitions_ and sessions_.
+  std::map<std::string, MapDefinition> definitions_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+
+  double pump_seconds_ = 0.0;  ///< Written by pump() only.
+};
+
+}  // namespace tofmcl::serve

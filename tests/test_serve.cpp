@@ -1,0 +1,378 @@
+// Serving-layer tests: the keyed once-map (single construction + pointer
+// identity under concurrent requests), bounded admission control with
+// drop-oldest semantics and backpressure signals, the Localizer's
+// asserted single-threaded contract and correction-timing hooks, and the
+// serial-vs-pooled determinism gate (bit-identical per-session correction
+// traces whatever the pump schedule — set TOFMCL_SERVE_TRACE to dump a
+// hexfloat trace for cross-process CI diffs).
+//
+// The CI ThreadSanitizer job runs this binary: the pooled pumps below are
+// the cross-thread session-hopping pattern the SerialGuard's
+// acquire/release pair must keep data-race-free.
+
+#include "serve/session_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <thread>
+
+#include "common/serial_guard.hpp"
+#include "sim/maze.hpp"
+
+namespace tofmcl::serve {
+namespace {
+
+map::OccupancyGrid maze_grid() {
+  sim::EvaluationEnvironment env;
+  env.world = sim::drone_maze();
+  env.maze_regions.push_back({{0.0, 0.0}, {4.0, 4.0}});
+  return sim::rasterize_environment(env, 0.05, 0.0);
+}
+
+core::LocalizerConfig base_config(std::size_t particles = 128,
+                                  std::uint64_t seed = 7) {
+  core::LocalizerConfig cfg;
+  cfg.precision = core::Precision::kFp32Qm;
+  cfg.mcl.num_particles = particles;
+  cfg.mcl.seed = seed;
+  return cfg;
+}
+
+sensor::TofFrame valid_frame(double t, float distance = 1.0f) {
+  sensor::TofFrame frame;
+  frame.timestamp_s = t;
+  frame.sensor_id = 0;
+  frame.mode = sensor::ZoneMode::k8x8;
+  frame.zones.assign(64, {distance, sensor::ZoneStatus::kValid});
+  return frame;
+}
+
+/// A deterministic synthetic input stream: the drone advances 5 cm per
+/// tick (crossing the 10 cm correction gate every other frame batch) and
+/// senses a wall-distance frame on every tick.
+std::vector<SessionInput> synthetic_stream(std::size_t ticks) {
+  std::vector<SessionInput> stream;
+  for (std::size_t i = 0; i < ticks; ++i) {
+    SessionInput input;
+    input.t = 0.1 * static_cast<double>(i);
+    input.odometry = Pose2{0.05 * static_cast<double>(i), 0.0, 0.0};
+    input.frames.push_back(valid_frame(input.t));
+    stream.push_back(std::move(input));
+  }
+  return stream;
+}
+
+// ---------------------------------------------------------------------------
+// MapCatalog: the keyed once-map (duplicate-construction bugfix).
+// ---------------------------------------------------------------------------
+
+TEST(MapCatalog, ConcurrentRequestsBuildOnceAndShareThePointer) {
+  const auto grid = maze_grid();
+  const auto cfg = base_config();
+  MapCatalog catalog;
+  std::atomic<int> builds{0};
+  const auto builder = [&]() -> MapCatalog::Resources {
+    ++builds;
+    const core::Precision p = core::Precision::kFp32Qm;
+    return core::build_map_resources(grid, cfg.mcl, {&p, 1});
+  };
+
+  constexpr int kThreads = 8;
+  std::vector<MapCatalog::Resources> got(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+      threads.emplace_back(
+          [&, i] { got[i] = catalog.get_or_build("maze", builder); });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  EXPECT_EQ(builds.load(), 1);
+  ASSERT_NE(got[0], nullptr);
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(got[i].get(), got[0].get()) << "session " << i;
+  }
+  EXPECT_EQ(catalog.size(), 1u);
+  // A later request reuses the entry (no rebuild).
+  EXPECT_EQ(catalog.get_or_build("maze", builder).get(), got[0].get());
+  EXPECT_EQ(builds.load(), 1);
+}
+
+TEST(MapCatalog, FailedBuildPropagatesAndRetries) {
+  MapCatalog catalog;
+  int attempts = 0;
+  const auto flaky = [&]() -> MapCatalog::Resources {
+    if (++attempts == 1) throw IoError("map file unreadable");
+    return std::make_shared<const core::MapResources>();
+  };
+  EXPECT_THROW(catalog.get_or_build("flaky", flaky), IoError);
+  // The failed entry was forgotten: the next request retries and wins.
+  EXPECT_NE(catalog.get_or_build("flaky", flaky), nullptr);
+  EXPECT_EQ(attempts, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Session admission control.
+// ---------------------------------------------------------------------------
+
+TEST(Session, DropOldestAdmissionControlIsExact) {
+  const auto grid = maze_grid();
+  const core::Precision p = core::Precision::kFp32Qm;
+  const auto cfg = base_config();
+  auto maps = core::build_map_resources(grid, cfg.mcl, {&p, 1});
+  SessionOptions opts;
+  opts.config = cfg;
+  opts.queue_capacity = 4;
+  opts.start = StartPose{Pose2{0.5, 0.5, 0.0}, 0.1, 0.05};
+  Session session(0, "maze", maps, opts);
+
+  const auto stream = synthetic_stream(10);
+  // Capacity 4, half-full threshold 2: the first push is accepted with
+  // room, pushes 2..4 report saturation, pushes 5..10 evict the oldest.
+  EXPECT_EQ(session.push(stream[0]), Admission::kAccepted);
+  EXPECT_EQ(session.push(stream[1]), Admission::kSaturated);
+  EXPECT_EQ(session.push(stream[2]), Admission::kSaturated);
+  EXPECT_EQ(session.push(stream[3]), Admission::kSaturated);
+  for (std::size_t i = 4; i < 10; ++i) {
+    EXPECT_EQ(session.push(stream[i]), Admission::kDroppedOldest) << i;
+  }
+  EXPECT_EQ(session.dropped_inputs(), 6u);
+
+  // Exactly the newest `capacity` inputs survive, in arrival order.
+  session.process_pending();
+  EXPECT_EQ(session.processed_inputs(), 4u);
+  EXPECT_FALSE(session.has_pending());
+}
+
+TEST(Session, ProcessingDrainsAndCorrects) {
+  const auto grid = maze_grid();
+  const core::Precision p = core::Precision::kFp32Qm;
+  const auto cfg = base_config();
+  auto maps = core::build_map_resources(grid, cfg.mcl, {&p, 1});
+  SessionOptions opts;
+  opts.config = cfg;
+  opts.queue_capacity = 64;
+  opts.start = StartPose{Pose2{0.5, 0.5, 0.0}, 0.1, 0.05};
+  Session session(0, "maze", maps, opts);
+
+  for (const auto& input : synthetic_stream(12)) {
+    ASSERT_NE(session.push(input), Admission::kDroppedOldest);
+  }
+  const std::size_t corrected = session.process_pending();
+  EXPECT_GT(corrected, 0u);
+  EXPECT_EQ(session.corrections(), corrected);
+  EXPECT_EQ(session.trace().size(), corrected);
+  EXPECT_EQ(session.latency().count(), corrected);
+  EXPECT_EQ(session.processed_inputs(), 12u);
+  // Timing hooks: every correction recorded a positive wall time, and the
+  // localizer's running total covers them.
+  for (const double s : session.latency().samples()) EXPECT_GT(s, 0.0);
+  EXPECT_GT(session.localizer().last_correction_seconds(), 0.0);
+  EXPECT_GE(session.localizer().total_correction_seconds(),
+            session.localizer().last_correction_seconds());
+}
+
+// ---------------------------------------------------------------------------
+// SerialGuard: the asserted single-threaded contract (on_frames
+// accounting race bugfix).
+// ---------------------------------------------------------------------------
+
+TEST(SerialGuard, ConcurrentEntryThrowsLoudly) {
+  SerialGuard guard;
+  SerialGuard::Scope outer(guard);
+  EXPECT_THROW(SerialGuard::Scope inner(guard), PreconditionError);
+  // The outer scope still releases cleanly after the inner throw...
+}
+
+TEST(SerialGuard, ReleasesAfterScopeExit) {
+  SerialGuard guard;
+  { SerialGuard::Scope scope(guard); }
+  // ...so a fresh entry succeeds.
+  SerialGuard::Scope again(guard);
+}
+
+TEST(SerialGuard, SerializedCrossThreadCallsAreClean) {
+  // The serving pattern: consecutive (externally serialized) calls land
+  // on different threads. Must neither throw nor race — the TSan CI job
+  // checks the latter via the guard's acquire/release pair.
+  const auto grid = maze_grid();
+  core::SerialExecutor exec;
+  core::Localizer loc(grid, base_config(), exec);
+  loc.start_at(Pose2{0.5, 0.5, 0.0}, 0.1, 0.05);
+  for (int hop = 0; hop < 8; ++hop) {
+    std::thread worker([&loc, hop] {
+      loc.on_odometry(Pose2{0.05 * hop, 0.0, 0.0});
+      const auto frame = valid_frame(0.1 * hop);
+      loc.on_frames({&frame, 1});
+    });
+    worker.join();  // The join is the owner's serialization hand-off.
+  }
+  EXPECT_GT(loc.updates_run(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// SessionManager: multiplexing, aggregation, determinism.
+// ---------------------------------------------------------------------------
+
+/// Builds a manager with `sessions` sessions on one maze map and replays
+/// `ticks` synthetic inputs, pumping every `pump_every` ticks.
+std::unique_ptr<SessionManager> run_maze_service(std::size_t threads,
+                                                 std::size_t sessions,
+                                                 std::size_t ticks,
+                                                 std::size_t pump_every) {
+  auto mgr = std::make_unique<SessionManager>(ServeOptions{threads});
+  mgr->define_map("maze", maze_grid(), base_config().mcl,
+                  {core::Precision::kFp32Qm});
+  for (std::size_t i = 0; i < sessions; ++i) {
+    SessionOptions opts;
+    opts.config = base_config(128, 100 + i);  // per-session filter seed
+    opts.queue_capacity = 2 * pump_every;     // paced: nothing dropped
+    opts.start = StartPose{Pose2{0.5, 0.5, 0.0}, 0.1, 0.05};
+    mgr->open_session("maze", opts);
+  }
+  const auto stream = synthetic_stream(ticks);
+  for (std::size_t t = 0; t < ticks; ++t) {
+    for (std::size_t i = 0; i < sessions; ++i) {
+      EXPECT_NE(mgr->push(i, stream[t]), Admission::kDroppedOldest);
+    }
+    if ((t + 1) % pump_every == 0 || t + 1 == ticks) mgr->pump();
+  }
+  return mgr;
+}
+
+TEST(SessionManager, SerialAndPooledPumpsYieldBitIdenticalTraces) {
+  constexpr std::size_t kSessions = 6;
+  constexpr std::size_t kTicks = 16;
+  // Different pump cadences on purpose: batching must not matter either.
+  const auto serial = run_maze_service(0, kSessions, kTicks, 4);
+  const auto pooled = run_maze_service(4, kSessions, kTicks, 3);
+
+  std::size_t corrections = 0;
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    const auto& ts = serial->session(i).trace();
+    const auto& tp = pooled->session(i).trace();
+    ASSERT_EQ(ts.size(), tp.size()) << "session " << i;
+    corrections += ts.size();
+    for (std::size_t j = 0; j < ts.size(); ++j) {
+      // Bitwise equality: EXPECT_EQ on doubles is exact.
+      EXPECT_EQ(ts[j].t, tp[j].t);
+      EXPECT_EQ(ts[j].pose.position.x, tp[j].pose.position.x);
+      EXPECT_EQ(ts[j].pose.position.y, tp[j].pose.position.y);
+      EXPECT_EQ(ts[j].pose.yaw, tp[j].pose.yaw);
+    }
+  }
+  EXPECT_GT(corrections, 0u) << "gate is vacuous without corrections";
+
+  // Distinct seeds must give distinct traces (the per-session RNG is
+  // real, not copy-pasted state).
+  ASSERT_GT(serial->session(0).trace().size(), 0u);
+  ASSERT_GT(serial->session(1).trace().size(), 0u);
+  EXPECT_NE(serial->session(0).trace().front().pose.position.x,
+            serial->session(1).trace().front().pose.position.x);
+
+  // Cross-process determinism hook: dump the pooled traces in hexfloat
+  // for CI to diff between two independent test processes.
+  if (const char* path = std::getenv("TOFMCL_SERVE_TRACE")) {
+    std::ofstream trace(path);
+    ASSERT_TRUE(trace) << "cannot open " << path;
+    trace << std::hexfloat;
+    for (std::size_t i = 0; i < kSessions; ++i) {
+      for (const CorrectionRecord& r : pooled->session(i).trace()) {
+        trace << i << ' ' << r.t << ' ' << r.pose.position.x << ' '
+              << r.pose.position.y << ' ' << r.pose.yaw << '\n';
+      }
+    }
+  }
+}
+
+TEST(SessionManager, ReportAggregatesPerMapAndGlobally) {
+  SessionManager mgr(ServeOptions{2});
+  mgr.define_map("maze_a", maze_grid(), base_config().mcl,
+                 {core::Precision::kFp32Qm});
+  mgr.define_map("maze_b", maze_grid(), base_config().mcl,
+                 {core::Precision::kFp32Qm});
+  SessionOptions opts;
+  opts.config = base_config();
+  opts.queue_capacity = 32;
+  opts.start = StartPose{Pose2{0.5, 0.5, 0.0}, 0.1, 0.05};
+  const std::size_t a0 = mgr.open_session("maze_a", opts);
+  const std::size_t a1 = mgr.open_session("maze_a", opts);
+  const std::size_t b0 = mgr.open_session("maze_b", opts);
+
+  const auto stream = synthetic_stream(12);
+  for (const auto& input : stream) {
+    mgr.push(a0, input);
+    mgr.push(a1, input);
+    mgr.push(b0, input);
+  }
+  const std::size_t corrected = mgr.pump();
+  EXPECT_GT(corrected, 0u);
+
+  const ServeReport rep = mgr.report();
+  EXPECT_EQ(rep.sessions, 3u);
+  EXPECT_EQ(rep.processed_inputs, 36u);
+  EXPECT_EQ(rep.corrections, corrected);
+  EXPECT_EQ(rep.latency.count, corrected);
+  EXPECT_GT(rep.pump_seconds, 0.0);
+  EXPECT_GT(rep.corrections_per_second, 0.0);
+
+  ASSERT_EQ(rep.per_map.size(), 2u);
+  EXPECT_EQ(rep.per_map[0].map, "maze_a");
+  EXPECT_EQ(rep.per_map[0].sessions, 2u);
+  EXPECT_EQ(rep.per_map[1].map, "maze_b");
+  EXPECT_EQ(rep.per_map[1].sessions, 1u);
+  EXPECT_EQ(rep.per_map[0].corrections + rep.per_map[1].corrections,
+            rep.corrections);
+  EXPECT_EQ(rep.per_map[0].latency.count + rep.per_map[1].latency.count,
+            rep.latency.count);
+  EXPECT_EQ(rep.dropped_inputs, 0u);
+}
+
+TEST(SessionManager, ConcurrentOpensOnOneMapShareOneBuild) {
+  // Manager-level once-map: sessions opened from many threads at once on
+  // a grid-defined map must all come up (the catalog serializes the
+  // single build) and then serve.
+  SessionManager mgr(ServeOptions{2});
+  mgr.define_map("maze", maze_grid(), base_config().mcl,
+                 {core::Precision::kFp32Qm});
+  constexpr std::size_t kOpeners = 6;
+  {
+    std::vector<std::thread> threads;
+    for (std::size_t i = 0; i < kOpeners; ++i) {
+      threads.emplace_back([&mgr, i] {
+        SessionOptions opts;
+        opts.config = base_config(128, 200 + i);
+        opts.start = StartPose{Pose2{0.5, 0.5, 0.0}, 0.1, 0.05};
+        mgr.open_session("maze", opts);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  EXPECT_EQ(mgr.num_sessions(), kOpeners);
+  const auto stream = synthetic_stream(6);
+  for (const auto& input : stream) {
+    for (std::size_t i = 0; i < kOpeners; ++i) mgr.push(i, input);
+  }
+  EXPECT_GT(mgr.pump(), 0u);
+}
+
+TEST(SessionManager, RejectsUnknownKeys) {
+  SessionManager mgr(ServeOptions{0});
+  SessionOptions opts;
+  opts.config = base_config();
+  EXPECT_THROW(mgr.open_session("nope", opts), PreconditionError);
+  EXPECT_THROW(mgr.push(0, SessionInput{}), PreconditionError);
+  mgr.define_map("maze", maze_grid(), base_config().mcl,
+                 {core::Precision::kFp32Qm});
+  EXPECT_THROW(mgr.define_map("maze", maze_grid(), base_config().mcl,
+                              {core::Precision::kFp32Qm}),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace tofmcl::serve

@@ -172,6 +172,100 @@ TEST(ThreadPool, SubmitExceptionSurfacesAtWaitIdle) {
   pool.wait_idle();
 }
 
+// Regression (serving workload shape): a chunk task stolen by the helping
+// wait used to deadlock forever if it blocked on wait_idle(), because the
+// single in-flight counter included the caller's own still-running task.
+// With task-category separation, wait_idle tracks general tasks only and
+// a chunk may wait for the general queue to drain. Pre-fix this test
+// hangs (ctest timeout); post-fix it completes.
+TEST(ThreadPool, WaitIdleInsideChunkTaskDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> general_ran{0};
+  pool.submit([&general_ran] { general_ran.fetch_add(1); });
+  std::atomic<int> chunks_ran{0};
+  pool.parallel_chunks(8, 4,
+                       [&](std::size_t, std::size_t, std::size_t) {
+                         pool.wait_idle();  // used to hang on itself
+                         chunks_ran.fetch_add(1);
+                       });
+  EXPECT_EQ(general_ran.load(), 1);
+  EXPECT_EQ(chunks_ran.load(), 4);
+}
+
+// Regression (serving workload shape): a pool task that fans subtasks out
+// and waits for just those. With wait_idle this deadlocked on a 1-thread
+// pool (the task's own in-flight slot never cleared and nobody was left
+// to run the subtasks); TaskGroup waits help drain the queue and track
+// only their own batch.
+TEST(ThreadPool, NestedSubmitAndGroupWaitFromPoolTask) {
+  ThreadPool pool(1);  // one worker: the nested waiter MUST help
+  std::atomic<int> inner{0};
+  ThreadPool::TaskGroup outer;
+  pool.submit(
+      [&] {
+        ThreadPool::TaskGroup batch;
+        for (int i = 0; i < 4; ++i) {
+          pool.submit([&inner] { inner.fetch_add(1); }, batch);
+        }
+        pool.wait(batch);
+        EXPECT_EQ(inner.load(), 4);
+      },
+      outer);
+  pool.wait(outer);
+  EXPECT_EQ(inner.load(), 4);
+}
+
+TEST(ThreadPool, WaitIdleFromInsidePoolTaskExcludesOwnStack) {
+  ThreadPool pool(1);
+  std::atomic<int> inner{0};
+  ThreadPool::TaskGroup outer;
+  pool.submit(
+      [&] {
+        pool.submit([&inner] { inner.fetch_add(1); });
+        // Waits for the subtask (helping to run it), not for itself.
+        pool.wait_idle();
+        EXPECT_EQ(inner.load(), 1);
+      },
+      outer);
+  pool.wait(outer);
+  EXPECT_EQ(inner.load(), 1);
+}
+
+TEST(ThreadPool, TaskGroupTracksOnlyItsOwnTasks) {
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  std::atomic<int> grouped{0};
+  // An unrelated slow task must not delay the group wait.
+  pool.submit([&release] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  ThreadPool::TaskGroup group;
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&grouped] { grouped.fetch_add(1); }, group);
+  }
+  pool.wait(group);
+  EXPECT_EQ(grouped.load(), 8);
+  release.store(true);
+  pool.wait_idle();
+}
+
+TEST(ThreadPool, TaskGroupRethrowsFirstErrorAndIsReusable) {
+  ThreadPool pool(2);
+  ThreadPool::TaskGroup group;
+  std::atomic<int> ran{0};
+  pool.submit([&ran] { ran.fetch_add(1); }, group);
+  pool.submit([] { throw std::runtime_error("group task failed"); }, group);
+  pool.submit([&ran] { ran.fetch_add(1); }, group);
+  EXPECT_THROW(pool.wait(group), std::runtime_error);
+  EXPECT_EQ(ran.load(), 2);
+  // Group errors must NOT leak into the pool-wide slot...
+  pool.wait_idle();
+  // ...and the group is reusable once drained.
+  pool.submit([&ran] { ran.fetch_add(1); }, group);
+  pool.wait(group);
+  EXPECT_EQ(ran.load(), 3);
+}
+
 // Nested fork-join: a pool task calling parallel_chunks on its own pool
 // must not deadlock even when run-level tasks occupy every worker — the
 // waiting thread helps drain the queue. This is the execution shape of a
