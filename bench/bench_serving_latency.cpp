@@ -204,11 +204,7 @@ int main(int argc, char** argv) {
   for (const eval::ReplaySource& src : sources) {
     // Sources on one world share a map key (and the same resources
     // pointer); define each key once.
-    try {
-      mgr.define_map(src.map_key, src.maps);
-    } catch (const PreconditionError&) {
-      // Key already defined by an earlier source on the same world.
-    }
+    if (!mgr.has_map(src.map_key)) mgr.define_map(src.map_key, src.maps);
   }
 
   std::fprintf(stderr, "opening %zu sessions over %zu sources...\n",

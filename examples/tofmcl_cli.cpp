@@ -30,6 +30,11 @@ namespace {
 
 using Options = std::map<std::string, std::string>;
 
+// GCC 12's -Wrestrict fires a false positive inside the inlined
+// libstdc++ std::string assignment in the flag branch below (upstream
+// PR 105651); scope the silence to exactly this function.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wrestrict"
 Options parse_options(int argc, char** argv, int first) {
   Options opts;
   for (int i = first; i < argc; ++i) {
@@ -49,6 +54,7 @@ Options parse_options(int argc, char** argv, int first) {
   }
   return opts;
 }
+#pragma GCC diagnostic pop
 
 std::string get(const Options& opts, const std::string& key,
                 const std::string& fallback) {

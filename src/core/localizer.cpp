@@ -1,4 +1,6 @@
 #include "core/localizer.hpp"
+// TOFMCL_LINT_ALLOW_FILE(wall-clock): correction-latency self-timing only;
+// steady_clock never feeds the filter state, so traces stay deterministic.
 
 #include <algorithm>
 #include <chrono>

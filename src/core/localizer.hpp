@@ -1,4 +1,6 @@
 #pragma once
+// TOFMCL_LINT_ALLOW_FILE(wall-clock): steady_clock appears only in the
+// latency-accounting API (record_correction_time); it never feeds state.
 /// \file localizer.hpp
 /// \brief Runtime facade over the templated particle filter.
 ///

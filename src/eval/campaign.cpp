@@ -1,4 +1,6 @@
 #include "eval/campaign.hpp"
+// TOFMCL_LINT_ALLOW_FILE(wall-clock): campaign wall-time reporting
+// (runtime breakdown per phase); results depend only on seeded RNG.
 
 #include <algorithm>
 #include <bit>

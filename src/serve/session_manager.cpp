@@ -1,4 +1,6 @@
 #include "serve/session_manager.hpp"
+// TOFMCL_LINT_ALLOW_FILE(wall-clock): pump() measures its own wall time
+// for the throughput report; correction traces never read the clock.
 
 #include <algorithm>
 #include <atomic>
@@ -32,6 +34,11 @@ void SessionManager::define_map(const std::string& key,
                  "map key already defined");
   definitions_.emplace(
       key, MapDefinition{std::nullopt, {}, {}, std::move(maps)});
+}
+
+bool SessionManager::has_map(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return definitions_.find(key) != definitions_.end();
 }
 
 std::size_t SessionManager::open_session(const std::string& map_key,

@@ -85,6 +85,11 @@ class SessionManager {
   /// key share exactly this object.
   void define_map(const std::string& key, MapCatalog::Resources maps);
 
+  /// True when `key` is already defined. Callers replaying several
+  /// sources that share one world use this to define each key once
+  /// instead of catching the duplicate-define PreconditionError.
+  bool has_map(const std::string& key) const;
+
   /// Opens a session on a defined map and returns its id. Thread-safe;
   /// concurrent opens of one map share a single resource build.
   std::size_t open_session(const std::string& map_key,

@@ -165,7 +165,9 @@ TEST(BeamMixture, ShortComponentDecaysMonotonically) {
       const float cur = short_return_floor(z, p);
       EXPECT_GE(cur, 0.0f) << "z=" << z;
       EXPECT_LE(cur, prev) << "z=" << z;
-      if (prev > 1e-30f) EXPECT_LT(cur, prev) << "z=" << z;
+      if (prev > 1e-30f) {
+        EXPECT_LT(cur, prev) << "z=" << z;
+      }
       prev = cur;
     }
   }

@@ -374,5 +374,23 @@ TEST(SessionManager, RejectsUnknownKeys) {
                PreconditionError);
 }
 
+TEST(SessionManager, HasMapTracksDefinitions) {
+  SessionManager mgr(ServeOptions{0});
+  EXPECT_FALSE(mgr.has_map("maze"));
+  mgr.define_map("maze", maze_grid(), base_config().mcl,
+                 {core::Precision::kFp32Qm});
+  EXPECT_TRUE(mgr.has_map("maze"));
+  EXPECT_FALSE(mgr.has_map("maze2"));
+  // The check-before-define idiom replay loaders use (several sources
+  // sharing one world key): second define is skipped, not thrown.
+  if (!mgr.has_map("maze")) {
+    mgr.define_map("maze", maze_grid(), base_config().mcl,
+                   {core::Precision::kFp32Qm});
+  }
+  SessionOptions opts;
+  opts.config = base_config();
+  EXPECT_EQ(mgr.open_session("maze", opts), 0u);
+}
+
 }  // namespace
 }  // namespace tofmcl::serve

@@ -1,0 +1,11 @@
+// Corpus: unseeded entropy sources anywhere in the tree break the
+// bit-identical replay guarantee — every stochastic draw must come from
+// the seeded tofmcl::Rng.
+#include <cstdlib>
+#include <random>
+
+int noisy_choice(int n) {
+  std::srand(42);                       // flagged: srand
+  std::random_device entropy;           // flagged: random_device
+  return (std::rand() + static_cast<int>(entropy())) % n;  // flagged: rand
+}

@@ -1,0 +1,10 @@
+// Corpus: the compliant version draws from the seeded generator. Note
+// that identifiers merely CONTAINING a banned name (z_rand, rand_idx)
+// must not be flagged — the lexer matches whole identifiers.
+#include "common/rng.hpp"
+
+int seeded_choice(tofmcl::Rng& rng, int n, double z_rand) {
+  const int rand_idx = static_cast<int>(rng.uniform_index(
+      static_cast<std::uint64_t>(n)));
+  return z_rand > 0.5 ? rand_idx : n - 1 - rand_idx;
+}

@@ -1,0 +1,8 @@
+// Corpus: a detached thread outlives scope, test teardown and — at exit —
+// races static destruction. Both access spellings are covered.
+#include <thread>
+
+void fire_and_forget(std::thread* owned) {
+  std::thread([] {}).detach();  // flagged
+  owned->detach();              // flagged
+}

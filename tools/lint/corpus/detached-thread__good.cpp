@@ -1,0 +1,9 @@
+// Corpus: joining keeps the thread's lifetime inside the owner's scope.
+// An identifier merely NAMED detach (no call through . or ->) is clean.
+#include <thread>
+
+void run_and_join(bool detach) {
+  std::thread worker([] {});
+  if (detach) worker.join();  // 'detach' here is a plain bool, not a call
+  if (worker.joinable()) worker.join();
+}

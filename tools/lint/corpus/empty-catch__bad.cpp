@@ -1,0 +1,11 @@
+// Corpus: an empty catch body swallows the exception with no record —
+// a comment inside the braces does not count as handling.
+void may_throw();
+
+void swallow_everything() {
+  try {
+    may_throw();
+  } catch (...) {  // flagged
+    // "can't happen" — famous last words
+  }
+}

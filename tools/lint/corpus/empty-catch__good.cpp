@@ -1,0 +1,13 @@
+// Corpus: the handler records the failure (any statement counts); the
+// repo pattern is capturing into a std::exception_ptr for the caller.
+#include <exception>
+
+void may_throw();
+
+void capture_failure(std::exception_ptr& first_error) {
+  try {
+    may_throw();
+  } catch (...) {
+    if (!first_error) first_error = std::current_exception();
+  }
+}

@@ -1,0 +1,13 @@
+// Corpus: suppression hygiene. A suppression with no justification and a
+// stale suppression (nothing on its line to suppress) are both findings —
+// the budget only stays meaningful if every TOFMCL_LINT_ALLOW is live and
+// explained.
+#include <thread>
+
+void run() {
+  // TOFMCL_LINT_ALLOW(detached-thread)
+  std::thread([] {}).detach();
+
+  int x = 0;  // TOFMCL_LINT_ALLOW(empty-catch): there is no catch here
+  (void)x;
+}

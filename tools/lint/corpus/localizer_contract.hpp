@@ -1,0 +1,27 @@
+// Corpus support header (not a test case): the class contract the
+// serial-guard samples are checked against. Public non-const methods are
+// the externally-serialized mutating entry points; const accessors and
+// private helpers are exempt.
+#pragma once
+
+#include "common/serial_guard.hpp"
+
+struct Pose2;
+struct PoseEstimate;
+
+namespace tofmcl::core {
+
+class Localizer {
+ public:
+  void start_global();
+  void on_odometry(const Pose2& pose);
+  const PoseEstimate& estimate() const;
+  double last_correction_seconds() const { return last_correction_s_; }
+
+ private:
+  void step_filter();
+  double last_correction_s_ = 0.0;
+  SerialGuard serial_guard_;
+};
+
+}  // namespace tofmcl::core

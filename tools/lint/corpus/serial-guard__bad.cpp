@@ -1,0 +1,21 @@
+// lint-path: src/core/localizer.cpp
+// lint-sibling: localizer_contract.hpp
+// Corpus: one mutating entry point constructs the guard, the other does
+// not — the unguarded one silently races filter state when the owner's
+// serialization is buggy, exactly the class of bug SerialGuard exists to
+// make loud.
+#include "common/serial_guard.hpp"
+
+namespace tofmcl::core {
+
+void Localizer::start_global() {
+  SerialGuard::Scope serial(serial_guard_);
+  step_filter();
+}
+
+void Localizer::on_odometry(const Pose2& pose) {  // flagged: no Scope
+  (void)pose;
+  step_filter();
+}
+
+}  // namespace tofmcl::core

@@ -1,0 +1,27 @@
+// lint-path: src/core/localizer.cpp
+// lint-sibling: localizer_contract.hpp
+// Corpus: every public mutating entry point opens a SerialGuard::Scope;
+// const accessors and private helpers need none.
+#include "common/serial_guard.hpp"
+
+namespace tofmcl::core {
+
+void Localizer::start_global() {
+  SerialGuard::Scope serial(serial_guard_);
+  step_filter();
+}
+
+void Localizer::on_odometry(const Pose2& pose) {
+  SerialGuard::Scope serial(serial_guard_);
+  (void)pose;
+  step_filter();
+}
+
+const PoseEstimate& Localizer::estimate() const {
+  static const PoseEstimate* e = nullptr;
+  return *e;
+}
+
+void Localizer::step_filter() {}
+
+}  // namespace tofmcl::core

@@ -1,0 +1,13 @@
+// lint-path: tests/test_sample.cpp
+// Corpus: sleeping until "the other thread has probably finished" is the
+// canonical flaky test — it passes locally and times out on a loaded CI
+// box.
+#include <chrono>
+#include <thread>
+
+bool flag_set();
+
+bool wait_for_flag() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));  // flagged
+  return flag_set();
+}

@@ -1,0 +1,12 @@
+// lint-path: tests/test_sample.cpp
+// Corpus: a condition variable with a deadline communicates the same
+// intent race-free — it wakes as soon as the flag flips and the timeout
+// is a failure bound, not a tuning knob.
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+bool wait_for_flag(std::mutex& m, std::condition_variable& cv, bool& flag) {
+  std::unique_lock<std::mutex> lock(m);
+  return cv.wait_for(lock, std::chrono::seconds(5), [&] { return flag; });
+}

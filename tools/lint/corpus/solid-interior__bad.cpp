@@ -1,0 +1,14 @@
+// Corpus: an occupied rectangle added to an environment's world without
+// registering it in solid_regions. Its rasterized interior fills with
+// Occupied cells whose EDT is zero — every beam "explains" perfectly
+// inside the blob, so particles sink into it and never leave (the
+// loop-corridor lesson).
+struct Aabb;
+struct Env;
+
+void add_storage_block(Env& env, const Aabb& box);
+
+template <typename E, typename B>
+void build_hall(E& env, const B& box) {
+  env.world.add_rectangle(box);  // flagged: interior becomes a sink
+}

@@ -1,0 +1,8 @@
+// Corpus: the box joins solid_regions in the same function, so the
+// rasterizer keeps its interior Unknown (zero-EDT sink defused) and only
+// the outline becomes Occupied.
+template <typename E, typename B>
+void build_hall(E& env, const B& box) {
+  env.world.add_rectangle(box);
+  env.solid_regions.push_back(box);
+}

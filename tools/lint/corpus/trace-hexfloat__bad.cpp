@@ -1,0 +1,18 @@
+// Corpus: trace emitters writing decimal floats. Decimal round-trips are
+// locale/precision dependent — cross-process trace diffs (cmp in CI) go
+// flaky. Both emitter conventions are covered: the TOFMCL_*_TRACE env
+// hook and the *_trace function-name convention.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+void dump_on_hook(double err) {
+  if (const char* path = std::getenv("TOFMCL_CORPUS_TRACE")) {  // flagged
+    std::ofstream out(path);
+    out << err << '\n';  // decimal: not reproducible byte-for-byte
+  }
+}
+
+void write_error_trace(std::FILE* f, double err) {  // flagged
+  std::fprintf(f, "%.17g\n", err);
+}

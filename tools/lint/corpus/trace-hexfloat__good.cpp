@@ -1,0 +1,17 @@
+// Corpus: the same two emitters formatting as hexfloats — byte-exact
+// round-trips, so two processes' traces can be cmp'd in CI.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ios>
+
+void dump_on_hook(double err) {
+  if (const char* path = std::getenv("TOFMCL_CORPUS_TRACE")) {
+    std::ofstream out(path);
+    out << std::hexfloat << err << '\n';
+  }
+}
+
+void write_error_trace(std::FILE* f, double err) {
+  std::fprintf(f, "%a\n", err);
+}

@@ -1,0 +1,19 @@
+// lint-path: src/core/sample_accumulator.cpp
+// Corpus: range-iteration over an unordered container in src/core — the
+// float accumulation order is implementation-defined, so serial/pooled
+// traces stop being bit-identical.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+double total_weight(const std::unordered_map<std::string, double>& weights,
+                    std::unordered_set<int> active) {
+  double sum = 0.0;
+  for (const auto& [key, w] : weights) {  // flagged: unordered_map order
+    sum += w;
+  }
+  for (int id : active) {                 // flagged: unordered_set order
+    sum += static_cast<double>(id) * 1e-9;
+  }
+  return sum;
+}

@@ -1,0 +1,17 @@
+// lint-path: src/core/sample_accumulator.cpp
+// Corpus: keyed lookup into an unordered container is fine (no order
+// dependence), and iteration happens over an ordered std::map — the
+// accumulation order is the key order, reproducible everywhere.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+double total_weight(const std::map<std::string, double>& weights,
+                    const std::unordered_map<std::string, double>& bonus) {
+  double sum = 0.0;
+  for (const auto& [key, w] : weights) {
+    const auto it = bonus.find(key);
+    sum += w + (it != bonus.end() ? it->second : 0.0);
+  }
+  return sum;
+}

@@ -1,0 +1,10 @@
+// Corpus: wall-clock reads outside the whitelisted timing code. A clock
+// feeding simulation or filter state makes replays non-reproducible.
+#include <chrono>
+
+double jitter_seed() {
+  const auto now = std::chrono::steady_clock::now();   // flagged
+  const auto wall = std::chrono::system_clock::now();  // flagged
+  return std::chrono::duration<double>(now.time_since_epoch()).count() +
+         std::chrono::duration<double>(wall.time_since_epoch()).count();
+}

@@ -1,0 +1,10 @@
+// lint-path: bench/bench_sample.cpp
+// Corpus: benchmarks are whitelisted timing code — measuring wall time is
+// their purpose, so the same tokens are clean under bench/.
+#include <chrono>
+
+double measure_seconds() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}

@@ -1,0 +1,198 @@
+#pragma once
+/// \file lexer.hpp
+/// \brief Minimal C++ lexer for tofmcl_lint.
+///
+/// The lint rules (see rules.hpp) work on token streams, not ASTs: every
+/// invariant they enforce — banned identifiers, guard construction, brace
+/// regions around trace emitters — is visible at the lexical level, so a
+/// ~200-line lexer keeps the tool dependency-free (no libclang) and fast
+/// enough to run on every ctest invocation.
+///
+/// What it understands:
+///  * line ('//') and block ('/* */') comments — stripped from the token
+///    stream but collected separately with line numbers, because the
+///    TOFMCL_LINT_ALLOW suppression syntax lives in comments;
+///  * string literals, including raw strings (R"delim(...)delim"), char
+///    literals, and common prefixes (u8, L, ...) — emitted as one String
+///    token whose text is the literal CONTENTS (quotes stripped), so rules
+///    can grep printf formats for "%a";
+///  * identifiers/keywords (one Ident token each — 'z_rand' never matches
+///    a ban on 'rand'), numbers, and punctuation ('::' and '->' are fused
+///    into single tokens, everything else is one char per token);
+///  * preprocessor lines — tokenized normally but flagged pp=true so
+///    identifier bans can skip '#include <random>' and friends.
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tofmcl::lint {
+
+enum class TokKind { kIdent, kNumber, kString, kChar, kPunct };
+
+struct Token {
+  TokKind kind;
+  std::string text;  ///< Identifier/number spelling, literal contents, or punct.
+  int line = 0;
+  bool pp = false;  ///< Token belongs to a preprocessor directive line.
+};
+
+struct Comment {
+  std::string text;  ///< Contents without the // or /* */ markers.
+  int line = 0;      ///< Line the comment starts on.
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+inline bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+inline bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Tokenizes `src`. Never throws on malformed input: an unterminated
+/// literal or comment simply ends at EOF — lint rules degrade gracefully
+/// on code that does not compile anyway.
+inline LexedFile lex(const std::string& src) {
+  LexedFile out;
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool in_pp = false;       // Inside a preprocessor directive.
+  bool line_has_code = false;  // Any non-ws char seen on this line yet.
+
+  auto newline = [&] {
+    ++line;
+    line_has_code = false;
+    in_pp = false;  // Continuations handled below before we get here.
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      newline();
+      ++i;
+      continue;
+    }
+    if (c == '\\' && i + 1 < n && src[i + 1] == '\n') {
+      ++line;  // Line continuation: stay in pp mode, consume both chars.
+      i += 2;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#' && !line_has_code) in_pp = true;
+    line_has_code = true;
+
+    // Comments.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t j = i + 2;
+      while (j < n && src[j] != '\n') ++j;
+      out.comments.push_back({src.substr(i + 2, j - i - 2), line});
+      i = j;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int start_line = line;
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      out.comments.push_back({src.substr(i + 2, j - i - 2), start_line});
+      i = (j + 1 < n) ? j + 2 : n;
+      continue;
+    }
+
+    // Raw string literals: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(' && src[j] != '\n') delim += src[j++];
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t body = (j < n) ? j + 1 : n;
+      std::size_t end = src.find(closer, body);
+      if (end == std::string::npos) end = n;
+      std::string contents = src.substr(body, end - body);
+      out.tokens.push_back({TokKind::kString, contents, line, in_pp});
+      for (char ch : src.substr(i, std::min(end + closer.size(), n) - i))
+        if (ch == '\n') ++line;
+      i = std::min(end + closer.size(), n);
+      continue;
+    }
+
+    // String/char literals (with optional encoding prefix already consumed
+    // as part of a preceding identifier — acceptable: "u8" etc. are rare
+    // here and the literal itself still lexes correctly).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      std::string contents;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) {
+          contents += src[j];
+          contents += src[j + 1];
+          j += 2;
+          continue;
+        }
+        if (src[j] == '\n') ++line;  // Unterminated; keep line count sane.
+        contents += src[j++];
+      }
+      out.tokens.push_back(
+          {quote == '"' ? TokKind::kString : TokKind::kChar, contents, line,
+           in_pp});
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+
+    // Identifiers.
+    if (is_ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && is_ident_char(src[j])) ++j;
+      out.tokens.push_back({TokKind::kIdent, src.substr(i, j - i), line, in_pp});
+      i = j;
+      continue;
+    }
+
+    // Numbers (good enough: digits, dots, exponents, hex, suffixes).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      std::size_t j = i;
+      while (j < n && (is_ident_char(src[j]) || src[j] == '.' ||
+                       ((src[j] == '+' || src[j] == '-') && j > i &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                         src[j - 1] == 'p' || src[j - 1] == 'P'))))
+        ++j;
+      out.tokens.push_back({TokKind::kNumber, src.substr(i, j - i), line, in_pp});
+      i = j;
+      continue;
+    }
+
+    // Punctuation. '::' and '->' are fused so rules can distinguish a
+    // scope operator from a lone ':' (range-for) and see member access
+    // through pointers; everything else is one char per token.
+    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+      out.tokens.push_back({TokKind::kPunct, "::", line, in_pp});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+      out.tokens.push_back({TokKind::kPunct, "->", line, in_pp});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line, in_pp});
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace tofmcl::lint

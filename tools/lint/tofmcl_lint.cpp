@@ -1,0 +1,501 @@
+/// \file tofmcl_lint.cpp
+/// \brief In-repo static analysis enforcing tofmcl's determinism,
+/// concurrency and map invariants.
+///
+/// Usage:
+///   tofmcl_lint --root <repo>  [--budget FILE] [--report FILE]
+///   tofmcl_lint --self-test [--corpus DIR]
+///   tofmcl_lint --list-rules
+///
+/// Tree mode lexes every .cpp/.hpp/.h under <repo>/{src,tests,bench,tools}
+/// (minus this tool's corpus), runs the rule catalog (rules.hpp) and
+/// applies the suppression syntax:
+///
+///   // TOFMCL_LINT_ALLOW(rule): reason        — this line or the next
+///   // TOFMCL_LINT_ALLOW_FILE(rule): reason   — whole file
+///
+/// A suppression must name a real rule and carry a non-empty reason, and
+/// must actually suppress something — stale or malformed suppressions are
+/// themselves violations (rule 'lint-suppression'). The committed budget
+/// file (lint_budget.txt: "<rule> <max-suppressions>" lines) pins the
+/// number of suppression comments per rule: growth past the budget fails
+/// the run, so new exceptions are a reviewed diff, never drive-by.
+///
+/// Self-test mode replays the corpus: every `<rule>__bad*.cpp` must
+/// produce at least one <rule> finding, every `<rule>__good*.cpp` none,
+/// and every registered rule must have both kinds of sample. Corpus files
+/// choose their virtual path (rules scope by directory) via a
+/// `// lint-path: src/core/x.cpp` directive and may name a companion
+/// header with `// lint-sibling: file.hpp`.
+///
+/// Exit codes: 0 clean, 1 findings/budget/self-test failure, 2 usage/IO.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+#include "rules.hpp"
+
+namespace fs = std::filesystem;
+
+namespace tofmcl::lint {
+namespace {
+
+/// Meta-rule for the suppression machinery itself (unknown rule names,
+/// missing reasons, stale suppressions). Not suppressible.
+const char kMetaRule[] = "lint-suppression";
+
+bool known_or_meta(const std::string& rule) {
+  return rule == kMetaRule || is_known_rule(rule);
+}
+
+struct Suppression {
+  std::string rule;
+  std::string reason;
+  int line = 0;
+  bool file_level = false;
+  bool used = false;
+};
+
+/// Parses TOFMCL_LINT_ALLOW[_FILE](rule): reason out of one comment.
+/// Malformed markers (unparseable rule token) surface as violations so a
+/// typo cannot silently disable nothing.
+void parse_suppressions(const std::vector<Comment>& comments,
+                        std::vector<Suppression>& sups,
+                        std::vector<Violation>& meta) {
+  for (const Comment& c : comments) {
+    // The marker must be the first thing in the comment (trailing
+    // comments start right after their '//', so they qualify). Mid-prose
+    // mentions — docs describing the syntax — are not suppressions.
+    std::size_t pos = 0;
+    while (pos < c.text.size() &&
+           std::isspace(static_cast<unsigned char>(c.text[pos])))
+      ++pos;
+    if (c.text.compare(pos, sizeof("TOFMCL_LINT_ALLOW") - 1,
+                       "TOFMCL_LINT_ALLOW") != 0)
+      continue;
+    std::size_t p = pos + sizeof("TOFMCL_LINT_ALLOW") - 1;
+    bool file_level = false;
+    if (c.text.compare(p, 5, "_FILE") == 0) {
+      file_level = true;
+      p += 5;
+    }
+    if (p >= c.text.size() || c.text[p] != '(') {
+      meta.push_back({kMetaRule, c.line,
+                      "malformed suppression: expected "
+                      "TOFMCL_LINT_ALLOW(rule): reason"});
+      continue;
+    }
+    const std::size_t close = c.text.find(')', p);
+    if (close == std::string::npos) {
+      meta.push_back({kMetaRule, c.line, "malformed suppression: missing ')'"});
+      continue;
+    }
+    Suppression s;
+    s.rule = c.text.substr(p + 1, close - p - 1);
+    s.line = c.line;
+    s.file_level = file_level;
+    std::size_t r = close + 1;
+    if (r < c.text.size() && c.text[r] == ':') ++r;
+    while (r < c.text.size() && std::isspace(static_cast<unsigned char>(c.text[r])))
+      ++r;
+    s.reason = c.text.substr(r);
+    while (!s.reason.empty() &&
+           std::isspace(static_cast<unsigned char>(s.reason.back())))
+      s.reason.pop_back();
+    if (!is_known_rule(s.rule)) {
+      meta.push_back({kMetaRule, c.line,
+                      "suppression names unknown rule '" + s.rule +
+                          "' (see --list-rules)"});
+      continue;
+    }
+    if (s.reason.empty()) {
+      meta.push_back({kMetaRule, c.line,
+                      "suppression of '" + s.rule +
+                          "' carries no justification — append ': reason'"});
+      continue;
+    }
+    sups.push_back(std::move(s));
+  }
+}
+
+struct FileResult {
+  std::vector<Violation> reported;              ///< Survived suppression.
+  std::map<std::string, int> suppression_count; ///< Comments per rule.
+  int suppressed_violations = 0;
+};
+
+/// Runs rules + suppression processing over one lexed file.
+FileResult analyze(const FileCtx& ctx) {
+  FileResult res;
+  std::vector<Suppression> sups;
+  std::vector<Violation> meta;
+  parse_suppressions(ctx.lexed->comments, sups, meta);
+
+  std::vector<Violation> raw = run_rules(ctx);
+  for (Violation& v : raw) {
+    bool suppressed = false;
+    for (Suppression& s : sups) {
+      if (s.rule != v.rule) continue;
+      if (s.file_level || s.line == v.line || s.line + 1 == v.line) {
+        s.used = true;
+        suppressed = true;
+        break;
+      }
+    }
+    if (suppressed)
+      ++res.suppressed_violations;
+    else
+      res.reported.push_back(std::move(v));
+  }
+  for (const Suppression& s : sups) {
+    res.suppression_count[s.rule] += 1;
+    if (!s.used) {
+      meta.push_back({kMetaRule, s.line,
+                      "stale suppression: no '" + s.rule +
+                          "' violation on this " +
+                          (s.file_level ? std::string("file") :
+                                          std::string("line (or the next)")) +
+                          " — delete it so the baseline stays tight"});
+    }
+  }
+  res.reported.insert(res.reported.end(), meta.begin(), meta.end());
+  std::sort(res.reported.begin(), res.reported.end(),
+            [](const Violation& a, const Violation& b) {
+              return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+            });
+  return res;
+}
+
+std::string read_file(const fs::path& p, bool* ok) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in.is_open()) {
+    *ok = false;
+    return {};
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *ok = true;
+  return ss.str();
+}
+
+std::string normalize(const fs::path& rel) {
+  std::string s = rel.generic_string();
+  while (s.rfind("./", 0) == 0) s.erase(0, 2);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Tree mode
+// ---------------------------------------------------------------------------
+
+struct TreeOptions {
+  fs::path root = ".";
+  fs::path budget_file;
+  fs::path report_file;
+};
+
+bool lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h";
+}
+
+int run_tree(const TreeOptions& opt) {
+  const std::vector<std::string> kScanDirs = {"src", "tests", "bench", "tools"};
+  std::vector<fs::path> files;
+  for (const std::string& dir : kScanDirs) {
+    const fs::path base = opt.root / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file() || !lintable_extension(entry.path()))
+        continue;
+      const std::string rel = normalize(fs::relative(entry.path(), opt.root));
+      if (rel.find("tools/lint/corpus/") != std::string::npos) continue;
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::ostringstream log;
+  std::map<std::string, int> suppression_totals;
+  int total_violations = 0;
+  int total_suppressed = 0;
+
+  // Lex cache: sibling headers are both analyzed standalone and consulted
+  // by their .cpp's rules; lex each file once.
+  std::map<std::string, LexedFile> lex_cache;
+  auto lexed_for = [&](const fs::path& p) -> const LexedFile* {
+    const std::string key = p.string();
+    auto it = lex_cache.find(key);
+    if (it != lex_cache.end()) return &it->second;
+    bool ok = false;
+    const std::string text = read_file(p, &ok);
+    if (!ok) return nullptr;
+    return &lex_cache.emplace(key, lex(text)).first->second;
+  };
+
+  for (const fs::path& p : files) {
+    const LexedFile* lf = lexed_for(p);
+    if (!lf) {
+      std::fprintf(stderr, "tofmcl_lint: cannot read %s\n", p.string().c_str());
+      return 2;
+    }
+    FileCtx ctx;
+    ctx.path = normalize(fs::relative(p, opt.root));
+    ctx.lexed = lf;
+    const LexedFile* sibling = nullptr;
+    if (p.extension() == ".cpp") {
+      fs::path hpp = p;
+      hpp.replace_extension(".hpp");
+      if (fs::exists(hpp)) sibling = lexed_for(hpp);
+    }
+    ctx.sibling = sibling;
+
+    const FileResult res = analyze(ctx);
+    for (const Violation& v : res.reported) {
+      log << ctx.path << ":" << v.line << ": [" << v.rule << "] " << v.message
+          << "\n";
+      ++total_violations;
+    }
+    for (const auto& [rule, count] : res.suppression_count)
+      suppression_totals[rule] += count;
+    total_suppressed += res.suppressed_violations;
+  }
+
+  // Budget: committed per-rule suppression ceilings. Growth past the
+  // budget is a failure even when every individual suppression is valid —
+  // raising the ceiling is a reviewed one-line diff in lint_budget.txt.
+  std::map<std::string, int> budget;
+  bool budget_ok = true;
+  if (!opt.budget_file.empty()) {
+    std::ifstream in(opt.budget_file);
+    if (!in.is_open()) {
+      std::fprintf(stderr, "tofmcl_lint: cannot read budget file %s\n",
+                   opt.budget_file.string().c_str());
+      return 2;
+    }
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      const std::size_t hash = line.find('#');
+      if (hash != std::string::npos) line.erase(hash);
+      std::istringstream ls(line);
+      std::string rule;
+      int count = 0;
+      if (!(ls >> rule)) continue;  // Blank/comment line.
+      if (!(ls >> count) || !is_known_rule(rule)) {
+        std::fprintf(stderr,
+                     "tofmcl_lint: bad budget entry at %s:%d: '%s'\n",
+                     opt.budget_file.string().c_str(), lineno, rule.c_str());
+        return 2;
+      }
+      budget[rule] = count;
+    }
+  }
+
+  log << "\nsuppression budget (comments per rule, used/allowed):\n";
+  std::set<std::string> all_rules;
+  for (const auto& [rule, n] : suppression_totals) all_rules.insert(rule);
+  for (const auto& [rule, n] : budget) all_rules.insert(rule);
+  if (all_rules.empty()) log << "  (no suppressions in the tree)\n";
+  for (const std::string& rule : all_rules) {
+    const int used = suppression_totals.count(rule) ? suppression_totals[rule] : 0;
+    const int allowed = budget.count(rule) ? budget[rule] : 0;
+    log << "  " << rule << "  " << used << "/" << allowed;
+    if (!opt.budget_file.empty() && used > allowed) {
+      log << "  EXCEEDED — new suppressions need a lint_budget.txt bump "
+             "with review";
+      budget_ok = false;
+    }
+    log << "\n";
+  }
+
+  log << "\nscanned " << files.size() << " files; " << total_violations
+      << " violation(s), " << total_suppressed
+      << " suppressed by budgeted TOFMCL_LINT_ALLOW\n";
+  log << "RESULT: "
+      << (total_violations == 0 && budget_ok ? "CLEAN" : "FAIL") << "\n";
+
+  std::fputs(log.str().c_str(), stdout);
+  if (!opt.report_file.empty()) {
+    std::ofstream out(opt.report_file);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "tofmcl_lint: cannot write report %s\n",
+                   opt.report_file.string().c_str());
+      return 2;
+    }
+    out << log.str();
+  }
+  return (total_violations == 0 && budget_ok) ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// Self-test mode
+// ---------------------------------------------------------------------------
+
+/// Reads a "// lint-<key>: value" directive from the corpus sample text.
+std::string directive(const std::string& text, const std::string& key) {
+  const std::string marker = "// lint-" + key + ":";
+  const std::size_t pos = text.find(marker);
+  if (pos == std::string::npos) return {};
+  std::size_t b = pos + marker.size();
+  while (b < text.size() && (text[b] == ' ' || text[b] == '\t')) ++b;
+  std::size_t e = b;
+  while (e < text.size() && text[e] != '\n' && text[e] != '\r') ++e;
+  return text.substr(b, e - b);
+}
+
+int run_self_test(const fs::path& corpus) {
+  if (!fs::exists(corpus)) {
+    std::fprintf(stderr, "tofmcl_lint: corpus directory %s not found\n",
+                 corpus.string().c_str());
+    return 2;
+  }
+  std::vector<fs::path> cases;
+  for (const auto& entry : fs::directory_iterator(corpus)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (entry.path().extension() == ".cpp" &&
+        (name.find("__bad") != std::string::npos ||
+         name.find("__good") != std::string::npos))
+      cases.push_back(entry.path());
+  }
+  std::sort(cases.begin(), cases.end());
+
+  int failures = 0;
+  std::map<std::string, int> bad_seen, good_seen;
+  for (const fs::path& p : cases) {
+    const std::string name = p.filename().string();
+    const std::size_t sep = name.find("__");
+    const std::string rule = name.substr(0, sep);
+    const bool expect_bad = name.find("__bad") != std::string::npos;
+    if (!known_or_meta(rule)) {
+      std::printf("FAIL %s: corpus names unknown rule '%s'\n", name.c_str(),
+                  rule.c_str());
+      ++failures;
+      continue;
+    }
+    bool ok = false;
+    const std::string text = read_file(p, &ok);
+    if (!ok) {
+      std::printf("FAIL %s: unreadable\n", name.c_str());
+      ++failures;
+      continue;
+    }
+    const LexedFile lexed = lex(text);
+    LexedFile sibling_lexed;
+    FileCtx ctx;
+    const std::string vpath = directive(text, "path");
+    ctx.path = vpath.empty() ? "src/lint_corpus/" + name : vpath;
+    ctx.lexed = &lexed;
+    const std::string sib = directive(text, "sibling");
+    if (!sib.empty()) {
+      bool sok = false;
+      const std::string stext = read_file(corpus / sib, &sok);
+      if (!sok) {
+        std::printf("FAIL %s: lint-sibling %s unreadable\n", name.c_str(),
+                    sib.c_str());
+        ++failures;
+        continue;
+      }
+      sibling_lexed = lex(stext);
+      ctx.sibling = &sibling_lexed;
+    }
+
+    const FileResult res = analyze(ctx);
+    int hits = 0;
+    for (const Violation& v : res.reported)
+      if (v.rule == rule) ++hits;
+    (expect_bad ? bad_seen : good_seen)[rule] += 1;
+    const bool pass = expect_bad ? hits > 0 : hits == 0;
+    std::printf("%s %s (%d '%s' finding%s)\n", pass ? "ok  " : "FAIL",
+                name.c_str(), hits, rule.c_str(), hits == 1 ? "" : "s");
+    if (!pass) {
+      for (const Violation& v : res.reported)
+        std::printf("     %s:%d: [%s] %s\n", ctx.path.c_str(), v.line,
+                    v.rule.c_str(), v.message.c_str());
+      ++failures;
+    }
+  }
+
+  // Coverage: a rule without both samples is a rule nobody can trust.
+  std::vector<std::string> rules_to_cover;
+  for (const Rule& r : rule_catalog()) rules_to_cover.push_back(r.name);
+  rules_to_cover.push_back(kMetaRule);
+  for (const std::string& rule : rules_to_cover) {
+    if (!bad_seen.count(rule)) {
+      std::printf("FAIL coverage: rule '%s' has no __bad corpus sample\n",
+                  rule.c_str());
+      ++failures;
+    }
+    if (!good_seen.count(rule)) {
+      std::printf("FAIL coverage: rule '%s' has no __good corpus sample\n",
+                  rule.c_str());
+      ++failures;
+    }
+  }
+
+  std::printf("self-test: %zu cases, %d failure(s)\n", cases.size(), failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace tofmcl::lint
+
+int main(int argc, char** argv) {
+  using namespace tofmcl::lint;
+  TreeOptions opt;
+  bool self_test = false;
+  fs::path corpus;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "tofmcl_lint: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      opt.root = value();
+    } else if (arg == "--budget") {
+      opt.budget_file = value();
+    } else if (arg == "--report") {
+      opt.report_file = value();
+    } else if (arg == "--self-test") {
+      self_test = true;
+    } else if (arg == "--corpus") {
+      corpus = value();
+    } else if (arg == "--list-rules") {
+      for (const Rule& r : rule_catalog())
+        std::printf("%-22s %s\n", r.name.c_str(), r.summary.c_str());
+      std::printf("%-22s %s\n", kMetaRule,
+                  "suppression hygiene (meta; not suppressible)");
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: tofmcl_lint [--root DIR] [--budget FILE] [--report FILE]\n"
+          "       tofmcl_lint --self-test [--corpus DIR]\n"
+          "       tofmcl_lint --list-rules\n"
+          "Suppress with // TOFMCL_LINT_ALLOW(rule): reason  (this or next\n"
+          "line) or // TOFMCL_LINT_ALLOW_FILE(rule): reason  (whole file).\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "tofmcl_lint: unknown argument %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (self_test) {
+    if (corpus.empty()) corpus = opt.root / "tools" / "lint" / "corpus";
+    return run_self_test(corpus);
+  }
+  return run_tree(opt);
+}
