@@ -40,10 +40,14 @@ struct Args {
   std::size_t sessions = 1024;
   std::size_t threads = 4;
   std::size_t particles = 128;
+  std::size_t min_particles = 128;  ///< Adaptive-mode shrink floor.
   std::size_t ticks = 40;        ///< Frame-batch inputs per session.
   std::size_t queue = 8;         ///< Session queue capacity.
   bool smoke = false;
   bool overload = false;
+  bool adaptive = false;         ///< ESS/KLD adaptive particle counts.
+  /// Idle deadline in pump generations; 0 disables the eviction tail.
+  std::size_t evict_idle = 0;
   const char* json_path = nullptr;
   const char* trace_path = nullptr;
 };
@@ -69,6 +73,13 @@ Args parse(int argc, char** argv) {
           "  --particles N  particles per session (default 128)\n"
           "  --ticks N      frame-batch inputs per session (default 40)\n"
           "  --queue N      per-session queue capacity (default 8)\n"
+          "  --adaptive     KLD-adaptive particle counts (sessions shrink\n"
+          "                 toward --min-particles once converged)\n"
+          "  --min-particles N  adaptive shrink floor (default 128)\n"
+          "  --evict-idle N after the paced replay, evict sessions idle\n"
+          "                 for N pump generations (snapshot to the\n"
+          "                 catalog store, SoA blocks back to the arena);\n"
+          "                 0 = off\n"
           "  --overload     push whole streams before pumping (forces\n"
           "                 drop-oldest admission control to fire)\n"
           "  --smoke        small-maze CI configuration (256 sessions)\n"
@@ -82,6 +93,12 @@ Args parse(int argc, char** argv) {
       args.threads = static_cast<std::size_t>(std::atoi(value()));
     } else if (is("--particles")) {
       args.particles = static_cast<std::size_t>(std::atoi(value()));
+    } else if (is("--min-particles")) {
+      args.min_particles = static_cast<std::size_t>(std::atoi(value()));
+    } else if (is("--adaptive")) {
+      args.adaptive = true;
+    } else if (is("--evict-idle")) {
+      args.evict_idle = static_cast<std::size_t>(std::atoi(value()));
     } else if (is("--ticks")) {
       args.ticks = static_cast<std::size_t>(std::atoi(value()));
     } else if (is("--queue")) {
@@ -140,16 +157,17 @@ std::vector<serve::SessionInput> build_stream(const sim::Sequence& seq,
 
 void print_latency(const char* label, const serve::LatencySummary& s) {
   std::printf("%-14s n=%-8zu p50=%8.1f us  p99=%8.1f us  p999=%8.1f us  "
-              "mean=%8.1f us  max=%8.1f us\n",
+              "mean=%8.1f us  max=%8.1f us%s\n",
               label, s.count, s.p50 * 1e6, s.p99 * 1e6, s.p999 * 1e6,
-              s.mean * 1e6, s.max * 1e6);
+              s.mean * 1e6, s.max * 1e6,
+              s.low_sample ? "  [low-sample: tails clamped to max]" : "");
 }
 
 void json_latency(std::ofstream& os, const serve::LatencySummary& s) {
   os << "{\"count\": " << s.count << ", \"p50\": " << s.p50 * 1e6
      << ", \"p99\": " << s.p99 * 1e6 << ", \"p999\": " << s.p999 * 1e6
      << ", \"mean\": " << s.mean * 1e6 << ", \"max\": " << s.max * 1e6
-     << "}";
+     << ", \"low_sample\": " << (s.low_sample ? "true" : "false") << "}";
 }
 
 }  // namespace
@@ -216,6 +234,8 @@ int main(int argc, char** argv) {
     opts.config.mcl = campaign.spec().mcl;
     opts.config.mcl.seed = eval::campaign_mix(campaign.spec().master_seed,
                                               0x5e55u + id);
+    opts.config.mcl.adaptive_particles = args.adaptive;
+    opts.config.mcl.min_particles = args.min_particles;
     opts.config.sensors = {src.front_tof, src.rear_tof};
     opts.queue_capacity = args.queue;
     opts.start = serve::StartPose{src.start_pose, 0.2, 0.2};
@@ -254,19 +274,80 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
+  if (args.trace_path != nullptr) {
+    // Hexfloat per-session correction trace: two invocations with the
+    // same arguments must produce byte-identical files (covers dataset
+    // generation, the shared-map build, admission control and the pooled
+    // pump's per-session serialization). Dumped before the eviction tail
+    // — an evicted session has no live trace to read.
+    std::ofstream trace(args.trace_path);
+    if (!trace) {
+      std::fprintf(stderr, "cannot open trace file %s\n", args.trace_path);
+      return 1;
+    }
+    trace << std::hexfloat;
+    for (std::size_t id = 0; id < args.sessions; ++id) {
+      const serve::Session& s = mgr.session(id);
+      trace << id << ' ' << s.map_key() << ' ' << s.corrections() << ' '
+            << s.dropped_inputs() << '\n';
+      for (const serve::CorrectionRecord& r : s.trace()) {
+        trace << r.t << ' ' << r.pose.position.x << ' ' << r.pose.position.y
+              << ' ' << r.pose.yaw << '\n';
+      }
+    }
+  }
+
+  // Eviction tail: the replay is over, every session is idle. Let the
+  // idle deadline lapse (empty pump generations), then sweep — each
+  // evicted session serializes into the catalog's backing store and its
+  // SoA blocks return to the per-map arena.
+  if (args.evict_idle > 0) {
+    for (std::size_t i = 0; i < args.evict_idle; ++i) mgr.pump();
+    mgr.evict_idle(args.evict_idle);
+  }
+
   const serve::ServeReport rep = mgr.report();
   std::printf("\n=== Serving latency — %zu sessions, %zu threads, "
-              "%zu particles, %zu ticks%s ===\n\n",
-              args.sessions, args.threads, args.particles, min_ticks,
+              "%zu particles%s, %zu ticks%s ===\n\n",
+              args.sessions, args.threads, args.particles,
+              args.adaptive ? " (adaptive)" : "", min_ticks,
               args.overload ? ", overload" : "");
   std::printf("wall %.2f s  (pump %.2f s)   corrections %zu   "
               "%.0f corrections/s\n",
               wall_s, rep.pump_seconds, rep.corrections,
               rep.corrections_per_second);
   std::printf("inputs: processed %zu, dropped %zu "
-              "(backpressure signals: %zu saturated, %zu drop)\n\n",
+              "(backpressure signals: %zu saturated, %zu drop)\n",
               rep.processed_inputs, rep.dropped_inputs, saturated,
               drop_signals);
+
+  // Per-idle-session particle memory at the end of the run — every
+  // session is idle (queues drained), so the footprint an idle session
+  // pins is live SoA blocks (both buffers at capacity) plus, for evicted
+  // sessions, the snapshot blob parked in the catalog store. The fixed
+  // baseline is what the same budget pins without adaptation or
+  // eviction: 2 SoA buffers × 4 fp32 fields, always at full capacity.
+  const std::size_t fixed_resident_bytes =
+      args.sessions * 2 * args.particles * 4 * sizeof(float);
+  const std::size_t idle_footprint_bytes =
+      rep.resident_particle_bytes + rep.stashed_snapshot_bytes;
+  const double per_session_bytes =
+      static_cast<double>(idle_footprint_bytes) /
+      static_cast<double>(args.sessions);
+  const double reduction =
+      idle_footprint_bytes > 0
+          ? static_cast<double>(fixed_resident_bytes) /
+                static_cast<double>(idle_footprint_bytes)
+          : 0.0;
+  std::printf("particles: %zu active (budget %zu/session)   "
+              "%zu evicted sessions\n",
+              rep.active_particles, args.particles, rep.evicted_sessions);
+  std::printf("idle footprint: %.1f MiB resident + %.1f MiB stashed "
+              "= %.0f B/session   %.1fx vs fixed\n\n",
+              static_cast<double>(rep.resident_particle_bytes) / (1 << 20),
+              static_cast<double>(rep.stashed_snapshot_bytes) / (1 << 20),
+              per_session_bytes, reduction);
+
   print_latency("global", rep.latency);
   for (const serve::MapReport& m : rep.per_map) {
     print_latency(m.map.c_str(), m.latency);
@@ -292,10 +373,13 @@ int main(int argc, char** argv) {
     js << "{\n"
        << "  \"bench\": \"serving_latency\",\n"
        << "  \"mode\": \"" << (args.smoke ? "smoke" : "full")
-       << (args.overload ? "+overload" : "") << "\",\n"
+       << (args.overload ? "+overload" : "")
+       << (args.adaptive ? "+adaptive" : "") << "\",\n"
        << "  \"sessions\": " << args.sessions << ",\n"
        << "  \"threads\": " << args.threads << ",\n"
        << "  \"particles\": " << args.particles << ",\n"
+       << "  \"adaptive\": " << (args.adaptive ? "true" : "false") << ",\n"
+       << "  \"min_particles\": " << args.min_particles << ",\n"
        << "  \"ticks\": " << min_ticks << ",\n"
        << "  \"queue_capacity\": " << args.queue << ",\n"
        << "  \"maps\": " << rep.per_map.size() << ",\n"
@@ -306,6 +390,18 @@ int main(int argc, char** argv) {
        << ",\n"
        << "  \"processed_inputs\": " << rep.processed_inputs << ",\n"
        << "  \"dropped_inputs\": " << rep.dropped_inputs << ",\n"
+       << "  \"active_particles\": " << rep.active_particles << ",\n"
+       << "  \"live_sessions\": " << rep.live_sessions << ",\n"
+       << "  \"evicted_sessions\": " << rep.evicted_sessions << ",\n"
+       << "  \"resident_particle_bytes\": " << rep.resident_particle_bytes
+       << ",\n"
+       << "  \"stashed_snapshot_bytes\": " << rep.stashed_snapshot_bytes
+       << ",\n"
+       << "  \"fixed_resident_particle_bytes\": " << fixed_resident_bytes
+       << ",\n"
+       << "  \"idle_footprint_bytes_per_session\": " << per_session_bytes
+       << ",\n"
+       << "  \"idle_footprint_reduction_vs_fixed\": " << reduction << ",\n"
        << "  \"latency_us\": ";
     json_latency(js, rep.latency);
     js << ",\n  \"per_map\": [\n";
@@ -321,26 +417,5 @@ int main(int argc, char** argv) {
     js << "  ]\n}\n";
   }
 
-  if (args.trace_path != nullptr) {
-    // Hexfloat per-session correction trace: two invocations with the
-    // same arguments must produce byte-identical files (covers dataset
-    // generation, the shared-map build, admission control and the pooled
-    // pump's per-session serialization).
-    std::ofstream trace(args.trace_path);
-    if (!trace) {
-      std::fprintf(stderr, "cannot open trace file %s\n", args.trace_path);
-      return 1;
-    }
-    trace << std::hexfloat;
-    for (std::size_t id = 0; id < args.sessions; ++id) {
-      const serve::Session& s = mgr.session(id);
-      trace << id << ' ' << s.map_key() << ' ' << s.corrections() << ' '
-            << s.dropped_inputs() << '\n';
-      for (const serve::CorrectionRecord& r : s.trace()) {
-        trace << r.t << ' ' << r.pose.position.x << ' ' << r.pose.position.y
-              << ' ' << r.pose.yaw << '\n';
-      }
-    }
-  }
   return 0;
 }

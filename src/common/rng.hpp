@@ -115,6 +115,23 @@ class Rng {
   /// seed-repetition and worker its own stream.
   constexpr Rng fork() { return Rng(next()); }
 
+  /// Full generator state for snapshot/restore. The cached Gaussian
+  /// deviate is part of the state: dropping it would desynchronize every
+  /// stream restored mid-pair from its straight-through twin.
+  struct Snapshot {
+    std::array<std::uint64_t, 4> state{};
+    double cached = 0.0;
+    bool has_cached = false;
+  };
+
+  constexpr Snapshot snapshot() const { return {state_, cached_, has_cached_}; }
+
+  constexpr void restore(const Snapshot& s) {
+    state_ = s.state;
+    cached_ = s.cached;
+    has_cached_ = s.has_cached;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -23,16 +23,6 @@ const char* to_string(Precision p) {
 
 namespace {
 
-std::vector<sensor::TofSensorConfig> default_sensors() {
-  sensor::TofSensorConfig front;
-  front.sensor_id = 0;
-  front.mount = Pose2{0.02, 0.0, 0.0};
-  sensor::TofSensorConfig rear;
-  rear.sensor_id = 1;
-  rear.mount = Pose2{-0.02, 0.0, kPi};
-  return {front, rear};
-}
-
 /// LUT-reuse test: the table covers the map-distance part of the mixture
 /// only (hit + rand), so z_short / lambda_short are deliberately NOT
 /// compared — one shared table serves every short-return setting riding on
@@ -43,69 +33,55 @@ bool params_equal(const BeamModelParams& a, const BeamModelParams& b) {
          a.z_rand == b.z_rand;
 }
 
-}  // namespace
-
-std::shared_ptr<const MapResources> build_map_resources(
-    const map::OccupancyGrid& grid, const MclConfig& mcl,
-    std::span<const Precision> precisions) {
-  TOFMCL_EXPECTS(!precisions.empty(), "need at least one precision");
-  auto res = std::make_shared<MapResources>();
-  res->free_cells = grid.free_cell_centers();
-  res->cell_jitter = grid.resolution() / 2.0;
-  res->rmax = mcl.rmax;
-  const bool need_float =
-      std::find(precisions.begin(), precisions.end(), Precision::kFp32) !=
-      precisions.end();
-  const bool need_quantized =
-      std::find_if(precisions.begin(), precisions.end(), [](Precision p) {
-        return p == Precision::kFp32Qm || p == Precision::kFp16Qm;
-      }) != precisions.end();
-  if (need_float) res->float_map.emplace(grid, mcl.rmax);
-  if (need_quantized) {
-    res->quantized_map.emplace(grid, mcl.rmax);
-    res->lut_params = beam_model_params(mcl);
-    res->lut.emplace(res->quantized_map->step(), res->lut_params);
-  }
-  return res;
-}
-
-namespace {
-
 /// Builds a quantized-map filter, reusing the shared LUT when it was
 /// built for this run's beam-model parameters and falling back to a
 /// per-filter table otherwise.
 template <typename Traits, typename Variant>
 Variant make_qm_filter(const MapResources& maps, const LocalizerConfig& config,
-                       Executor& executor) {
+                       Executor& executor,
+                       std::shared_ptr<ParticleArena> arena) {
   TOFMCL_EXPECTS(maps.quantized_map.has_value(),
                  "shared map resources lack the quantized EDT");
   if (maps.lut.has_value() &&
       params_equal(maps.lut_params, beam_model_params(config.mcl))) {
     return Variant(std::in_place_type<ParticleFilter<Traits>>,
                    *maps.quantized_map, config.mcl, executor,
-                   LutObservationModel(*maps.quantized_map, *maps.lut));
+                   LutObservationModel(*maps.quantized_map, *maps.lut),
+                   std::move(arena));
   }
   return Variant(std::in_place_type<ParticleFilter<Traits>>,
-                 *maps.quantized_map, config.mcl, executor);
+                 *maps.quantized_map, config.mcl, executor, std::move(arena));
+}
+
+/// Context config + session knobs → the per-session LocalizerConfig.
+LocalizerConfig session_config(const ScoringContext& ctx,
+                               const SessionKnobs& knobs) {
+  LocalizerConfig config = ctx.config();
+  config.mcl.seed = knobs.seed;
+  if (knobs.num_particles) config.mcl.num_particles = *knobs.num_particles;
+  return config;
 }
 
 }  // namespace
 
-Localizer::FilterVariant Localizer::make_filter(const MapResources& maps,
-                                                const LocalizerConfig& config,
-                                                Executor& executor) {
+Localizer::FilterVariant Localizer::make_filter(
+    const MapResources& maps, const LocalizerConfig& config,
+    Executor& executor, std::shared_ptr<ParticleArena> arena) {
   switch (config.precision) {
     case Precision::kFp32:
       TOFMCL_EXPECTS(maps.float_map.has_value(),
                      "shared map resources lack the float EDT");
       return FilterVariant(std::in_place_type<ParticleFilter<Fp32Traits>>,
-                           *maps.float_map, config.mcl, executor);
+                           *maps.float_map, config.mcl, executor,
+                           std::move(arena));
     case Precision::kFp32Qm:
       return make_qm_filter<Fp32QmTraits, FilterVariant>(maps, config,
-                                                         executor);
+                                                         executor,
+                                                         std::move(arena));
     case Precision::kFp16Qm:
       return make_qm_filter<Fp16QmTraits, FilterVariant>(maps, config,
-                                                         executor);
+                                                         executor,
+                                                         std::move(arena));
   }
   throw ConfigError("unknown precision variant");
 }
@@ -126,7 +102,20 @@ Localizer::Localizer(std::shared_ptr<const MapResources> maps,
                  "map has no free cells to localize in");
   TOFMCL_EXPECTS(maps_->rmax == config_.mcl.rmax,
                  "shared map resources built with a different rmax");
-  if (config_.sensors.empty()) config_.sensors = default_sensors();
+  if (config_.sensors.empty()) config_.sensors = default_sensor_deck();
+}
+
+Localizer::Localizer(std::shared_ptr<const ScoringContext> ctx,
+                     const SessionKnobs& knobs, Executor& executor)
+    : config_(session_config(*ctx, knobs)),
+      maps_(ctx->map_resources()),
+      filter_(make_filter(*maps_, config_, executor, ctx->arena())),
+      ctx_(std::move(ctx)) {
+  TOFMCL_EXPECTS(!maps_->free_cells.empty(),
+                 "map has no free cells to localize in");
+  // build_scoring_context resolved the sensors; guard against a context
+  // assembled by hand with an empty deck.
+  if (config_.sensors.empty()) config_.sensors = default_sensor_deck();
 }
 
 void Localizer::start_global() {
@@ -258,6 +247,8 @@ bool Localizer::step_filter(std::span<const sensor::Beam> beams) {
         pf.motion_observation_update(motion_delta, beams);
         pf.resample();
         pf.compute_pose();
+        // KLD adaptation of the active count; no-op in fixed-count mode.
+        pf.adapt_particle_count();
       },
       filter_);
   gate_odom_ = current_odom_;
@@ -309,6 +300,96 @@ std::size_t Localizer::particle_bytes() const {
       return particle_buffer_bytes<Half>(config_.mcl.num_particles);
   }
   return 0;
+}
+
+std::size_t Localizer::active_particles() const {
+  return std::visit([](const auto& pf) { return pf.size(); }, filter_);
+}
+
+std::size_t Localizer::resident_particle_bytes() const {
+  return std::visit([](const auto& pf) { return pf.resident_bytes(); },
+                    filter_);
+}
+
+namespace {
+
+constexpr std::uint32_t kSnapshotMagic = 0x544F464Du;  // "TOFM"
+constexpr std::uint16_t kSnapshotVersion = 1;
+
+}  // namespace
+
+void Localizer::save_snapshot(map::SnapshotWriter& writer) const {
+  writer.u32(kSnapshotMagic);
+  writer.u16(kSnapshotVersion);
+  writer.u8(static_cast<std::uint8_t>(config_.precision));
+  writer.u64(config_.mcl.num_particles);
+  writer.u64(config_.mcl.chunks);
+  writer.u64(config_.mcl.seed);
+  std::uint8_t flags = 0;
+  if (current_odom_) flags |= 1u;
+  if (last_motion_odom_) flags |= 2u;
+  if (gate_odom_) flags |= 4u;
+  writer.u8(flags);
+  const auto write_pose = [&](const std::optional<Pose2>& pose) {
+    if (!pose) return;
+    writer.f64(pose->x());
+    writer.f64(pose->y());
+    writer.f64(pose->yaw);
+  };
+  write_pose(current_odom_);
+  write_pose(last_motion_odom_);
+  write_pose(gate_odom_);
+  writer.u64(updates_run_);
+  writer.u64(dropped_frames_);
+  writer.f64(last_correction_s_);
+  writer.f64(total_correction_s_);
+  std::visit([&](const auto& pf) { pf.save_state(writer); }, filter_);
+}
+
+void Localizer::load_snapshot(map::SnapshotReader& reader) {
+  SerialGuard::Scope serial(serial_guard_);
+  if (reader.u32() != kSnapshotMagic) {
+    throw IoError("not a localizer snapshot (bad magic)");
+  }
+  const std::uint16_t version = reader.u16();
+  if (version != kSnapshotVersion) {
+    throw IoError("unsupported localizer snapshot version " +
+                  std::to_string(version) + " (this build reads version " +
+                  std::to_string(kSnapshotVersion) + ")");
+  }
+  TOFMCL_EXPECTS(reader.u8() == static_cast<std::uint8_t>(config_.precision),
+                 "snapshot precision does not match this localizer");
+  TOFMCL_EXPECTS(reader.u64() == config_.mcl.num_particles,
+                 "snapshot particle budget does not match this localizer");
+  TOFMCL_EXPECTS(reader.u64() == config_.mcl.chunks,
+                 "snapshot chunk count does not match this localizer");
+  TOFMCL_EXPECTS(reader.u64() == config_.mcl.seed,
+                 "snapshot seed does not match this localizer");
+  const std::uint8_t flags = reader.u8();
+  const auto read_pose = [&]() {
+    const double x = reader.f64();
+    const double y = reader.f64();
+    const double yaw = reader.f64();
+    return Pose2{x, y, yaw};
+  };
+  current_odom_.reset();
+  last_motion_odom_.reset();
+  gate_odom_.reset();
+  if (flags & 1u) current_odom_ = read_pose();
+  if (flags & 2u) last_motion_odom_ = read_pose();
+  if (flags & 4u) gate_odom_ = read_pose();
+  updates_run_ = static_cast<std::size_t>(reader.u64());
+  dropped_frames_ = static_cast<std::size_t>(reader.u64());
+  last_correction_s_ = reader.f64();
+  total_correction_s_ = reader.f64();
+  std::visit(
+      [&](auto& pf) {
+        pf.load_state(reader);
+        // The injection support is map data, not session state: re-arm it
+        // from the shared resources exactly as both start paths do.
+        pf.set_injection_support(maps_->free_cells, maps_->cell_jitter);
+      },
+      filter_);
 }
 
 }  // namespace tofmcl::core

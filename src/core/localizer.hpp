@@ -41,45 +41,13 @@
 
 #include "common/serial_guard.hpp"
 #include "core/particle_filter.hpp"
+#include "core/scoring_context.hpp"
 #include "map/occupancy_grid.hpp"
+#include "map/snapshot_io.hpp"
 #include "sensor/beam_model.hpp"
 #include "sensor/tof_sensor.hpp"
 
 namespace tofmcl::core {
-
-struct LocalizerConfig {
-  MclConfig mcl;
-  Precision precision = Precision::kFp32;
-  /// Zone→beam extraction settings shared by all sensors.
-  sensor::BeamExtractionConfig extraction;
-  /// Mounted sensors; frames are matched by sensor_id. Defaults to the
-  /// paper's deck (front id 0, rear id 1) when left empty.
-  std::vector<sensor::TofSensorConfig> sensors;
-};
-
-/// Read-only per-map state shared by every localizer on that map: the
-/// free-space support, the distance field(s) and the likelihood LUT. Built
-/// once per (grid, MCL parameters) and handed out as shared_ptr-to-const;
-/// campaign batches reuse it across all concurrent runs.
-struct MapResources {
-  std::vector<Vec2> free_cells;
-  double cell_jitter = 0.0;
-  double rmax = 0.0;
-  std::optional<map::DistanceMap> float_map;
-  std::optional<map::QuantizedDistanceMap> quantized_map;
-  /// Prebuilt LUT for the quantized maps; only valid for filters whose
-  /// beam-model parameters equal lut_params.
-  std::optional<LikelihoodLut> lut;
-  BeamModelParams lut_params{};
-};
-
-/// Builds the resources needed by `precisions` from one occupancy grid:
-/// the float EDT iff kFp32 is requested, the quantized EDT (plus LUT) iff
-/// a *qm precision is requested. `mcl` supplies rmax and the beam-model
-/// parameters baked into the LUT.
-std::shared_ptr<const MapResources> build_map_resources(
-    const map::OccupancyGrid& grid, const MclConfig& mcl,
-    std::span<const Precision> precisions);
 
 class Localizer {
  public:
@@ -93,6 +61,13 @@ class Localizer {
   /// and must have been built with the same rmax.
   Localizer(std::shared_ptr<const MapResources> maps,
             const LocalizerConfig& config, Executor& executor);
+
+  /// Serving-layer constructor: the shared per-map ScoringContext supplies
+  /// maps, resolved configuration and the particle arena; the knobs supply
+  /// the only per-session degrees of freedom (seed, particle budget). The
+  /// filter's SoA blocks are leased from the context's arena.
+  Localizer(std::shared_ptr<const ScoringContext> ctx,
+            const SessionKnobs& knobs, Executor& executor);
 
   /// Global localization: uniform over the grid's free cells.
   void start_global();
@@ -147,8 +122,34 @@ class Localizer {
 
   /// Map memory of the active representation, bytes (Fig 9 accounting).
   std::size_t map_bytes() const;
-  /// Particle memory including the double buffer, bytes.
+  /// Particle memory including the double buffer at the CONFIGURED budget,
+  /// bytes (Fig 9 accounting — independent of adaptive shrinkage).
   std::size_t particle_bytes() const;
+  /// Active particle count right now (== num_particles unless
+  /// MclConfig::adaptive_particles shrank/grew the set).
+  std::size_t active_particles() const;
+  /// Bytes the particle storage actually pins right now — both SoA blocks
+  /// at their allocated capacity. The serving layer's per-session resident
+  /// memory metric.
+  std::size_t resident_particle_bytes() const;
+
+  /// The shared context this localizer was built on; null for the
+  /// non-context constructors (which own their resources privately).
+  const std::shared_ptr<const ScoringContext>& context() const {
+    return ctx_;
+  }
+
+  /// Serializes the full mutable session state — odometry anchors,
+  /// counters, and the filter's FilterState — as a versioned little-endian
+  /// binary blob (raw IEEE bits, so restore resumes bit-identically).
+  /// Shared state (maps, LUT, config) is NOT serialized: a snapshot is
+  /// restored into a Localizer built from the same configuration.
+  void save_snapshot(map::SnapshotWriter& writer) const;
+  /// Restores what save_snapshot wrote. Throws common::IoError on a bad
+  /// magic/version or truncated blob, PreconditionError when the snapshot
+  /// was taken under a different precision/budget/chunks/seed than this
+  /// localizer's.
+  void load_snapshot(map::SnapshotReader& reader);
 
  private:
   using FilterVariant =
@@ -157,9 +158,11 @@ class Localizer {
 
   /// Returns the filter instantiation matching config.precision, built on
   /// the shared map resources (and their prebuilt LUT when applicable).
+  /// With an arena, the filter leases its particle blocks from it.
   static FilterVariant make_filter(const MapResources& maps,
                                    const LocalizerConfig& config,
-                                   Executor& executor);
+                                   Executor& executor,
+                                   std::shared_ptr<ParticleArena> arena = nullptr);
 
   bool gate_passed(const Pose2& delta) const;
   /// Correction-timing hook: stamps last/total correction wall time from
@@ -177,6 +180,8 @@ class Localizer {
   LocalizerConfig config_;
   std::shared_ptr<const MapResources> maps_;
   FilterVariant filter_;
+  /// Pins the shared context (arena, config) for context-built localizers.
+  std::shared_ptr<const ScoringContext> ctx_;
 
   std::optional<Pose2> current_odom_;
   std::optional<Pose2> last_motion_odom_;  ///< Odometry at last motion update.

@@ -127,6 +127,28 @@ struct MclConfig {
   double injection_alpha_fast = 0.5;   ///< Short-term likelihood decay.
   double injection_max_fraction = 0.05;  ///< Cap on the injected share.
 
+  /// Adaptive particle counts (KLD-sampling, Fox 2001): after each real
+  /// resampling draw the filter re-sizes its particle set to the KLD bound
+  /// for the currently occupied (x, y, yaw) bins — a converged tracker
+  /// shrinks to hundreds of particles, and a recovery injection (kidnap
+  /// signature) snaps the budget straight back to num_particles. Counts
+  /// move in arena size classes (powers of two) between min_particles and
+  /// num_particles; shrinking is limited to one class per correction.
+  /// Default OFF: fixed-count mode is the bit-identical determinism
+  /// reference (num_particles everywhere, exactly the pre-adaptive
+  /// arithmetic).
+  bool adaptive_particles = false;
+  /// Floor of the adaptive budget. Also the count a single-bin (fully
+  /// converged) cloud settles at.
+  std::size_t min_particles = 128;
+  /// KLD bound: P(K(p̂‖p) ≤ ε) ≥ quantile(kld_z). ε = 0.05 and
+  /// z = 2.326 (99 %) are the values from Fox's evaluation.
+  double kld_epsilon = 0.05;
+  double kld_z = 2.326;
+  /// Histogram bin sizes defining "occupied bins" k for the bound.
+  double kld_bin_xy = 0.5;
+  double kld_bin_yaw = 3.14159265358979323846 / 6.0;
+
   /// Master seed for all stochastic parts of the filter.
   std::uint64_t seed = 1;
 

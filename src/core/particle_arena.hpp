@@ -1,0 +1,139 @@
+#pragma once
+/// \file particle_arena.hpp
+/// \brief Pooled allocator for SoA particle blocks, power-of-two classes.
+///
+/// The serving layer runs thousands of concurrent filters whose particle
+/// budgets breathe: adaptive sessions shrink to hundreds of particles once
+/// converged and grow back on recovery injection, and evicted sessions
+/// release their storage entirely. Allocating each FilterState's SoA
+/// buffers straight from the heap makes every resize a malloc/free pair
+/// and leaves 10k idle sessions each pinning a max-size allocation.
+///
+/// The arena fixes both: particle blocks are acquired from per-map pools
+/// in power-of-two size classes (a shrink returns the big block for some
+/// other session's growth spurt; an acquire reuses a pooled block instead
+/// of touching the allocator), and its statistics make resident particle
+/// memory measurable per map — leased bytes are what live sessions pin,
+/// pooled bytes are reusable slack shared by ALL sessions on the map.
+///
+/// Thread safety: acquire/release/stats are mutex-guarded — sessions on
+/// one map resize concurrently from pump workers. The arena hands out
+/// plain ParticleSoA values; only the block's CAPACITY is arena-managed
+/// (callers resize within it freely), so the filter hot path never sees
+/// the lock.
+
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/particle_soa.hpp"
+#include "fp16/half.hpp"
+
+namespace tofmcl::core {
+
+class ParticleArena {
+ public:
+  /// Smallest block handed out; tiny requests share one class so the
+  /// free lists stay short.
+  static constexpr std::size_t kMinBlockParticles = 64;
+
+  /// Power-of-two size class that fits `n` particles (≥ kMinBlockParticles).
+  static std::size_t size_class(std::size_t n) {
+    std::size_t c = kMinBlockParticles;
+    while (c < n) c <<= 1;
+    return c;
+  }
+
+  /// Bytes of one SoA block of `capacity` particles of `Scalar` (the four
+  /// field arrays).
+  template <typename Scalar>
+  static constexpr std::size_t block_bytes(std::size_t capacity) {
+    return capacity * 4 * sizeof(Scalar);
+  }
+
+  /// Hands out a block sized to the `n`-particle size class (resized to
+  /// exactly n), reusing a pooled block of that class when one exists.
+  /// `capacity_out` receives the class so the caller can hand it back to
+  /// release().
+  template <typename Scalar>
+  ParticleSoA<Scalar> acquire(std::size_t n, std::size_t& capacity_out) {
+    const std::size_t cap = size_class(n);
+    capacity_out = cap;
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Entry<Scalar>>& pool = free_list<Scalar>();
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (pool[i].capacity != cap) continue;
+      ParticleSoA<Scalar> block = std::move(pool[i].block);
+      pool[i] = std::move(pool.back());
+      pool.pop_back();
+      pooled_bytes_ -= block_bytes<Scalar>(cap);
+      leased_bytes_ += block_bytes<Scalar>(cap);
+      ++leased_blocks_;
+      ++reuses_;
+      block.resize(n);
+      return block;
+    }
+    ParticleSoA<Scalar> block;
+    block.reserve(cap);
+    block.resize(n);
+    leased_bytes_ += block_bytes<Scalar>(cap);
+    ++leased_blocks_;
+    ++fresh_allocations_;
+    return block;
+  }
+
+  /// Returns a block to the pool. `capacity` must be the size class the
+  /// block was acquired with.
+  template <typename Scalar>
+  void release(ParticleSoA<Scalar>&& block, std::size_t capacity) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    leased_bytes_ -= block_bytes<Scalar>(capacity);
+    --leased_blocks_;
+    pooled_bytes_ += block_bytes<Scalar>(capacity);
+    free_list<Scalar>().push_back({capacity, std::move(block)});
+  }
+
+  struct Stats {
+    std::size_t leased_blocks = 0;  ///< Blocks currently held by filters.
+    std::size_t leased_bytes = 0;   ///< Resident particle memory they pin.
+    std::size_t pooled_bytes = 0;   ///< Reusable slack parked in the arena.
+    std::size_t fresh_allocations = 0;  ///< acquire() calls that hit the heap.
+    std::size_t reuses = 0;             ///< acquire() calls served from pool.
+  };
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {leased_blocks_, leased_bytes_, pooled_bytes_, fresh_allocations_,
+            reuses_};
+  }
+
+ private:
+  template <typename Scalar>
+  struct Entry {
+    std::size_t capacity = 0;
+    ParticleSoA<Scalar> block;
+  };
+
+  template <typename Scalar>
+  std::vector<Entry<Scalar>>& free_list() {
+    if constexpr (std::is_same_v<Scalar, Half>) {
+      return free_f16_;
+    } else {
+      static_assert(std::is_same_v<Scalar, float>,
+                    "arena pools float and Half particle blocks");
+      return free_f32_;
+    }
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<Entry<float>> free_f32_;
+  std::vector<Entry<Half>> free_f16_;
+  std::size_t leased_blocks_ = 0;
+  std::size_t leased_bytes_ = 0;
+  std::size_t pooled_bytes_ = 0;
+  std::size_t fresh_allocations_ = 0;
+  std::size_t reuses_ = 0;
+};
+
+}  // namespace tofmcl::core

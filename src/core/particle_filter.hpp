@@ -30,13 +30,27 @@
 /// threads only change wall-clock. Per-chunk RNG streams make the whole
 /// filter reproducible from MclConfig::seed.
 ///
+/// Everything the filter MUTATES lives in one relocatable aggregate,
+/// FilterState (filter_state.hpp); the filter object itself adds only
+/// pointers to shared read-only context (map, observation model, executor,
+/// optional ParticleArena). That split is what the serving layer's
+/// snapshot/restore (save_state / load_state) and session eviction build
+/// on. With MclConfig::adaptive_particles the active count follows the
+/// KLD-sampling bound within arena size classes; the default fixed-count
+/// mode never calls the adaptation path and is bit-identical to the
+/// pre-split filter.
+///
 /// Template parameter `Traits` selects the paper's design points:
 /// Fp32Traits, Fp32QmTraits, Fp16QmTraits (Section III-C2).
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <memory>
 #include <span>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -45,12 +59,15 @@
 #include "common/geometry.hpp"
 #include "common/rng.hpp"
 #include "core/executor.hpp"
+#include "core/filter_state.hpp"
 #include "core/likelihood.hpp"
 #include "core/mcl_config.hpp"
 #include "core/particle.hpp"
+#include "core/particle_arena.hpp"
 #include "core/particle_soa.hpp"
 #include "fp16/half.hpp"
 #include "map/distance_map.hpp"
+#include "map/snapshot_io.hpp"
 #include "sensor/beam_model.hpp"
 
 namespace tofmcl::core {
@@ -79,40 +96,6 @@ struct Fp16QmTraits {
   static constexpr Precision kPrecision = Precision::kFp16Qm;
 };
 
-/// Filter output: the weighted-average pose plus dispersion measures used
-/// for convergence monitoring.
-struct PoseEstimate {
-  Pose2 pose{};
-  /// √(weighted variance of position), meters — small once converged.
-  double position_stddev = 0.0;
-  /// Length of the mean yaw resultant in [0, 1]; 1 = all particles agree.
-  double yaw_concentration = 0.0;
-  bool valid = false;
-};
-
-/// Workload of the most recent update cycle (consumed by the GAP9 timing
-/// model and the benches).
-struct UpdateWorkload {
-  std::size_t particles = 0;
-  std::size_t beams = 0;
-  /// Beams the novelty gate excluded from the weight product (and with it
-  /// the Augmented-MCL monitor) this update. Always 0 with gating off.
-  std::size_t gated_beams = 0;
-  /// Whether the novelty gate was armed for this update (estimate valid
-  /// and tight enough) — diagnostics for tuning the arming criterion.
-  bool novelty_armed = false;
-};
-
-/// State of the Augmented-MCL likelihood monitor (Probabilistic Robotics
-/// §8.3), exposed for diagnostics and regression tests. Averages are of
-/// the per-beam-normalized observation likelihood, so they are comparable
-/// across beam counts and stay finite for arbitrarily many beams.
-struct InjectionMonitor {
-  double w_slow = 0.0;         ///< Long-term average likelihood.
-  double w_fast = 0.0;         ///< Short-term average likelihood.
-  double last_inject_p = 0.0;  ///< Injection fraction of the last resample.
-};
-
 template <typename Traits>
 class ParticleFilter {
  public:
@@ -122,19 +105,24 @@ class ParticleFilter {
   using ObservationModel = typename Traits::ObservationModel;
 
   /// The map must outlive the filter.
-  ParticleFilter(const Map& map, const MclConfig& config, Executor& executor)
+  ParticleFilter(const Map& map, const MclConfig& config, Executor& executor,
+                 std::shared_ptr<ParticleArena> arena = nullptr)
       : ParticleFilter(map, config, executor,
-                       ObservationModel(map, beam_model_params(config))) {}
+                       ObservationModel(map, beam_model_params(config)),
+                       std::move(arena)) {}
 
   /// Variant taking a prebuilt observation model (e.g. a shared likelihood
   /// LUT from a campaign's per-map resources). The model must reference
-  /// the same `map`.
+  /// the same `map`. With an arena, both particle blocks are leased from
+  /// it (and returned on destruction) instead of heap-allocated.
   ParticleFilter(const Map& map, const MclConfig& config, Executor& executor,
-                 ObservationModel observation_model)
+                 ObservationModel observation_model,
+                 std::shared_ptr<ParticleArena> arena = nullptr)
       : map_(&map),
         config_(config),
         executor_(&executor),
-        observation_model_(std::move(observation_model)) {
+        observation_model_(std::move(observation_model)),
+        arena_(std::move(arena)) {
     TOFMCL_EXPECTS(config.num_particles > 0, "need at least one particle");
     TOFMCL_EXPECTS(config.chunks > 0 && config.chunks <= kMaxChunks,
                    "chunk count must be in [1, 64]");
@@ -144,84 +132,125 @@ class ParticleFilter {
     TOFMCL_EXPECTS(config.z_short >= 0.0, "z_short must be non-negative");
     TOFMCL_EXPECTS(config.lambda_short > 0.0,
                    "lambda_short must be positive");
-    TOFMCL_EXPECTS(config.novelty_margin_m > 0.0,
-                   "novelty_margin_m must be positive");
     // Folding the per-beam normalizer into the observation kernel keeps
     // weights of well-matched particles near 1 regardless of beam count
     // (see observation_update). Exactly 1.0 when z_hit + z_rand == 1.
     per_beam_scale_ =
         static_cast<float>(1.0 / (config_.z_hit + config_.z_rand));
     mixture_params_ = beam_model_params(config_);
-    particles_.resize(config_.num_particles);
-    back_buffer_.resize(config_.num_particles);
-    chunk_sums_.resize(config_.chunks);
-    chunk_sq_sums_.resize(config_.chunks);
-    Rng master(config_.seed);
-    rngs_.reserve(config_.chunks);
-    for (std::size_t c = 0; c < config_.chunks; ++c) {
-      rngs_.push_back(master.fork());
+    if (arena_) {
+      st_.particles = arena_->template acquire<Scalar>(config_.num_particles,
+                                                       st_.block_capacity);
+      std::size_t back_capacity = 0;
+      st_.back_buffer =
+          arena_->template acquire<Scalar>(config_.num_particles,
+                                           back_capacity);
+    } else {
+      st_.particles.resize(config_.num_particles);
+      st_.back_buffer.resize(config_.num_particles);
     }
-    resample_rng_ = master.fork();
+    st_.chunk_sums.resize(config_.chunks);
+    st_.chunk_sq_sums.resize(config_.chunks);
+    Rng master(config_.seed);
+    st_.rngs.reserve(config_.chunks);
+    for (std::size_t c = 0; c < config_.chunks; ++c) {
+      st_.rngs.push_back(master.fork());
+    }
+    st_.resample_rng = master.fork();
+  }
+
+  ~ParticleFilter() { release_blocks(); }
+
+  ParticleFilter(ParticleFilter&&) noexcept = default;
+  ParticleFilter& operator=(ParticleFilter&& other) noexcept {
+    if (this != &other) {
+      release_blocks();
+      map_ = other.map_;
+      config_ = other.config_;
+      executor_ = other.executor_;
+      observation_model_ = std::move(other.observation_model_);
+      per_beam_scale_ = other.per_beam_scale_;
+      mixture_params_ = other.mixture_params_;
+      st_ = std::move(other.st_);
+      last_resample_drew_ = other.last_resample_drew_;
+      support_ = other.support_;
+      support_jitter_ = other.support_jitter_;
+      arena_ = std::move(other.arena_);
+    }
+    return *this;
   }
 
   const MclConfig& config() const { return config_; }
   const Map& map() const { return *map_; }
   /// AoS-style read view over the SoA storage (see particle_soa.hpp).
   ParticleSpan<Scalar, true> particles() const {
-    return ParticleSpan<Scalar, true>(particles_);
+    return ParticleSpan<Scalar, true>(st_.particles);
   }
   /// Advanced: direct particle access for custom initialization or
   /// injection schemes (e.g. kidnapped-robot recovery). The filter makes
   /// no assumption about weights beyond being non-negative and finite.
   ParticleSpan<Scalar, false> mutable_particles() {
-    return ParticleSpan<Scalar, false>(particles_);
+    return ParticleSpan<Scalar, false>(st_.particles);
   }
   /// Raw field arrays, for kernels and benches that want the SoA layout.
-  const ParticleSoA<Scalar>& soa() const { return particles_; }
-  std::size_t size() const { return particles_.size(); }
+  const ParticleSoA<Scalar>& soa() const { return st_.particles; }
+  /// Active particle count. Equal to config().num_particles unless
+  /// adaptive counts shrank/grew the set.
+  std::size_t size() const { return st_.particles.size(); }
+  /// Bytes the particle storage actually pins right now (both blocks at
+  /// their allocated capacity — the serving layer's per-session resident
+  /// memory). Fixed-count mode: equals particle_buffer_bytes rounded up
+  /// to the arena size class.
+  std::size_t resident_bytes() const {
+    return (st_.particles.capacity() + st_.back_buffer.capacity()) *
+           4 * sizeof(Scalar);
+  }
 
   /// Global localization init: particles drawn uniformly over the support
   /// points (free cell centers), jittered by ±jitter on each axis, yaw
   /// uniform in (-π, π]. The support is retained for Augmented-MCL
-  /// recovery injection.
+  /// recovery injection — the caller keeps it alive (it is the map's
+  /// free-cell table, shared by every filter on the map, not copied).
   void init_uniform(std::span<const Vec2> support, double jitter) {
     TOFMCL_EXPECTS(!support.empty(), "uniform init needs support points");
     set_injection_support(support, jitter);
     executor_->for_chunks(
-        particles_.size(), config_.chunks,
+        st_.particles.size(), config_.chunks,
         [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-          Rng& rng = rngs_[chunk];
+          Rng& rng = st_.rngs[chunk];
           for (std::size_t i = begin; i < end; ++i) {
             const Vec2 center = support[rng.uniform_index(support.size())];
-            store(particles_, i, center.x + rng.uniform(-jitter, jitter),
+            store(st_.particles, i, center.x + rng.uniform(-jitter, jitter),
                   center.y + rng.uniform(-jitter, jitter),
                   rng.uniform(-kPi, kPi), 1.0);
           }
         });
-    estimate_.valid = false;
+    st_.estimate.valid = false;
   }
 
   /// Provides (or replaces) the free-space support used by recovery
   /// injection. Tracking-initialized filters have no support until this
-  /// is called, which disables injection.
+  /// is called, which disables injection. The filter keeps a VIEW: the
+  /// support must outlive it (map resources do; they are what every call
+  /// site passes).
   void set_injection_support(std::span<const Vec2> support, double jitter) {
-    support_.assign(support.begin(), support.end());
+    support_ = support;
     support_jitter_ = jitter;
   }
 
   /// Tracking init: Gaussian cloud around a known pose.
   void init_gaussian(const Pose2& mean, double sigma_xy, double sigma_yaw) {
     executor_->for_chunks(
-        particles_.size(), config_.chunks,
+        st_.particles.size(), config_.chunks,
         [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-          Rng& rng = rngs_[chunk];
+          Rng& rng = st_.rngs[chunk];
           for (std::size_t i = begin; i < end; ++i) {
-            store(particles_, i, rng.gaussian(mean.x(), sigma_xy),
+            store(st_.particles, i, rng.gaussian(mean.x(), sigma_xy),
                   rng.gaussian(mean.y(), sigma_xy),
                   wrap_pi(rng.gaussian(mean.yaw, sigma_yaw)), 1.0);
           }
         });
-    estimate_.valid = false;
+    st_.estimate.valid = false;
   }
 
   /// Phase 1 — motion update. `delta` is the odometry motion since the
@@ -235,9 +264,9 @@ class ParticleFilter {
   void motion_update(const Pose2& delta) {
     const MotionParams mp = motion_params(delta);
     executor_->for_chunks(
-        particles_.size(), config_.chunks,
+        st_.particles.size(), config_.chunks,
         [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-          Rng& rng = rngs_[chunk];
+          Rng& rng = st_.rngs[chunk];
           for (std::size_t i = begin; i < end; ++i) {
             motion_step(i, mp, rng);
           }
@@ -264,14 +293,14 @@ class ParticleFilter {
   /// entirely. With z_short == 0 and gating off this path is the exact
   /// pre-mixture kernel, bit for bit.
   void observation_update(std::span<const sensor::Beam> beams) {
-    workload_.particles = particles_.size();
-    workload_.beams = beams.size();
-    workload_.gated_beams = 0;
-    workload_.novelty_armed = false;
+    st_.workload.particles = st_.particles.size();
+    st_.workload.beams = beams.size();
+    st_.workload.gated_beams = 0;
+    st_.workload.novelty_armed = false;
     if (beams.empty()) return;
     const bool mixture = prepare_beams(beams);
     executor_->for_chunks(
-        particles_.size(), config_.chunks,
+        st_.particles.size(), config_.chunks,
         [&](std::size_t, std::size_t begin, std::size_t end) {
           for (std::size_t i = begin; i < end; ++i) {
             if (mixture) {
@@ -293,15 +322,15 @@ class ParticleFilter {
   void motion_observation_update(const Pose2& delta,
                                  std::span<const sensor::Beam> beams) {
     const MotionParams mp = motion_params(delta);
-    workload_.particles = particles_.size();
-    workload_.beams = beams.size();
-    workload_.gated_beams = 0;
-    workload_.novelty_armed = false;
+    st_.workload.particles = st_.particles.size();
+    st_.workload.beams = beams.size();
+    st_.workload.gated_beams = 0;
+    st_.workload.novelty_armed = false;
     const bool mixture = beams.empty() ? false : prepare_beams(beams);
     executor_->for_chunks(
-        particles_.size(), config_.chunks,
+        st_.particles.size(), config_.chunks,
         [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-          Rng& rng = rngs_[chunk];
+          Rng& rng = st_.rngs[chunk];
           for (std::size_t i = begin; i < end; ++i) {
             motion_step(i, mp, rng);
             if (beams.empty()) continue;
@@ -319,10 +348,11 @@ class ParticleFilter {
   /// arrows; the outcome is identical to a serial systematic resampler
   /// fed the same partial-sum prefix.
   void resample() {
-    const std::size_t n = particles_.size();
+    const std::size_t n = st_.particles.size();
     const std::size_t chunks =
         std::clamp<std::size_t>(config_.chunks, 1, n);
-    monitor_.last_inject_p = 0.0;
+    st_.monitor.last_inject_p = 0.0;
+    last_resample_drew_ = false;
 
     // Step 1 (parallel): per-chunk weight sums — these are the partial
     // sums the paper stores during weight normalization. The squared sums
@@ -333,26 +363,26 @@ class ParticleFilter {
           double sum_sq = 0.0;
           for (std::size_t i = begin; i < end; ++i) {
             const double w = static_cast<double>(static_cast<float>(
-                particles_.weight[i]));
+                st_.particles.weight[i]));
             sum += w;
             sum_sq += w * w;
           }
-          chunk_sums_[chunk] = sum;
-          chunk_sq_sums_[chunk] = sum_sq;
+          st_.chunk_sums[chunk] = sum;
+          st_.chunk_sq_sums[chunk] = sum_sq;
         });
 
     // Step 2 (serial, O(chunks)): prefix offsets and total mass.
     double total = 0.0;
     double total_sq = 0.0;
     for (std::size_t c = 0; c < chunks; ++c) {
-      chunk_prefix_[c] = total;
-      total += chunk_sums_[c];
-      total_sq += chunk_sq_sums_[c];
+      st_.chunk_prefix[c] = total;
+      total += st_.chunk_sums[c];
+      total_sq += st_.chunk_sq_sums[c];
     }
     if (!(total > 0.0) || !std::isfinite(total)) {
       // Degenerate weights (all zero/NaN): keep the particle set, reset
       // weights — the next observation re-weights from scratch.
-      std::fill(particles_.weight.begin(), particles_.weight.end(),
+      std::fill(st_.particles.weight.begin(), st_.particles.weight.end(),
                 Scalar(1.0f));
       return;
     }
@@ -370,8 +400,8 @@ class ParticleFilter {
             n, chunks,
             [&](std::size_t, std::size_t begin, std::size_t end) {
               for (std::size_t i = begin; i < end; ++i) {
-                particles_.weight[i] = Scalar(
-                    static_cast<float>(particles_.weight[i]) * scale);
+                st_.particles.weight[i] = Scalar(
+                    static_cast<float>(st_.particles.weight[i]) * scale);
               }
             });
         return;
@@ -391,34 +421,34 @@ class ParticleFilter {
     // monitor must not mistake it for evidence (in either direction).
     double inject_p = 0.0;
     if (config_.enable_injection && !support_.empty() &&
-        workload_.beams > workload_.gated_beams) {
+        st_.workload.beams > st_.workload.gated_beams) {
       const double w_avg = total / static_cast<double>(n);
-      if (monitor_.w_slow <= 0.0) {
-        monitor_.w_slow = w_avg;
-        monitor_.w_fast = w_avg;
+      if (st_.monitor.w_slow <= 0.0) {
+        st_.monitor.w_slow = w_avg;
+        st_.monitor.w_fast = w_avg;
       } else {
-        monitor_.w_slow +=
-            config_.injection_alpha_slow * (w_avg - monitor_.w_slow);
-        monitor_.w_fast +=
-            config_.injection_alpha_fast * (w_avg - monitor_.w_fast);
+        st_.monitor.w_slow +=
+            config_.injection_alpha_slow * (w_avg - st_.monitor.w_slow);
+        st_.monitor.w_fast +=
+            config_.injection_alpha_fast * (w_avg - st_.monitor.w_fast);
       }
-      if (monitor_.w_slow > 0.0) {
-        inject_p = std::clamp(1.0 - monitor_.w_fast / monitor_.w_slow, 0.0,
-                              config_.injection_max_fraction);
+      if (st_.monitor.w_slow > 0.0) {
+        inject_p = std::clamp(1.0 - st_.monitor.w_fast / st_.monitor.w_slow,
+                              0.0, config_.injection_max_fraction);
       }
-      monitor_.last_inject_p = inject_p;
+      st_.monitor.last_inject_p = inject_p;
     }
 
     // One random number spins the wheel; arrows sit at u0 + i·step.
     const double step = total / static_cast<double>(n);
-    const double u0 = resample_rng_.uniform() * step;
+    const double u0 = st_.resample_rng.uniform() * step;
 
     // Arrow index ranges per chunk, derived from the prefix sums with one
     // consistent rule so they partition [0, n) exactly.
     const auto arrow_begin = [&](std::size_t c) -> std::size_t {
       if (c == 0) return 0;
       if (c >= chunks) return n;
-      const double q = (chunk_prefix_[c] - u0) / step;
+      const double q = (st_.chunk_prefix[c] - u0) / step;
       const auto idx = static_cast<long long>(std::ceil(q));
       return static_cast<std::size_t>(
           std::clamp<long long>(idx, 0, static_cast<long long>(n)));
@@ -429,40 +459,41 @@ class ParticleFilter {
     // recovery fraction of slots receives uniform redraws instead.
     executor_->for_chunks(
         n, chunks, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-          Rng& rng = rngs_[chunk];
+          Rng& rng = st_.rngs[chunk];
           std::size_t arrow = arrow_begin(chunk);
           const std::size_t arrow_end = arrow_begin(chunk + 1);
           std::size_t src = begin;
-          double cum = chunk_prefix_[chunk] +
+          double cum = st_.chunk_prefix[chunk] +
                        static_cast<double>(static_cast<float>(
-                           particles_.weight[src]));
+                           st_.particles.weight[src]));
           for (; arrow < arrow_end; ++arrow) {
             const double u = u0 + static_cast<double>(arrow) * step;
             while (u >= cum && src + 1 < end) {
               ++src;
               cum += static_cast<double>(static_cast<float>(
-                  particles_.weight[src]));
+                  st_.particles.weight[src]));
             }
             if (inject_p > 0.0 && rng.bernoulli(inject_p)) {
               const Vec2 center =
                   support_[rng.uniform_index(support_.size())];
-              store(back_buffer_, arrow,
+              store(st_.back_buffer, arrow,
                     center.x + rng.uniform(-support_jitter_, support_jitter_),
                     center.y + rng.uniform(-support_jitter_, support_jitter_),
                     rng.uniform(-kPi, kPi), 1.0);
             } else {
-              back_buffer_.copy_from(particles_, arrow, src);
-              back_buffer_.weight[arrow] = Scalar(1.0f);
+              st_.back_buffer.copy_from(st_.particles, arrow, src);
+              st_.back_buffer.weight[arrow] = Scalar(1.0f);
             }
           }
         });
-    particles_.swap(back_buffer_);
+    st_.particles.swap(st_.back_buffer);
+    last_resample_drew_ = true;
   }
 
   /// Phase 4 — pose computation: weighted average over all particles
   /// (circular mean for yaw), plus dispersion for convergence monitoring.
   PoseEstimate compute_pose() {
-    const std::size_t n = particles_.size();
+    const std::size_t n = st_.particles.size();
     const std::size_t chunks =
         std::clamp<std::size_t>(config_.chunks, 1, n);
     struct Accum {
@@ -474,13 +505,13 @@ class ParticleFilter {
           Accum a;
           for (std::size_t i = begin; i < end; ++i) {
             const double w = static_cast<double>(static_cast<float>(
-                particles_.weight[i]));
+                st_.particles.weight[i]));
             const double x = static_cast<double>(static_cast<float>(
-                particles_.x[i]));
+                st_.particles.x[i]));
             const double y = static_cast<double>(static_cast<float>(
-                particles_.y[i]));
+                st_.particles.y[i]));
             const double yaw =
-                static_cast<double>(static_cast<float>(particles_.yaw[i]));
+                static_cast<double>(static_cast<float>(st_.particles.yaw[i]));
             a.w += w;
             a.wx += w * x;
             a.wy += w * y;
@@ -502,7 +533,7 @@ class ParticleFilter {
     PoseEstimate est;
     if (!(total.w > 0.0) || !std::isfinite(total.w)) {
       est.valid = false;
-      estimate_ = est;
+      st_.estimate = est;
       return est;
     }
     const double mx = total.wx / total.w;
@@ -513,7 +544,7 @@ class ParticleFilter {
     est.yaw_concentration =
         std::sqrt(total.wc * total.wc + total.ws * total.ws) / total.w;
     est.valid = true;
-    estimate_ = est;
+    st_.estimate = est;
     return est;
   }
 
@@ -524,16 +555,97 @@ class ParticleFilter {
     return compute_pose();
   }
 
+  /// KLD-sampling adaptation (MclConfig::adaptive_particles): after a
+  /// correction whose resample actually drew (weights are uniformly 1,
+  /// so the set can be re-sized without re-weighting), shrink or grow the
+  /// active count toward the KLD bound for the occupied (x, y, yaw) bins.
+  /// A recovery injection snaps straight back to the full budget — a
+  /// kidnapped filter must not fight with a shrunken set. Counts move in
+  /// arena size classes; shrinking at most one class per correction
+  /// (hysteresis), growing instantly. No-op in fixed-count mode.
+  void adapt_particle_count() {
+    if (!config_.adaptive_particles || !last_resample_drew_) return;
+    const std::size_t n = st_.particles.size();
+    const std::size_t floor_n =
+        std::min(config_.min_particles, config_.num_particles);
+    std::size_t target = st_.monitor.last_inject_p > 0.0
+                             ? config_.num_particles
+                             : kld_target();
+    target = std::clamp(target, floor_n, config_.num_particles);
+    target = std::min(ParticleArena::size_class(target),
+                      config_.num_particles);
+    if (target < n) target = std::max(target, n / 2);
+    if (target != n) set_active_count(target);
+  }
+
+  /// Serializes the persistent filter state (active particles, RNG
+  /// streams, estimate, recovery monitor) — see the FilterState doc for
+  /// the persistent/scratch split. Binary, little-endian, raw IEEE bits:
+  /// load_state() resumes bit-identically.
+  void save_state(map::SnapshotWriter& w) const {
+    w.u64(st_.particles.size());
+    w.u8(static_cast<std::uint8_t>(sizeof(Scalar)));
+    w.u32(static_cast<std::uint32_t>(st_.rngs.size()));
+    for (const Rng& rng : st_.rngs) write_rng(w, rng);
+    write_rng(w, st_.resample_rng);
+    w.f64(st_.estimate.pose.x());
+    w.f64(st_.estimate.pose.y());
+    w.f64(st_.estimate.pose.yaw);
+    w.f64(st_.estimate.position_stddev);
+    w.f64(st_.estimate.yaw_concentration);
+    w.boolean(st_.estimate.valid);
+    w.f64(st_.monitor.w_slow);
+    w.f64(st_.monitor.w_fast);
+    w.f64(st_.monitor.last_inject_p);
+    w.u64(st_.blind_streak);
+    write_array(w, st_.particles.x);
+    write_array(w, st_.particles.y);
+    write_array(w, st_.particles.yaw);
+    write_weights(w, st_.particles.weight);
+  }
+
+  /// Restores what save_state() wrote, re-sizing the particle storage to
+  /// the snapshotted active count. The injection support is NOT part of
+  /// the blob (it is map data) — the owner re-arms it, exactly as both
+  /// start paths do.
+  void load_state(map::SnapshotReader& r) {
+    const std::size_t n = static_cast<std::size_t>(r.u64());
+    TOFMCL_EXPECTS(n > 0 && n <= config_.num_particles,
+                   "snapshot particle count outside [1, num_particles]");
+    TOFMCL_EXPECTS(r.u8() == sizeof(Scalar),
+                   "snapshot scalar width does not match this precision");
+    TOFMCL_EXPECTS(r.u32() == st_.rngs.size(),
+                   "snapshot RNG stream count does not match chunks");
+    for (Rng& rng : st_.rngs) rng = read_rng(r);
+    st_.resample_rng = read_rng(r);
+    const double px = r.f64();
+    const double py = r.f64();
+    const double pyaw = r.f64();
+    st_.estimate.pose = Pose2{px, py, pyaw};
+    st_.estimate.position_stddev = r.f64();
+    st_.estimate.yaw_concentration = r.f64();
+    st_.estimate.valid = r.boolean();
+    st_.monitor.w_slow = r.f64();
+    st_.monitor.w_fast = r.f64();
+    st_.monitor.last_inject_p = r.f64();
+    st_.blind_streak = static_cast<std::size_t>(r.u64());
+    resize_storage(n);
+    read_array(r, st_.particles.x);
+    read_array(r, st_.particles.y);
+    read_array(r, st_.particles.yaw);
+    read_weights(r, st_.particles.weight);
+    st_.workload = UpdateWorkload{};
+    last_resample_drew_ = false;
+  }
+
   /// Most recent pose estimate (invalid before the first compute_pose()).
-  const PoseEstimate& estimate() const { return estimate_; }
+  const PoseEstimate& estimate() const { return st_.estimate; }
   /// Workload of the most recent observation update.
-  const UpdateWorkload& workload() const { return workload_; }
+  const UpdateWorkload& workload() const { return st_.workload; }
   /// Augmented-MCL monitor state (diagnostics / regression tests).
-  const InjectionMonitor& injection_monitor() const { return monitor_; }
+  const InjectionMonitor& injection_monitor() const { return st_.monitor; }
 
  private:
-  static constexpr std::size_t kMaxChunks = 64;
-
   /// Per-update motion constants, hoisted out of the particle loop. All
   /// kept in double: the Gaussian mean/σ feed Rng::gaussian in double
   /// precision exactly as the phase-by-phase path always did.
@@ -561,22 +673,15 @@ class ParticleFilter {
     const float dx = static_cast<float>(rng.gaussian(mp.dx0, mp.sxy));
     const float dy = static_cast<float>(rng.gaussian(mp.dy0, mp.sxy));
     const float dyaw = static_cast<float>(rng.gaussian(mp.dyaw0, mp.syaw));
-    const float yaw = static_cast<float>(particles_.yaw[i]);
+    const float yaw = static_cast<float>(st_.particles.yaw[i]);
     const float c = std::cos(yaw);
     const float s = std::sin(yaw);
-    particles_.x[i] =
-        Scalar(static_cast<float>(particles_.x[i]) + c * dx - s * dy);
-    particles_.y[i] =
-        Scalar(static_cast<float>(particles_.y[i]) + s * dx + c * dy);
-    particles_.yaw[i] = Scalar(wrap_pi_f(yaw + dyaw));
+    st_.particles.x[i] =
+        Scalar(static_cast<float>(st_.particles.x[i]) + c * dx - s * dy);
+    st_.particles.y[i] =
+        Scalar(static_cast<float>(st_.particles.y[i]) + s * dx + c * dy);
+    st_.particles.yaw[i] = Scalar(wrap_pi_f(yaw + dyaw));
   }
-
-  /// Per-beam state of the mixture/gating path, computed once per update.
-  struct BeamAux {
-    float floor = 0.0f;  ///< Short-return floor added to every factor.
-    float scale = 1.0f;  ///< 1 / (z_hit + z_rand + floor).
-    bool gated = false;  ///< Excluded from the weight product.
-  };
 
   /// Computes the per-beam mixture state and novelty-gate verdicts.
   /// Returns true when the extended kernel must run; false selects the
@@ -592,10 +697,10 @@ class ParticleFilter {
     // uniform particles inflates the position variance by construction
     // (see MclConfig::novelty_min_concentration).
     const bool want_gate =
-        config_.enable_novelty_gating && estimate_.valid &&
-        estimate_.yaw_concentration >= config_.novelty_min_concentration;
-    workload_.novelty_armed = want_gate;
-    if (!want_gate) blind_streak_ = 0;
+        config_.enable_novelty_gating && st_.estimate.valid &&
+        st_.estimate.yaw_concentration >= config_.novelty_min_concentration;
+    st_.workload.novelty_armed = want_gate;
+    if (!want_gate) st_.blind_streak = 0;
     if (config_.z_short <= 0.0 && !want_gate) return false;
 
     // Blind-streak fail-safe (MclConfig::novelty_max_blind_updates): too
@@ -603,10 +708,10 @@ class ParticleFilter {
     // the filter of evidence — stand down for this update so a kidnapping
     // toward nearer surfaces cannot hide behind its own gating.
     const bool stand_down =
-        want_gate && blind_streak_ >= config_.novelty_max_blind_updates;
+        want_gate && st_.blind_streak >= config_.novelty_max_blind_updates;
 
-    beam_aux_.resize(beams.size());
-    const double est_yaw = estimate_.pose.yaw;
+    st_.beam_aux.resize(beams.size());
+    const double est_yaw = st_.estimate.pose.yaw;
     const double gc = std::cos(est_yaw);
     const double gs = std::sin(est_yaw);
     for (std::size_t b = 0; b < beams.size(); ++b) {
@@ -628,24 +733,24 @@ class ParticleFilter {
         const double oy_b = static_cast<double>(beam.endpoint_body.y) -
                             range * sa;
         const Vec2 origin{
-            estimate_.pose.x() + gc * ox_b - gs * oy_b,
-            estimate_.pose.y() + gs * ox_b + gc * oy_b};
+            st_.estimate.pose.x() + gc * ox_b - gs * oy_b,
+            st_.estimate.pose.y() + gs * ox_b + gc * oy_b};
         const Vec2 dir{gc * ca - gs * sa, gs * ca + gc * sa};
         if (!map_surface_within(origin, dir,
                                 range + config_.novelty_margin_m)) {
           // The map expects free space well past the measured range: the
           // return bounced off something the map does not know.
           aux.gated = true;
-          ++workload_.gated_beams;
+          ++st_.workload.gated_beams;
         }
       }
-      beam_aux_[b] = aux;
+      st_.beam_aux[b] = aux;
     }
     if (want_gate && !beams.empty() &&
-        workload_.gated_beams == beams.size()) {
-      ++blind_streak_;
+        st_.workload.gated_beams == beams.size()) {
+      ++st_.blind_streak;
     } else {
-      blind_streak_ = 0;
+      st_.blind_streak = 0;
     }
     return true;
   }
@@ -672,12 +777,12 @@ class ParticleFilter {
   /// weight. Consumes no randomness.
   inline void observation_step(std::size_t i,
                                std::span<const sensor::Beam> beams) {
-    const float x = static_cast<float>(particles_.x[i]);
-    const float y = static_cast<float>(particles_.y[i]);
-    const float yaw = static_cast<float>(particles_.yaw[i]);
+    const float x = static_cast<float>(st_.particles.x[i]);
+    const float y = static_cast<float>(st_.particles.y[i]);
+    const float yaw = static_cast<float>(st_.particles.yaw[i]);
     const float c = std::cos(yaw);
     const float s = std::sin(yaw);
-    float w = static_cast<float>(particles_.weight[i]);
+    float w = static_cast<float>(st_.particles.weight[i]);
     for (const sensor::Beam& beam : beams) {
       const float bx = beam.endpoint_body.x;
       const float by = beam.endpoint_body.y;
@@ -685,7 +790,7 @@ class ParticleFilter {
       const float ey = y + s * bx + c * by;
       w *= observation_model_.factor(ex, ey) * per_beam_scale_;
     }
-    particles_.weight[i] = Scalar(w);
+    st_.particles.weight[i] = Scalar(w);
   }
 
   /// Mixture/gating variant: the map-distance factor gains the beam's
@@ -694,14 +799,14 @@ class ParticleFilter {
   /// no randomness.
   inline void observation_step_mixture(std::size_t i,
                                        std::span<const sensor::Beam> beams) {
-    const float x = static_cast<float>(particles_.x[i]);
-    const float y = static_cast<float>(particles_.y[i]);
-    const float yaw = static_cast<float>(particles_.yaw[i]);
+    const float x = static_cast<float>(st_.particles.x[i]);
+    const float y = static_cast<float>(st_.particles.y[i]);
+    const float yaw = static_cast<float>(st_.particles.yaw[i]);
     const float c = std::cos(yaw);
     const float s = std::sin(yaw);
-    float w = static_cast<float>(particles_.weight[i]);
+    float w = static_cast<float>(st_.particles.weight[i]);
     for (std::size_t b = 0; b < beams.size(); ++b) {
-      const BeamAux& aux = beam_aux_[b];
+      const BeamAux& aux = st_.beam_aux[b];
       if (aux.gated) continue;
       const float bx = beams[b].endpoint_body.x;
       const float by = beams[b].endpoint_body.y;
@@ -709,7 +814,202 @@ class ParticleFilter {
       const float ey = y + s * bx + c * by;
       w *= (observation_model_.factor(ex, ey) + aux.floor) * aux.scale;
     }
-    particles_.weight[i] = Scalar(w);
+    st_.particles.weight[i] = Scalar(w);
+  }
+
+  /// KLD-sampling bound (Fox 2001): number of particles so the sampled
+  /// approximation stays within ε of the true posterior with confidence
+  /// quantile z, given k occupied histogram bins. Bin keys are packed
+  /// into one integer and sorted — no unordered containers, so the count
+  /// (and with it the whole adaptive trajectory) is deterministic.
+  std::size_t kld_target() {
+    std::vector<std::int64_t>& keys = st_.kld_keys;
+    keys.clear();
+    const std::size_t n = st_.particles.size();
+    keys.reserve(n);
+    const double inv_xy = 1.0 / config_.kld_bin_xy;
+    const double inv_yaw = 1.0 / config_.kld_bin_yaw;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto ix = static_cast<std::int64_t>(std::floor(
+          static_cast<double>(static_cast<float>(st_.particles.x[i])) *
+          inv_xy));
+      const auto iy = static_cast<std::int64_t>(std::floor(
+          static_cast<double>(static_cast<float>(st_.particles.y[i])) *
+          inv_xy));
+      const auto iyaw = static_cast<std::int64_t>(std::floor(
+          static_cast<double>(static_cast<float>(st_.particles.yaw[i])) *
+          inv_yaw));
+      keys.push_back(((ix & 0xFFFFF) << 40) | ((iy & 0xFFFFF) << 20) |
+                     (iyaw & 0xFFFFF));
+    }
+    std::sort(keys.begin(), keys.end());
+    const auto k = static_cast<std::size_t>(
+        std::unique(keys.begin(), keys.end()) - keys.begin());
+    if (k <= 1) return config_.min_particles;
+    const double kd = static_cast<double>(k - 1);
+    const double a = 2.0 / (9.0 * kd);
+    const double base = 1.0 - a + std::sqrt(a) * config_.kld_z;
+    const double bound =
+        kd / (2.0 * config_.kld_epsilon) * base * base * base;
+    return static_cast<std::size_t>(std::ceil(bound));
+  }
+
+  /// Re-sizes the active set to `target`, preserving the represented
+  /// distribution: shrinking keeps an even stride subsample of the (all
+  /// weight-1) set, growing tiles the existing particles. Storage moves
+  /// between arena size classes when needed.
+  void set_active_count(std::size_t target) {
+    const std::size_t old_n = st_.particles.size();
+    if (target == old_n || old_n == 0) return;
+    if (arena_ &&
+        ParticleArena::size_class(target) != st_.block_capacity) {
+      std::size_t cap = 0;
+      ParticleSoA<Scalar> fresh =
+          arena_->template acquire<Scalar>(target, cap);
+      for (std::size_t i = 0; i < target; ++i) {
+        fresh.copy_from(st_.particles, i, spread_index(i, target, old_n));
+      }
+      arena_->release(std::move(st_.particles), st_.block_capacity);
+      st_.particles = std::move(fresh);
+      std::size_t back_capacity = 0;
+      ParticleSoA<Scalar> fresh_back =
+          arena_->template acquire<Scalar>(target, back_capacity);
+      arena_->release(std::move(st_.back_buffer), st_.block_capacity);
+      st_.back_buffer = std::move(fresh_back);
+      st_.block_capacity = cap;
+    } else if (target < old_n) {
+      for (std::size_t i = 0; i < target; ++i) {
+        const std::size_t src = spread_index(i, target, old_n);
+        if (src != i) st_.particles.copy_from(st_.particles, i, src);
+      }
+      st_.particles.resize(target);
+      st_.back_buffer.resize(target);
+    } else {
+      st_.particles.resize(target);
+      st_.back_buffer.resize(target);
+      for (std::size_t i = old_n; i < target; ++i) {
+        st_.particles.copy_from(st_.particles, i, i % old_n);
+      }
+    }
+    // The resample that preceded adaptation left every weight at 1;
+    // subsampling/tiling preserves that, re-asserted for the new slots.
+    std::fill(st_.particles.weight.begin(), st_.particles.weight.end(),
+              Scalar(1.0f));
+  }
+
+  /// Source index for re-sizing: shrink = even stride over the old set
+  /// (src ≥ dst, so in-place forward copies are safe), grow = tile.
+  static std::size_t spread_index(std::size_t i, std::size_t new_n,
+                                  std::size_t old_n) {
+    if (new_n >= old_n) return i < old_n ? i : i % old_n;
+    return i * old_n / new_n;
+  }
+
+  /// Raw storage re-size without content adaptation (restore path: the
+  /// caller overwrites every particle right after).
+  void resize_storage(std::size_t n) {
+    if (arena_) {
+      const std::size_t cls = ParticleArena::size_class(n);
+      if (cls != st_.block_capacity) {
+        arena_->release(std::move(st_.particles), st_.block_capacity);
+        arena_->release(std::move(st_.back_buffer), st_.block_capacity);
+        st_.particles = arena_->template acquire<Scalar>(n, st_.block_capacity);
+        std::size_t back_capacity = 0;
+        st_.back_buffer = arena_->template acquire<Scalar>(n, back_capacity);
+        return;
+      }
+    }
+    st_.particles.resize(n);
+    st_.back_buffer.resize(n);
+  }
+
+  void release_blocks() {
+    if (arena_ && st_.block_capacity > 0) {
+      arena_->release(std::move(st_.particles), st_.block_capacity);
+      arena_->release(std::move(st_.back_buffer), st_.block_capacity);
+      st_.block_capacity = 0;
+    }
+    arena_.reset();
+  }
+
+  static void write_rng(map::SnapshotWriter& w, const Rng& rng) {
+    const Rng::Snapshot s = rng.snapshot();
+    for (const std::uint64_t word : s.state) w.u64(word);
+    w.f64(s.cached);
+    w.boolean(s.has_cached);
+  }
+
+  static Rng read_rng(map::SnapshotReader& r) {
+    Rng::Snapshot s;
+    for (std::uint64_t& word : s.state) word = r.u64();
+    s.cached = r.f64();
+    s.has_cached = r.boolean();
+    Rng rng(0);
+    rng.restore(s);
+    return rng;
+  }
+
+  static void write_scalar(map::SnapshotWriter& w, Scalar v) {
+    if constexpr (std::is_same_v<Scalar, Half>) {
+      w.u16(v.bits());
+    } else {
+      w.f32(v);
+    }
+  }
+
+  static Scalar read_scalar(map::SnapshotReader& r) {
+    if constexpr (std::is_same_v<Scalar, Half>) {
+      return Half::from_bits(r.u16());
+    } else {
+      return Scalar(r.f32());
+    }
+  }
+
+  static auto scalar_bits(Scalar v) {
+    if constexpr (std::is_same_v<Scalar, Half>) {
+      return v.bits();
+    } else {
+      return std::bit_cast<std::uint32_t>(v);
+    }
+  }
+
+  static void write_array(map::SnapshotWriter& w,
+                          const std::vector<Scalar>& values) {
+    for (const Scalar v : values) write_scalar(w, v);
+  }
+
+  static void read_array(map::SnapshotReader& r, std::vector<Scalar>& values) {
+    for (Scalar& v : values) v = read_scalar(r);
+  }
+
+  /// Weights spend nearly all their life uniform — every resample that
+  /// draws rewrites them to exactly Scalar(1), and sessions snapshot
+  /// between corrections — so the blob stores a constant run as a flag
+  /// plus one value instead of n copies. Bit-exact in both encodings
+  /// (the comparison is on the scalar's bit pattern, not its value).
+  static void write_weights(map::SnapshotWriter& w,
+                            const std::vector<Scalar>& values) {
+    const bool constant =
+        std::all_of(values.begin(), values.end(), [&](Scalar v) {
+          return scalar_bits(v) == scalar_bits(values.front());
+        });
+    w.u8(constant ? 1 : 0);
+    if (constant) {
+      write_scalar(w, values.front());
+    } else {
+      write_array(w, values);
+    }
+  }
+
+  static void read_weights(map::SnapshotReader& r,
+                           std::vector<Scalar>& values) {
+    const std::uint8_t flag = r.u8();
+    TOFMCL_EXPECTS(flag <= 1, "snapshot weight encoding flag must be 0 or 1");
+    if (flag == 1) {
+      std::fill(values.begin(), values.end(), read_scalar(r));
+    } else {
+      read_array(r, values);
+    }
   }
 
   static float wrap_pi_f(float angle) {
@@ -730,22 +1030,15 @@ class ParticleFilter {
   ObservationModel observation_model_;
   float per_beam_scale_ = 1.0f;
   BeamModelParams mixture_params_{};
-  /// Scratch: per-beam mixture/gating state of the current update.
-  std::vector<BeamAux> beam_aux_;
-  /// Consecutive corrections in which the gate excluded EVERY beam.
-  std::size_t blind_streak_ = 0;
-  ParticleSoA<Scalar> particles_;
-  ParticleSoA<Scalar> back_buffer_;
-  std::vector<double> chunk_sums_;
-  std::vector<double> chunk_sq_sums_;
-  std::array<double, kMaxChunks> chunk_prefix_{};
-  std::vector<Rng> rngs_;
-  Rng resample_rng_{0};
-  PoseEstimate estimate_;
-  UpdateWorkload workload_;
-  std::vector<Vec2> support_;
+  /// Everything the update cycle mutates (see filter_state.hpp).
+  FilterState<Scalar> st_;
+  /// Whether the last resample() ran the systematic draw (weights are
+  /// uniformly 1 afterwards) — precondition of adapt_particle_count().
+  bool last_resample_drew_ = false;
+  /// View of the map's free-cell table (owned by MapResources).
+  std::span<const Vec2> support_;
   double support_jitter_ = 0.0;
-  InjectionMonitor monitor_;
+  std::shared_ptr<ParticleArena> arena_;
 };
 
 }  // namespace tofmcl::core

@@ -41,7 +41,17 @@ struct ParticleSoA {
     weight.resize(n);
   }
 
+  /// Pre-sizes the backing arrays (arena size classes) without changing
+  /// size(); later resizes within the reservation never reallocate.
+  void reserve(std::size_t n) {
+    x.reserve(n);
+    y.reserve(n);
+    yaw.reserve(n);
+    weight.reserve(n);
+  }
+
   std::size_t size() const { return x.size(); }
+  std::size_t capacity() const { return x.capacity(); }
 
   /// Copies one particle (all four fields) from `other[src]` to
   /// `(*this)[dst]` — the resampling "draw" in SoA form.

@@ -35,8 +35,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "core/localizer.hpp"
@@ -327,12 +330,25 @@ class Campaign {
   CampaignRunResult execute_run(const RunSpec& run,
                                 core::Executor& executor) const;
 
+  /// One shared ScoringContext per (map resources, scoring fingerprint):
+  /// every run differing only in seed/particle count leases its particle
+  /// blocks from the same arena, so a batch's sequential runs on one pool
+  /// worker recycle blocks instead of reallocating. Guarded by
+  /// ctx_mutex_ (execute_run is const and fans out over the pool).
+  std::shared_ptr<const core::ScoringContext> context_for(
+      const std::shared_ptr<const core::MapResources>& maps,
+      const core::LocalizerConfig& config) const;
+
   CampaignSpec spec_;
   std::vector<RunSpec> runs_;
   /// Keyed by world identity, not WorldSpec index, so e.g. a six-plan
   /// sweep over the large maze builds one EDT set, not six.
   std::map<WorldKey, World> worlds_;
   std::map<DatasetKey, Dataset> datasets_;
+  mutable std::mutex ctx_mutex_;
+  mutable std::map<std::pair<const void*, std::string>,
+                   std::shared_ptr<const core::ScoringContext>>
+      ctx_cache_;
   double horizon_s_ = 0.0;
 };
 

@@ -1,0 +1,73 @@
+#pragma once
+/// \file snapshot_io.hpp
+/// \brief Bounds-checked binary writer/reader for versioned snapshots.
+///
+/// The serving layer serializes live filter state (FilterState snapshots,
+/// session eviction records) into compact binary blobs that must restore
+/// BIT-IDENTICALLY: a restored session's trace has to continue exactly
+/// where the snapshotted one left off. Decimal text round-trips cannot
+/// guarantee that for floats, so every float/double travels as its raw
+/// IEEE bit pattern (the binary equivalent of the repo's hexfloat trace
+/// convention), serialized byte-by-byte in little-endian order so blobs
+/// are portable across hosts regardless of native endianness.
+///
+/// The reader is defensive: every accessor bounds-checks and throws
+/// common::IoError on truncation, so a corrupt or version-skewed blob is
+/// rejected instead of read out of bounds. Version negotiation itself is
+/// the caller's job (check_magic/peek are provided for it).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace tofmcl::map {
+
+/// Append-only little-endian binary writer backing a snapshot blob.
+class SnapshotWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// Raw IEEE-754 bit patterns: exact round-trip by construction.
+  void f32(float v);
+  void f64(double v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  const std::vector<std::byte>& bytes() const { return buf_; }
+  std::vector<std::byte> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Bounds-checked reader over a snapshot blob. Throws IoError on any
+/// read past the end (truncated or corrupt snapshot).
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(std::span<const std::byte> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  float f32();
+  double f64();
+  bool boolean() { return u8() != 0; }
+
+  /// Bytes not yet consumed.
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  void require(std::size_t n) const;
+
+  std::span<const std::byte> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace tofmcl::map

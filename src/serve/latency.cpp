@@ -15,13 +15,28 @@ LatencySummary LatencyRecorder::summarize() const {
   LatencySummary s;
   s.count = samples_.size();
   if (samples_.empty()) return s;
-  s.p50 = percentile(samples_, 0.50);
-  s.p99 = percentile(samples_, 0.99);
-  s.p999 = percentile(samples_, 0.999);
   double sum = 0.0;
   for (const double v : samples_) sum += v;
   s.mean = sum / static_cast<double>(samples_.size());
   s.max = *std::max_element(samples_.begin(), samples_.end());
+  // A tail quantile q is only resolved when at least one sample lies
+  // beyond it, i.e. count·(1−q) ≥ 1; below that, clamp to max and flag.
+  const auto resolved = [&](double q) {
+    return static_cast<double>(samples_.size()) * (1.0 - q) >= 1.0;
+  };
+  s.p50 = percentile(samples_, 0.50);
+  if (resolved(0.99)) {
+    s.p99 = percentile(samples_, 0.99);
+  } else {
+    s.p99 = s.max;
+    s.low_sample = true;
+  }
+  if (resolved(0.999)) {
+    s.p999 = percentile(samples_, 0.999);
+  } else {
+    s.p999 = s.max;
+    s.low_sample = true;
+  }
   return s;
 }
 

@@ -22,6 +22,12 @@ struct LatencySummary {
   double p999 = 0.0;
   double mean = 0.0;
   double max = 0.0;
+  /// True when the sample set was too small to resolve a reported tail
+  /// quantile (p99 needs ≥100 samples, p999 ≥1000). The unresolvable
+  /// quantiles are clamped to max instead of interpolating between the
+  /// top two order statistics — interpolation there UNDER-reports the
+  /// tail, which is the one direction a latency report must not err.
+  bool low_sample = false;
 };
 
 class LatencyRecorder {

@@ -4,44 +4,99 @@
 
 namespace tofmcl::serve {
 
-MapCatalog::Resources MapCatalog::get_or_build(const std::string& key,
-                                               const Builder& build) {
-  std::promise<Resources> promise;
-  std::shared_future<Resources> future;
+namespace {
+
+/// The keyed once-map shared by resources and contexts: the winner of the
+/// insert builds OUTSIDE the lock, everyone else waits on its future, and
+/// a failed build erases its own entry so a later request retries.
+template <typename T>
+T get_or_build_once(std::mutex& mutex,
+                    std::map<std::string, std::shared_future<T>>& built,
+                    const std::string& key,
+                    const std::function<T()>& build) {
+  std::promise<T> promise;
+  std::shared_future<T> future;
   bool winner = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = built_.find(key);
-    if (it != built_.end()) {
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto it = built.find(key);
+    if (it != built.end()) {
       future = it->second;
     } else {
       future = promise.get_future().share();
-      built_.emplace(key, future);
+      built.emplace(key, future);
       winner = true;
     }
   }
   if (!winner) return future.get();
 
-  // Build outside the lock so different maps construct concurrently.
+  // Build outside the lock so different keys construct concurrently.
   try {
     promise.set_value(build());
   } catch (...) {
     promise.set_exception(std::current_exception());
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard<std::mutex> lock(mutex);
       // Forget the failed attempt so the next request retries. Only erase
       // our own future: a retry may already have replaced the entry.
-      const auto it = built_.find(key);
-      if (it != built_.end()) built_.erase(it);
+      const auto it = built.find(key);
+      if (it != built.end()) built.erase(it);
     }
     future.get();  // Rethrows for this caller too.
   }
   return future.get();
 }
 
+}  // namespace
+
+MapCatalog::Resources MapCatalog::get_or_build(const std::string& key,
+                                               const Builder& build) {
+  return get_or_build_once(mutex_, built_, key, build);
+}
+
+MapCatalog::Context MapCatalog::get_or_build_context(
+    const std::string& key, const ContextBuilder& build) {
+  return get_or_build_once(mutex_, contexts_, key, build);
+}
+
 std::size_t MapCatalog::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return built_.size();
+}
+
+std::size_t MapCatalog::context_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return contexts_.size();
+}
+
+void MapCatalog::stash_snapshot(std::size_t session_id,
+                                std::vector<std::byte> blob) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = snapshots_[session_id];
+  snapshot_bytes_ -= slot.size();
+  slot = std::move(blob);
+  snapshot_bytes_ += slot.size();
+}
+
+std::optional<std::vector<std::byte>> MapCatalog::take_snapshot(
+    std::size_t session_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = snapshots_.find(session_id);
+  if (it == snapshots_.end()) return std::nullopt;
+  std::vector<std::byte> blob = std::move(it->second);
+  snapshot_bytes_ -= blob.size();
+  snapshots_.erase(it);
+  return blob;
+}
+
+std::size_t MapCatalog::stashed_snapshots() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return snapshots_.size();
+}
+
+std::size_t MapCatalog::stashed_snapshot_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return snapshot_bytes_;
 }
 
 }  // namespace tofmcl::serve

@@ -18,13 +18,26 @@
 /// erases its entry so a later request can retry instead of caching the
 /// exception forever; callers already waiting on the failed future get
 /// the exception rethrown.
+///
+/// The same once-map pattern builds shared core::ScoringContext objects,
+/// keyed by (map key, scoring fingerprint): every session whose config
+/// differs only in SessionKnobs shares one context — one arena, one
+/// resolved config — on top of the shared resources.
+///
+/// The catalog is also the serving layer's snapshot BACKING STORE:
+/// evicted sessions park their serialized FilterState blobs here (keyed
+/// by session id) until a later push restores them. The store is plain
+/// keyed bytes — it knows nothing about the blob format.
 
+#include <cstddef>
 #include <functional>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "core/localizer.hpp"
 
@@ -34,6 +47,8 @@ class MapCatalog {
  public:
   using Resources = std::shared_ptr<const core::MapResources>;
   using Builder = std::function<Resources()>;
+  using Context = std::shared_ptr<const core::ScoringContext>;
+  using ContextBuilder = std::function<Context()>;
 
   /// Returns the resources for `key`, invoking `build` exactly once per
   /// key across all concurrent callers (the winner builds, the rest wait
@@ -42,12 +57,32 @@ class MapCatalog {
   /// retries.
   Resources get_or_build(const std::string& key, const Builder& build);
 
-  /// Number of successfully built (or in-flight) entries.
+  /// Same once-build contract for shared scoring contexts. Key by
+  /// map key + core::scoring_fingerprint(config) so sessions differing
+  /// only in SessionKnobs land on one context.
+  Context get_or_build_context(const std::string& key,
+                               const ContextBuilder& build);
+
+  /// Number of successfully built (or in-flight) resource entries.
   std::size_t size() const;
+  /// Number of successfully built (or in-flight) context entries.
+  std::size_t context_count() const;
+
+  /// Parks an evicted session's snapshot blob under its session id
+  /// (replacing any previous blob for that id).
+  void stash_snapshot(std::size_t session_id, std::vector<std::byte> blob);
+  /// Removes and returns the blob stashed for `session_id`, or nullopt.
+  std::optional<std::vector<std::byte>> take_snapshot(std::size_t session_id);
+  /// Number of parked snapshots / their total payload bytes.
+  std::size_t stashed_snapshots() const;
+  std::size_t stashed_snapshot_bytes() const;
 
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::shared_future<Resources>> built_;
+  std::map<std::string, std::shared_future<Context>> contexts_;
+  std::map<std::size_t, std::vector<std::byte>> snapshots_;
+  std::size_t snapshot_bytes_ = 0;
 };
 
 }  // namespace tofmcl::serve

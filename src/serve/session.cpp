@@ -2,22 +2,108 @@
 
 #include <utility>
 
+#include "map/snapshot_io.hpp"
+
 namespace tofmcl::serve {
 
-Session::Session(std::size_t id, std::string map_key,
-                 std::shared_ptr<const core::MapResources> maps,
+namespace {
+
+constexpr std::uint32_t kSessionMagic = 0x53455353u;  // "SESS"
+constexpr std::uint16_t kSessionVersion = 1;
+
+core::SessionKnobs knobs_of(const SessionOptions& opts) {
+  core::SessionKnobs knobs;
+  knobs.seed = opts.config.mcl.seed;
+  knobs.num_particles = opts.config.mcl.num_particles;
+  return knobs;
+}
+
+}  // namespace
+
+Session::Session(Unstarted, std::size_t id, std::string map_key,
+                 std::shared_ptr<const core::ScoringContext> ctx,
                  const SessionOptions& opts)
     : id_(id),
       map_key_(std::move(map_key)),
-      localizer_(std::move(maps), opts.config, executor_),
+      localizer_(std::move(ctx), knobs_of(opts), executor_),
       capacity_(opts.queue_capacity) {
   TOFMCL_EXPECTS(capacity_ >= 1, "session queue capacity must be >= 1");
+}
+
+Session::Session(std::size_t id, std::string map_key,
+                 std::shared_ptr<const core::ScoringContext> ctx,
+                 const SessionOptions& opts)
+    : Session(Unstarted{}, id, std::move(map_key), std::move(ctx), opts) {
   if (opts.start) {
     localizer_.start_at(opts.start->pose, opts.start->sigma_xy,
                         opts.start->sigma_yaw);
   } else {
     localizer_.start_global();
   }
+}
+
+Session::Session(std::size_t id, std::string map_key,
+                 std::shared_ptr<const core::ScoringContext> ctx,
+                 const SessionOptions& opts, std::span<const std::byte> blob)
+    : Session(Unstarted{}, id, std::move(map_key), std::move(ctx), opts) {
+  map::SnapshotReader reader(blob);
+  if (reader.u32() != kSessionMagic) {
+    throw IoError("session snapshot: bad magic");
+  }
+  const std::uint16_t version = reader.u16();
+  if (version != kSessionVersion) {
+    throw IoError("session snapshot: version " + std::to_string(version) +
+                  " != supported " + std::to_string(kSessionVersion));
+  }
+  corrections_ = reader.u64();
+  processed_inputs_ = reader.u64();
+  dropped_inputs_ = reader.u64();
+  const std::uint64_t latency_count = reader.u64();
+  for (std::uint64_t i = 0; i < latency_count; ++i) {
+    latency_.record(reader.f64());
+  }
+  const std::uint64_t trace_count = reader.u64();
+  trace_.reserve(trace_count);
+  for (std::uint64_t i = 0; i < trace_count; ++i) {
+    CorrectionRecord rec;
+    rec.t = reader.f64();
+    rec.pose.position.x = reader.f64();
+    rec.pose.position.y = reader.f64();
+    rec.pose.yaw = reader.f64();
+    trace_.push_back(rec);
+  }
+  localizer_.load_snapshot(reader);
+  if (!reader.exhausted()) {
+    throw IoError("session snapshot: trailing bytes");
+  }
+}
+
+std::vector<std::byte> Session::snapshot() const {
+  std::size_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    TOFMCL_EXPECTS(queue_.empty(),
+                   "cannot snapshot a session with pending inputs "
+                   "(pump first)");
+    dropped = dropped_inputs_;
+  }
+  map::SnapshotWriter writer;
+  writer.u32(kSessionMagic);
+  writer.u16(kSessionVersion);
+  writer.u64(corrections_);
+  writer.u64(processed_inputs_);
+  writer.u64(dropped);
+  writer.u64(latency_.count());
+  for (const double v : latency_.samples()) writer.f64(v);
+  writer.u64(trace_.size());
+  for (const CorrectionRecord& rec : trace_) {
+    writer.f64(rec.t);
+    writer.f64(rec.pose.position.x);
+    writer.f64(rec.pose.position.y);
+    writer.f64(rec.pose.yaw);
+  }
+  localizer_.save_snapshot(writer);
+  return writer.take();
 }
 
 Admission Session::push(SessionInput input) {

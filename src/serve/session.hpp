@@ -24,6 +24,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -69,13 +70,31 @@ struct SessionOptions {
 
 class Session {
  public:
-  /// Starts the localizer (tracking from `opts.start`, else global).
+  /// Starts the localizer (tracking from `opts.start`, else global) on the
+  /// shared per-map ScoringContext; the session contributes only its
+  /// SessionKnobs (seed and particle budget from `opts.config.mcl`).
   Session(std::size_t id, std::string map_key,
-          std::shared_ptr<const core::MapResources> maps,
+          std::shared_ptr<const core::ScoringContext> ctx,
           const SessionOptions& opts);
+
+  /// Restores a previously snapshotted session instead of starting fresh:
+  /// counters, latency samples, the correction trace and the full filter
+  /// state come from `blob` (written by snapshot()), so the session
+  /// resumes bit-identically where it left off. Throws common::IoError on
+  /// a malformed/mis-versioned blob, PreconditionError when the blob was
+  /// taken under different knobs than `opts` carries.
+  Session(std::size_t id, std::string map_key,
+          std::shared_ptr<const core::ScoringContext> ctx,
+          const SessionOptions& opts, std::span<const std::byte> blob);
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
+
+  /// Serializes everything session-local — counters, latency samples,
+  /// correction trace, and the Localizer snapshot (odometry anchors +
+  /// FilterState) — as a versioned binary blob. Precondition: no pending
+  /// inputs (snapshot between pumps, after the queue drained); asserted.
+  std::vector<std::byte> snapshot() const;
 
   std::size_t id() const { return id_; }
   const std::string& map_key() const { return map_key_; }
@@ -104,6 +123,13 @@ class Session {
   const core::Localizer& localizer() const { return localizer_; }
 
  private:
+  /// Tag-dispatched common ctor: builds the localizer on the context but
+  /// leaves it unstarted (the public ctors then start or restore it).
+  struct Unstarted {};
+  Session(Unstarted, std::size_t id, std::string map_key,
+          std::shared_ptr<const core::ScoringContext> ctx,
+          const SessionOptions& opts);
+
   std::size_t id_;
   std::string map_key_;
   /// Per-filter chunk execution stays serial: the serving layer extracts

@@ -1,10 +1,12 @@
 #include "serve/session_manager.hpp"
 // TOFMCL_LINT_ALLOW_FILE(wall-clock): pump() measures its own wall time
-// for the throughput report; correction traces never read the clock.
+// for the throughput report; correction traces never read the clock, and
+// eviction idleness is counted in pump generations, not seconds.
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <set>
 #include <utility>
 
 namespace tofmcl::serve {
@@ -58,10 +60,22 @@ std::size_t SessionManager::open_session(const std::string& map_key,
         *def->grid, def->mcl,
         std::span<const core::Precision>(def->precisions));
   });
+  // One ScoringContext per (map, scoring fingerprint): sessions that
+  // differ only in SessionKnobs (seed, particle budget — excluded from
+  // the fingerprint) share it, and with it the per-map particle arena.
+  const std::string ctx_key =
+      map_key + '\x1f' + core::scoring_fingerprint(opts.config);
+  auto ctx = catalog_.get_or_build_context(ctx_key, [&maps, &opts] {
+    return core::build_scoring_context(maps, opts.config);
+  });
   std::lock_guard<std::mutex> lock(mutex_);
-  const std::size_t id = sessions_.size();
-  sessions_.push_back(
-      std::make_unique<Session>(id, map_key, std::move(maps), opts));
+  const std::size_t id = slots_.size();
+  Slot slot;
+  slot.live = std::make_unique<Session>(id, map_key, ctx, opts);
+  slot.map_key = map_key;
+  slot.ctx = std::move(ctx);
+  slot.opts = opts;
+  slots_.push_back(std::move(slot));
   return id;
 }
 
@@ -69,33 +83,46 @@ Admission SessionManager::push(std::size_t session_id, SessionInput input) {
   Session* session = nullptr;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    TOFMCL_EXPECTS(session_id < sessions_.size(), "unknown session id");
-    session = sessions_[session_id].get();
+    TOFMCL_EXPECTS(session_id < slots_.size(), "unknown session id");
+    Slot& slot = slots_[session_id];
+    // Transparent restore: an evicted session comes back from its blob
+    // the moment traffic returns. (Construction under the lock is the
+    // exception to push() being cheap; it only happens on the first push
+    // after an eviction.)
+    if (!slot.live) restore_locked(slot, session_id);
+    session = slot.live.get();
   }
   return session->push(std::move(input));
 }
 
-std::vector<Session*> SessionManager::snapshot() const {
+std::vector<SessionManager::PumpItem> SessionManager::snapshot_live() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::vector<Session*> out;
-  out.reserve(sessions_.size());
-  for (const auto& s : sessions_) out.push_back(s.get());
+  std::vector<PumpItem> out;
+  out.reserve(slots_.size());
+  for (std::size_t id = 0; id < slots_.size(); ++id) {
+    if (slots_[id].live) out.push_back({slots_[id].live.get(), id});
+  }
   return out;
 }
 
 std::size_t SessionManager::pump() {
   const auto t0 = std::chrono::steady_clock::now();
-  const std::vector<Session*> sessions = snapshot();
+  const std::vector<PumpItem> items = snapshot_live();
+  std::vector<char> busy(items.size(), 0);
   std::size_t corrected = 0;
   if (!pool_) {
-    for (Session* s : sessions) {
-      if (s->has_pending()) corrected += s->process_pending();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (!items[i].session->has_pending()) continue;
+      busy[i] = 1;
+      corrected += items[i].session->process_pending();
     }
   } else {
     ThreadPool::TaskGroup group;
     std::atomic<std::size_t> total{0};
-    for (Session* s : sessions) {
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      Session* s = items[i].session;
       if (!s->has_pending()) continue;
+      busy[i] = 1;
       // One task per busy session: the group wait below is the only
       // serialization a session needs — at most one process_pending per
       // session is ever in flight.
@@ -104,55 +131,189 @@ std::size_t SessionManager::pump() {
     pool_->wait(group);
     corrected = total.load();
   }
+  {
+    // Advance idle streaks: a pump generation is the eviction clock.
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      Slot& slot = slots_[items[i].id];
+      // A slot restored mid-pump swapped Session objects; its fresh
+      // counter is already 0 and the stale pointer must not touch it.
+      if (slot.live.get() != items[i].session) continue;
+      if (busy[i]) {
+        slot.idle_pumps = 0;
+      } else {
+        ++slot.idle_pumps;
+      }
+    }
+  }
   pump_seconds_ +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   return corrected;
 }
 
+void SessionManager::evict_locked(Slot& slot, std::size_t id) {
+  // Retain the stats report() needs while the Session object is gone;
+  // the blob carries the same numbers for the eventual restore.
+  slot.retained_corrections = slot.live->corrections();
+  slot.retained_processed = slot.live->processed_inputs();
+  slot.retained_dropped = slot.live->dropped_inputs();
+  slot.retained_latency = slot.live->latency();
+  catalog_.stash_snapshot(id, slot.live->snapshot());
+  // Destroying the Session releases its SoA blocks into the arena pool.
+  slot.live.reset();
+}
+
+void SessionManager::restore_locked(Slot& slot, std::size_t id) {
+  auto blob = catalog_.take_snapshot(id);
+  TOFMCL_EXPECTS(blob.has_value(), "evicted session has no stashed snapshot");
+  slot.live = std::make_unique<Session>(id, slot.map_key, slot.ctx, slot.opts,
+                                        std::span<const std::byte>(*blob));
+  slot.idle_pumps = 0;
+  // The restored Session carries its counters again.
+  slot.retained_corrections = 0;
+  slot.retained_processed = 0;
+  slot.retained_dropped = 0;
+  slot.retained_latency = LatencyRecorder{};
+}
+
+std::vector<std::byte> SessionManager::snapshot_session(
+    std::size_t session_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TOFMCL_EXPECTS(session_id < slots_.size(), "unknown session id");
+  TOFMCL_EXPECTS(slots_[session_id].live != nullptr,
+                 "cannot snapshot an evicted session");
+  return slots_[session_id].live->snapshot();
+}
+
+void SessionManager::restore_session(std::size_t session_id,
+                                     std::span<const std::byte> blob) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TOFMCL_EXPECTS(session_id < slots_.size(), "unknown session id");
+  Slot& slot = slots_[session_id];
+  if (slot.live) {
+    TOFMCL_EXPECTS(!slot.live->has_pending(),
+                   "cannot restore over pending inputs (pump first)");
+  }
+  // An explicit restore supersedes whatever eviction stashed.
+  catalog_.take_snapshot(session_id);
+  slot.live = std::make_unique<Session>(session_id, slot.map_key, slot.ctx,
+                                        slot.opts, blob);
+  slot.idle_pumps = 0;
+  slot.retained_corrections = 0;
+  slot.retained_processed = 0;
+  slot.retained_dropped = 0;
+  slot.retained_latency = LatencyRecorder{};
+}
+
+void SessionManager::evict_session(std::size_t session_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TOFMCL_EXPECTS(session_id < slots_.size(), "unknown session id");
+  Slot& slot = slots_[session_id];
+  TOFMCL_EXPECTS(slot.live != nullptr, "session already evicted");
+  evict_locked(slot, session_id);
+}
+
+std::size_t SessionManager::evict_idle(std::size_t min_idle_pumps) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t evicted = 0;
+  for (std::size_t id = 0; id < slots_.size(); ++id) {
+    Slot& slot = slots_[id];
+    if (!slot.live) continue;
+    if (slot.idle_pumps < min_idle_pumps) continue;
+    if (slot.live->has_pending()) continue;
+    evict_locked(slot, id);
+    ++evicted;
+  }
+  return evicted;
+}
+
 std::size_t SessionManager::num_sessions() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return sessions_.size();
+  return slots_.size();
+}
+
+std::size_t SessionManager::live_sessions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t live = 0;
+  for (const Slot& slot : slots_) live += slot.live != nullptr;
+  return live;
+}
+
+std::size_t SessionManager::evicted_sessions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t evicted = 0;
+  for (const Slot& slot : slots_) evicted += slot.live == nullptr;
+  return evicted;
+}
+
+bool SessionManager::session_live(std::size_t session_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TOFMCL_EXPECTS(session_id < slots_.size(), "unknown session id");
+  return slots_[session_id].live != nullptr;
 }
 
 const Session& SessionManager::session(std::size_t session_id) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  TOFMCL_EXPECTS(session_id < sessions_.size(), "unknown session id");
-  return *sessions_[session_id];
+  TOFMCL_EXPECTS(session_id < slots_.size(), "unknown session id");
+  TOFMCL_EXPECTS(slots_[session_id].live != nullptr,
+                 "session is evicted (push to restore it)");
+  return *slots_[session_id].live;
 }
 
 ServeReport SessionManager::report() const {
-  const std::vector<Session*> sessions = snapshot();
+  std::lock_guard<std::mutex> lock(mutex_);
   ServeReport rep;
-  rep.sessions = sessions.size();
+  rep.sessions = slots_.size();
   rep.pump_seconds = pump_seconds_;
 
   std::map<std::string, MapReport> by_map;
+  std::map<std::string, LatencyRecorder> by_map_latency;
   LatencyRecorder global;
-  for (const Session* s : sessions) {
-    MapReport& m = by_map[s->map_key()];
-    m.map = s->map_key();
+  std::set<const core::ParticleArena*> arenas;
+  for (const Slot& slot : slots_) {
+    MapReport& m = by_map[slot.map_key];
+    m.map = slot.map_key;
     ++m.sessions;
-    m.corrections += s->corrections();
-    m.processed_inputs += s->processed_inputs();
-    m.dropped_inputs += s->dropped_inputs();
-    rep.corrections += s->corrections();
-    rep.processed_inputs += s->processed_inputs();
-    rep.dropped_inputs += s->dropped_inputs();
-    global.merge(s->latency());
+    std::size_t corrections = 0, processed = 0, dropped = 0;
+    const LatencyRecorder* latency = nullptr;
+    if (slot.live) {
+      ++rep.live_sessions;
+      corrections = slot.live->corrections();
+      processed = slot.live->processed_inputs();
+      dropped = slot.live->dropped_inputs();
+      latency = &slot.live->latency();
+      rep.active_particles += slot.live->localizer().active_particles();
+      rep.resident_particle_bytes +=
+          slot.live->localizer().resident_particle_bytes();
+    } else {
+      ++rep.evicted_sessions;
+      corrections = slot.retained_corrections;
+      processed = slot.retained_processed;
+      dropped = slot.retained_dropped;
+      latency = &slot.retained_latency;
+    }
+    m.corrections += corrections;
+    m.processed_inputs += processed;
+    m.dropped_inputs += dropped;
+    rep.corrections += corrections;
+    rep.processed_inputs += processed;
+    rep.dropped_inputs += dropped;
+    global.merge(*latency);
+    by_map_latency[slot.map_key].merge(*latency);
+    if (slot.ctx) arenas.insert(slot.ctx->arena().get());
   }
   rep.latency = global.summarize();
+  rep.stashed_snapshot_bytes = catalog_.stashed_snapshot_bytes();
+  for (const core::ParticleArena* arena : arenas) {
+    if (arena != nullptr) rep.arena_pooled_bytes += arena->stats().pooled_bytes;
+  }
   if (rep.pump_seconds > 0.0) {
     rep.corrections_per_second =
         static_cast<double>(rep.corrections) / rep.pump_seconds;
   }
-  // Second pass for per-map percentiles (merge latencies per key).
   for (auto& [key, m] : by_map) {
-    LatencyRecorder merged;
-    for (const Session* s : sessions) {
-      if (s->map_key() == key) merged.merge(s->latency());
-    }
-    m.latency = merged.summarize();
+    m.latency = by_map_latency[key].summarize();
     rep.per_map.push_back(std::move(m));
   }
   return rep;

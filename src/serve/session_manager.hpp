@@ -14,21 +14,36 @@
 /// Maps are defined once and built lazily through the MapCatalog on the
 /// first session that needs them — concurrent opens of the same map get
 /// the SAME immutable core::MapResources (one EDT/LUT in memory however
-/// many thousand sessions share the map). Each pump submits at most one
-/// task per session with pending work into a ThreadPool::TaskGroup, so a
-/// session's inputs are processed strictly in arrival order by exactly
-/// one thread at a time — the serialization the Localizer's contract
-/// demands — while distinct sessions run concurrently.
+/// many thousand sessions share the map). On top of the resources the
+/// catalog caches one core::ScoringContext per (map, scoring fingerprint):
+/// sessions differing only in SessionKnobs (seed, particle budget) share
+/// one context and lease their SoA particle blocks from its arena. Each
+/// pump submits at most one task per session with pending work into a
+/// ThreadPool::TaskGroup, so a session's inputs are processed strictly in
+/// arrival order by exactly one thread at a time — the serialization the
+/// Localizer's contract demands — while distinct sessions run
+/// concurrently.
+///
+/// Eviction: a session idle for at least `min_idle_pumps` pump
+/// generations (idleness is counted in pumps, never wall clock) can be
+/// evicted — its full state is serialized into the catalog's snapshot
+/// backing store and the Session object (and its arena blocks) is
+/// destroyed. The id stays valid: the next push() transparently restores
+/// the session from its blob and resumes bit-identically. evict_idle /
+/// evict_session / snapshot_session / restore_session must be called
+/// between pumps (same contract as report()).
 ///
 /// Determinism: a session's correction trace depends only on its own
 /// input order (per-session RNG, SerialExecutor chunking), never on
 /// scheduling, so serial and pooled pumps produce bit-identical traces
-/// (tests/test_serve.cpp gates on this).
+/// (tests/test_serve.cpp gates on this) — and an evict/restore cycle
+/// inserted between pumps leaves the trace byte-identical too.
 
 #include <cstddef>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -55,11 +70,23 @@ struct MapReport {
 };
 
 struct ServeReport {
-  std::size_t sessions = 0;
+  std::size_t sessions = 0;  ///< All opened sessions (live + evicted).
+  std::size_t live_sessions = 0;
+  std::size_t evicted_sessions = 0;
   std::size_t corrections = 0;
   std::size_t processed_inputs = 0;
   std::size_t dropped_inputs = 0;
   LatencySummary latency;
+  /// Σ active particle counts over live sessions (shrinks under
+  /// MclConfig::adaptive_particles once sessions converge).
+  std::size_t active_particles = 0;
+  /// Σ bytes the live sessions' SoA blocks pin right now (both buffers at
+  /// allocated capacity) — the per-idle-session resident-memory metric.
+  std::size_t resident_particle_bytes = 0;
+  /// Bytes parked in the catalog's snapshot store for evicted sessions.
+  std::size_t stashed_snapshot_bytes = 0;
+  /// Σ pooled (free-list) bytes across the distinct per-map arenas.
+  std::size_t arena_pooled_bytes = 0;
   /// Cumulative wall time spent inside pump() calls.
   double pump_seconds = 0.0;
   /// corrections / pump_seconds — the serving throughput figure.
@@ -91,26 +118,56 @@ class SessionManager {
   bool has_map(const std::string& key) const;
 
   /// Opens a session on a defined map and returns its id. Thread-safe;
-  /// concurrent opens of one map share a single resource build.
+  /// concurrent opens of one map share a single resource build and a
+  /// single scoring context (keyed by map + scoring fingerprint).
   std::size_t open_session(const std::string& map_key,
                            const SessionOptions& opts);
 
   /// Enqueue an input tick for a session. Thread-safe; returns the
-  /// admission/backpressure signal.
+  /// admission/backpressure signal. Pushing to an evicted session
+  /// transparently restores it from its stashed snapshot first.
   Admission push(std::size_t session_id, SessionInput input);
 
   /// Processes every session's backlog — serially in session-id order
   /// when threads == 0, else one pool task per busy session. Not
-  /// reentrant; one pump at a time. Returns corrections run.
+  /// reentrant; one pump at a time. Advances every live session's idle
+  /// counter (0 when it had work this pump). Returns corrections run.
   std::size_t pump();
 
+  /// Serializes a live session's full state (counters, latency, trace,
+  /// filter) and returns the blob; the session keeps running. Call
+  /// between pumps, after its queue drained.
+  std::vector<std::byte> snapshot_session(std::size_t session_id) const;
+
+  /// Replaces a session's state with `blob` (from snapshot_session or an
+  /// external store), whether the session is currently live or evicted.
+  /// Any blob stashed for the id is discarded. Call between pumps.
+  void restore_session(std::size_t session_id,
+                       std::span<const std::byte> blob);
+
+  /// Evicts one live session: snapshot → catalog backing store, then the
+  /// Session (and its arena blocks) is destroyed. Precondition: no
+  /// pending inputs. Call between pumps.
+  void evict_session(std::size_t session_id);
+
+  /// Evicts every live session whose queue is empty and whose idle streak
+  /// is at least `min_idle_pumps` pump generations. Returns the number
+  /// evicted. Call between pumps.
+  std::size_t evict_idle(std::size_t min_idle_pumps);
+
   std::size_t num_sessions() const;
+  std::size_t live_sessions() const;
+  std::size_t evicted_sessions() const;
+  /// True when the session currently has a live Session object.
+  bool session_live(std::size_t session_id) const;
   double pump_seconds() const { return pump_seconds_; }
-  /// Read-only session access (tests, trace dumps). Call between pumps.
+  /// Read-only session access (tests, trace dumps). The session must be
+  /// live. Call between pumps.
   const Session& session(std::size_t session_id) const;
 
-  /// Aggregates per-map and global latency/throughput. Call between
-  /// pumps (the pump thread writes the stats this reads).
+  /// Aggregates per-map and global latency/throughput over ALL sessions —
+  /// evicted sessions contribute the stats retained at eviction time.
+  /// Call between pumps (the pump thread writes the stats this reads).
   ServeReport report() const;
 
  private:
@@ -123,15 +180,39 @@ class SessionManager {
     MapCatalog::Resources prebuilt;
   };
 
-  std::vector<Session*> snapshot() const;
+  /// One session id's slot for the whole manager lifetime. `live` is null
+  /// while the session is evicted; the retained_* fields then carry its
+  /// stats so report() stays complete.
+  struct Slot {
+    std::unique_ptr<Session> live;
+    std::string map_key;
+    MapCatalog::Context ctx;
+    SessionOptions opts;
+    std::size_t idle_pumps = 0;  ///< Pumps since the session last had work.
+    std::size_t retained_corrections = 0;
+    std::size_t retained_processed = 0;
+    std::size_t retained_dropped = 0;
+    LatencyRecorder retained_latency;
+  };
+
+  struct PumpItem {
+    Session* session;
+    std::size_t id;
+  };
+
+  std::vector<PumpItem> snapshot_live() const;
+  /// Evicts `slot` (must be live, empty queue); caller holds mutex_.
+  void evict_locked(Slot& slot, std::size_t id);
+  /// Restores `slot` from the catalog's stash; caller holds mutex_.
+  void restore_locked(Slot& slot, std::size_t id);
 
   ServeOptions opts_;
   std::unique_ptr<ThreadPool> pool_;  ///< Null when threads == 0.
   MapCatalog catalog_;
 
-  mutable std::mutex mutex_;  ///< Guards definitions_ and sessions_.
+  mutable std::mutex mutex_;  ///< Guards definitions_ and slots_.
   std::map<std::string, MapDefinition> definitions_;
-  std::vector<std::unique_ptr<Session>> sessions_;
+  std::vector<Slot> slots_;
 
   double pump_seconds_ = 0.0;  ///< Written by pump() only.
 };

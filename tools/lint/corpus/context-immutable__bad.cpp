@@ -1,0 +1,17 @@
+// lint-path: src/serve/session_tuner.cpp
+// Corpus: non-const access to the shared ScoringContext outside its
+// builder. The context is cached one-per-map and pointer-shared by every
+// session on that map — a mutable reference, pointer or shared_ptr
+// element lets one session rewrite scoring state under all the others.
+#include <memory>
+
+#include "core/scoring_context.hpp"
+
+void retune(tofmcl::core::ScoringContext& ctx) {  // flagged: mutable ref
+  ctx.set_beam_sigma(0.1);
+}
+
+std::shared_ptr<tofmcl::core::ScoringContext>  // flagged: mutable element
+clone_context(const std::shared_ptr<const tofmcl::core::ScoringContext>&) {
+  return std::make_shared<tofmcl::core::ScoringContext>();  // flagged
+}

@@ -1,0 +1,18 @@
+// lint-path: src/serve/session_tuner.cpp
+// Corpus: every path to the shared ScoringContext is const-qualified —
+// sessions read beam geometry and LUTs through it but can never write.
+// Tuning happens on a config copy BEFORE building, inside the builder.
+// (The class itself is defined only in src/core/scoring_context.hpp,
+// which is the one file the rule exempts.)
+#include <memory>
+
+#include "core/scoring_context.hpp"
+
+double read_sigma(const tofmcl::core::ScoringContext& ctx) {
+  return ctx.beam_sigma();
+}
+
+double read_shared(
+    const std::shared_ptr<const tofmcl::core::ScoringContext>& ctx) {
+  return ctx ? ctx->beam_sigma() : 0.0;
+}

@@ -489,6 +489,42 @@ std::vector<Violation> check_solid_interior(const FileCtx& ctx) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// serving invariants / context-immutable
+// ---------------------------------------------------------------------------
+
+std::vector<Violation> check_context_immutable(const FileCtx& ctx) {
+  // The builder owns the only mutable window: the class definition and
+  // the build_scoring_context factories live in scoring_context.{hpp,cpp}.
+  const std::string base = basename_of(ctx.path);
+  if (base == "scoring_context.hpp" || base == "scoring_context.cpp")
+    return {};
+  const Toks& t = ctx.lexed->tokens;
+  std::vector<Violation> out;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_ident(t, i, "ScoringContext") || t[i].pp) continue;
+    // Walk back over namespace qualifiers (core::, tofmcl::core::, ...)
+    // to the first token of the type name, then require a const there:
+    // every way to reach the context outside its builder — reference,
+    // pointer, shared_ptr element — must be const-qualified, or the
+    // one-per-map sharing contract allows a session to mutate scoring
+    // state under every other session on that map.
+    std::size_t j = i;
+    while (j >= 2 && is_punct(t, j - 1, "::") &&
+           t[j - 2].kind == TokKind::kIdent && !is_ident(t, j - 2, "const"))
+      j -= 2;
+    if (j > 0 && is_ident(t, j - 1, "const")) continue;
+    out.push_back(
+        {"context-immutable", t[i].line,
+         "non-const use of ScoringContext outside its builder "
+         "(scoring_context.{hpp,cpp}): the context is shared by every "
+         "session on the map, so all references, pointers and shared_ptr "
+         "elements must be const-qualified — mutate a copy of the config "
+         "before building instead"});
+  }
+  return out;
+}
+
 }  // namespace
 
 const std::vector<Rule>& rule_catalog() {
@@ -518,6 +554,9 @@ const std::vector<Rule>& rule_catalog() {
       {"solid-interior",
        "occupied-rect fills must register solid_regions",
        &check_solid_interior},
+      {"context-immutable",
+       "ScoringContext must stay const outside its builder",
+       &check_context_immutable},
   };
   return kRules;
 }

@@ -55,6 +55,15 @@
 ///                         is not registered as a solid region becomes a
 ///                         zero-EDT particle sink (the loop-corridor
 ///                         lesson, ROADMAP standing invariant).
+///
+///  serving invariants
+///   * context-immutable — any mention of ScoringContext outside its
+///                         builder (src/core/scoring_context.{hpp,cpp})
+///                         must be const-qualified: the context is shared
+///                         one-per-map across sessions, so a non-const
+///                         reference/pointer/shared_ptr element would let
+///                         one session mutate scoring state under all the
+///                         others.
 
 #include <string>
 #include <vector>
