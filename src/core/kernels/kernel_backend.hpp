@@ -1,0 +1,55 @@
+#pragma once
+/// \file kernel_backend.hpp
+/// \brief Runtime-dispatched SIMD backend selection for the hot kernels.
+///
+/// The scalar code in particle_filter.hpp is the determinism reference —
+/// it is what every committed trace (TOFMCL_SCENARIO_TRACE /
+/// TOFMCL_SERVE_TRACE) was produced with and stays byte-for-byte
+/// unchanged. The SIMD backends in this directory are hand-written ports
+/// of the same arithmetic:
+///
+///  * kAvx2 — 8-wide AVX2 + F16C. Written to match the scalar kernel
+///    operation for operation (same float association, no FMA
+///    contraction, cell-index math in the map's double precision, scalar
+///    libm trig per lane), so on x86 builds it is bit-identical to the
+///    reference in practice; the equivalence tests still gate it by weight
+///    ULP delta + pose ATE rather than assuming it.
+///  * kNeon — 4-wide NEON port of the same structure (aarch64 builds).
+///
+/// Backends are compiled in per architecture (TOFMCL_KERNELS_AVX2 /
+/// TOFMCL_KERNELS_NEON, set by src/core/CMakeLists.txt), probed at
+/// runtime, and selectable via the TOFMCL_KERNEL environment variable
+/// (`scalar`, `avx2`, `neon`). Unknown or unsupported requests fall back
+/// to scalar — the safe reference. Without an override the best supported
+/// backend is used.
+///
+/// The backend is deliberately NOT part of MclConfig / the scoring
+/// fingerprint: it changes how fast the sweep runs, not (within the gated
+/// tolerance) what it computes, and serving shares ScoringContexts across
+/// sessions that may pick different backends in tests.
+
+namespace tofmcl::core::kernels {
+
+enum class KernelBackend {
+  kScalar,  ///< The reference loops in particle_filter.hpp.
+  kAvx2,    ///< 8-wide AVX2 + F16C (x86-64).
+  kNeon,    ///< 4-wide NEON (aarch64).
+};
+
+const char* to_string(KernelBackend backend);
+
+/// True if the backend's translation unit was compiled into this build.
+bool backend_compiled(KernelBackend backend);
+
+/// True if the backend is compiled in AND the running CPU supports it.
+bool backend_supported(KernelBackend backend);
+
+/// Best supported backend on this machine (kScalar when nothing else is).
+KernelBackend best_supported_backend();
+
+/// Process-wide default: TOFMCL_KERNEL env override when set (invalid or
+/// unsupported values resolve to kScalar), else best_supported_backend().
+/// Resolved once on first use.
+KernelBackend default_backend();
+
+}  // namespace tofmcl::core::kernels

@@ -1,0 +1,173 @@
+/// \file kernels_neon.cpp
+/// \brief NEON observation sweep (4 particles per block, aarch64).
+///
+/// Port of ParticleFilter::observation_step{,_mixture} with the same
+/// structure and constraints as kernels_avx2.cpp: scalar-association
+/// endpoint transform (explicitly no FMA intrinsics), per-lane libm trig,
+/// double-precision cell indexing with a real divide and floor
+/// (vrndmq_f64), scalar per-lane code/LUT fetches. fp16 particle fields
+/// and the fp16 weight rounding go through the software tofmcl::Half
+/// conversions — bit-identical to the scalar reference by definition.
+///
+/// Note: aarch64 compilers commonly contract the scalar reference's
+/// mul/add chains into fused ops at -O2, in which case this kernel (which
+/// does not fuse) can differ from the scalar path in the last ulp of an
+/// endpoint coordinate. That is exactly why SIMD backends are gated by
+/// the tolerance-based equivalence tests instead of byte equality — see
+/// kernel_backend.hpp.
+///
+/// This is the ONLY translation unit (with kernels_avx2.cpp) allowed to
+/// use vendor intrinsics — enforced by the `raw-intrinsics` lint rule.
+
+#if defined(TOFMCL_KERNELS_NEON)
+
+#include <arm_neon.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "core/kernels/observation_kernel.hpp"
+
+namespace tofmcl::core::kernels {
+
+namespace {
+
+constexpr std::size_t kLanes = 4;
+
+struct F32Io {
+  static float32x4_t load(const float* p) { return vld1q_f32(p); }
+  static void store(float* p, float32x4_t v) { vst1q_f32(p, v); }
+  static constexpr bool kFp32Storage = true;
+};
+
+/// fp16 fields via the software Half conversions (exact widen, RNE
+/// narrow) — no dependence on __fp16 semantics of the build.
+struct F16Io {
+  static float32x4_t load(const Half* p) {
+    float lanes[kLanes];
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      lanes[l] = half_bits_to_float(p[l].bits());
+    }
+    return vld1q_f32(lanes);
+  }
+  static void store(Half* p, float32x4_t v) {
+    float lanes[kLanes];
+    vst1q_f32(lanes, v);
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      p[l] = Half::from_bits(float_to_half_bits(lanes[l]));
+    }
+  }
+  static constexpr bool kFp32Storage = false;
+};
+
+/// Floors ((e − origin) / resolution) for 4 float endpoints in double —
+/// QuantizedDistanceMap::code_at's arithmetic, two lanes at a time.
+inline void floor_cells(float32x4_t e, float64x2_t origin,
+                        float64x2_t resolution, double out[kLanes]) {
+  const float64x2_t lo = vcvt_f64_f32(vget_low_f32(e));
+  const float64x2_t hi = vcvt_high_f64_f32(e);
+  vst1q_f64(out, vrndmq_f64(vdivq_f64(vsubq_f64(lo, origin), resolution)));
+  vst1q_f64(out + 2,
+            vrndmq_f64(vdivq_f64(vsubq_f64(hi, origin), resolution)));
+}
+
+template <typename Io, typename Spans>
+std::size_t sweep(const LutMapView& m, const BeamSweepView& bv,
+                  const Spans& p, std::size_t begin, std::size_t end,
+                  bool fp16_weights) {
+  const std::size_t blocks = (end - begin) / kLanes;
+  const float64x2_t origin_x = vdupq_n_f64(m.origin_x);
+  const float64x2_t origin_y = vdupq_n_f64(m.origin_y);
+  const float64x2_t resolution = vdupq_n_f64(m.resolution);
+  const float32x4_t per_beam_scale = vdupq_n_f32(bv.per_beam_scale);
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    const std::size_t i0 = begin + blk * kLanes;
+    const float32x4_t x = Io::load(p.x + i0);
+    const float32x4_t y = Io::load(p.y + i0);
+    float yaw[kLanes];
+    vst1q_f32(yaw, Io::load(p.yaw + i0));
+    float cl[kLanes];
+    float sl[kLanes];
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      cl[l] = std::cos(yaw[l]);
+      sl[l] = std::sin(yaw[l]);
+    }
+    const float32x4_t c = vld1q_f32(cl);
+    const float32x4_t s = vld1q_f32(sl);
+    float32x4_t w = Io::load(p.weight + i0);
+
+    for (std::size_t b = 0; b < bv.count; ++b) {
+      if (bv.aux != nullptr && bv.aux[b].gated) continue;
+      const float32x4_t bx = vdupq_n_f32(bv.beams[b].endpoint_body.x);
+      const float32x4_t by = vdupq_n_f32(bv.beams[b].endpoint_body.y);
+      // ex = (x + c·bx) − s·by ; ey = (y + s·bx) + c·by — the reference
+      // association, no FMA.
+      const float32x4_t ex =
+          vsubq_f32(vaddq_f32(x, vmulq_f32(c, bx)), vmulq_f32(s, by));
+      const float32x4_t ey =
+          vaddq_f32(vaddq_f32(y, vmulq_f32(s, bx)), vmulq_f32(c, by));
+
+      double fx[kLanes];
+      double fy[kLanes];
+      floor_cells(ex, origin_x, resolution, fx);
+      floor_cells(ey, origin_y, resolution, fy);
+
+      float factor[kLanes];
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        const int cx = static_cast<int>(fx[l]);
+        const int cy = static_cast<int>(fy[l]);
+        const std::uint8_t code =
+            (cx < 0 || cx >= m.width || cy < 0 || cy >= m.height)
+                ? std::uint8_t{255}
+                : m.codes[static_cast<std::size_t>(cy) *
+                              static_cast<std::size_t>(m.width) +
+                          static_cast<std::size_t>(cx)];
+        factor[l] = m.lut[code];
+      }
+      float32x4_t f = vld1q_f32(factor);
+      if (bv.aux != nullptr) {
+        f = vmulq_f32(vaddq_f32(f, vdupq_n_f32(bv.aux[b].floor)),
+                      vdupq_n_f32(bv.aux[b].scale));
+      } else {
+        f = vmulq_f32(f, per_beam_scale);
+      }
+      w = vmulq_f32(w, f);
+    }
+
+    if (Io::kFp32Storage && fp16_weights) {
+      // MclConfig::weight_precision == kFp16: round each fp32 weight
+      // through binary16 with the software Half conversions — the exact
+      // operation the scalar path applies.
+      float wl[kLanes];
+      vst1q_f32(wl, w);
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        wl[l] = half_bits_to_float(float_to_half_bits(wl[l]));
+      }
+      w = vld1q_f32(wl);
+    }
+    Io::store(p.weight + i0, w);
+  }
+  return blocks * kLanes;
+}
+
+}  // namespace
+
+std::size_t observation_sweep_neon(const LutMapView& map,
+                                   const BeamSweepView& beams,
+                                   const SweepSpansF32& particles,
+                                   std::size_t begin, std::size_t end,
+                                   bool fp16_weights) {
+  return sweep<F32Io>(map, beams, particles, begin, end, fp16_weights);
+}
+
+std::size_t observation_sweep_neon(const LutMapView& map,
+                                   const BeamSweepView& beams,
+                                   const SweepSpansF16& particles,
+                                   std::size_t begin, std::size_t end,
+                                   bool fp16_weights) {
+  return sweep<F16Io>(map, beams, particles, begin, end, fp16_weights);
+}
+
+}  // namespace tofmcl::core::kernels
+
+#endif  // defined(TOFMCL_KERNELS_NEON)

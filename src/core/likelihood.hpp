@@ -124,6 +124,11 @@ class LikelihoodLut {
 
   float operator[](std::uint8_t code) const { return table_[code]; }
 
+  /// Raw 256-entry table, for the SIMD observation kernels
+  /// (src/core/kernels/) which gather per-lane instead of calling
+  /// operator[].
+  const float* data() const { return table_.data(); }
+
  private:
   std::array<float, 256> table_{};
 };
@@ -165,6 +170,11 @@ class LutObservationModel {
   float factor(float world_x, float world_y) const {
     return lut_[map_->code_at({world_x, world_y})];
   }
+
+  /// Backing map / table, for the SIMD observation kernels
+  /// (src/core/kernels/) which need the raw code array and LUT storage.
+  const map::QuantizedDistanceMap& map() const { return *map_; }
+  const LikelihoodLut& lut() const { return lut_; }
 
  private:
   const map::QuantizedDistanceMap* map_;

@@ -26,6 +26,15 @@
 /// arithmetic (and per-chunk RNG stream) of the phase-by-phase path, so
 /// results are bit-identical to it.
 ///
+/// The observation sweep additionally dispatches to hand-written SIMD
+/// backends (src/core/kernels/: AVX2, NEON) for the LUT observation
+/// model. The scalar loops below remain the determinism reference — the
+/// SIMD kernels handle whole vector blocks and the scalar kernel always
+/// covers the tail, so there is exactly one definition of the reference
+/// arithmetic. Backend selection: kernels::default_backend() (compile
+/// detection + runtime probe + TOFMCL_KERNEL env override), overridable
+/// per filter with set_kernel_backend().
+///
 /// Given a fixed chunk count, results are bit-identical on every executor;
 /// threads only change wall-clock. Per-chunk RNG streams make the whole
 /// filter reproducible from MclConfig::seed.
@@ -60,6 +69,7 @@
 #include "common/rng.hpp"
 #include "core/executor.hpp"
 #include "core/filter_state.hpp"
+#include "core/kernels/observation_kernel.hpp"
 #include "core/likelihood.hpp"
 #include "core/mcl_config.hpp"
 #include "core/particle.hpp"
@@ -175,6 +185,7 @@ class ParticleFilter {
       last_resample_drew_ = other.last_resample_drew_;
       support_ = other.support_;
       support_jitter_ = other.support_jitter_;
+      backend_ = other.backend_;
       arena_ = std::move(other.arena_);
     }
     return *this;
@@ -182,6 +193,17 @@ class ParticleFilter {
 
   const MclConfig& config() const { return config_; }
   const Map& map() const { return *map_; }
+  /// Active SIMD backend of the observation sweep (see kernel_backend.hpp;
+  /// defaults to kernels::default_backend()). Only the LUT observation
+  /// model has SIMD kernels — Fp32Traits (direct expf model) always runs
+  /// the scalar reference regardless of this setting.
+  kernels::KernelBackend kernel_backend() const { return backend_; }
+  /// Overrides the backend (equivalence tests, benchmarks). An
+  /// unavailable backend silently runs the scalar reference — the
+  /// dispatch layer returns 0 particles handled.
+  void set_kernel_backend(kernels::KernelBackend backend) {
+    backend_ = backend;
+  }
   /// AoS-style read view over the SoA storage (see particle_soa.hpp).
   ParticleSpan<Scalar, true> particles() const {
     return ParticleSpan<Scalar, true>(st_.particles);
@@ -302,13 +324,7 @@ class ParticleFilter {
     executor_->for_chunks(
         st_.particles.size(), config_.chunks,
         [&](std::size_t, std::size_t begin, std::size_t end) {
-          for (std::size_t i = begin; i < end; ++i) {
-            if (mixture) {
-              observation_step_mixture(i, beams);
-            } else {
-              observation_step(i, beams);
-            }
-          }
+          observation_sweep(begin, end, beams, mixture);
         });
   }
 
@@ -319,6 +335,10 @@ class ParticleFilter {
   /// from the SAME inputs (previous estimate, map, beams), so fusing
   /// preserves each chunk's RNG stream, and every particle's arithmetic is
   /// untouched; only the traversal order over (particle, phase) changes.
+  /// Within a chunk the motion steps run before the observation sweep
+  /// (also a pure traversal re-ordering: the observation reads only what
+  /// motion wrote and consumes no randomness), which is what lets the
+  /// observation half dispatch to the SIMD backends.
   void motion_observation_update(const Pose2& delta,
                                  std::span<const sensor::Beam> beams) {
     const MotionParams mp = motion_params(delta);
@@ -333,13 +353,8 @@ class ParticleFilter {
           Rng& rng = st_.rngs[chunk];
           for (std::size_t i = begin; i < end; ++i) {
             motion_step(i, mp, rng);
-            if (beams.empty()) continue;
-            if (mixture) {
-              observation_step_mixture(i, beams);
-            } else {
-              observation_step(i, beams);
-            }
           }
+          if (!beams.empty()) observation_sweep(begin, end, beams, mixture);
         });
   }
 
@@ -772,25 +787,43 @@ class ParticleFilter {
     return false;
   }
 
+  /// The per-particle preamble both observation kernels share: pose
+  /// loads, the yaw trig pair, and the running weight. One definition —
+  /// extracted so the plain and mixture kernels (and through them the
+  /// SIMD ports, which replicate this arithmetic lane-wise) cannot drift
+  /// apart.
+  struct SweepPreamble {
+    float x, y, c, s, w;
+  };
+
+  inline SweepPreamble sweep_preamble(std::size_t i) const {
+    const float yaw = static_cast<float>(st_.particles.yaw[i]);
+    return SweepPreamble{static_cast<float>(st_.particles.x[i]),
+                         static_cast<float>(st_.particles.y[i]),
+                         std::cos(yaw), std::sin(yaw),
+                         static_cast<float>(st_.particles.weight[i])};
+  }
+
+  /// Body-frame beam end point under the preamble's pose — exactly
+  /// ((x + c·bx) − s·by, (y + s·bx) + c·by). The association is the
+  /// determinism contract: the SIMD ports replicate it mul/add/sub for
+  /// mul/add/sub (no FMA), so keep it verbatim.
+  static inline std::pair<float, float> transform_endpoint(
+      const SweepPreamble& p, const Vec2f& b) {
+    return {p.x + p.c * b.x - p.s * b.y, p.y + p.s * b.x + p.c * b.y};
+  }
+
   /// Observation kernel body for one particle: transform each beam end
   /// point by the particle pose and fold the normalized factor into the
   /// weight. Consumes no randomness.
   inline void observation_step(std::size_t i,
                                std::span<const sensor::Beam> beams) {
-    const float x = static_cast<float>(st_.particles.x[i]);
-    const float y = static_cast<float>(st_.particles.y[i]);
-    const float yaw = static_cast<float>(st_.particles.yaw[i]);
-    const float c = std::cos(yaw);
-    const float s = std::sin(yaw);
-    float w = static_cast<float>(st_.particles.weight[i]);
+    SweepPreamble p = sweep_preamble(i);
     for (const sensor::Beam& beam : beams) {
-      const float bx = beam.endpoint_body.x;
-      const float by = beam.endpoint_body.y;
-      const float ex = x + c * bx - s * by;
-      const float ey = y + s * bx + c * by;
-      w *= observation_model_.factor(ex, ey) * per_beam_scale_;
+      const auto [ex, ey] = transform_endpoint(p, beam.endpoint_body);
+      p.w *= observation_model_.factor(ex, ey) * per_beam_scale_;
     }
-    st_.particles.weight[i] = Scalar(w);
+    st_.particles.weight[i] = Scalar(p.w);
   }
 
   /// Mixture/gating variant: the map-distance factor gains the beam's
@@ -799,22 +832,89 @@ class ParticleFilter {
   /// no randomness.
   inline void observation_step_mixture(std::size_t i,
                                        std::span<const sensor::Beam> beams) {
-    const float x = static_cast<float>(st_.particles.x[i]);
-    const float y = static_cast<float>(st_.particles.y[i]);
-    const float yaw = static_cast<float>(st_.particles.yaw[i]);
-    const float c = std::cos(yaw);
-    const float s = std::sin(yaw);
-    float w = static_cast<float>(st_.particles.weight[i]);
+    SweepPreamble p = sweep_preamble(i);
     for (std::size_t b = 0; b < beams.size(); ++b) {
       const BeamAux& aux = st_.beam_aux[b];
       if (aux.gated) continue;
-      const float bx = beams[b].endpoint_body.x;
-      const float by = beams[b].endpoint_body.y;
-      const float ex = x + c * bx - s * by;
-      const float ey = y + s * bx + c * by;
-      w *= (observation_model_.factor(ex, ey) + aux.floor) * aux.scale;
+      const auto [ex, ey] = transform_endpoint(p, beams[b].endpoint_body);
+      p.w *= (observation_model_.factor(ex, ey) + aux.floor) * aux.scale;
     }
-    st_.particles.weight[i] = Scalar(w);
+    st_.particles.weight[i] = Scalar(p.w);
+  }
+
+  /// Observation sweep over [begin, end) of one chunk: a non-scalar
+  /// backend handles whole vector blocks (LUT model only — the direct
+  /// expf model has no SIMD kernel), and the scalar reference kernel
+  /// covers the remainder. In scalar mode this IS the reference loop,
+  /// untouched.
+  inline void observation_sweep(std::size_t begin, std::size_t end,
+                                std::span<const sensor::Beam> beams,
+                                bool mixture) {
+    if constexpr (std::is_same_v<ObservationModel, LutObservationModel>) {
+      if (backend_ != kernels::KernelBackend::kScalar) {
+        const kernels::BeamSweepView beam_view{
+            beams.data(), mixture ? st_.beam_aux.data() : nullptr,
+            beams.size(), per_beam_scale_};
+        begin += kernels::observation_sweep(backend_, lut_map_view(),
+                                            beam_view, sweep_spans(), begin,
+                                            end, fp16_weights());
+      }
+    }
+    for (std::size_t i = begin; i < end; ++i) {
+      if (mixture) {
+        observation_step_mixture(i, beams);
+      } else {
+        observation_step(i, beams);
+      }
+      round_weight_fp16(i);
+    }
+  }
+
+  /// Flattened map + LUT view for the SIMD kernels. Only instantiated for
+  /// the LUT observation model (guarded by if constexpr above).
+  kernels::LutMapView lut_map_view() const {
+    const map::QuantizedDistanceMap& qm = observation_model_.map();
+    return kernels::LutMapView{qm.codes().data(), qm.width(),  qm.height(),
+                               qm.origin().x,     qm.origin().y,
+                               qm.resolution(),   observation_model_.lut().data()};
+  }
+
+  auto sweep_spans() {
+    if constexpr (std::is_same_v<Scalar, Half>) {
+      return kernels::SweepSpansF16{st_.particles.x.data(),
+                                    st_.particles.y.data(),
+                                    st_.particles.yaw.data(),
+                                    st_.particles.weight.data()};
+    } else {
+      return kernels::SweepSpansF32{st_.particles.x.data(),
+                                    st_.particles.y.data(),
+                                    st_.particles.yaw.data(),
+                                    st_.particles.weight.data()};
+    }
+  }
+
+  /// True when fp32-stored weights must round through binary16
+  /// (MclConfig::weight_precision). fp16 particle storage already rounds
+  /// by construction.
+  bool fp16_weights() const {
+    if constexpr (std::is_same_v<Scalar, float>) {
+      return config_.weight_precision == WeightPrecision::kFp16;
+    } else {
+      return false;
+    }
+  }
+
+  /// Opt-in fp16 weight storage (MclConfig::weight_precision::kFp16):
+  /// round the freshly written weight through binary16 after the
+  /// observation step — compute-in-fp32, store-in-fp16. No-op at the
+  /// default kNative; the reference arithmetic is untouched.
+  inline void round_weight_fp16(std::size_t i) {
+    if constexpr (std::is_same_v<Scalar, float>) {
+      if (config_.weight_precision == WeightPrecision::kFp16) {
+        st_.particles.weight[i] =
+            half_bits_to_float(float_to_half_bits(st_.particles.weight[i]));
+      }
+    }
   }
 
   /// KLD-sampling bound (Fox 2001): number of particles so the sampled
@@ -1035,6 +1135,8 @@ class ParticleFilter {
   /// Whether the last resample() ran the systematic draw (weights are
   /// uniformly 1 afterwards) — precondition of adapt_particle_count().
   bool last_resample_drew_ = false;
+  /// SIMD backend of the observation sweep (kernel_backend.hpp).
+  kernels::KernelBackend backend_ = kernels::default_backend();
   /// View of the map's free-cell table (owned by MapResources).
   std::span<const Vec2> support_;
   double support_jitter_ = 0.0;

@@ -23,11 +23,12 @@ std::uint16_t float_to_half_bits(float value) noexcept {
   std::uint32_t mant = f & 0x007FFFFFu;
 
   if (exp_field == 0xFFu) {
-    // Inf / NaN. Keep the top payload bits, force quiet NaN to stay NaN
-    // even when the payload truncates to zero.
+    // Inf / NaN. NaNs are quieted (the quiet bit keeps them NaN even when
+    // the payload truncates to zero) and keep their top payload bits —
+    // exactly what hardware F16C (vcvtps2ph) produces, so the software
+    // and SIMD kernel paths convert bit-identically.
     if (mant == 0) return static_cast<std::uint16_t>(sign | 0x7C00u);
-    std::uint16_t payload = static_cast<std::uint16_t>(mant >> 13);
-    if (payload == 0) payload = 1;
+    const auto payload = static_cast<std::uint16_t>(mant >> 13);
     return static_cast<std::uint16_t>(sign | 0x7C00u | 0x0200u | payload);
   }
 
@@ -80,7 +81,9 @@ float half_bits_to_float(std::uint16_t bits) noexcept {
     return std::bit_cast<float>(sign | ((exp + 112u) << 23) | (mant << 13));
   }
   if (exp == 31u) {
-    // Inf / NaN.
+    // Inf / NaN. NaNs are quieted on widening (set the binary16 quiet
+    // bit before the shift), matching hardware F16C (vcvtph2ps).
+    if (mant != 0) mant |= 0x0200u;
     return std::bit_cast<float>(sign | 0x7F800000u | (mant << 13));
   }
   return std::bit_cast<float>(sign | ((exp + 112u) << 23) | (mant << 13));

@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include "common/rng.hpp"
@@ -180,6 +182,83 @@ TEST(Half, Literals) {
   EXPECT_EQ((1.5_h).bits(), Half(1.5f).bits());
   EXPECT_EQ((0.25_h).bits(), 0x3400);
 }
+
+TEST(Half, RoundingExactAtEveryRepresentableBoundary) {
+  // Exhaustive over every adjacent pair of finite half values (both
+  // signs): the exact midpoint must tie to the even-mantissa neighbour,
+  // and the closest floats on either side of the midpoint must round to
+  // their respective neighbours. This sweeps every subnormal boundary
+  // (including the 2^-25 flush-to-zero tie and the 2^-24/2^-14 edges)
+  // and every normal mantissa/exponent boundary in one pass.
+  for (std::uint32_t sign : {0u, 0x8000u}) {
+    for (std::uint32_t b = 0; b < 0x7BFF; ++b) {
+      const auto lo = static_cast<std::uint16_t>(sign | b);
+      const auto hi = static_cast<std::uint16_t>(sign | (b + 1));
+      const float f0 = static_cast<float>(Half::from_bits(lo));
+      const float f1 = static_cast<float>(Half::from_bits(hi));
+      // Midpoints of adjacent halfs have ≤ 12 significant bits: exact.
+      const float mid = (f0 + f1) * 0.5f;
+      const std::uint16_t even = (b % 2 == 0) ? lo : hi;
+      ASSERT_EQ(Half(mid).bits(), even) << "tie at bits=" << b;
+      ASSERT_EQ(Half(std::nextafter(mid, f0)).bits(), lo) << "bits=" << b;
+      ASSERT_EQ(Half(std::nextafter(mid, f1)).bits(), hi) << "bits=" << b;
+    }
+  }
+  // Overflow boundary: the midpoint between 65504 (max finite, odd
+  // mantissa) and the next step 65536 ties to the even side — infinity.
+  EXPECT_TRUE(Half(65520.0f).is_inf());
+  EXPECT_EQ(Half(std::nextafter(65520.0f, 0.0f)).bits(), 0x7BFF);
+  EXPECT_EQ(Half(std::nextafter(-65520.0f, 0.0f)).bits(), 0xFBFF);
+  EXPECT_TRUE(Half(-65520.0f).is_inf());
+}
+
+TEST(Half, NanConversionSemantics) {
+  // Narrowing keeps the top 10 payload bits and sets the quiet bit —
+  // the same semantics as hardware F16C (vcvtps2ph), so the software
+  // reference and the SIMD kernels convert bit-identically. In
+  // particular a signaling NaN whose payload truncates to zero becomes
+  // the canonical quiet NaN 0x7E00, NOT 0x7E01 (the pre-fix behaviour).
+  EXPECT_EQ(float_to_half_bits(std::bit_cast<float>(0x7FC00000u)), 0x7E00);
+  EXPECT_EQ(float_to_half_bits(std::bit_cast<float>(0x7F800001u)), 0x7E00);
+  EXPECT_EQ(float_to_half_bits(std::bit_cast<float>(0x7F802000u)), 0x7E01);
+  EXPECT_EQ(float_to_half_bits(std::bit_cast<float>(0xFFC00000u)), 0xFE00);
+  // Widening quiets too (vcvtph2ps): half sNaN 0x7C01 gains the quiet
+  // bit before the payload shift.
+  EXPECT_EQ(std::bit_cast<std::uint32_t>(half_bits_to_float(0x7C01)),
+            0x7FC02000u);
+  EXPECT_EQ(std::bit_cast<std::uint32_t>(half_bits_to_float(0x7E00)),
+            0x7FC00000u);
+}
+
+#ifdef __FLT16_MANT_DIG__
+TEST(Half, ConversionMatchesCompilerFloat16Oracle) {
+  // Random-bit sweep against the compiler's _Float16 (IEEE binary16,
+  // correctly rounded — soft-float or F16C depending on build flags):
+  // every non-NaN float must narrow to the identical bit pattern, and
+  // every half must widen to the identical float. NaN payload semantics
+  // are pinned separately above (oracle payload handling is
+  // implementation-defined in principle, identical in practice).
+  Rng rng(33);
+  for (int i = 0; i < 1000000; ++i) {
+    const auto bits =
+        static_cast<std::uint32_t>(rng.uniform_index(0x10000) << 16 |
+                                   rng.uniform_index(0x10000));
+    const float f = std::bit_cast<float>(bits);
+    if (std::isnan(f)) continue;
+    const auto oracle =
+        std::bit_cast<std::uint16_t>(static_cast<_Float16>(f));
+    ASSERT_EQ(float_to_half_bits(f), oracle) << "bits=0x" << std::hex << bits;
+  }
+  for (std::uint32_t b = 0; b <= 0xFFFF; ++b) {
+    const auto h = static_cast<std::uint16_t>(b);
+    if (Half::from_bits(h).is_nan()) continue;
+    const auto oracle = static_cast<float>(std::bit_cast<_Float16>(h));
+    ASSERT_EQ(std::bit_cast<std::uint32_t>(half_bits_to_float(h)),
+              std::bit_cast<std::uint32_t>(oracle))
+        << "bits=0x" << std::hex << b;
+  }
+}
+#endif
 
 TEST(Half, WeightRangeForMcl) {
   // Particle weights live in (0, 1]; verify representable resolution there

@@ -589,6 +589,72 @@ TEST(ParticleFilter, MixtureFusedKernelMatchesSeparatePhases) {
   EXPECT_GT(fused.workload().gated_beams, 0u);
 }
 
+// Phased vs fused across the gate's ARMING edge: the gate verdict reads
+// the PREVIOUS estimate, so both paths must consult it at the same point
+// of the update cycle. Start dispersed (gate disarmed), let matched
+// evidence concentrate the cloud until the gate arms mid-trajectory, and
+// require bit-identity plus identical gate decisions at every round —
+// a traversal reordering that sampled the estimate at a different time
+// would diverge exactly at the flip.
+TEST(ParticleFilter, FusedMatchesPhasedAcrossGatingArming) {
+  const auto grid = test_grid();
+  const map::DistanceMap dm(grid, 1.5);
+  SerialExecutor exec;
+  MclConfig cfg = small_config(512);
+  cfg.enable_novelty_gating = true;
+
+  ParticleFilter<Fp32Traits> separate(dm, cfg, exec);
+  ParticleFilter<Fp32Traits> fused(dm, cfg, exec);
+  // Yaw spread far beyond novelty_min_concentration, so the gate starts
+  // DISARMED and only arms once the evidence has concentrated the cloud.
+  separate.init_gaussian({1.0, 1.0, 0.0}, 0.15, 1.2);
+  fused.init_gaussian({1.0, 1.0, 0.0}, 0.15, 1.2);
+
+  // Matched wall returns plus a short occluder return that becomes
+  // gateable the moment the gate arms (0.15 m + the 0.5 m margin stays
+  // below the expected wall range even as the pose drifts forward).
+  const std::array<Beam, 3> beams{beam_at(0.0, 1.0), beam_at(0.0, 0.15),
+                                  beam_at(kPi, 1.0)};
+  bool disarmed_seen = false;
+  bool armed_seen = false;
+  for (int round = 0; round < 12; ++round) {
+    separate.motion_update(Pose2{0.02, 0.0, 0.01});
+    separate.observation_update(beams);
+    separate.resample();
+    separate.compute_pose();
+    fused.motion_observation_update(Pose2{0.02, 0.0, 0.01}, beams);
+    fused.resample();
+    fused.compute_pose();
+
+    ASSERT_EQ(separate.workload().novelty_armed,
+              fused.workload().novelty_armed)
+        << "round " << round;
+    ASSERT_EQ(separate.workload().gated_beams, fused.workload().gated_beams)
+        << "round " << round;
+    (fused.workload().novelty_armed ? armed_seen : disarmed_seen) = true;
+
+    const auto a = separate.particles();
+    const auto b = fused.particles();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(static_cast<float>(a[i].x), static_cast<float>(b[i].x))
+          << "round " << round << " particle " << i;
+      ASSERT_EQ(static_cast<float>(a[i].y), static_cast<float>(b[i].y))
+          << "round " << round << " particle " << i;
+      ASSERT_EQ(static_cast<float>(a[i].yaw), static_cast<float>(b[i].yaw))
+          << "round " << round << " particle " << i;
+      ASSERT_EQ(static_cast<float>(a[i].weight),
+                static_cast<float>(b[i].weight))
+          << "round " << round << " particle " << i;
+    }
+  }
+  // The run must actually have crossed the arming edge — both states
+  // observed, and the armed phase actually gated the occluder beam.
+  EXPECT_TRUE(disarmed_seen);
+  EXPECT_TRUE(armed_seen);
+  EXPECT_GT(fused.workload().gated_beams, 0u);
+}
+
 // Novelty gating vs the injection monitor, the storm half: a tracked
 // filter under SUSTAINED occlusion (a standing crowd / pacing walker in
 // front of the forward sensor) must gate the short returns and keep

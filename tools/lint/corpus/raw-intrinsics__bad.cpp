@@ -1,0 +1,17 @@
+// lint-path: src/core/particle_filter.cpp
+// Corpus: raw SIMD in the filter core. Intrinsics outside the kernel
+// layer fork the arithmetic away from the scalar determinism reference.
+#include <immintrin.h>  // flagged (header)
+
+float sum8(const float* p) {
+  const __m256 v = _mm256_loadu_ps(p);              // flagged (type + call)
+  const __m128 lo = _mm256_castps256_ps128(v);      // flagged
+  float out[4];
+  _mm_storeu_ps(out, lo);                           // flagged
+  return out[0] + out[1] + out[2] + out[3];
+}
+
+float sum4_neon(const float* p) {
+  float32x4_t v = vld1q_f32(p);                     // flagged (NEON)
+  return vgetq_lane_f32(v, 0);                      // flagged
+}

@@ -1,0 +1,12 @@
+// lint-path: src/core/kernels/kernels_avx2.cpp
+// Corpus: the same tokens are clean inside the kernel layer — that is
+// the one directory allowed to speak SIMD.
+#include <immintrin.h>
+
+float sum8(const float* p) {
+  const __m256 v = _mm256_loadu_ps(p);
+  const __m128 lo = _mm256_castps256_ps128(v);
+  float out[4];
+  _mm_storeu_ps(out, lo);
+  return out[0] + out[1] + out[2] + out[3];
+}

@@ -525,6 +525,86 @@ std::vector<Violation> check_context_immutable(const FileCtx& ctx) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// layering / raw-intrinsics
+// ---------------------------------------------------------------------------
+
+/// NEON lane-type suffix: _f32 / _s16 / _u8 / _p64 at the end of a name.
+bool neon_lane_suffix(const std::string& s) {
+  const std::size_t us = s.find_last_of('_');
+  if (us == std::string::npos || us + 2 >= s.size()) return false;
+  const char k = s[us + 1];
+  if (k != 'f' && k != 's' && k != 'u' && k != 'p') return false;
+  for (std::size_t i = us + 2; i < s.size(); ++i)
+    if (s[i] < '0' || s[i] > '9') return false;
+  return true;
+}
+
+/// vld1q_f32 / vmulq_f32 / vcvt_high_f64_f32 / ... — a curated family
+/// prefix keeps ordinary identifiers like `val_u32` out of the net.
+bool is_neon_intrinsic(const std::string& s) {
+  static const char* const kFamilies[] = {
+      "vld",  "vst",  "vdup", "vmov", "vmul", "vadd",         "vsub",
+      "vdiv", "vrnd", "vcvt", "vget", "vset", "vfma",         "vfms",
+      "vmax", "vmin", "vabs", "vneg", "vbsl", "vceq",         "vcgt",
+      "vclt", "vcge", "vcle", "vmla", "vmls", "vcombine",     "vzip",
+      "vuzp", "vtrn", "vext", "vpadd", "vrev", "vreinterpret"};
+  if (!neon_lane_suffix(s)) return false;
+  for (const char* f : kFamilies)
+    if (starts_with(s, f)) return true;
+  return false;
+}
+
+/// float32x4_t / int16x8_t / uint8x16_t / poly8x8_t.
+bool is_neon_vector_type(const std::string& s) {
+  static const char* const kElems[] = {"float", "int", "uint", "poly"};
+  if (!ends_with(s, "_t")) return false;
+  for (const char* e : kElems) {
+    if (!starts_with(s, e)) continue;
+    std::size_t i = std::string(e).size();
+    const std::size_t d0 = i;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+    if (i == d0 || i >= s.size() || s[i] != 'x') return false;
+    const std::size_t d1 = ++i;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+    return i > d1 && s.compare(i, std::string::npos, "_t") == 0;
+  }
+  return false;
+}
+
+/// _mm_* / _mm256_* / _mm512_* calls and __m128/__m256d/__m512i types.
+bool is_x86_intrinsic(const std::string& s) {
+  if (starts_with(s, "_mm")) return true;
+  return s.size() > 3 && starts_with(s, "__m") && s[3] >= '0' && s[3] <= '9';
+}
+
+std::vector<Violation> check_raw_intrinsics(const FileCtx& ctx) {
+  // The kernel layer is the one place allowed to speak SIMD.
+  if (starts_with(ctx.path, "src/core/kernels/")) return {};
+  static const std::set<std::string> kSimdHeaders = {
+      "immintrin", "x86intrin", "xmmintrin", "emmintrin", "pmmintrin",
+      "smmintrin", "tmmintrin", "nmmintrin", "wmmintrin", "ammintrin",
+      "avxintrin", "avx2intrin", "arm_neon", "arm_sve", "arm_fp16"};
+  std::vector<Violation> out;
+  for (const Token& tok : ctx.lexed->tokens) {
+    if (tok.kind != TokKind::kIdent) continue;
+    const bool header = tok.pp && kSimdHeaders.count(tok.text) > 0;
+    const bool usage = !tok.pp && (is_x86_intrinsic(tok.text) ||
+                                   is_neon_intrinsic(tok.text) ||
+                                   is_neon_vector_type(tok.text));
+    if (!header && !usage) continue;
+    out.push_back(
+        {"raw-intrinsics", tok.line,
+         "'" + tok.text +
+             "' is raw SIMD outside src/core/kernels/: intrinsics live "
+             "behind the runtime-dispatched kernels::observation_sweep so "
+             "the scalar reference stays the single definition of the "
+             "arithmetic — add a kernel entry point (kernel_backend.hpp) "
+             "instead of vectorizing in place"});
+  }
+  return out;
+}
+
 }  // namespace
 
 const std::vector<Rule>& rule_catalog() {
@@ -557,6 +637,9 @@ const std::vector<Rule>& rule_catalog() {
       {"context-immutable",
        "ScoringContext must stay const outside its builder",
        &check_context_immutable},
+      {"raw-intrinsics",
+       "SIMD intrinsics are confined to src/core/kernels/",
+       &check_raw_intrinsics},
   };
   return kRules;
 }

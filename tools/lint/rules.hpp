@@ -64,6 +64,17 @@
 ///                         reference/pointer/shared_ptr element would let
 ///                         one session mutate scoring state under all the
 ///                         others.
+///
+///  layering
+///   * raw-intrinsics    — SIMD headers (<immintrin.h>, <arm_neon.h>, …)
+///                         and raw intrinsic usage (_mm*/__m256 types,
+///                         vld1q_f32-style NEON calls and float32x4_t
+///                         vector types) anywhere but src/core/kernels/:
+///                         vector code is confined to the kernel layer
+///                         behind the runtime-dispatched
+///                         kernels::observation_sweep, so the scalar
+///                         reference stays the single definition of the
+///                         filter arithmetic (PR 9).
 
 #include <string>
 #include <vector>
