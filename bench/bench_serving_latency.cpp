@@ -39,6 +39,8 @@ namespace {
 struct Args {
   std::size_t sessions = 1024;
   std::size_t threads = 4;
+  std::size_t shards = 1;      ///< Manager slot shards (1 = pre-shard path).
+  std::size_t pump_batch = 16; ///< Busy sessions per pump task.
   std::size_t particles = 128;
   std::size_t min_particles = 128;  ///< Adaptive-mode shrink floor.
   std::size_t ticks = 40;        ///< Frame-batch inputs per session.
@@ -70,6 +72,10 @@ Args parse(int argc, char** argv) {
           "bench_serving_latency — multi-session serving latency/throughput\n"
           "  --sessions N   concurrent sessions (default 1024)\n"
           "  --threads N    serving pool size (default 4)\n"
+          "  --shards N     manager slot shards (default 1; sharding is\n"
+          "                 trace-invariant, it only removes contention)\n"
+          "  --pump-batch N busy sessions drained per pump task, grouped\n"
+          "                 per map for cache affinity (default 16)\n"
           "  --particles N  particles per session (default 128)\n"
           "  --ticks N      frame-batch inputs per session (default 40)\n"
           "  --queue N      per-session queue capacity (default 8)\n"
@@ -91,6 +97,10 @@ Args parse(int argc, char** argv) {
       args.sessions = static_cast<std::size_t>(std::atoi(value()));
     } else if (is("--threads")) {
       args.threads = static_cast<std::size_t>(std::atoi(value()));
+    } else if (is("--shards")) {
+      args.shards = static_cast<std::size_t>(std::atoi(value()));
+    } else if (is("--pump-batch")) {
+      args.pump_batch = static_cast<std::size_t>(std::atoi(value()));
     } else if (is("--particles")) {
       args.particles = static_cast<std::size_t>(std::atoi(value()));
     } else if (is("--min-particles")) {
@@ -121,7 +131,8 @@ Args parse(int argc, char** argv) {
     }
   }
   if (args.sessions == 0 || args.threads == 0 || args.particles == 0 ||
-      args.ticks == 0 || args.queue == 0) {
+      args.ticks == 0 || args.queue == 0 || args.shards == 0 ||
+      args.pump_batch == 0) {
     std::fprintf(stderr, "all sizes must be positive\n");
     std::exit(2);
   }
@@ -218,7 +229,11 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  serve::SessionManager mgr({args.threads});
+  serve::ServeOptions serve_opts;
+  serve_opts.threads = args.threads;
+  serve_opts.shards = args.shards;
+  serve_opts.pump_batch = args.pump_batch;
+  serve::SessionManager mgr(serve_opts);
   for (const eval::ReplaySource& src : sources) {
     // Sources on one world share a map key (and the same resources
     // pointer); define each key once.
@@ -308,9 +323,9 @@ int main(int argc, char** argv) {
 
   const serve::ServeReport rep = mgr.report();
   std::printf("\n=== Serving latency — %zu sessions, %zu threads, "
-              "%zu particles%s, %zu ticks%s ===\n\n",
-              args.sessions, args.threads, args.particles,
-              args.adaptive ? " (adaptive)" : "", min_ticks,
+              "%zu shards (batch %zu), %zu particles%s, %zu ticks%s ===\n\n",
+              args.sessions, args.threads, args.shards, args.pump_batch,
+              args.particles, args.adaptive ? " (adaptive)" : "", min_ticks,
               args.overload ? ", overload" : "");
   std::printf("wall %.2f s  (pump %.2f s)   corrections %zu   "
               "%.0f corrections/s\n",
@@ -377,6 +392,8 @@ int main(int argc, char** argv) {
        << (args.adaptive ? "+adaptive" : "") << "\",\n"
        << "  \"sessions\": " << args.sessions << ",\n"
        << "  \"threads\": " << args.threads << ",\n"
+       << "  \"shards\": " << args.shards << ",\n"
+       << "  \"pump_batch\": " << args.pump_batch << ",\n"
        << "  \"particles\": " << args.particles << ",\n"
        << "  \"adaptive\": " << (args.adaptive ? "true" : "false") << ",\n"
        << "  \"min_particles\": " << args.min_particles << ",\n"

@@ -69,34 +69,4 @@ std::size_t MapCatalog::context_count() const {
   return contexts_.size();
 }
 
-void MapCatalog::stash_snapshot(std::size_t session_id,
-                                std::vector<std::byte> blob) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto& slot = snapshots_[session_id];
-  snapshot_bytes_ -= slot.size();
-  slot = std::move(blob);
-  snapshot_bytes_ += slot.size();
-}
-
-std::optional<std::vector<std::byte>> MapCatalog::take_snapshot(
-    std::size_t session_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = snapshots_.find(session_id);
-  if (it == snapshots_.end()) return std::nullopt;
-  std::vector<std::byte> blob = std::move(it->second);
-  snapshot_bytes_ -= blob.size();
-  snapshots_.erase(it);
-  return blob;
-}
-
-std::size_t MapCatalog::stashed_snapshots() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return snapshots_.size();
-}
-
-std::size_t MapCatalog::stashed_snapshot_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return snapshot_bytes_;
-}
-
 }  // namespace tofmcl::serve

@@ -24,10 +24,9 @@
 /// differs only in SessionKnobs shares one context — one arena, one
 /// resolved config — on top of the shared resources.
 ///
-/// The catalog is also the serving layer's snapshot BACKING STORE:
-/// evicted sessions park their serialized FilterState blobs here (keyed
-/// by session id) until a later push restores them. The store is plain
-/// keyed bytes — it knows nothing about the blob format.
+/// (Evicted-session snapshot blobs used to be stashed here too; they now
+/// live behind the pluggable serve::SnapshotStore seam so blobs can be
+/// shared between manager instances and persisted to disk.)
 
 #include <cstddef>
 #include <functional>
@@ -35,9 +34,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
-#include <vector>
 
 #include "core/localizer.hpp"
 
@@ -68,21 +65,10 @@ class MapCatalog {
   /// Number of successfully built (or in-flight) context entries.
   std::size_t context_count() const;
 
-  /// Parks an evicted session's snapshot blob under its session id
-  /// (replacing any previous blob for that id).
-  void stash_snapshot(std::size_t session_id, std::vector<std::byte> blob);
-  /// Removes and returns the blob stashed for `session_id`, or nullopt.
-  std::optional<std::vector<std::byte>> take_snapshot(std::size_t session_id);
-  /// Number of parked snapshots / their total payload bytes.
-  std::size_t stashed_snapshots() const;
-  std::size_t stashed_snapshot_bytes() const;
-
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::shared_future<Resources>> built_;
   std::map<std::string, std::shared_future<Context>> contexts_;
-  std::map<std::size_t, std::vector<std::byte>> snapshots_;
-  std::size_t snapshot_bytes_ = 0;
 };
 
 }  // namespace tofmcl::serve

@@ -40,6 +40,7 @@ Session::Session(std::size_t id, std::string map_key,
   } else {
     localizer_.start_global();
   }
+  refresh_footprint();
 }
 
 Session::Session(std::size_t id, std::string map_key,
@@ -76,6 +77,14 @@ Session::Session(std::size_t id, std::string map_key,
   if (!reader.exhausted()) {
     throw IoError("session snapshot: trailing bytes");
   }
+  refresh_footprint();
+}
+
+void Session::refresh_footprint() {
+  active_particles_.store(localizer_.active_particles(),
+                          std::memory_order_relaxed);
+  resident_bytes_.store(localizer_.resident_particle_bytes(),
+                        std::memory_order_relaxed);
 }
 
 std::vector<std::byte> Session::snapshot() const {
@@ -133,18 +142,29 @@ std::size_t Session::process_pending() {
     batch.swap(queue_);
   }
   std::size_t corrected_now = 0;
+  std::size_t processed_now = 0;
+  // New latency samples land in a local scratch and merge under the stats
+  // guard once per batch, so a concurrent report() never observes the
+  // recorder mid-append and the hot loop takes no lock per correction.
+  std::vector<double> latencies;
   for (SessionInput& input : batch) {
     localizer_.on_odometry(input.odometry);
     if (!input.frames.empty()) {
       if (localizer_.on_frames(input.frames)) {
         ++corrected_now;
-        latency_.record(localizer_.last_correction_seconds());
+        latencies.push_back(localizer_.last_correction_seconds());
         trace_.push_back({input.t, localizer_.estimate().pose});
       }
     }
-    ++processed_inputs_;
+    ++processed_now;
   }
-  corrections_ += corrected_now;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    for (const double s : latencies) latency_.record(s);
+  }
+  processed_inputs_.fetch_add(processed_now, std::memory_order_relaxed);
+  corrections_.fetch_add(corrected_now, std::memory_order_relaxed);
+  refresh_footprint();
   return corrected_now;
 }
 

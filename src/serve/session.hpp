@@ -19,6 +19,7 @@
 /// `kSaturated` when the queue crosses half capacity ("slow down"),
 /// `kDroppedOldest` when data was actually lost ("you are too slow").
 
+#include <atomic>
 #include <cstddef>
 #include <deque>
 #include <memory>
@@ -111,13 +112,39 @@ class Session {
   /// time (concurrent pushes are fine). Returns corrections run.
   std::size_t process_pending();
 
-  // --- accounting (read between pumps; the pump thread writes them) ---
-  std::size_t corrections() const { return corrections_; }
-  std::size_t processed_inputs() const { return processed_inputs_; }
+  // --- accounting ---------------------------------------------------------
+  // The counters and the latency merge are safe to read WHILE a pump task
+  // is running process_pending() (SessionManager::report() does exactly
+  // that): counters are relaxed atomics written only by the serialized
+  // pump task, and the latency recorder is guarded by its own mutex.
+  std::size_t corrections() const {
+    return corrections_.load(std::memory_order_relaxed);
+  }
+  std::size_t processed_inputs() const {
+    return processed_inputs_.load(std::memory_order_relaxed);
+  }
   std::size_t dropped_inputs() const {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     return dropped_inputs_;
   }
+  /// Active particle count / resident SoA bytes as of the last completed
+  /// correction batch — cached so report() never reads the localizer's
+  /// filter state while a pump task mutates it.
+  std::size_t active_particles() const {
+    return active_particles_.load(std::memory_order_relaxed);
+  }
+  std::size_t resident_particle_bytes() const {
+    return resident_bytes_.load(std::memory_order_relaxed);
+  }
+  /// Merges every latency sample recorded so far into `out`, snapshotted
+  /// under the recorder's guard — the report()-during-pump-safe read.
+  void merge_latency_into(LatencyRecorder& out) const {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    out.merge(latency_);
+  }
+  /// Raw recorder/trace access for between-pump readers only (tests,
+  /// trace dumps, snapshot): a pump task appends to both without the
+  /// stats guard held for the whole batch.
   const LatencyRecorder& latency() const { return latency_; }
   const std::vector<CorrectionRecord>& trace() const { return trace_; }
   const core::Localizer& localizer() const { return localizer_; }
@@ -138,13 +165,22 @@ class Session {
   core::Localizer localizer_;
   std::size_t capacity_;
 
+  /// Re-caches active_particles_/resident_bytes_ from the localizer;
+  /// called at start/restore and after each correction batch.
+  void refresh_footprint();
+
   mutable std::mutex queue_mutex_;
   std::deque<SessionInput> queue_;
   std::size_t dropped_inputs_ = 0;  ///< Guarded by queue_mutex_.
 
-  // Written only by process_pending (externally serialized).
-  std::size_t corrections_ = 0;
-  std::size_t processed_inputs_ = 0;
+  // Written only by process_pending (externally serialized); atomics so
+  // report() may read them while a pump task is mid-batch.
+  std::atomic<std::size_t> corrections_{0};
+  std::atomic<std::size_t> processed_inputs_{0};
+  std::atomic<std::size_t> active_particles_{0};
+  std::atomic<std::size_t> resident_bytes_{0};
+  /// Guards latency_ appends/merges (report() merges mid-pump).
+  mutable std::mutex stats_mutex_;
   LatencyRecorder latency_;
   std::vector<CorrectionRecord> trace_;
 };

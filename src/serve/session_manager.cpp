@@ -4,15 +4,38 @@
 // eviction idleness is counted in pump generations, not seconds.
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <set>
+#include <string_view>
 #include <utility>
 
 namespace tofmcl::serve {
 
-SessionManager::SessionManager(ServeOptions opts) : opts_(opts) {
+SessionManager::SessionManager(ServeOptions opts) : opts_(std::move(opts)) {
+  TOFMCL_EXPECTS(opts_.shards >= 1, "need at least one shard");
+  TOFMCL_EXPECTS(opts_.pump_batch >= 1, "pump batch must be >= 1");
   if (opts_.threads > 0) pool_ = std::make_unique<ThreadPool>(opts_.threads);
+  store_ = opts_.store ? opts_.store
+                       : std::make_shared<InMemorySnapshotStore>();
+  shards_.reserve(opts_.shards);
+  for (std::size_t s = 0; s < opts_.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+SessionManager::Shard& SessionManager::shard_of(std::size_t session_id) const {
+  return *shards_[session_id % shards_.size()];
+}
+
+SessionManager::Slot& SessionManager::slot_locked(
+    Shard& shard, std::size_t session_id) const {
+  TOFMCL_EXPECTS(session_id < next_id_.load(std::memory_order_acquire),
+                 "unknown session id");
+  const std::size_t index = session_id / shards_.size();
+  TOFMCL_EXPECTS(index < shard.slots.size() &&
+                     shard.slots[index] != nullptr,
+                 "session is still opening");
+  return *shard.slots[index];
 }
 
 void SessionManager::define_map(const std::string& key,
@@ -21,7 +44,7 @@ void SessionManager::define_map(const std::string& key,
                                 std::vector<core::Precision> precisions) {
   TOFMCL_EXPECTS(!precisions.empty(),
                  "a map definition needs at least one precision");
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(defs_mutex_);
   TOFMCL_EXPECTS(definitions_.find(key) == definitions_.end(),
                  "map key already defined");
   definitions_.emplace(key, MapDefinition{std::move(grid), mcl,
@@ -31,7 +54,7 @@ void SessionManager::define_map(const std::string& key,
 void SessionManager::define_map(const std::string& key,
                                 MapCatalog::Resources maps) {
   TOFMCL_EXPECTS(maps != nullptr, "prebuilt map resources must be non-null");
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(defs_mutex_);
   TOFMCL_EXPECTS(definitions_.find(key) == definitions_.end(),
                  "map key already defined");
   definitions_.emplace(
@@ -39,7 +62,7 @@ void SessionManager::define_map(const std::string& key,
 }
 
 bool SessionManager::has_map(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(defs_mutex_);
   return definitions_.find(key) != definitions_.end();
 }
 
@@ -47,7 +70,7 @@ std::size_t SessionManager::open_session(const std::string& map_key,
                                          const SessionOptions& opts) {
   const MapDefinition* def = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(defs_mutex_);
     const auto it = definitions_.find(map_key);
     TOFMCL_EXPECTS(it != definitions_.end(), "unknown map key");
     // Definitions are insert-only, so the pointer stays valid outside
@@ -68,88 +91,138 @@ std::size_t SessionManager::open_session(const std::string& map_key,
   auto ctx = catalog_.get_or_build_context(ctx_key, [&maps, &opts] {
     return core::build_scoring_context(maps, opts.config);
   });
-  std::lock_guard<std::mutex> lock(mutex_);
-  const std::size_t id = slots_.size();
-  Slot slot;
-  slot.live = std::make_unique<Session>(id, map_key, ctx, opts);
-  slot.map_key = map_key;
-  slot.ctx = std::move(ctx);
-  slot.opts = opts;
-  slots_.push_back(std::move(slot));
+  // Dense id assignment round-robins sessions across shards; only the
+  // owning shard is locked to place the slot, so opens on different
+  // shards never contend.
+  const std::size_t id = next_id_.fetch_add(1, std::memory_order_acq_rel);
+  auto slot = std::make_unique<Slot>();
+  slot->live = std::make_unique<Session>(id, map_key, ctx, opts);
+  slot->map_key = map_key;
+  slot->ctx = std::move(ctx);
+  slot->opts = opts;
+  Shard& shard = shard_of(id);
+  const std::size_t index = id / shards_.size();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (index >= shard.slots.size()) shard.slots.resize(index + 1);
+  shard.slots[index] = std::move(slot);
   return id;
 }
 
 Admission SessionManager::push(std::size_t session_id, SessionInput input) {
-  Session* session = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    TOFMCL_EXPECTS(session_id < slots_.size(), "unknown session id");
-    Slot& slot = slots_[session_id];
-    // Transparent restore: an evicted session comes back from its blob
-    // the moment traffic returns. (Construction under the lock is the
-    // exception to push() being cheap; it only happens on the first push
-    // after an eviction.)
-    if (!slot.live) restore_locked(slot, session_id);
-    session = slot.live.get();
-  }
-  return session->push(std::move(input));
-}
-
-std::vector<SessionManager::PumpItem> SessionManager::snapshot_live() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  std::vector<PumpItem> out;
-  out.reserve(slots_.size());
-  for (std::size_t id = 0; id < slots_.size(); ++id) {
-    if (slots_[id].live) out.push_back({slots_[id].live.get(), id});
-  }
-  return out;
+  Shard& shard = shard_of(session_id);
+  // The enqueue runs under the SHARD lock (not a global one): it is a
+  // bounded-deque operation, and holding the lock closes the race where
+  // an evictor destroys the Session between lookup and enqueue. Pushes
+  // on other shards proceed concurrently.
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  Slot& slot = slot_locked(shard, session_id);
+  // Transparent restore: an evicted session comes back from its blob
+  // the moment traffic returns. (Construction under the lock is the
+  // exception to push() being cheap; it only happens on the first push
+  // after an eviction.)
+  if (!slot.live) restore_locked(slot, session_id);
+  return slot.live->push(std::move(input));
 }
 
 std::size_t SessionManager::pump() {
   const auto t0 = std::chrono::steady_clock::now();
-  const std::vector<PumpItem> items = snapshot_live();
-  std::vector<char> busy(items.size(), 0);
-  std::size_t corrected = 0;
+
+  // Pinning pass, per shard: observe every live slot once under the
+  // shard lock; a slot with pending work is marked pinned so a
+  // concurrent evict_idle() can neither destroy nor snapshot a Session
+  // whose task is (or is about to be) in flight. Idle slots are only
+  // remembered for the idle-clock epilogue — their Session pointer is
+  // never dereferenced, because an evictor may legitimately destroy
+  // them mid-pump.
+  std::vector<std::vector<Observed>> plan(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto& observed = plan[s];
+    observed.reserve(shard.slots.size());
+    for (std::size_t index = 0; index < shard.slots.size(); ++index) {
+      Slot* slot = shard.slots[index].get();
+      if (slot == nullptr || !slot->live) continue;
+      const bool busy = slot->live->has_pending();
+      if (busy) slot->pinned = true;
+      observed.push_back({slot->live.get(), index, busy});
+    }
+  }
+
+  std::atomic<std::size_t> total{0};
   if (!pool_) {
-    for (std::size_t i = 0; i < items.size(); ++i) {
-      if (!items[i].session->has_pending()) continue;
-      busy[i] = 1;
-      corrected += items[i].session->process_pending();
+    for (const auto& observed : plan) {
+      for (const Observed& o : observed) {
+        if (o.busy) total += o.session->process_pending();
+      }
     }
   } else {
     ThreadPool::TaskGroup group;
-    std::atomic<std::size_t> total{0};
-    for (std::size_t i = 0; i < items.size(); ++i) {
-      Session* s = items[i].session;
-      if (!s->has_pending()) continue;
-      busy[i] = 1;
-      // One task per busy session: the group wait below is the only
-      // serialization a session needs — at most one process_pending per
-      // session is ever in flight.
-      pool_->submit([s, &total] { total += s->process_pending(); }, group);
+    for (const auto& observed : plan) {
+      // Map-affine batching: a shard's busy sessions are grouped by map
+      // key and drained `pump_batch` at a time by one task, so a worker
+      // run stays inside one map's EDT/LUT working set instead of
+      // hopping maps per session (and 100k sessions submit thousands of
+      // tasks, not 100k).
+      std::map<std::string_view, std::vector<Session*>> by_map;
+      for (const Observed& o : observed) {
+        if (o.busy) by_map[o.session->map_key()].push_back(o.session);
+      }
+      for (auto& [key, sessions] : by_map) {
+        for (std::size_t base = 0; base < sessions.size();
+             base += opts_.pump_batch) {
+          const std::size_t end =
+              std::min(sessions.size(), base + opts_.pump_batch);
+          std::vector<Session*> batch(sessions.begin() + base,
+                                      sessions.begin() + end);
+          pool_->submit(
+              [batch = std::move(batch), &total] {
+                std::size_t n = 0;
+                for (Session* session : batch) {
+                  n += session->process_pending();
+                }
+                total += n;
+              },
+              group);
+        }
+      }
     }
     pool_->wait(group);
-    corrected = total.load();
   }
-  {
-    // Advance idle streaks: a pump generation is the eviction clock.
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (std::size_t i = 0; i < items.size(); ++i) {
-      Slot& slot = slots_[items[i].id];
-      // A slot restored mid-pump swapped Session objects; its fresh
-      // counter is already 0 and the stale pointer must not touch it.
-      if (slot.live.get() != items[i].session) continue;
-      if (busy[i]) {
-        slot.idle_pumps = 0;
+
+  // Epilogue, per shard: unpin, advance the idle clock.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const Observed& o : plan[s]) {
+      Slot* slot = shard.slots[o.index].get();
+      if (o.busy) {
+        // Pinned slots cannot have been evicted or swapped mid-pump.
+        slot->pinned = false;
+        slot->idle_pumps = 0;
       } else {
-        ++slot.idle_pumps;
+        // An idle slot may have been evicted (live == null) or evicted
+        // AND restored (fresh Session, counter already 0) mid-pump; the
+        // stale pointer must not touch it.
+        if (slot->live.get() != o.session) continue;
+        ++slot->idle_pumps;
       }
     }
   }
-  pump_seconds_ +=
+
+  add_pump_seconds(
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
-  return corrected;
+          .count());
+  return total.load();
+}
+
+void SessionManager::add_pump_seconds(double dt) {
+  // No atomic<double>::fetch_add before C++20 libstdc++ grew it
+  // everywhere we build; a CAS loop on an uncontended counter is free.
+  double cur = pump_seconds_.load(std::memory_order_relaxed);
+  while (!pump_seconds_.compare_exchange_weak(cur, cur + dt,
+                                              std::memory_order_relaxed)) {
+  }
 }
 
 void SessionManager::evict_locked(Slot& slot, std::size_t id) {
@@ -159,13 +232,13 @@ void SessionManager::evict_locked(Slot& slot, std::size_t id) {
   slot.retained_processed = slot.live->processed_inputs();
   slot.retained_dropped = slot.live->dropped_inputs();
   slot.retained_latency = slot.live->latency();
-  catalog_.stash_snapshot(id, slot.live->snapshot());
+  store_->put(id, slot.live->snapshot());
   // Destroying the Session releases its SoA blocks into the arena pool.
   slot.live.reset();
 }
 
 void SessionManager::restore_locked(Slot& slot, std::size_t id) {
-  auto blob = catalog_.take_snapshot(id);
+  auto blob = store_->take(id);
   TOFMCL_EXPECTS(blob.has_value(), "evicted session has no stashed snapshot");
   slot.live = std::make_unique<Session>(id, slot.map_key, slot.ctx, slot.opts,
                                         std::span<const std::byte>(*blob));
@@ -179,24 +252,28 @@ void SessionManager::restore_locked(Slot& slot, std::size_t id) {
 
 std::vector<std::byte> SessionManager::snapshot_session(
     std::size_t session_id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  TOFMCL_EXPECTS(session_id < slots_.size(), "unknown session id");
-  TOFMCL_EXPECTS(slots_[session_id].live != nullptr,
-                 "cannot snapshot an evicted session");
-  return slots_[session_id].live->snapshot();
+  Shard& shard = shard_of(session_id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  Slot& slot = slot_locked(shard, session_id);
+  TOFMCL_EXPECTS(slot.live != nullptr, "cannot snapshot an evicted session");
+  TOFMCL_EXPECTS(!slot.pinned,
+                 "cannot snapshot a session while its pump task is in flight");
+  return slot.live->snapshot();
 }
 
 void SessionManager::restore_session(std::size_t session_id,
                                      std::span<const std::byte> blob) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  TOFMCL_EXPECTS(session_id < slots_.size(), "unknown session id");
-  Slot& slot = slots_[session_id];
+  Shard& shard = shard_of(session_id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  Slot& slot = slot_locked(shard, session_id);
+  TOFMCL_EXPECTS(!slot.pinned,
+                 "cannot restore a session while its pump task is in flight");
   if (slot.live) {
     TOFMCL_EXPECTS(!slot.live->has_pending(),
                    "cannot restore over pending inputs (pump first)");
   }
   // An explicit restore supersedes whatever eviction stashed.
-  catalog_.take_snapshot(session_id);
+  store_->take(session_id);
   slot.live = std::make_unique<Session>(session_id, slot.map_key, slot.ctx,
                                         slot.opts, blob);
   slot.idle_pumps = 0;
@@ -207,104 +284,136 @@ void SessionManager::restore_session(std::size_t session_id,
 }
 
 void SessionManager::evict_session(std::size_t session_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  TOFMCL_EXPECTS(session_id < slots_.size(), "unknown session id");
-  Slot& slot = slots_[session_id];
+  Shard& shard = shard_of(session_id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  Slot& slot = slot_locked(shard, session_id);
   TOFMCL_EXPECTS(slot.live != nullptr, "session already evicted");
+  TOFMCL_EXPECTS(!slot.pinned,
+                 "cannot evict a session while its pump task is in flight");
   evict_locked(slot, session_id);
 }
 
 std::size_t SessionManager::evict_idle(std::size_t min_idle_pumps) {
-  std::lock_guard<std::mutex> lock(mutex_);
   std::size_t evicted = 0;
-  for (std::size_t id = 0; id < slots_.size(); ++id) {
-    Slot& slot = slots_[id];
-    if (!slot.live) continue;
-    if (slot.idle_pumps < min_idle_pumps) continue;
-    if (slot.live->has_pending()) continue;
-    evict_locked(slot, id);
-    ++evicted;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (std::size_t index = 0; index < shard.slots.size(); ++index) {
+      Slot* slot = shard.slots[index].get();
+      if (slot == nullptr || !slot->live) continue;
+      // A pinned slot has (or may have) a pump task in flight — evicting
+      // it would destroy the Session under the task's feet. Skip; the
+      // slot stays eligible for the next sweep.
+      if (slot->pinned) continue;
+      if (slot->idle_pumps < min_idle_pumps) continue;
+      if (slot->live->has_pending()) continue;
+      evict_locked(*slot, index * shards_.size() + s);
+      ++evicted;
+    }
   }
   return evicted;
 }
 
 std::size_t SessionManager::num_sessions() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return slots_.size();
+  return next_id_.load(std::memory_order_acquire);
 }
 
 std::size_t SessionManager::live_sessions() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   std::size_t live = 0;
-  for (const Slot& slot : slots_) live += slot.live != nullptr;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& slot : shard->slots) {
+      live += slot != nullptr && slot->live != nullptr;
+    }
+  }
   return live;
 }
 
 std::size_t SessionManager::evicted_sessions() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   std::size_t evicted = 0;
-  for (const Slot& slot : slots_) evicted += slot.live == nullptr;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& slot : shard->slots) {
+      evicted += slot != nullptr && slot->live == nullptr;
+    }
+  }
   return evicted;
 }
 
 bool SessionManager::session_live(std::size_t session_id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  TOFMCL_EXPECTS(session_id < slots_.size(), "unknown session id");
-  return slots_[session_id].live != nullptr;
+  Shard& shard = shard_of(session_id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return slot_locked(shard, session_id).live != nullptr;
 }
 
 const Session& SessionManager::session(std::size_t session_id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  TOFMCL_EXPECTS(session_id < slots_.size(), "unknown session id");
-  TOFMCL_EXPECTS(slots_[session_id].live != nullptr,
+  Shard& shard = shard_of(session_id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  Slot& slot = slot_locked(shard, session_id);
+  TOFMCL_EXPECTS(slot.live != nullptr,
                  "session is evicted (push to restore it)");
-  return *slots_[session_id].live;
+  return *slot.live;
 }
 
 ServeReport SessionManager::report() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   ServeReport rep;
-  rep.sessions = slots_.size();
-  rep.pump_seconds = pump_seconds_;
+  rep.pump_seconds = pump_seconds_.load(std::memory_order_relaxed);
 
   std::map<std::string, MapReport> by_map;
   std::map<std::string, LatencyRecorder> by_map_latency;
   LatencyRecorder global;
   std::set<const core::ParticleArena*> arenas;
-  for (const Slot& slot : slots_) {
-    MapReport& m = by_map[slot.map_key];
-    m.map = slot.map_key;
-    ++m.sessions;
-    std::size_t corrections = 0, processed = 0, dropped = 0;
-    const LatencyRecorder* latency = nullptr;
-    if (slot.live) {
-      ++rep.live_sessions;
-      corrections = slot.live->corrections();
-      processed = slot.live->processed_inputs();
-      dropped = slot.live->dropped_inputs();
-      latency = &slot.live->latency();
-      rep.active_particles += slot.live->localizer().active_particles();
-      rep.resident_particle_bytes +=
-          slot.live->localizer().resident_particle_bytes();
-    } else {
-      ++rep.evicted_sessions;
-      corrections = slot.retained_corrections;
-      processed = slot.retained_processed;
-      dropped = slot.retained_dropped;
-      latency = &slot.retained_latency;
+  // Shards are scanned one at a time under their own locks: a report
+  // never stalls pushes on every shard at once, and it is safe while a
+  // pump is in flight — live-session stats come from the Session's
+  // atomics and guarded latency merge, never from the localizer's
+  // mutable filter state.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    ShardReport sh;
+    sh.shard = s;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& slot_ptr : shard.slots) {
+      if (slot_ptr == nullptr) continue;
+      const Slot& slot = *slot_ptr;
+      ++sh.sessions;
+      MapReport& m = by_map[slot.map_key];
+      m.map = slot.map_key;
+      ++m.sessions;
+      std::size_t corrections = 0, processed = 0, dropped = 0;
+      LatencyRecorder& map_latency = by_map_latency[slot.map_key];
+      if (slot.live) {
+        ++sh.live_sessions;
+        corrections = slot.live->corrections();
+        processed = slot.live->processed_inputs();
+        dropped = slot.live->dropped_inputs();
+        slot.live->merge_latency_into(global);
+        slot.live->merge_latency_into(map_latency);
+        rep.active_particles += slot.live->active_particles();
+        rep.resident_particle_bytes += slot.live->resident_particle_bytes();
+      } else {
+        ++sh.evicted_sessions;
+        corrections = slot.retained_corrections;
+        processed = slot.retained_processed;
+        dropped = slot.retained_dropped;
+        global.merge(slot.retained_latency);
+        map_latency.merge(slot.retained_latency);
+      }
+      m.corrections += corrections;
+      m.processed_inputs += processed;
+      m.dropped_inputs += dropped;
+      rep.corrections += corrections;
+      rep.processed_inputs += processed;
+      rep.dropped_inputs += dropped;
+      if (slot.ctx) arenas.insert(slot.ctx->arena().get());
     }
-    m.corrections += corrections;
-    m.processed_inputs += processed;
-    m.dropped_inputs += dropped;
-    rep.corrections += corrections;
-    rep.processed_inputs += processed;
-    rep.dropped_inputs += dropped;
-    global.merge(*latency);
-    by_map_latency[slot.map_key].merge(*latency);
-    if (slot.ctx) arenas.insert(slot.ctx->arena().get());
+    rep.sessions += sh.sessions;
+    rep.live_sessions += sh.live_sessions;
+    rep.evicted_sessions += sh.evicted_sessions;
+    rep.per_shard.push_back(sh);
   }
   rep.latency = global.summarize();
-  rep.stashed_snapshot_bytes = catalog_.stashed_snapshot_bytes();
+  rep.stashed_snapshot_bytes = store_->bytes();
   for (const core::ParticleArena* arena : arenas) {
     if (arena != nullptr) rep.arena_pooled_bytes += arena->stats().pooled_bytes;
   }

@@ -4,7 +4,7 @@
 ///
 /// The SessionManager is the serving layer's front door:
 ///
-///   serve::SessionManager mgr({.threads = 8});
+///   serve::SessionManager mgr({.threads = 8, .shards = 8});
 ///   mgr.define_map("office", grid, mcl, {Precision::kFp32Qm});
 ///   const auto id = mgr.open_session("office", opts);
 ///   mgr.push(id, {t, odom, frames});   // any thread, backpressure out
@@ -17,28 +17,46 @@
 /// many thousand sessions share the map). On top of the resources the
 /// catalog caches one core::ScoringContext per (map, scoring fingerprint):
 /// sessions differing only in SessionKnobs (seed, particle budget) share
-/// one context and lease their SoA particle blocks from its arena. Each
-/// pump submits at most one task per session with pending work into a
-/// ThreadPool::TaskGroup, so a session's inputs are processed strictly in
-/// arrival order by exactly one thread at a time — the serialization the
-/// Localizer's contract demands — while distinct sessions run
-/// concurrently.
+/// one context and lease their SoA particle blocks from its arena.
+///
+/// SHARDING: slot state is split into `shards` independent shards —
+/// session id `i` lives in shard `i % shards` (ids are dense; the slot
+/// index within the shard is `i / shards`, so sequentially opened
+/// sessions round-robin across shards). Each shard owns its own mutex,
+/// slot vector, and idle clock: a push() on one shard never contends
+/// with a pump epilogue or report() scan on another. Sharding is
+/// invisible to the data plane — a session's correction trace depends
+/// only on its own input order, so shards=1 and shards=N produce
+/// bit-identical traces (tests gate on this) and the pre-shard
+/// determinism contract carries over unchanged.
+///
+/// PUMP BATCHING: instead of one pool task per busy session (task-queue
+/// pressure at 100k sessions), each pump groups a shard's busy sessions
+/// by map key and submits one task per `pump_batch` sessions of one map
+/// — per-map affinity keeps a worker run inside one map's EDT/LUT while
+/// it drains its batch. A busy slot is PINNED under its shard lock for
+/// the duration of the pump, so a concurrent evict_idle() can never
+/// destroy a Session whose process_pending() task is still in flight
+/// (the evict-during-pump use-after-free this layer used to have).
 ///
 /// Eviction: a session idle for at least `min_idle_pumps` pump
 /// generations (idleness is counted in pumps, never wall clock) can be
-/// evicted — its full state is serialized into the catalog's snapshot
-/// backing store and the Session object (and its arena blocks) is
-/// destroyed. The id stays valid: the next push() transparently restores
-/// the session from its blob and resumes bit-identically. evict_idle /
-/// evict_session / snapshot_session / restore_session must be called
-/// between pumps (same contract as report()).
+/// evicted — its full state is serialized into the SnapshotStore and the
+/// Session object (and its arena blocks) is destroyed. The id stays
+/// valid: the next push() transparently restores the session from its
+/// blob and resumes bit-identically. The store is pluggable
+/// (ServeOptions::store): two managers sharing one store can rebalance
+/// evicted sessions between themselves, and the file-backed store
+/// persists blobs across processes.
 ///
 /// Determinism: a session's correction trace depends only on its own
 /// input order (per-session RNG, SerialExecutor chunking), never on
-/// scheduling, so serial and pooled pumps produce bit-identical traces
-/// (tests/test_serve.cpp gates on this) — and an evict/restore cycle
-/// inserted between pumps leaves the trace byte-identical too.
+/// scheduling, so serial and pooled pumps — and any shard count or batch
+/// size — produce bit-identical traces (tests/test_serve.cpp gates on
+/// this), and an evict/restore cycle inserted between (or during) pumps
+/// leaves the trace byte-identical too.
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <mutex>
@@ -51,12 +69,26 @@
 #include "map/occupancy_grid.hpp"
 #include "serve/map_catalog.hpp"
 #include "serve/session.hpp"
+#include "serve/snapshot_store.hpp"
 
 namespace tofmcl::serve {
 
 struct ServeOptions {
   /// Worker threads for the pooled pump; 0 pumps serially on the caller.
   std::size_t threads = 0;
+  /// Independent slot shards (each with its own mutex, slot vector and
+  /// idle clock); session id i lives in shard i % shards. Sharding never
+  /// changes a session's trace — it only removes control-plane
+  /// contention at high session counts.
+  std::size_t shards = 1;
+  /// Busy sessions drained per pump task (grouped per map within a
+  /// shard, so one worker run stays inside one map's EDT/LUT).
+  std::size_t pump_batch = 16;
+  /// Backing store for evicted-session snapshot blobs. Null builds a
+  /// private InMemorySnapshotStore; pass a shared store to rebalance
+  /// evicted sessions across managers, or a FileSnapshotStore to persist
+  /// them across processes.
+  std::shared_ptr<SnapshotStore> store;
 };
 
 /// Per-map slice of a ServeReport.
@@ -67,6 +99,14 @@ struct MapReport {
   std::size_t processed_inputs = 0;
   std::size_t dropped_inputs = 0;
   LatencySummary latency;  ///< Per-correction wall latency, seconds.
+};
+
+/// Per-shard slice of a ServeReport (occupancy + eviction accounting).
+struct ShardReport {
+  std::size_t shard = 0;
+  std::size_t sessions = 0;  ///< Slots owned by this shard.
+  std::size_t live_sessions = 0;
+  std::size_t evicted_sessions = 0;
 };
 
 struct ServeReport {
@@ -83,7 +123,7 @@ struct ServeReport {
   /// Σ bytes the live sessions' SoA blocks pin right now (both buffers at
   /// allocated capacity) — the per-idle-session resident-memory metric.
   std::size_t resident_particle_bytes = 0;
-  /// Bytes parked in the catalog's snapshot store for evicted sessions.
+  /// Bytes parked in the snapshot store for evicted sessions.
   std::size_t stashed_snapshot_bytes = 0;
   /// Σ pooled (free-list) bytes across the distinct per-map arenas.
   std::size_t arena_pooled_bytes = 0;
@@ -91,7 +131,8 @@ struct ServeReport {
   double pump_seconds = 0.0;
   /// corrections / pump_seconds — the serving throughput figure.
   double corrections_per_second = 0.0;
-  std::vector<MapReport> per_map;  ///< Sorted by map key.
+  std::vector<MapReport> per_map;      ///< Sorted by map key.
+  std::vector<ShardReport> per_shard;  ///< One entry per shard, in order.
 };
 
 class SessionManager {
@@ -119,19 +160,24 @@ class SessionManager {
 
   /// Opens a session on a defined map and returns its id. Thread-safe;
   /// concurrent opens of one map share a single resource build and a
-  /// single scoring context (keyed by map + scoring fingerprint).
+  /// single scoring context (keyed by map + scoring fingerprint). Ids are
+  /// dense and round-robin across shards.
   std::size_t open_session(const std::string& map_key,
                            const SessionOptions& opts);
 
   /// Enqueue an input tick for a session. Thread-safe; returns the
   /// admission/backpressure signal. Pushing to an evicted session
-  /// transparently restores it from its stashed snapshot first.
+  /// transparently restores it from its stashed snapshot first. Only the
+  /// session's own shard is locked — pushes on other shards proceed
+  /// concurrently.
   Admission push(std::size_t session_id, SessionInput input);
 
-  /// Processes every session's backlog — serially in session-id order
-  /// when threads == 0, else one pool task per busy session. Not
-  /// reentrant; one pump at a time. Advances every live session's idle
-  /// counter (0 when it had work this pump). Returns corrections run.
+  /// Processes every session's backlog — serially in shard-major order
+  /// when threads == 0, else one pool task per map-affine batch of
+  /// `pump_batch` busy sessions. Not reentrant; one pump at a time
+  /// (pushes, evictions and reports may run concurrently with it).
+  /// Advances every live session's idle counter (0 when it had work this
+  /// pump). Returns corrections run.
   std::size_t pump();
 
   /// Serializes a live session's full state (counters, latency, trace,
@@ -145,29 +191,37 @@ class SessionManager {
   void restore_session(std::size_t session_id,
                        std::span<const std::byte> blob);
 
-  /// Evicts one live session: snapshot → catalog backing store, then the
-  /// Session (and its arena blocks) is destroyed. Precondition: no
-  /// pending inputs. Call between pumps.
+  /// Evicts one live session: snapshot → snapshot store, then the
+  /// Session (and its arena blocks) is destroyed. Preconditions: no
+  /// pending inputs, no pump task in flight for it. Call between pumps.
   void evict_session(std::size_t session_id);
 
   /// Evicts every live session whose queue is empty and whose idle streak
-  /// is at least `min_idle_pumps` pump generations. Returns the number
-  /// evicted. Call between pumps.
+  /// is at least `min_idle_pumps` pump generations. Safe to call while a
+  /// pump is in flight: sessions with a running (or scheduled) pump task
+  /// are pinned and skipped. Returns the number evicted.
   std::size_t evict_idle(std::size_t min_idle_pumps);
 
   std::size_t num_sessions() const;
   std::size_t live_sessions() const;
   std::size_t evicted_sessions() const;
+  std::size_t shard_count() const { return shards_.size(); }
   /// True when the session currently has a live Session object.
   bool session_live(std::size_t session_id) const;
-  double pump_seconds() const { return pump_seconds_; }
+  double pump_seconds() const {
+    return pump_seconds_.load(std::memory_order_relaxed);
+  }
+  /// The snapshot store evictions park blobs in (the one from
+  /// ServeOptions, or the default in-memory store).
+  const std::shared_ptr<SnapshotStore>& store() const { return store_; }
   /// Read-only session access (tests, trace dumps). The session must be
   /// live. Call between pumps.
   const Session& session(std::size_t session_id) const;
 
-  /// Aggregates per-map and global latency/throughput over ALL sessions —
-  /// evicted sessions contribute the stats retained at eviction time.
-  /// Call between pumps (the pump thread writes the stats this reads).
+  /// Aggregates per-map, per-shard and global latency/throughput over ALL
+  /// sessions — evicted sessions contribute the stats retained at
+  /// eviction time. Safe to call while a pump is in flight: counters are
+  /// atomics and latency recorders are merged under their guards.
   ServeReport report() const;
 
  private:
@@ -182,12 +236,17 @@ class SessionManager {
 
   /// One session id's slot for the whole manager lifetime. `live` is null
   /// while the session is evicted; the retained_* fields then carry its
-  /// stats so report() stays complete.
+  /// stats so report() stays complete. All fields are guarded by the
+  /// owning shard's mutex.
   struct Slot {
     std::unique_ptr<Session> live;
     std::string map_key;
     MapCatalog::Context ctx;
     SessionOptions opts;
+    /// True while a pump has (or may have) a process_pending() task in
+    /// flight for this slot: eviction must skip pinned slots — destroying
+    /// the Session under a running task is a use-after-free.
+    bool pinned = false;
     std::size_t idle_pumps = 0;  ///< Pumps since the session last had work.
     std::size_t retained_corrections = 0;
     std::size_t retained_processed = 0;
@@ -195,26 +254,45 @@ class SessionManager {
     LatencyRecorder retained_latency;
   };
 
-  struct PumpItem {
-    Session* session;
-    std::size_t id;
+  /// One shard: an independent mutex + slot vector + idle clock. Slots
+  /// are held by pointer so Slot addresses stay stable across growth.
+  struct Shard {
+    mutable std::mutex mutex;
+    /// Index = session id / shard count. A briefly-null entry means an
+    /// open_session on a lower id in this shard is still in flight.
+    std::vector<std::unique_ptr<Slot>> slots;
   };
 
-  std::vector<PumpItem> snapshot_live() const;
-  /// Evicts `slot` (must be live, empty queue); caller holds mutex_.
+  /// One live slot's observation from the pump's pinning pass.
+  struct Observed {
+    Session* session;
+    std::size_t index;  ///< Slot index within the shard.
+    bool busy;          ///< Had pending work (and was pinned) at observe.
+  };
+
+  Shard& shard_of(std::size_t session_id) const;
+  /// Slot lookup; the caller must hold `shard.mutex`.
+  Slot& slot_locked(Shard& shard, std::size_t session_id) const;
+  /// Evicts `slot` (must be live, unpinned, empty queue); caller holds
+  /// the shard mutex.
   void evict_locked(Slot& slot, std::size_t id);
-  /// Restores `slot` from the catalog's stash; caller holds mutex_.
+  /// Restores `slot` from the snapshot store; caller holds the shard
+  /// mutex.
   void restore_locked(Slot& slot, std::size_t id);
+  void add_pump_seconds(double dt);
 
   ServeOptions opts_;
   std::unique_ptr<ThreadPool> pool_;  ///< Null when threads == 0.
   MapCatalog catalog_;
+  std::shared_ptr<SnapshotStore> store_;
 
-  mutable std::mutex mutex_;  ///< Guards definitions_ and slots_.
+  mutable std::mutex defs_mutex_;  ///< Guards definitions_ (insert-only).
   std::map<std::string, MapDefinition> definitions_;
-  std::vector<Slot> slots_;
 
-  double pump_seconds_ = 0.0;  ///< Written by pump() only.
+  std::vector<std::unique_ptr<Shard>> shards_;  ///< Fixed at construction.
+  std::atomic<std::size_t> next_id_{0};
+
+  std::atomic<double> pump_seconds_{0.0};  ///< Advanced by pump() only.
 };
 
 }  // namespace tofmcl::serve

@@ -16,14 +16,36 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <thread>
 
 #include "common/serial_guard.hpp"
+#include "serve/snapshot_store.hpp"
 #include "sim/maze.hpp"
 
 namespace tofmcl::serve {
 namespace {
+
+ServeOptions serve_options(std::size_t threads, std::size_t shards = 1,
+                           std::size_t pump_batch = 16,
+                           std::shared_ptr<SnapshotStore> store = nullptr) {
+  ServeOptions opts;
+  opts.threads = threads;
+  opts.shards = shards;
+  opts.pump_batch = pump_batch;
+  opts.store = std::move(store);
+  return opts;
+}
+
+/// A fresh, empty directory under the test temp root (stale files from a
+/// previous run would pollute the FileSnapshotStore's adoption scan).
+std::filesystem::path fresh_store_dir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
 
 map::OccupancyGrid maze_grid() {
   sim::EvaluationEnvironment env;
@@ -226,8 +248,11 @@ TEST(SerialGuard, SerializedCrossThreadCallsAreClean) {
 std::unique_ptr<SessionManager> run_maze_service(std::size_t threads,
                                                  std::size_t sessions,
                                                  std::size_t ticks,
-                                                 std::size_t pump_every) {
-  auto mgr = std::make_unique<SessionManager>(ServeOptions{threads});
+                                                 std::size_t pump_every,
+                                                 std::size_t shards = 1,
+                                                 std::size_t pump_batch = 16) {
+  auto mgr = std::make_unique<SessionManager>(
+      serve_options(threads, shards, pump_batch));
   mgr->define_map("maze", maze_grid(), base_config().mcl,
                   {core::Precision::kFp32Qm});
   for (std::size_t i = 0; i < sessions; ++i) {
@@ -293,7 +318,7 @@ TEST(SessionManager, SerialAndPooledPumpsYieldBitIdenticalTraces) {
 }
 
 TEST(SessionManager, ReportAggregatesPerMapAndGlobally) {
-  SessionManager mgr(ServeOptions{2});
+  SessionManager mgr(serve_options(2));
   mgr.define_map("maze_a", maze_grid(), base_config().mcl,
                  {core::Precision::kFp32Qm});
   mgr.define_map("maze_b", maze_grid(), base_config().mcl,
@@ -339,7 +364,7 @@ TEST(SessionManager, ConcurrentOpensOnOneMapShareOneBuild) {
   // Manager-level once-map: sessions opened from many threads at once on
   // a grid-defined map must all come up (the catalog serializes the
   // single build) and then serve.
-  SessionManager mgr(ServeOptions{2});
+  SessionManager mgr(serve_options(2));
   mgr.define_map("maze", maze_grid(), base_config().mcl,
                  {core::Precision::kFp32Qm});
   constexpr std::size_t kOpeners = 6;
@@ -364,7 +389,7 @@ TEST(SessionManager, ConcurrentOpensOnOneMapShareOneBuild) {
 }
 
 TEST(SessionManager, RejectsUnknownKeys) {
-  SessionManager mgr(ServeOptions{0});
+  SessionManager mgr(serve_options(0));
   SessionOptions opts;
   opts.config = base_config();
   EXPECT_THROW(mgr.open_session("nope", opts), PreconditionError);
@@ -377,7 +402,7 @@ TEST(SessionManager, RejectsUnknownKeys) {
 }
 
 TEST(SessionManager, HasMapTracksDefinitions) {
-  SessionManager mgr(ServeOptions{0});
+  SessionManager mgr(serve_options(0));
   EXPECT_FALSE(mgr.has_map("maze"));
   mgr.define_map("maze", maze_grid(), base_config().mcl,
                  {core::Precision::kFp32Qm});
@@ -434,9 +459,11 @@ void replay_window(SessionManager& mgr, const std::vector<SessionInput>& stream,
   }
 }
 
-std::unique_ptr<SessionManager> make_maze_manager(std::size_t threads,
-                                                  std::size_t sessions) {
-  auto mgr = std::make_unique<SessionManager>(ServeOptions{threads});
+std::unique_ptr<SessionManager> make_maze_manager(
+    std::size_t threads, std::size_t sessions, std::size_t shards = 1,
+    std::shared_ptr<SnapshotStore> store = nullptr) {
+  auto mgr = std::make_unique<SessionManager>(
+      serve_options(threads, shards, /*pump_batch=*/16, std::move(store)));
   mgr->define_map("maze", maze_grid(), base_config().mcl,
                   {core::Precision::kFp32Qm});
   for (std::size_t i = 0; i < sessions; ++i) {
@@ -611,7 +638,7 @@ TEST(SessionManager, IdleEvictionReclaimsResidentMemory) {
 TEST(SessionManager, AdaptiveSessionsShrinkResidentMemory) {
   const auto stream = synthetic_stream(12);
   const auto run = [&](bool adaptive) {
-    auto mgr = std::make_unique<SessionManager>(ServeOptions{0});
+    auto mgr = std::make_unique<SessionManager>(serve_options(0));
     mgr->define_map("maze", maze_grid(), base_config().mcl,
                     {core::Precision::kFp32Qm});
     SessionOptions opts;
@@ -650,6 +677,243 @@ TEST(SessionManager, AdaptiveSessionsShrinkResidentMemory) {
   // Both still localize: the last correction landed near ground truth's
   // vicinity (sanity, not an accuracy gate).
   EXPECT_TRUE(adaptive->session(0).localizer().estimate().valid);
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotStore: pluggable blob parking (in-memory and file-backed).
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotStore, FileBackedRoundTripIsBitwiseEqualToInMemory) {
+  // One real session blob (the format evictions actually park) plus a
+  // synthetic blob covering every byte value.
+  const auto mgr = make_maze_manager(0, 1);
+  const auto stream = synthetic_stream(6);
+  replay_window(*mgr, stream, 1, 0, 6, 2);
+  const std::vector<std::byte> session_blob = mgr->snapshot_session(0);
+  ASSERT_FALSE(session_blob.empty());
+  std::vector<std::byte> pattern(4096);
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    pattern[i] = static_cast<std::byte>(i & 0xFFu);
+  }
+
+  InMemorySnapshotStore mem;
+  FileSnapshotStore file(fresh_store_dir("snapshot_store_roundtrip"));
+  mem.put(7, session_blob);
+  mem.put(8, pattern);
+  file.put(7, session_blob);
+  file.put(8, pattern);
+  EXPECT_EQ(mem.count(), 2u);
+  EXPECT_EQ(file.count(), 2u);
+  EXPECT_EQ(mem.bytes(), session_blob.size() + pattern.size());
+  EXPECT_EQ(file.bytes(), mem.bytes());
+  EXPECT_TRUE(std::filesystem::exists(file.directory() / "7.snap"));
+
+  const auto mem_back = mem.take(7);
+  const auto file_back = file.take(7);
+  ASSERT_TRUE(mem_back.has_value());
+  ASSERT_TRUE(file_back.has_value());
+  EXPECT_EQ(*mem_back, session_blob);  // std::byte vectors compare bitwise
+  EXPECT_EQ(*file_back, session_blob);
+  EXPECT_EQ(*mem_back, *file_back);
+  EXPECT_EQ(*mem.take(8), *file.take(8));
+
+  // take() removes: the second take misses and the counters drain.
+  EXPECT_FALSE(mem.take(7).has_value());
+  EXPECT_FALSE(file.take(7).has_value());
+  EXPECT_EQ(mem.count(), 0u);
+  EXPECT_EQ(file.count(), 0u);
+  EXPECT_EQ(file.bytes(), 0u);
+  EXPECT_FALSE(std::filesystem::exists(file.directory() / "7.snap"));
+}
+
+TEST(SnapshotStore, FileBackedBlobsSurviveTheStoreInstance) {
+  const std::filesystem::path dir = fresh_store_dir("snapshot_store_persist");
+  std::vector<std::byte> blob(512);
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    blob[i] = static_cast<std::byte>((i * 7) & 0xFFu);
+  }
+  {
+    FileSnapshotStore first(dir);
+    first.put(42, blob);
+  }  // Store destroyed; only the file remains.
+  FileSnapshotStore second(dir);  // Adopts the existing blob on scan.
+  EXPECT_EQ(second.count(), 1u);
+  EXPECT_EQ(second.bytes(), blob.size());
+  const auto back = second.take(42);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, blob);
+}
+
+// ---------------------------------------------------------------------------
+// Sharding: trace invariance, per-shard accounting, cross-manager
+// migration over a shared store.
+// ---------------------------------------------------------------------------
+
+TEST(SessionManager, ShardCountAndBatchSizeNeverChangeTraces) {
+  constexpr std::size_t kSessions = 6;
+  constexpr std::size_t kTicks = 16;
+  // Shard counts that do and don't divide the session count, a serial
+  // and a pooled pump, different cadences, and a pump_batch of 1 (one
+  // task per busy session — maximum interleaving): all must match the
+  // single-shard serial baseline bit for bit.
+  const auto base = run_maze_service(0, kSessions, kTicks, 4);
+  const auto sharded_serial = run_maze_service(0, kSessions, kTicks, 3,
+                                               /*shards=*/5, /*pump_batch=*/2);
+  const auto sharded_pooled = run_maze_service(4, kSessions, kTicks, 2,
+                                               /*shards=*/3, /*pump_batch=*/1);
+  EXPECT_EQ(base->shard_count(), 1u);
+  EXPECT_EQ(sharded_serial->shard_count(), 5u);
+  EXPECT_EQ(sharded_pooled->shard_count(), 3u);
+  expect_bitwise_equal_traces(*base, *sharded_serial, kSessions);
+  expect_bitwise_equal_traces(*base, *sharded_pooled, kSessions);
+}
+
+TEST(SessionManager, ReportBreaksOccupancyAndEvictionsDownPerShard) {
+  constexpr std::size_t kSessions = 6;
+  const auto stream = synthetic_stream(8);
+  const auto mgr = make_maze_manager(0, kSessions, /*shards=*/4);
+  replay_window(*mgr, stream, kSessions, 0, 8, 4);
+  mgr->evict_session(0);  // shard 0
+  mgr->evict_session(3);  // shard 3
+
+  const ServeReport rep = mgr->report();
+  ASSERT_EQ(rep.per_shard.size(), 4u);
+  std::size_t sessions = 0;
+  std::size_t live = 0;
+  std::size_t evicted = 0;
+  for (std::size_t s = 0; s < rep.per_shard.size(); ++s) {
+    EXPECT_EQ(rep.per_shard[s].shard, s);
+    sessions += rep.per_shard[s].sessions;
+    live += rep.per_shard[s].live_sessions;
+    evicted += rep.per_shard[s].evicted_sessions;
+  }
+  EXPECT_EQ(sessions, rep.sessions);
+  EXPECT_EQ(live, rep.live_sessions);
+  EXPECT_EQ(evicted, rep.evicted_sessions);
+  // Dense ids round-robin: shard 0 owns {0, 4}, shard 3 owns {3}.
+  EXPECT_EQ(rep.per_shard[0].sessions, 2u);
+  EXPECT_EQ(rep.per_shard[0].live_sessions, 1u);
+  EXPECT_EQ(rep.per_shard[0].evicted_sessions, 1u);
+  EXPECT_EQ(rep.per_shard[1].sessions, 2u);
+  EXPECT_EQ(rep.per_shard[1].evicted_sessions, 0u);
+  EXPECT_EQ(rep.per_shard[2].sessions, 1u);
+  EXPECT_EQ(rep.per_shard[3].sessions, 1u);
+  EXPECT_EQ(rep.per_shard[3].live_sessions, 0u);
+  EXPECT_EQ(rep.per_shard[3].evicted_sessions, 1u);
+}
+
+/// The rebalancing seam end-to-end: manager A evicts every session into
+/// a shared FILE-BACKED store, manager B (different shard count) takes
+/// the blobs, restores them, and finishes the stream — the stitched
+/// traces must equal an uninterrupted single-manager run bit for bit.
+TEST(SessionManager, CrossManagerMigrationOverSharedStoreIsBitIdentical) {
+  constexpr std::size_t kSessions = 3;
+  constexpr std::size_t kTicks = 12;
+  const auto stream = synthetic_stream(kTicks);
+  const auto straight = make_maze_manager(0, kSessions);
+  replay_window(*straight, stream, kSessions, 0, kTicks, 3);
+
+  const auto store = std::make_shared<FileSnapshotStore>(
+      fresh_store_dir("snapshot_store_migrate"));
+  const auto source = make_maze_manager(0, kSessions, /*shards=*/2, store);
+  replay_window(*source, stream, kSessions, 0, kTicks / 2, 3);
+  for (std::size_t i = 0; i < kSessions; ++i) source->evict_session(i);
+  EXPECT_EQ(store->count(), kSessions);
+  // The parked state is real files by now, not manager memory.
+  EXPECT_TRUE(std::filesystem::exists(store->directory() / "0.snap"));
+
+  const auto target = make_maze_manager(0, kSessions, /*shards=*/3, store);
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    const auto blob = store->take(i);
+    ASSERT_TRUE(blob.has_value()) << "session " << i;
+    target->restore_session(i, *blob);
+  }
+  EXPECT_EQ(store->count(), 0u);
+  replay_window(*target, stream, kSessions, kTicks / 2, kTicks, 3);
+  expect_bitwise_equal_traces(*straight, *target, kSessions);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency regressions (the TSan CI job runs these): report() and
+// evict_idle() racing a pooled pump.
+// ---------------------------------------------------------------------------
+
+/// Regression for two data races: pump() used to write pump_seconds_
+/// unlocked while report() read it under a different mutex, and report()
+/// read each session's LatencyRecorder (and mutable localizer footprint)
+/// while pump tasks were appending samples. A reporter thread hammering
+/// report() across a pooled pump must be clean under TSan.
+TEST(SessionManager, ReportStaysCleanDuringPooledPump) {
+  constexpr std::size_t kSessions = 4;
+  constexpr std::size_t kTicks = 12;
+  const auto stream = synthetic_stream(kTicks);
+  const auto mgr = make_maze_manager(4, kSessions, /*shards=*/2);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> reports{0};
+  std::thread reporter([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const ServeReport rep = mgr->report();
+      // Shard-local consistency holds even mid-pump.
+      EXPECT_EQ(rep.live_sessions + rep.evicted_sessions, rep.sessions);
+      EXPECT_GE(rep.pump_seconds, 0.0);
+      reports.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  replay_window(*mgr, stream, kSessions, 0, kTicks, 2);
+  // On a single-core box the whole replay can finish before the reporter
+  // first runs; keep pumping (empty pumps are harmless) until at least
+  // one report() provably overlapped pump() calls.
+  while (reports.load(std::memory_order_relaxed) == 0) mgr->pump();
+  stop.store(true, std::memory_order_release);
+  reporter.join();
+  EXPECT_GT(reports.load(std::memory_order_relaxed), 0u);
+
+  // Quiescent again: the full cross-counter invariants are restored.
+  const ServeReport rep = mgr->report();
+  EXPECT_GT(rep.corrections, 0u);
+  EXPECT_EQ(rep.latency.count, rep.corrections);
+  EXPECT_GT(rep.pump_seconds, 0.0);
+}
+
+/// Regression for the evict-during-pump use-after-free: an evictor
+/// thread sweeping evict_idle(0) as aggressively as possible while the
+/// pump runs must never destroy an in-flight session (pinning makes the
+/// sweep skip it) — and because evict/restore is transparent and
+/// bit-exact, the hammered run's traces must still equal a straight
+/// run's. Checked under the serial AND pooled pumps.
+TEST(SessionManager, EvictDuringPumpIsPinnedSafeAndTraceInvariant) {
+  constexpr std::size_t kSessions = 4;
+  constexpr std::size_t kTicks = 16;
+  const auto stream = synthetic_stream(kTicks);
+
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{4}}) {
+    const auto straight = make_maze_manager(threads, kSessions);
+    replay_window(*straight, stream, kSessions, 0, kTicks, 2);
+
+    const auto hammered = make_maze_manager(threads, kSessions, /*shards=*/2);
+    std::atomic<bool> stop{false};
+    std::thread evictor([&] {
+      // min_idle_pumps = 0: every live session with a drained queue is
+      // fair game the moment its pump finishes (and pushes restore it
+      // right back) — maximum evict/restore pressure on the pin flag.
+      while (!stop.load(std::memory_order_acquire)) hammered->evict_idle(0);
+    });
+    replay_window(*hammered, stream, kSessions, 0, kTicks, 2);
+    stop.store(true, std::memory_order_release);
+    evictor.join();
+
+    // Guarantee at least one evict/restore cycle per session whatever
+    // the scheduler did, then bring everything back live for the diff.
+    hammered->evict_idle(0);
+    for (std::size_t i = 0; i < kSessions; ++i) {
+      if (hammered->session_live(i)) continue;
+      const auto blob = hammered->store()->take(i);
+      ASSERT_TRUE(blob.has_value()) << "session " << i;
+      hammered->restore_session(i, *blob);
+    }
+    expect_bitwise_equal_traces(*straight, *hammered, kSessions);
+  }
 }
 
 }  // namespace
